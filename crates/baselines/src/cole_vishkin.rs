@@ -1,0 +1,184 @@
+//! Cole–Vishkin deterministic 3-coloring of rooted (directed) trees in
+//! `O(log* n)` rounds.
+//!
+//! This is Section 5's reference point: with *directed* trees (each node
+//! knows its parent port), `Θ(log n)`-bit initial colors (the node ids),
+//! and unbounded local bit arithmetic, a deterministic `O(log* n)`
+//! algorithm exists. The paper's nFSM protocol instead works on
+//! *undirected* trees with constant everything, paying `Θ(log n)` — and
+//! Kothapalli et al. show that is optimal for O(1)-size messages. The
+//! experiment E12 plots both shapes.
+
+use stoneage_graph::{Graph, NodeId};
+
+/// Result of a Cole–Vishkin run.
+#[derive(Clone, Debug)]
+pub struct CvRun {
+    /// Proper coloring with colors in `0..3`.
+    pub colors: Vec<u32>,
+    /// Synchronous rounds used (CV iterations + shift-down/recolor).
+    pub rounds: u64,
+}
+
+/// Roots an undirected tree at `root` and returns the parent array
+/// (`parent[root] = root`).
+///
+/// # Panics
+/// Panics if `g` is not a tree.
+pub fn root_tree(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    assert!(stoneage_graph::traversal::is_tree(g), "input must be a tree");
+    let n = g.node_count();
+    let mut parent = vec![NodeId::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    parent[root as usize] = root;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if parent[u as usize] == NodeId::MAX {
+                parent[u as usize] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    parent
+}
+
+/// The Cole–Vishkin bit trick: from a proper coloring (vs. parent), derive
+/// a new proper coloring with exponentially fewer bits.
+fn cv_step(colors: &[u64], parent: &[NodeId]) -> Vec<u64> {
+    colors
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| {
+            let pc = if parent[v] as usize == v {
+                // Root: compete against a virtual parent differing in bit 0.
+                c ^ 1
+            } else {
+                colors[parent[v] as usize]
+            };
+            let diff = c ^ pc;
+            debug_assert_ne!(diff, 0, "parent and child share a color");
+            let i = diff.trailing_zeros() as u64;
+            2 * i + ((c >> i) & 1)
+        })
+        .collect()
+}
+
+/// Runs Cole–Vishkin 3-coloring on the tree `g` rooted at `root`.
+pub fn cole_vishkin_3color(g: &Graph, root: NodeId) -> CvRun {
+    let n = g.node_count();
+    if n == 0 {
+        return CvRun {
+            colors: Vec::new(),
+            rounds: 0,
+        };
+    }
+    let parent = root_tree(g, root);
+    let mut colors: Vec<u64> = (0..n as u64).collect();
+    let mut rounds = 0u64;
+    // Iterate the bit trick until only colors {0..5} remain.
+    while colors.iter().any(|&c| c >= 6) {
+        colors = cv_step(&colors, &parent);
+        rounds += 1;
+    }
+    // Reduce 6 → 3: repeatedly shift down (each node adopts its parent's
+    // color, making sibling colors equal), then retire one top color.
+    for retire in (3..6u64).rev() {
+        // Shift down.
+        let shifted: Vec<u64> = (0..n)
+            .map(|v| {
+                if parent[v] as usize == v {
+                    // Root picks a color different from its own children's
+                    // new color (= old root color): any other in 0..3.
+                    (colors[v] + 1) % 3
+                } else {
+                    colors[parent[v] as usize]
+                }
+            })
+            .collect();
+        colors = shifted;
+        rounds += 1;
+        // Every node of color `retire` picks the smallest color unused by
+        // its (parent, children) — at most 2 distinct after shift-down.
+        let snapshot = colors.clone();
+        for v in 0..n {
+            if snapshot[v] == retire {
+                let pc = snapshot[parent[v] as usize];
+                let cc = g
+                    .neighbors(v as NodeId)
+                    .iter()
+                    .filter(|&&u| parent[u as usize] == v as NodeId)
+                    .map(|&u| snapshot[u as usize])
+                    .next();
+                let free = (0..3u64)
+                    .find(|&c| Some(c) != Some(pc) && Some(c) != cc)
+                    .expect("two blocked colors leave one of three free");
+                colors[v] = free;
+            }
+        }
+        rounds += 1;
+    }
+    CvRun {
+        colors: colors.into_iter().map(|c| c as u32).collect(),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::{generators, validate};
+
+    #[test]
+    fn colors_paths_and_trees_properly() {
+        let cases = [
+            generators::path(100),
+            generators::path(2),
+            generators::star(30),
+            generators::kary_tree(63, 2),
+            generators::random_tree(200, 4),
+            generators::caterpillar(12, 3),
+        ];
+        for g in &cases {
+            let run = cole_vishkin_3color(g, 0);
+            assert!(
+                validate::is_proper_k_coloring(g, &run.colors, 3),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = stoneage_graph::Graph::empty(1);
+        let run = cole_vishkin_3color(&g, 0);
+        assert!(run.colors[0] < 3);
+    }
+
+    #[test]
+    fn rounds_are_log_star_flat() {
+        // log* growth: round counts should be essentially constant across
+        // three orders of magnitude.
+        let r1 = cole_vishkin_3color(&generators::path(100), 0).rounds;
+        let r2 = cole_vishkin_3color(&generators::path(10_000), 0).rounds;
+        assert!(r2 <= r1 + 2, "r(100) = {r1}, r(10000) = {r2}");
+        assert!(r2 < 20);
+    }
+
+    #[test]
+    fn rooting_builds_parent_pointers() {
+        let g = generators::path(5);
+        let parent = root_tree(&g, 2);
+        assert_eq!(parent[2], 2);
+        assert_eq!(parent[1], 2);
+        assert_eq!(parent[0], 1);
+        assert_eq!(parent[3], 2);
+        assert_eq!(parent[4], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a tree")]
+    fn rejects_non_trees() {
+        cole_vishkin_3color(&generators::cycle(4), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Classical distributed algorithms the paper positions the nFSM model
+//! against, implemented in their native (much stronger) models:
+//!
+//! * [`luby`] — Luby's randomized MIS and the Alon–Babai–Itai-style
+//!   degree-weighted variant, in the synchronous message-passing model
+//!   (`O(log n)` rounds).
+//! * [`metivier`] — the Métivier–Robson–Saheb-Djahromi–Zemmari MIS with
+//!   optimal bit complexity (random bits exchanged one per round).
+//! * [`beeping`] — a beeping-model MIS in the spirit of Afek et al.,
+//!   which the paper singles out as "one-two-many counting with `b = 1`".
+//! * [`cole_vishkin`] — deterministic 3-coloring of directed paths and
+//!   rooted trees in `O(log* n)` rounds via the Cole–Vishkin bit trick.
+//! * [`matching`] — randomized maximal matching by proposals in the
+//!   message-passing model.
+//!
+//! All functions return both the solution and the number of synchronous
+//! rounds used, so the experiment harness can compare round-complexity
+//! *shapes* against the nFSM protocols (E11/E12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beeping;
+pub mod cole_vishkin;
+pub mod luby;
+pub mod matching;
+pub mod metivier;

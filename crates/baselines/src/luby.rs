@@ -1,0 +1,193 @@
+//! Luby's randomized MIS (SIAM J. Comput. 1986) and the degree-weighted
+//! Alon–Babai–Itai-style variant, in the synchronous message-passing
+//! model.
+//!
+//! These are the paper's Section 4 reference points: `O(log n)` rounds,
+//! but each round exchanges `Θ(log n)`-bit values with *per-neighbor*
+//! messages and unbounded local arithmetic — exactly the capabilities the
+//! nFSM model forbids.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use stoneage_graph::{Graph, NodeId};
+
+/// Result of a message-passing MIS run.
+#[derive(Clone, Debug)]
+pub struct MisRun {
+    /// Membership vector.
+    pub in_set: Vec<bool>,
+    /// Synchronous rounds used (phases of the algorithm).
+    pub rounds: u64,
+}
+
+/// Luby's algorithm, random-priority variant: each phase every live node
+/// draws a uniform value; local minima join the MIS and their
+/// neighborhoods retire.
+pub fn luby_mis(g: &Graph, seed: u64) -> MisRun {
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut in_set = vec![false; n];
+    let mut live = vec![true; n];
+    let mut rounds = 0u64;
+    let mut priorities = vec![0u64; n];
+    while live.iter().any(|&l| l) {
+        rounds += 1;
+        for v in 0..n {
+            if live[v] {
+                priorities[v] = rng.gen();
+            }
+        }
+        let mut joins = Vec::new();
+        for v in 0..n {
+            if !live[v] {
+                continue;
+            }
+            let my = (priorities[v], v);
+            let is_min = g
+                .neighbors(v as NodeId)
+                .iter()
+                .filter(|&&u| live[u as usize])
+                .all(|&u| (priorities[u as usize], u as usize) > my);
+            if is_min {
+                joins.push(v);
+            }
+        }
+        for v in joins {
+            in_set[v] = true;
+            live[v] = false;
+            for &u in g.neighbors(v as NodeId) {
+                live[u as usize] = false;
+            }
+        }
+    }
+    MisRun { in_set, rounds }
+}
+
+/// The degree-weighted variant (à la Luby's second analysis / ABI): each
+/// live node marks itself with probability `1 / (2·deg)`, conflicts are
+/// resolved toward the higher degree (ties by id), marked survivors join.
+pub fn luby_degree_mis(g: &Graph, seed: u64) -> MisRun {
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut in_set = vec![false; n];
+    let mut live = vec![true; n];
+    let mut rounds = 0u64;
+    let mut marked = vec![false; n];
+    let live_degree = |g: &Graph, live: &[bool], v: usize| {
+        g.neighbors(v as NodeId)
+            .iter()
+            .filter(|&&u| live[u as usize])
+            .count()
+    };
+    while live.iter().any(|&l| l) {
+        rounds += 1;
+        for v in 0..n {
+            marked[v] = false;
+            if live[v] {
+                let d = live_degree(g, &live, v);
+                if d == 0 {
+                    marked[v] = true;
+                } else {
+                    marked[v] = rng.gen_bool(1.0 / (2.0 * d as f64));
+                }
+            }
+        }
+        // Conflict resolution: an edge with both endpoints marked keeps
+        // only the endpoint of larger live degree (ties: larger id).
+        let mut keep = marked.clone();
+        for (u, v) in g.edges() {
+            let (u, v) = (u as usize, v as usize);
+            if marked[u] && marked[v] && live[u] && live[v] {
+                let du = live_degree(g, &live, u);
+                let dv = live_degree(g, &live, v);
+                if (du, u) < (dv, v) {
+                    keep[u] = false;
+                } else {
+                    keep[v] = false;
+                }
+            }
+        }
+        for v in 0..n {
+            if live[v] && keep[v] {
+                in_set[v] = true;
+                live[v] = false;
+                for &u in g.neighbors(v as NodeId) {
+                    live[u as usize] = false;
+                }
+            }
+        }
+    }
+    MisRun { in_set, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::{generators, validate};
+
+    #[test]
+    fn luby_produces_valid_mis_on_families() {
+        let graphs = [
+            generators::path(50),
+            generators::cycle(33),
+            generators::complete(12),
+            generators::gnp(80, 0.1, 2),
+            generators::random_tree(60, 3),
+            generators::star(25),
+            stoneage_graph::Graph::empty(7),
+        ];
+        for g in &graphs {
+            for seed in 0..5 {
+                let run = luby_mis(g, seed);
+                assert!(
+                    validate::is_maximal_independent_set(g, &run.in_set),
+                    "{g:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_variant_produces_valid_mis() {
+        for seed in 0..5 {
+            let g = generators::gnp(70, 0.1, seed);
+            let run = luby_degree_mis(&g, seed);
+            assert!(validate::is_maximal_independent_set(&g, &run.in_set));
+        }
+    }
+
+    #[test]
+    fn luby_rounds_are_logarithmic() {
+        // On G(n, 8/n), round counts should grow very slowly with n.
+        let mut prev = 0.0;
+        for &n in &[64usize, 256, 1024, 4096] {
+            let mut total = 0u64;
+            let reps = 5;
+            for seed in 0..reps {
+                let g = generators::gnp(n, 8.0 / n as f64, seed);
+                total += luby_mis(&g, seed).rounds;
+            }
+            let avg = total as f64 / reps as f64;
+            assert!(avg < 4.0 * (n as f64).log2(), "n={n} avg={avg}");
+            if prev > 0.0 {
+                assert!(avg < prev * 2.5, "n={n}: {prev} -> {avg}");
+            }
+            prev = avg;
+        }
+    }
+
+    #[test]
+    fn empty_graph_takes_one_round() {
+        let g = stoneage_graph::Graph::empty(5);
+        let run = luby_mis(&g, 0);
+        assert_eq!(run.rounds, 1);
+        assert!(run.in_set.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::gnp(50, 0.1, 9);
+        assert_eq!(luby_mis(&g, 4).in_set, luby_mis(&g, 4).in_set);
+    }
+}

@@ -1,0 +1,132 @@
+//! Randomized maximal matching by proposals, in the synchronous
+//! message-passing model — the baseline for the paper's deferred maximal
+//! matching result (R8/E14): the nFSM version requires a small model
+//! extension (see `stoneage-protocols`' matching module), while message
+//! passing does it directly in `O(log n)` rounds.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use stoneage_graph::{Graph, NodeId};
+
+/// Result of a message-passing matching run.
+#[derive(Clone, Debug)]
+pub struct MatchingRun {
+    /// The matched edges.
+    pub matched: Vec<(NodeId, NodeId)>,
+    /// Synchronous rounds used (each phase is two rounds:
+    /// propose + accept).
+    pub rounds: u64,
+}
+
+/// Runs the proposal algorithm: each phase, every free node flips a coin;
+/// proposers send a proposal to one uniformly random free neighbor;
+/// listeners accept one incoming proposal uniformly at random.
+pub fn proposal_matching(g: &Graph, seed: u64) -> MatchingRun {
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut free = vec![true; n];
+    let mut matched = Vec::new();
+    let mut rounds = 0u64;
+    loop {
+        // A free node with no free neighbor can never match: done when
+        // none remains.
+        let active: Vec<usize> = (0..n)
+            .filter(|&v| {
+                free[v]
+                    && g.neighbors(v as NodeId)
+                        .iter()
+                        .any(|&u| free[u as usize])
+            })
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        rounds += 2;
+        // Round 1: proposers pick a free neighbor.
+        let mut proposals: Vec<Vec<usize>> = vec![Vec::new(); n]; // to -> from
+        for &v in &active {
+            if rng.gen_bool(0.5) {
+                let free_nbrs: Vec<NodeId> = g
+                    .neighbors(v as NodeId)
+                    .iter()
+                    .copied()
+                    .filter(|&u| free[u as usize])
+                    .collect();
+                if let Some(&target) = free_nbrs.choose(&mut rng) {
+                    proposals[target as usize].push(v);
+                }
+            }
+        }
+        // Round 2: listeners (non-proposers) accept one proposal.
+        for v in 0..n {
+            if !free[v] || proposals[v].is_empty() {
+                continue;
+            }
+            let candidates: Vec<usize> = proposals[v]
+                .iter()
+                .copied()
+                .filter(|&u| free[u])
+                .collect();
+            if let Some(&partner) = candidates.choose(&mut rng) {
+                free[v] = false;
+                free[partner] = false;
+                matched.push((partner as NodeId, v as NodeId));
+            }
+        }
+    }
+    MatchingRun { matched, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::{generators, validate};
+
+    #[test]
+    fn produces_maximal_matchings() {
+        let graphs = [
+            generators::path(40),
+            generators::cycle(31),
+            generators::gnp(70, 0.1, 4),
+            generators::complete(11),
+            generators::star(20),
+            generators::random_tree(50, 6),
+            stoneage_graph::Graph::empty(5),
+        ];
+        for g in &graphs {
+            for seed in 0..5 {
+                let run = proposal_matching(g, seed);
+                assert!(
+                    validate::is_maximal_matching(g, &run.matched),
+                    "{g:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_scale_logarithmically() {
+        for &n in &[128usize, 512, 2048] {
+            let g = generators::gnp(n, 6.0 / n as f64, 8);
+            let run = proposal_matching(&g, 8);
+            assert!(
+                (run.rounds as f64) < 12.0 * (n as f64).log2(),
+                "n={n}: {} rounds",
+                run.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn listeners_only_accept_free_proposers() {
+        // Regression shape: proposer matched earlier in the same loop must
+        // not be accepted twice — validity of the matching covers it.
+        let g = generators::complete(6);
+        for seed in 0..20 {
+            let run = proposal_matching(&g, seed);
+            assert!(validate::is_matching(&g, &run.matched));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The Métivier–Robson–Saheb-Djahromi–Zemmari MIS (Distributed Computing
+//! 2011): the random-priority competition resolved by exchanging random
+//! bits **one per round**, achieving optimal `O(log n)` bit complexity.
+//!
+//! The paper cites this algorithm ("cf. Algorithm B in \[29\]") when it
+//! discusses why even 1-bit-per-round message passing still exceeds nFSM
+//! power: the bit protocol maintains Θ(log n)-length aligned phases, which
+//! a finite-state machine cannot count. We report both phase counts and
+//! total bit rounds so experiment E11 can display the contrast.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use stoneage_graph::{Graph, NodeId};
+
+/// Result of a Métivier-style MIS run.
+#[derive(Clone, Debug)]
+pub struct BitMisRun {
+    /// Membership vector.
+    pub in_set: Vec<bool>,
+    /// Competition phases (comparable to Luby rounds).
+    pub phases: u64,
+    /// Total single-bit exchange rounds across all phases.
+    pub bit_rounds: u64,
+}
+
+/// Runs the bit-exchange MIS. In each phase, live nodes reveal independent
+/// fair bits one round at a time; a node drops out of contention the first
+/// time a live neighbor reveals 1 while it revealed 0. Nodes still in
+/// contention when all rivalries are settled join the MIS.
+pub fn metivier_mis(g: &Graph, seed: u64) -> BitMisRun {
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut in_set = vec![false; n];
+    let mut live = vec![true; n];
+    let mut phases = 0u64;
+    let mut bit_rounds = 0u64;
+    while live.iter().any(|&l| l) {
+        phases += 1;
+        // `contender[v]`: v has not yet lost a bit duel this phase.
+        let mut contender: Vec<bool> = live.clone();
+        // Active duels: edges between live contenders, still tied.
+        let mut tied: Vec<(usize, usize)> = g
+            .edges()
+            .filter(|&(u, v)| live[u as usize] && live[v as usize])
+            .map(|(u, v)| (u as usize, v as usize))
+            .collect();
+        let mut bits = vec![false; n];
+        while !tied.is_empty() {
+            bit_rounds += 1;
+            for v in 0..n {
+                if live[v] && contender[v] {
+                    bits[v] = rng.gen();
+                }
+            }
+            tied.retain(|&(u, v)| {
+                if !contender[u] || !contender[v] {
+                    return false;
+                }
+                match (bits[u], bits[v]) {
+                    (true, false) => {
+                        contender[v] = false;
+                        false
+                    }
+                    (false, true) => {
+                        contender[u] = false;
+                        false
+                    }
+                    _ => true, // tie: compare another bit next round
+                }
+            });
+        }
+        // Winners: contenders whose every live neighbor lost its duels
+        // against *someone* — as in the original, winners are local
+        // maxima of the revealed bit strings; with pairwise duels settled,
+        // any contender with no contending live neighbor joins.
+        let mut joins = Vec::new();
+        for v in 0..n {
+            if live[v]
+                && contender[v]
+                && g.neighbors(v as NodeId)
+                    .iter()
+                    .all(|&u| !(live[u as usize] && contender[u as usize]))
+            {
+                joins.push(v);
+            }
+        }
+        // Contenders adjacent to other contenders can remain when duel
+        // outcomes are intransitive; they simply try again next phase.
+        for v in joins {
+            in_set[v] = true;
+            live[v] = false;
+            for &u in g.neighbors(v as NodeId) {
+                live[u as usize] = false;
+            }
+        }
+    }
+    BitMisRun {
+        in_set,
+        phases,
+        bit_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::{generators, validate};
+
+    #[test]
+    fn produces_valid_mis() {
+        let graphs = [
+            generators::path(40),
+            generators::cycle(25),
+            generators::gnp(60, 0.1, 1),
+            generators::complete(10),
+            generators::random_tree(50, 2),
+            stoneage_graph::Graph::empty(4),
+        ];
+        for g in &graphs {
+            for seed in 0..5 {
+                let run = metivier_mis(g, seed);
+                assert!(
+                    validate::is_maximal_independent_set(g, &run.in_set),
+                    "{g:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_rounds_exceed_phases() {
+        let g = generators::gnp(80, 0.1, 3);
+        let run = metivier_mis(&g, 3);
+        assert!(run.bit_rounds >= run.phases);
+    }
+
+    #[test]
+    fn bit_rounds_scale_gently() {
+        for &n in &[128usize, 512, 2048] {
+            let g = generators::gnp(n, 6.0 / n as f64, 7);
+            let run = metivier_mis(&g, 7);
+            let bound = 30.0 * (n as f64).log2().powi(2);
+            assert!(
+                (run.bit_rounds as f64) < bound,
+                "n={n}: {} bit rounds",
+                run.bit_rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Bench E11/E12: the classical baselines, for wall-clock context next to
+//! the nFSM protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stoneage_baselines::{beeping, cole_vishkin, luby, metivier};
+use stoneage_graph::generators;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_mis");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let g = generators::gnp(n, 8.0 / n as f64, 4);
+        group.bench_with_input(BenchmarkId::new("luby", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                luby::luby_mis(g, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("metivier", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                metivier::metivier_mis(g, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("beeping", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                beeping::beeping_mis(g, seed)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("baseline_coloring");
+    group.sample_size(10);
+    for &n in &[1024usize, 16384] {
+        let g = generators::random_tree(n, 6);
+        group.bench_with_input(BenchmarkId::new("cole_vishkin", n), &g, |b, g| {
+            b.iter(|| cole_vishkin::cole_vishkin_3color(g, 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench E5: the tree 3-coloring protocol's synchronous run-time
+//! (Theorem 5.4 — expect rounds ~ log n, wall time ~ n·log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stoneage_graph::generators;
+use stoneage_protocols::ColoringProtocol;
+use stoneage_sim::{run_sync, SyncConfig};
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_sync");
+    group.sample_size(10);
+    for &n in &[64usize, 512, 4096, 16384] {
+        let g = generators::random_tree(n, 5);
+        group.bench_with_input(BenchmarkId::new("random-tree", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync(
+                    &ColoringProtocol::new(),
+                    g,
+                    &SyncConfig {
+                        seed,
+                        max_rounds: 10_000_000,
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    for &n in &[512usize, 4096] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::new("path", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync(
+                    &ColoringProtocol::new(),
+                    g,
+                    &SyncConfig {
+                        seed,
+                        max_rounds: 10_000_000,
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

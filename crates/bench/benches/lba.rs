@@ -1,0 +1,55 @@
+//! Bench E9/E10: the Section 6 simulations — the direct LBA runner, the
+//! Lemma 6.2 path protocol, and the Lemma 6.1 sweep simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stoneage_graph::generators;
+use stoneage_lba::{machines, sweep, to_nfsm};
+use stoneage_protocols::{MisProtocol, MisState};
+
+fn bench_lba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma62_path_vs_direct");
+    group.sample_size(10);
+    let m = machines::abc_equal();
+    for &n in &[4usize, 8, 16] {
+        let word: String = format!(
+            "{}{}{}",
+            "a".repeat(n),
+            "b".repeat(n),
+            "c".repeat(n)
+        );
+        let input = machines::encode_abc(&word);
+        group.bench_with_input(BenchmarkId::new("direct", 3 * n), &input, |b, input| {
+            b.iter(|| m.run(input, 0, 100_000_000).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("path_nfsm", 3 * n), &input, |b, input| {
+            b.iter(|| to_nfsm::run_on_path(&m, input, 0, 100_000_000).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lemma61_sweep");
+    group.sample_size(10);
+    for &n in &[16usize, 48] {
+        let g = generators::gnp(n, 8.0 / n as f64, 2);
+        group.bench_with_input(BenchmarkId::new("mis_on_tape", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sweep::simulate_on_tape(
+                    &MisProtocol::new(),
+                    g,
+                    &vec![0usize; g.node_count()],
+                    seed,
+                    1_000_000,
+                    |s| *s as u64,
+                    |c| MisState::ALL[c as usize],
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lba);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench E14: maximal matching — the nFSM port-select protocol vs the
+//! message-passing proposal baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stoneage_baselines::matching as mp;
+use stoneage_graph::generators;
+use stoneage_protocols::run_matching;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 2048] {
+        let g = generators::gnp(n, 6.0 / n as f64, 8);
+        group.bench_with_input(BenchmarkId::new("nfsm_port_select", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_matching(g, seed, 10_000_000).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("message_passing", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                mp::proposal_matching(g, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

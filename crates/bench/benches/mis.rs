@@ -1,0 +1,36 @@
+//! Bench E2: the MIS protocol's synchronous run-time across graph sizes
+//! and families (Theorem 4.5 — expect rounds ~ log² n, wall time ~ n·log² n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stoneage_graph::generators;
+use stoneage_protocols::MisProtocol;
+use stoneage_sim::{run_sync, SyncConfig};
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_sync");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let g = generators::gnp(n, 8.0 / n as f64, 7);
+        group.bench_with_input(BenchmarkId::new("gnp-deg8", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync(&MisProtocol::new(), g, &SyncConfig::seeded(seed)).unwrap()
+            });
+        });
+    }
+    for &n in &[256usize, 1024] {
+        let g = generators::random_regular(n, 4, 3);
+        group.bench_with_input(BenchmarkId::new("regular4", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync(&MisProtocol::new(), g, &SyncConfig::seeded(seed)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

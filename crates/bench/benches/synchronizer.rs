@@ -1,0 +1,66 @@
+//! Bench E7/E8: the compiler stack — single-letterization (Thm 3.4) on
+//! the synchronous engine, and the synchronizer (Thm 3.1) under the
+//! asynchronous adversarial engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stoneage_core::{AsMulti, SingleLetter, Synchronized};
+use stoneage_graph::generators;
+use stoneage_protocols::{
+    wave::{wave_inputs, wave_protocol},
+    MisProtocol,
+};
+use stoneage_sim::adversary::{Lockstep, UniformRandom};
+use stoneage_sim::{run_async_with_inputs, run_sync, AsyncConfig, SyncConfig};
+
+fn bench_single_letter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm34_single_letter");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        let g = generators::gnp(n, 8.0 / n as f64, 2);
+        group.bench_with_input(BenchmarkId::new("mis_compiled", n), &g, |b, g| {
+            let p = AsMulti(SingleLetter::new(MisProtocol::new()));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync(&p, g, &SyncConfig::seeded(seed)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_synchronizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm31_synchronizer_async");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        let g = generators::path(n);
+        let inputs = wave_inputs(n, &[0]);
+        let p = Synchronized::new(wave_protocol());
+        group.bench_with_input(BenchmarkId::new("wave_lockstep", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_async_with_inputs(&p, g, &inputs, &Lockstep, &AsyncConfig::seeded(seed))
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("wave_uniform", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_async_with_inputs(
+                    &p,
+                    g,
+                    &inputs,
+                    &UniformRandom { seed: 9 },
+                    &AsyncConfig::seeded(seed),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_letter, bench_synchronizer);
+criterion_main!(benches);

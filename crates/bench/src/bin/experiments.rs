@@ -1,0 +1,80 @@
+//! The experiment harness binary: regenerates every table/figure of
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! experiments                      # run everything at full scale
+//! experiments --quick              # CI-sized sweeps
+//! experiments --exp mis-scaling    # one experiment
+//! experiments --exp fig1 --dot     # print Figure 1 as Graphviz
+//! experiments --json results.json  # also dump machine-readable results
+//! ```
+
+use std::io::Write as _;
+
+use stoneage_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut exp: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut dot = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--dot" => dot = true,
+            "--exp" => {
+                i += 1;
+                exp = Some(args.get(i).expect("--exp needs a name").clone());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--exp NAME] [--json PATH] [--dot]\n\
+                     experiments: {}",
+                    experiments::NAMES.join(", ")
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if dot {
+        print!("{}", experiments::mis_figure1_dot());
+        return;
+    }
+
+    let tables = match &exp {
+        Some(name) => match experiments::by_name(name, scale) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!(
+                    "unknown experiment {name}; available: {}",
+                    experiments::NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        None => experiments::all(scale),
+    };
+
+    for t in &tables {
+        println!("{}", t.render());
+    }
+
+    if let Some(path) = json_path {
+        let json: Vec<serde_json::Value> = tables.iter().map(|t| t.to_json()).collect();
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap()).unwrap();
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the *Stone Age Distributed Computing*
+//! reproduction.
+//!
+//! Every experiment of `EXPERIMENTS.md` (E1–E14) is a function in
+//! [`experiments`] that returns a structured [`report::Table`] — printable
+//! as an aligned text table and serializable to JSON — so the
+//! `experiments` binary, the criterion benches and the integration tests
+//! all share one implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod stats;

@@ -1,0 +1,183 @@
+//! Structured experiment reports: aligned text tables + JSON export.
+
+use std::fmt::Write as _;
+
+/// A cell value.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[serde(untagged)]
+pub enum Cell {
+    /// Text.
+    Text(String),
+    /// Integer.
+    Int(i64),
+    /// Floating point (rendered with 3 decimals).
+    Float(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.3}"),
+        }
+    }
+}
+
+/// One experiment's result: a titled table plus free-form findings.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. "E2").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+    /// Headline findings (printed under the table, kept in JSON).
+    pub findings: Vec<String>,
+}
+
+impl Table {
+    /// Starts an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a finding line.
+    pub fn finding(&mut self, text: impl Into<String>) {
+        self.findings.push(text.into());
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "## {} — {}", self.id, self.title).unwrap();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(out, "{}", header.join("  ")).unwrap();
+        writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )
+        .unwrap();
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(out, "{}", line.join("  ")).unwrap();
+        }
+        for f in &self.findings {
+            writeln!(out, "* {f}").unwrap();
+        }
+        out
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("tables serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("E0", "demo", &["n", "rounds", "note"]);
+        t.row(vec![16usize.into(), 3.25f64.into(), "ok".into()]);
+        t.row(vec![1024usize.into(), 12.5f64.into(), "fine".into()]);
+        t.finding("all good");
+        let text = t.render();
+        assert!(text.contains("E0"));
+        assert!(text.contains("1024"));
+        assert!(text.contains("12.500"));
+        assert!(text.contains("* all good"));
+        let json = t.to_json();
+        assert_eq!(json["id"], "E0");
+        assert_eq!(json["rows"][0][0], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec![1usize.into()]);
+    }
+}

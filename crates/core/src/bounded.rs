@@ -1,0 +1,164 @@
+//! One-two-many counting: the paper's symbol set `B = {0, …, b-1, ≥b}` and
+//! the truncation map `f_b`.
+
+use std::fmt;
+
+/// The truncation map `f_b : Z≥0 → B` of the paper's Section 2:
+/// `f_b(x) = x` for `x < b` and `≥b` otherwise. Returned as a
+/// [`BoundedCount`] whose raw value `b` encodes the symbol `≥b`.
+///
+/// # Panics
+/// Panics if `b == 0` (the model requires `b ∈ Z>0`).
+pub fn fb(x: usize, b: u8) -> BoundedCount {
+    BoundedCount::from_count(x, b)
+}
+
+/// An element of `B = {0, 1, …, b-1, ≥b}`: a neighbor-count observed under
+/// the one-two-many principle with bounding parameter `b`.
+///
+/// Internally the raw value is `min(x, b)`; raw value `b` *is* the symbol
+/// `≥b`. The paper's identity `f_b(x + y) = min(f_b(x) + f_b(y), b)`
+/// (identifying `b` with `≥b`) is [`BoundedCount::saturating_add`], the key
+/// fact the synchronizer's simulating feature relies on.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoundedCount {
+    raw: u8,
+}
+
+impl BoundedCount {
+    /// Observes the exact count `x` under bounding parameter `b`.
+    ///
+    /// # Panics
+    /// Panics if `b == 0`.
+    pub fn from_count(x: usize, b: u8) -> Self {
+        assert!(b > 0, "the bounding parameter must be positive");
+        BoundedCount {
+            raw: x.min(b as usize) as u8,
+        }
+    }
+
+    /// The element `0 ∈ B`.
+    pub fn zero() -> Self {
+        BoundedCount { raw: 0 }
+    }
+
+    /// Constructs directly from a raw value already in `0..=b`.
+    ///
+    /// # Panics
+    /// Panics if `raw > b`.
+    pub fn from_raw(raw: u8, b: u8) -> Self {
+        assert!(raw <= b, "raw value {raw} exceeds bound {b}");
+        BoundedCount { raw }
+    }
+
+    /// The raw value: the exact count if below `b`, otherwise `b`
+    /// (representing `≥b`).
+    pub fn raw(self) -> u8 {
+        self.raw
+    }
+
+    /// Whether this is the symbol `≥b` (the count was truncated).
+    pub fn is_saturated(self, b: u8) -> bool {
+        self.raw == b
+    }
+
+    /// Whether the observed count is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.raw == 0
+    }
+
+    /// Whether the observed count is `k` or more (for `k ≤ b`, the only
+    /// thresholds an nFSM can test).
+    pub fn at_least(self, k: u8) -> bool {
+        self.raw >= k
+    }
+
+    /// `min(f_b(x) + f_b(y), b)`, which equals `f_b(x + y)` — the paper's
+    /// addition on `B` identifying `b` with `≥b`.
+    pub fn saturating_add(self, other: BoundedCount, b: u8) -> BoundedCount {
+        BoundedCount {
+            raw: (self.raw + other.raw).min(b),
+        }
+    }
+}
+
+impl fmt::Debug for BoundedCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fb_truncates_at_b() {
+        let b = 3;
+        assert_eq!(fb(0, b).raw(), 0);
+        assert_eq!(fb(2, b).raw(), 2);
+        assert_eq!(fb(3, b).raw(), 3);
+        assert_eq!(fb(100, b).raw(), 3);
+        assert!(fb(3, b).is_saturated(b));
+        assert!(!fb(2, b).is_saturated(b));
+    }
+
+    #[test]
+    fn beeping_is_b_equals_1() {
+        // The paper observes the beeping model is one-two-many with b = 1.
+        assert_eq!(fb(0, 1).raw(), 0);
+        assert_eq!(fb(1, 1).raw(), 1);
+        assert_eq!(fb(7, 1).raw(), 1);
+    }
+
+    #[test]
+    fn thresholds() {
+        let c = fb(2, 3);
+        assert!(c.at_least(0));
+        assert!(c.at_least(2));
+        assert!(!c.at_least(3));
+        assert!(!c.is_zero());
+        assert!(fb(0, 3).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        fb(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bound")]
+    fn from_raw_checks_range() {
+        BoundedCount::from_raw(4, 3);
+    }
+
+    proptest! {
+        /// The identity the synchronizer's simulating feature depends on:
+        /// f_b(x + y) = min(f_b(x) + f_b(y), b).
+        #[test]
+        fn fb_is_a_homomorphism(x in 0usize..50, y in 0usize..50, b in 1u8..8) {
+            let lhs = fb(x + y, b);
+            let rhs = fb(x, b).saturating_add(fb(y, b), b);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn fb_is_monotone(x in 0usize..50, y in 0usize..50, b in 1u8..8) {
+            if x <= y {
+                prop_assert!(fb(x, b).raw() <= fb(y, b).raw());
+            }
+        }
+
+        #[test]
+        fn fb_exact_below_bound(x in 0usize..50, b in 1u8..8) {
+            if x < b as usize {
+                prop_assert_eq!(fb(x, b).raw() as usize, x);
+                prop_assert!(!fb(x, b).is_saturated(b));
+            } else {
+                prop_assert!(fb(x, b).is_saturated(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The protocol abstractions: [`Fsm`] (the formal single-letter-query model
+//! of Section 2) and [`MultiFsm`] (the multiple-letter-query layer of
+//! Section 3.2).
+
+use crate::{Alphabet, BoundedCount, Letter};
+
+/// The nondeterministic choice set `δ(q, ·) ⊆ Q × (Σ ∪ {ε})` from which the
+/// next `(state, emission)` pair is drawn **uniformly at random**
+/// (emission `None` is the empty symbol `ε` — no transmission).
+///
+/// A well-formed protocol never returns an empty choice set (the node would
+/// have no successor configuration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transitions<S> {
+    /// The candidate `(next state, emission)` pairs.
+    pub choices: Vec<(S, Option<Letter>)>,
+}
+
+impl<S> Transitions<S> {
+    /// A deterministic transition: a single choice.
+    pub fn det(state: S, emission: Option<Letter>) -> Self {
+        Transitions {
+            choices: vec![(state, emission)],
+        }
+    }
+
+    /// A uniform choice among the given pairs.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty.
+    pub fn uniform(choices: Vec<(S, Option<Letter>)>) -> Self {
+        assert!(!choices.is_empty(), "δ must offer at least one successor");
+        Transitions { choices }
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether the choice set is empty (ill-formed).
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Picks one pair uniformly at random using the supplied RNG.
+    ///
+    /// # Panics
+    /// Panics if the choice set is empty.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> &(S, Option<Letter>) {
+        assert!(!self.choices.is_empty(), "empty transition set");
+        if self.choices.len() == 1 {
+            &self.choices[0]
+        } else {
+            &self.choices[rng.gen_range(0..self.choices.len())]
+        }
+    }
+
+    /// Maps the state type, preserving emissions and choice order.
+    pub fn map_states<T, F: FnMut(S) -> T>(self, mut f: F) -> Transitions<T> {
+        Transitions {
+            choices: self
+                .choices
+                .into_iter()
+                .map(|(s, e)| (f(s), e))
+                .collect(),
+        }
+    }
+}
+
+/// A protocol in the formal nFSM model of Section 2: every state queries a
+/// **single** letter `λ(q)` and the transition depends only on
+/// `f_b(#λ(q))`.
+///
+/// Model requirement (M2): all nodes run the *same* protocol — an `Fsm`
+/// value is shared (by reference) across all nodes of an execution.
+/// Requirement (M4) — constant size independent of the network — is a
+/// design obligation on implementors: `State`, the alphabet and `b` must
+/// not depend on `n` or on node degrees.
+pub trait Fsm {
+    /// The state set `Q`. `Clone + Eq` so engines can store and compare
+    /// per-node states; `Debug` for traces.
+    type State: Clone + Eq + std::fmt::Debug;
+
+    /// The communication alphabet `Σ`.
+    fn alphabet(&self) -> &Alphabet;
+
+    /// The bounding parameter `b ∈ Z>0`.
+    fn bound(&self) -> u8;
+
+    /// The initial letter `σ₀` stored in every port before any delivery.
+    fn initial_letter(&self) -> Letter;
+
+    /// The input state for input symbol `input` (an index into `Q_I`).
+    /// Problems without node inputs use `input = 0` everywhere.
+    fn initial_state(&self, input: usize) -> Self::State;
+
+    /// `Some(output)` iff `q ∈ Q_O`; the global execution is in an *output
+    /// configuration* when this is `Some` at every node.
+    fn output(&self, q: &Self::State) -> Option<u64>;
+
+    /// The query letter `λ(q)`.
+    fn query(&self, q: &Self::State) -> Letter;
+
+    /// The transition function `δ(q, f_b(#λ(q)))`.
+    fn delta(&self, q: &Self::State, observed: BoundedCount) -> Transitions<Self::State>;
+}
+
+/// The observation available under **multiple-letter queries**
+/// (Section 3.2): the full vector `⟨f_b(#σ)⟩_{σ∈Σ}`, indexed by letter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsVec {
+    counts: Vec<BoundedCount>,
+}
+
+impl ObsVec {
+    /// Builds the observation vector from per-letter counts (indexed by
+    /// letter index).
+    pub fn new(counts: Vec<BoundedCount>) -> Self {
+        ObsVec { counts }
+    }
+
+    /// Builds from exact per-letter counts, truncating each through `f_b`.
+    pub fn from_counts(exact: &[usize], b: u8) -> Self {
+        ObsVec {
+            counts: exact.iter().map(|&x| crate::fb(x, b)).collect(),
+        }
+    }
+
+    /// The truncated count of `letter`.
+    pub fn get(&self, letter: Letter) -> BoundedCount {
+        self.counts[letter.index()]
+    }
+
+    /// Number of letters covered.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The underlying per-letter counts.
+    pub fn as_slice(&self) -> &[BoundedCount] {
+        &self.counts
+    }
+}
+
+/// A protocol using **multiple-letter queries**: transitions may depend on
+/// the whole vector `⟨f_b(#σ)⟩_{σ∈Σ}`.
+///
+/// Theorem 3.4 (implemented by [`crate::SingleLetter`]) compiles any such
+/// protocol down to a plain [`Fsm`] at constant overhead, so this layer is
+/// a convenience, not extra power. The paper's own MIS and tree-coloring
+/// protocols are stated in this layer.
+pub trait MultiFsm {
+    /// The state set `Q`.
+    type State: Clone + Eq + std::fmt::Debug;
+
+    /// The communication alphabet `Σ`.
+    fn alphabet(&self) -> &Alphabet;
+
+    /// The bounding parameter `b ∈ Z>0`.
+    fn bound(&self) -> u8;
+
+    /// The initial letter `σ₀`.
+    fn initial_letter(&self) -> Letter;
+
+    /// The input state for input symbol `input`.
+    fn initial_state(&self, input: usize) -> Self::State;
+
+    /// `Some(output)` iff `q ∈ Q_O`.
+    fn output(&self, q: &Self::State) -> Option<u64>;
+
+    /// The transition function over the full observation vector.
+    fn delta(&self, q: &Self::State, obs: &ObsVec) -> Transitions<Self::State>;
+}
+
+/// Adapter viewing a single-letter [`Fsm`] as a [`MultiFsm`] that happens
+/// to inspect only its query letter's entry.
+///
+/// Lets the (multi-letter-capable) synchronous engine run plain model
+/// protocols without duplication.
+#[derive(Clone, Debug)]
+pub struct AsMulti<P>(pub P);
+
+impl<P: Fsm> MultiFsm for AsMulti<P> {
+    type State = P::State;
+
+    fn alphabet(&self) -> &Alphabet {
+        self.0.alphabet()
+    }
+
+    fn bound(&self) -> u8 {
+        self.0.bound()
+    }
+
+    fn initial_letter(&self) -> Letter {
+        self.0.initial_letter()
+    }
+
+    fn initial_state(&self, input: usize) -> Self::State {
+        self.0.initial_state(input)
+    }
+
+    fn output(&self, q: &Self::State) -> Option<u64> {
+        self.0.output(q)
+    }
+
+    fn delta(&self, q: &Self::State, obs: &ObsVec) -> Transitions<Self::State> {
+        self.0.delta(q, obs.get(self.0.query(q)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn det_transition_always_sampled() {
+        let t: Transitions<u8> = Transitions::det(3, Some(Letter(1)));
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), &(3u8, Some(Letter(1))));
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_hits_all_choices() {
+        let t: Transitions<u8> = Transitions::uniform(vec![(0, None), (1, None), (2, None)]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let (s, _) = t.sample(&mut rng);
+            seen[*s as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn uniform_sampling_is_roughly_uniform() {
+        let t: Transitions<u8> = Transitions::uniform(vec![(0, None), (1, None)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut ones = 0usize;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if t.sample(&mut rng).0 == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one successor")]
+    fn empty_uniform_panics() {
+        let _: Transitions<u8> = Transitions::uniform(vec![]);
+    }
+
+    #[test]
+    fn map_states_preserves_emissions() {
+        let t: Transitions<u8> = Transitions::uniform(vec![(1, Some(Letter(0))), (2, None)]);
+        let t2 = t.map_states(|s| s as u32 * 10);
+        assert_eq!(
+            t2.choices,
+            vec![(10u32, Some(Letter(0))), (20u32, None)]
+        );
+    }
+
+    #[test]
+    fn obsvec_from_counts_truncates() {
+        let o = ObsVec::from_counts(&[0, 1, 5], 2);
+        assert_eq!(o.get(Letter(0)).raw(), 0);
+        assert_eq!(o.get(Letter(1)).raw(), 1);
+        assert_eq!(o.get(Letter(2)).raw(), 2);
+        assert_eq!(o.len(), 3);
+    }
+}

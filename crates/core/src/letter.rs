@@ -1,0 +1,137 @@
+//! Communication letters and alphabets.
+
+use std::fmt;
+
+/// A letter of a protocol's communication alphabet `Σ`, identified by its
+/// index into the protocol's [`Alphabet`].
+///
+/// The *empty symbol* `ε` (no transmission) is deliberately **not** a
+/// `Letter`: emissions are `Option<Letter>` with `None` playing `ε`, so the
+/// type system rules out querying for `ε` (the paper's `λ : Q → Σ` likewise
+/// never queries the empty symbol).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Letter(pub u16);
+
+impl Letter {
+    /// The index of this letter within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Letter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A finite communication alphabet `Σ`: a list of named letters.
+///
+/// Alphabet sizes must be genuine constants (model requirement (M4)); the
+/// compilers in [`crate::sync`] and [`crate::multiq`] grow them only by
+/// factors depending on `|Σ|` and `b`, never on the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from letter names. Names are for diagnostics and
+    /// DOT export; they need not be unique, but usually should be.
+    ///
+    /// # Panics
+    /// Panics if `names` is empty (the model requires `σ₀ ∈ Σ`) or has more
+    /// than `u16::MAX` letters.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!names.is_empty(), "an alphabet must contain σ₀");
+        assert!(names.len() <= u16::MAX as usize, "alphabet too large");
+        Alphabet { names }
+    }
+
+    /// An alphabet `{m0, m1, …}` of `size` anonymous letters.
+    pub fn anonymous(size: usize) -> Self {
+        Alphabet::new((0..size).map(|i| format!("m{i}")))
+    }
+
+    /// Number of letters `|Σ|`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty (never true for valid protocols).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The display name of `letter`.
+    ///
+    /// # Panics
+    /// Panics if the letter is out of range.
+    pub fn name(&self, letter: Letter) -> &str {
+        &self.names[letter.index()]
+    }
+
+    /// The letter with the given name, if present.
+    pub fn by_name(&self, name: &str) -> Option<Letter> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Letter(i as u16))
+    }
+
+    /// Whether `letter` belongs to this alphabet.
+    pub fn contains(&self, letter: Letter) -> bool {
+        letter.index() < self.names.len()
+    }
+
+    /// Iterator over all letters.
+    pub fn letters(&self) -> impl Iterator<Item = Letter> + '_ {
+        (0..self.names.len() as u16).map(Letter)
+    }
+
+    /// Display name of an emission (`"ε"` for `None`).
+    pub fn emission_name(&self, emission: Option<Letter>) -> String {
+        match emission {
+            Some(l) => self.name(l).to_owned(),
+            None => "ε".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_lookup() {
+        let a = Alphabet::new(["WIN", "LOSE", "UP0"]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.name(Letter(1)), "LOSE");
+        assert_eq!(a.by_name("UP0"), Some(Letter(2)));
+        assert_eq!(a.by_name("nope"), None);
+        assert!(a.contains(Letter(2)));
+        assert!(!a.contains(Letter(3)));
+    }
+
+    #[test]
+    fn letters_iterates_in_order() {
+        let a = Alphabet::anonymous(4);
+        let all: Vec<Letter> = a.letters().collect();
+        assert_eq!(all, vec![Letter(0), Letter(1), Letter(2), Letter(3)]);
+        assert_eq!(a.name(Letter(2)), "m2");
+    }
+
+    #[test]
+    fn emission_name_renders_epsilon() {
+        let a = Alphabet::anonymous(1);
+        assert_eq!(a.emission_name(None), "ε");
+        assert_eq!(a.emission_name(Some(Letter(0))), "m0");
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain")]
+    fn empty_alphabet_panics() {
+        Alphabet::new(Vec::<String>::new());
+    }
+}

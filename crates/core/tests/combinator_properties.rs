@@ -1,0 +1,139 @@
+//! Property-based tests for the protocol combinators: letter encoding
+//! round-trips, pause/scan structure, and size accounting under randomly
+//! sized inner protocols.
+
+use proptest::prelude::*;
+
+use stoneage_core::sync::{Scan, SyncState};
+use stoneage_core::{
+    fb, Alphabet, Fsm, Letter, SingleLetter, Synchronized, TableProtocol, TableProtocolBuilder,
+    Transitions,
+};
+
+/// A degenerate but well-formed single-letter protocol with `sigma`
+/// letters, `b = bound`, that spins in its initial state.
+fn spinner(sigma: usize, bound: u8) -> TableProtocol {
+    let alphabet = Alphabet::anonymous(sigma);
+    let mut b = TableProtocolBuilder::new("spinner", alphabet, bound, Letter(0));
+    let s = b.add_state("s", Letter(0));
+    b.add_input_state(s);
+    b.set_transition_all(s, Transitions::det(s, None));
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Compiled-message encoding is a bijection over
+    /// (Σ∪{ε}) × (Σ∪{ε}) × {0,1,2} for every alphabet size.
+    #[test]
+    fn sync_message_codec_round_trips(sigma in 1usize..12, bound in 1u8..4) {
+        let p = Synchronized::new(spinner(sigma, bound));
+        let mut seen = std::collections::HashSet::new();
+        let emissions: Vec<Option<Letter>> = (0..sigma as u16)
+            .map(|i| Some(Letter(i)))
+            .chain(std::iter::once(None))
+            .collect();
+        for &prev in &emissions {
+            for &cur in &emissions {
+                for trit in 0..3u8 {
+                    let l = p.encode_message(prev, cur, trit);
+                    prop_assert!(p.alphabet().contains(l));
+                    prop_assert!(seen.insert(l), "duplicate letter {l:?}");
+                    prop_assert_eq!(p.decode_message(l), (prev, cur, trit));
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), p.alphabet_size());
+        prop_assert_eq!(p.alphabet_size(), 3 * (sigma + 1) * (sigma + 1));
+    }
+
+    /// The pausing feature walks exactly (|Σ|+1)² zero-observations before
+    /// entering the simulating feature, regardless of alphabet size.
+    #[test]
+    fn pause_walk_length(sigma in 1usize..8, bound in 1u8..4) {
+        let p = Synchronized::new(spinner(sigma, bound));
+        let mut q = p.initial_state(0);
+        let mut steps = 0usize;
+        while q.is_pausing() {
+            let t = p.delta(&q, fb(0, bound));
+            prop_assert_eq!(t.choices.len(), 1);
+            prop_assert_eq!(t.choices[0].1, None, "pausing never transmits");
+            q = t.choices[0].0.clone();
+            steps += 1;
+            prop_assert!(steps <= (sigma + 1) * (sigma + 1) + 1);
+        }
+        prop_assert_eq!(steps, (sigma + 1) * (sigma + 1));
+        let at_sim_start = matches!(
+            q,
+            SyncState::Sim { scan: Scan::Phi1, idx: 0, .. }
+        );
+        prop_assert!(at_sim_start);
+    }
+
+    /// A full quiet phase (all observations zero) takes exactly
+    /// (|Σ|+1)² + 3(|Σ|+1) steps and ends with a compiled transmission.
+    #[test]
+    fn quiet_phase_length(sigma in 1usize..8, bound in 1u8..4) {
+        let p = Synchronized::new(spinner(sigma, bound));
+        let mut q = p.initial_state(0);
+        let mut steps = 0usize;
+        let emitted = loop {
+            let t = p.delta(&q, fb(0, bound));
+            q = t.choices[0].0.clone();
+            steps += 1;
+            if let Some(l) = t.choices[0].1 {
+                break l;
+            }
+            prop_assert!(steps < 10_000);
+        };
+        prop_assert_eq!(steps, (sigma + 1) * (sigma + 1) + 3 * (sigma + 1));
+        // The spinner emits ε, so the message is (σ₀, σ₀, 1): the retained
+        // letter is carried through silent rounds.
+        prop_assert_eq!(
+            p.decode_message(emitted),
+            (Some(Letter(0)), Some(Letter(0)), 1)
+        );
+        // And the node is pausing for round 2.
+        let pausing_round_two = matches!(q, SyncState::Pause { trit: 2, check: 0, .. });
+        prop_assert!(pausing_round_two);
+    }
+
+    /// SingleLetter gathers letters in index order and queries every
+    /// letter exactly once per simulated round.
+    #[test]
+    fn single_letter_gather_order(sigma in 1usize..10, bound in 1u8..4) {
+        use stoneage_core::{MultiFsm, ObsVec};
+
+        /// Trivial multi protocol that outputs the sum of all counts.
+        #[derive(Clone, Debug)]
+        struct Summer(Alphabet, u8);
+        impl MultiFsm for Summer {
+            type State = Option<u64>;
+            fn alphabet(&self) -> &Alphabet { &self.0 }
+            fn bound(&self) -> u8 { self.1 }
+            fn initial_letter(&self) -> Letter { Letter(0) }
+            fn initial_state(&self, _input: usize) -> Option<u64> { None }
+            fn output(&self, q: &Option<u64>) -> Option<u64> { *q }
+            fn delta(&self, q: &Option<u64>, obs: &ObsVec) -> Transitions<Option<u64>> {
+                match q {
+                    None => {
+                        let sum: u64 =
+                            obs.as_slice().iter().map(|c| c.raw() as u64).sum();
+                        Transitions::det(Some(sum), None)
+                    }
+                    done => Transitions::det(*done, None),
+                }
+            }
+        }
+
+        let p = SingleLetter::new(Summer(Alphabet::anonymous(sigma), bound));
+        let mut q = p.initial_state(0);
+        for k in 0..sigma {
+            prop_assert_eq!(p.query(&q), Letter(k as u16), "subround {}", k);
+            // Feed count k (truncated by b) for letter k.
+            let t = p.delta(&q, fb(k, bound));
+            q = t.choices[0].0.clone();
+        }
+        let expected: u64 = (0..sigma).map(|k| k.min(bound as usize) as u64).sum();
+        prop_assert_eq!(p.output(&q), Some(expected));
+    }
+}

@@ -1,0 +1,140 @@
+//! Mutable edge-list builder producing immutable [`Graph`]s.
+
+use crate::{Graph, NodeId};
+
+/// Accumulates edges and produces a [`Graph`].
+///
+/// The nFSM model is defined on *simple* graphs: [`GraphBuilder::add_edge`]
+/// panics on self-loops immediately, and duplicate edges are deduplicated
+/// deterministically by [`GraphBuilder::build`] (adding the same edge twice
+/// is a common convenience for generator code).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes and no edges yet.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= NodeId::MAX as usize, "too many nodes for NodeId");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert_ne!(u, v, "self-loops are not allowed in the nFSM model");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.n
+        );
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Adds `{u, v}` unless it is already present. O(len) scan; prefer
+    /// [`GraphBuilder::add_edge`] + dedup-at-build for bulk generation.
+    pub fn add_edge_unique(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.edges.contains(&key) {
+            return false;
+        }
+        self.add_edge(u, v);
+        true
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into the immutable CSR [`Graph`], deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each node's slice was filled in ascending order of the opposite
+        // endpoint only for the `u` side; sort every slice to guarantee it.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn add_edge_unique_reports_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_unique(0, 1));
+        assert!(!b.add_edge_unique(1, 0));
+        assert!(b.add_edge_unique(1, 2));
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn build_of_empty_builder_is_empty_graph() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

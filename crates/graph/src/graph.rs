@@ -1,0 +1,259 @@
+//! The immutable compressed-sparse-row graph representation.
+
+use std::fmt;
+
+/// Identifier of a node; nodes of an `n`-node graph are `0..n`.
+pub type NodeId = u32;
+
+/// A finite simple undirected graph in compressed-sparse-row form.
+///
+/// This is the `G = (V, E)` of the paper's Section 2: finite, undirected,
+/// no self-loops, no parallel edges. The representation is immutable; build
+/// one with [`crate::GraphBuilder`] or a [`crate::generators`] function.
+///
+/// Neighbor lists are sorted, which gives deterministic iteration order —
+/// important because the simulators assign *ports* (one per neighbor) by
+/// neighbor-list position.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        Graph { offsets, neighbors }
+    }
+
+    /// The empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// The sorted neighbor list `N(v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`, i.e. `|N(v)|`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Largest degree `Δ(G)`; 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge. O(log deg) via binary search.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u as usize >= self.node_count() || v as usize >= self.node_count() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Position of neighbor `u` within `v`'s neighbor list, if adjacent.
+    ///
+    /// This is the *port number* under which `v` stores messages from `u`
+    /// (the paper's `ψ_v(u)`).
+    pub fn port_of(&self, v: NodeId, u: NodeId) -> Option<usize> {
+        self.neighbors(v).binary_search(&u).ok()
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of all degrees (= `2|E|`).
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The subgraph induced on the nodes for which `keep` is true, together
+    /// with the mapping from new node ids to original ids.
+    ///
+    /// Used by the analysis of the MIS protocol, which studies the virtual
+    /// graphs `G^i` induced by the nodes still active in tournament `i`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.node_count());
+        let mut old_to_new = vec![NodeId::MAX; self.node_count()];
+        let mut new_to_old = Vec::new();
+        for v in 0..self.node_count() {
+            if keep[v] {
+                old_to_new[v] = new_to_old.len() as NodeId;
+                new_to_old.push(v as NodeId);
+            }
+        }
+        let mut offsets = Vec::with_capacity(new_to_old.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for &old in &new_to_old {
+            for &w in self.neighbors(old) {
+                if keep[w as usize] {
+                    neighbors.push(old_to_new[w as usize]);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        (Graph::from_csr(offsets, neighbors), new_to_old)
+    }
+
+    /// Number of edges both of whose endpoints satisfy `keep`.
+    pub fn surviving_edges(&self, keep: &[bool]) -> usize {
+        self.edges()
+            .filter(|&(u, v)| keep[u as usize] && keep[v as usize])
+            .count()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    use super::*;
+
+    fn triangle_plus_isolated() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn zero_node_graph_is_legal() {
+        let g = Graph::empty(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree_sum(), 6);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(4, 0);
+        b.add_edge(4, 3);
+        b.add_edge(4, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(4), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_isolated();
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn port_numbers_match_neighbor_positions() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.port_of(0, 1), Some(0));
+        assert_eq!(g.port_of(0, 2), Some(1));
+        assert_eq!(g.port_of(0, 3), None);
+        for v in g.nodes() {
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(g.port_of(v, u), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_listed_once_with_ordered_endpoints() {
+        let g = triangle_plus_isolated();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_edges_and_remaps() {
+        let g = triangle_plus_isolated();
+        let (sub, map) = g.induced_subgraph(&[true, false, true, true]);
+        assert_eq!(sub.node_count(), 3);
+        // only edge 0-2 survives, remapped to 0-1
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(map, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn surviving_edges_counts_kept_endpoints() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.surviving_edges(&[true, true, true, true]), 3);
+        assert_eq!(g.surviving_edges(&[true, false, true, true]), 1);
+        assert_eq!(g.surviving_edges(&[false, false, false, false]), 0);
+    }
+}

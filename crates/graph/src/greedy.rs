@@ -1,0 +1,157 @@
+//! Sequential greedy baselines.
+//!
+//! These are the "centralized" comparators: the distributed protocols must
+//! produce solutions of the same *kind* (maximal independent sets, proper
+//! colorings with few colors, maximal matchings); greedy gives a reference
+//! both for validation cross-checks and for solution-quality comparisons in
+//! the experiment tables.
+
+use crate::{Graph, NodeId};
+
+/// Greedy MIS scanning nodes in id order: select a node iff none of its
+/// selected neighbors precede it.
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    greedy_mis_ordered(g, (0..g.node_count() as NodeId).collect::<Vec<_>>().as_slice())
+}
+
+/// Greedy MIS scanning nodes in the given order (a permutation of all
+/// nodes).
+pub fn greedy_mis_ordered(g: &Graph, order: &[NodeId]) -> Vec<bool> {
+    assert_eq!(order.len(), g.node_count());
+    let mut in_set = vec![false; g.node_count()];
+    let mut blocked = vec![false; g.node_count()];
+    for &v in order {
+        if !blocked[v as usize] {
+            in_set[v as usize] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy proper coloring in id order: each node takes the smallest color
+/// unused by its already-colored neighbors. Uses at most `Δ + 1` colors.
+pub fn greedy_coloring(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    let mut colors = vec![u32::MAX; n];
+    let mut taken = Vec::new();
+    for v in 0..n as NodeId {
+        taken.clear();
+        taken.resize(g.degree(v) + 1, false);
+        for &u in g.neighbors(v) {
+            let c = colors[u as usize];
+            if c != u32::MAX && (c as usize) < taken.len() {
+                taken[c as usize] = true;
+            }
+        }
+        colors[v as usize] = taken.iter().position(|&t| !t).unwrap() as u32;
+    }
+    colors
+}
+
+/// Greedy maximal matching scanning edges in lexicographic order.
+pub fn greedy_matching(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let mut used = vec![false; g.node_count()];
+    let mut matched = Vec::new();
+    for (u, v) in g.edges() {
+        if !used[u as usize] && !used[v as usize] {
+            used[u as usize] = true;
+            used[v as usize] = true;
+            matched.push((u, v));
+        }
+    }
+    matched
+}
+
+/// A proper 2-coloring of a tree/forest by BFS layering.
+///
+/// The paper (Section 5) notes 2-coloring a tree distributedly needs time
+/// proportional to the diameter; this sequential version is the reference
+/// used to sanity-check 3-coloring quality.
+///
+/// # Panics
+/// Panics if `g` is not a forest.
+pub fn tree_2_coloring(g: &Graph) -> Vec<u32> {
+    assert!(crate::traversal::is_forest(g), "2-coloring needs a forest");
+    let n = g.node_count();
+    let mut colors = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if colors[s] != u32::MAX {
+            continue;
+        }
+        colors[s] = 0;
+        queue.push_back(s as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if colors[u as usize] == u32::MAX {
+                    colors[u as usize] = 1 - colors[v as usize];
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, validate};
+
+    #[test]
+    fn greedy_mis_is_maximal() {
+        for seed in 0..8 {
+            let g = generators::gnp(80, 0.08, seed);
+            let mis = greedy_mis(&g);
+            assert!(validate::is_maximal_independent_set(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn greedy_mis_ordered_respects_order() {
+        let g = generators::path(3);
+        // Scanning middle node first selects it alone-ish.
+        let mis = greedy_mis_ordered(&g, &[1, 0, 2]);
+        assert_eq!(mis, vec![false, true, false]);
+        let mis = greedy_mis_ordered(&g, &[0, 1, 2]);
+        assert_eq!(mis, vec![true, false, true]);
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_bounded() {
+        for seed in 0..8 {
+            let g = generators::gnp(60, 0.1, seed);
+            let colors = greedy_coloring(&g);
+            assert!(validate::is_proper_coloring(&g, &colors));
+            let used = colors.iter().max().map_or(0, |&c| c as usize + 1);
+            assert!(used <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn greedy_matching_is_maximal() {
+        for seed in 0..8 {
+            let g = generators::gnp(70, 0.07, seed);
+            let m = greedy_matching(&g);
+            assert!(validate::is_maximal_matching(&g, &m));
+        }
+    }
+
+    #[test]
+    fn tree_2_coloring_is_proper() {
+        for seed in 0..8 {
+            let g = generators::random_tree(90, seed);
+            let colors = tree_2_coloring(&g);
+            assert!(validate::is_proper_k_coloring(&g, &colors, 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a forest")]
+    fn tree_2_coloring_rejects_cycles() {
+        tree_2_coloring(&generators::cycle(5));
+    }
+}

@@ -1,0 +1,188 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `n m`, then `m` lines `u v`. Lines starting with `#`
+//! are comments. This keeps experiment inputs/outputs versionable without
+//! binary formats.
+
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Error produced when parsing an edge list fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line `n m` is missing or malformed.
+    BadHeader(String),
+    /// An edge line does not consist of two integers.
+    BadEdge {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// An integer failed to parse.
+    BadInt(ParseIntError),
+    /// Fewer edge lines than the header promised.
+    TruncatedInput {
+        /// Edges promised by the header.
+        expected: usize,
+        /// Edges actually present.
+        got: usize,
+    },
+    /// An endpoint is ≥ n or a self-loop was found.
+    InvalidEdge(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(h) => write!(f, "bad header line: {h:?}"),
+            ParseError::BadEdge { line, content } => {
+                write!(f, "bad edge at line {line}: {content:?}")
+            }
+            ParseError::BadInt(e) => write!(f, "bad integer: {e}"),
+            ParseError::TruncatedInput { expected, got } => {
+                write!(f, "expected {expected} edges, found {got}")
+            }
+            ParseError::InvalidEdge(e) => write!(f, "invalid edge: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseIntError> for ParseError {
+    fn from(e: ParseIntError) -> Self {
+        ParseError::BadInt(e)
+    }
+}
+
+/// Serializes a graph as an edge list.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    writeln!(out, "{} {}", g.node_count(), g.edge_count()).unwrap();
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}").unwrap();
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?
+        .parse()?;
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?
+        .parse()?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut got = 0usize;
+    for (line, content) in lines {
+        if got == m {
+            break;
+        }
+        let mut parts = content.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => {
+                return Err(ParseError::BadEdge {
+                    line,
+                    content: content.into(),
+                })
+            }
+        };
+        let u: NodeId = u.parse()?;
+        let v: NodeId = v.parse()?;
+        if u == v || u as usize >= n || v as usize >= n {
+            return Err(ParseError::InvalidEdge(format!("({u}, {v}) with n = {n}")));
+        }
+        b.add_edge(u, v);
+        got += 1;
+    }
+    if got < m {
+        return Err(ParseError::TruncatedInput {
+            expected: m,
+            got,
+        });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip() {
+        for seed in 0..5 {
+            let g = generators::gnp(40, 0.1, seed);
+            let text = to_edge_list(&g);
+            let g2 = from_edge_list(&text).unwrap();
+            assert_eq!(g, g2);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let g = from_edge_list("# a graph\n\n3 2\n0 1\n# middle\n1 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(from_edge_list(""), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        assert!(matches!(
+            from_edge_list("3 2\n0 1\n"),
+            Err(ParseError::TruncatedInput { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn self_loop_is_error() {
+        assert!(matches!(
+            from_edge_list("3 1\n1 1\n"),
+            Err(ParseError::InvalidEdge(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_error() {
+        assert!(matches!(
+            from_edge_list("3 1\n0 3\n"),
+            Err(ParseError::InvalidEdge(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_edge_line_is_error() {
+        assert!(matches!(
+            from_edge_list("3 1\n0 1 2\n"),
+            Err(ParseError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            from_edge_list("3 1\nzero one\n"),
+            Err(ParseError::BadInt(_))
+        ));
+    }
+}

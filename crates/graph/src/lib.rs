@@ -1,0 +1,37 @@
+//! Graph substrate for the *Stone Age Distributed Computing* reproduction.
+//!
+//! The networked finite state machine (nFSM) model of Emek, Smula and
+//! Wattenhofer is defined over **arbitrary** finite undirected graphs, so the
+//! reproduction needs a solid graph layer: a compact immutable representation
+//! ([`Graph`]), a builder ([`GraphBuilder`]), a wide family of generators
+//! ([`generators`]) used by the experiment sweeps, classic traversals
+//! ([`traversal`]), and — crucially — *independent validators*
+//! ([`validate`]) that check the distributed protocols' outputs (maximal
+//! independent sets, proper colorings, maximal matchings) without trusting
+//! the protocols themselves. Sequential greedy baselines live in [`greedy`].
+//!
+//! # Example
+//!
+//! ```
+//! use stoneage_graph::{generators, validate};
+//!
+//! let g = generators::gnp(100, 0.05, 42);
+//! let mis = stoneage_graph::greedy::greedy_mis(&g);
+//! assert!(validate::is_maximal_independent_set(&g, &mis));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod graph;
+
+pub mod generators;
+pub mod greedy;
+pub mod io;
+pub mod prufer;
+pub mod traversal;
+pub mod validate;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, NodeId};

@@ -1,0 +1,146 @@
+//! Prüfer sequences: the classic bijection between labeled trees on `n`
+//! nodes and sequences in `{0, …, n-1}^{n-2}`.
+//!
+//! Used by [`crate::generators::random_tree`] to sample labeled trees
+//! *uniformly* — important for the tree-coloring experiments (E5/E6), whose
+//! claims are about typical trees, not adversarially chosen ones.
+
+use crate::traversal;
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Decodes a Prüfer sequence of length `n - 2` into the tree on `n` nodes.
+///
+/// # Panics
+/// Panics if any entry is out of range.
+pub fn decode(seq: &[NodeId]) -> Graph {
+    let n = seq.len() + 2;
+    assert!(
+        seq.iter().all(|&x| (x as usize) < n),
+        "Prüfer entry out of range"
+    );
+    let mut degree = vec![1usize; n];
+    for &x in seq {
+        degree[x as usize] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // `ptr`/`leaf` implement the linear-time decoding: `leaf` is the current
+    // smallest-numbered leaf, maintained without a heap.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in seq {
+        let x = x as usize;
+        b.add_edge(leaf as NodeId, x as NodeId);
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    b.add_edge(leaf as NodeId, (n - 1) as NodeId);
+    b.build()
+}
+
+/// Encodes a tree on `n >= 2` nodes into its Prüfer sequence.
+///
+/// # Panics
+/// Panics if `g` is not a tree or has fewer than 2 nodes.
+pub fn encode(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    assert!(n >= 2, "Prüfer encoding needs at least 2 nodes");
+    assert!(traversal::is_tree(g), "Prüfer encoding requires a tree");
+    let mut degree: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut seq = Vec::with_capacity(n.saturating_sub(2));
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for _ in 0..n.saturating_sub(2) {
+        removed[leaf] = true;
+        let parent = g.neighbors(leaf as NodeId)
+            .iter()
+            .copied()
+            .find(|&u| !removed[u as usize])
+            .expect("leaf of a tree has a live neighbor");
+        seq.push(parent);
+        let p = parent as usize;
+        degree[p] -= 1;
+        if degree[p] == 1 && p < ptr {
+            leaf = p;
+        } else {
+            ptr += 1;
+            while ptr < n && (degree[ptr] != 1 || removed[ptr]) {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn decode_empty_sequence_is_single_edge() {
+        let g = decode(&[]);
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn decode_known_sequence() {
+        // Classic textbook example: sequence [3, 3, 3, 4] on 6 nodes gives
+        // the tree with edges {0-3, 1-3, 2-3, 3-4, 4-5}.
+        let g = decode(&[3, 3, 3, 4]);
+        for (u, v) in [(0, 3), (1, 3), (2, 3), (3, 4), (4, 5)] {
+            assert!(g.has_edge(u, v), "missing edge ({u},{v})");
+        }
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn encode_inverts_decode() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        for n in [2usize, 3, 4, 5, 10, 40] {
+            for _ in 0..20 {
+                let seq: Vec<NodeId> = (0..n.saturating_sub(2))
+                    .map(|_| rng.gen_range(0..n as NodeId))
+                    .collect();
+                let g = decode(&seq);
+                assert!(crate::traversal::is_tree(&g));
+                assert_eq!(encode(&g), seq, "n={n} seq={seq:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_star_is_all_center() {
+        let g = crate::generators::star(6);
+        assert_eq!(encode(&g), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn encode_path_is_interior_sequence() {
+        let g = crate::generators::path(5);
+        assert_eq!(encode(&g), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tree")]
+    fn encode_rejects_cycle() {
+        encode(&crate::generators::cycle(4));
+    }
+}

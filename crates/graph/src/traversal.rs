@@ -1,0 +1,270 @@
+//! Breadth-first traversals and derived structural predicates.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Distance vector from `source` (`usize::MAX` for unreachable nodes).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Component label (0-based, in discovery order) for every node.
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == usize::MAX {
+                    comp[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components (0 for the 0-node graph).
+pub fn component_count(g: &Graph) -> usize {
+    connected_components(g).iter().max().map_or(0, |&m| m + 1)
+}
+
+/// Whether the graph is connected. The 0-node graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// Whether the graph is a forest *and* connected — i.e. a tree. Graphs with
+/// at most one node are trees.
+pub fn is_tree(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    g.edge_count() == n - 1 && is_connected(g)
+}
+
+/// Whether the graph is a forest (acyclic).
+pub fn is_forest(g: &Graph) -> bool {
+    g.node_count() == 0 || g.edge_count() + component_count(g) == g.node_count()
+}
+
+/// Whether the graph is bipartite (2-colorable).
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.node_count();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if color[u as usize] == u8::MAX {
+                    color[u as usize] = 1 - color[v as usize];
+                    queue.push_back(u);
+                } else if color[u as usize] == color[v as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Exact eccentricity of `source` within its component (max BFS distance).
+pub fn eccentricity(g: &Graph, source: NodeId) -> usize {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter of a connected graph by all-pairs BFS; O(n·m). Returns
+/// `None` for disconnected or empty graphs.
+pub fn diameter_exact(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 || !is_connected(g) {
+        return None;
+    }
+    Some(
+        (0..g.node_count() as NodeId)
+            .map(|v| eccentricity(g, v))
+            .max()
+            .unwrap(),
+    )
+}
+
+/// Lower bound on the diameter by the double-sweep heuristic (exact on
+/// trees). Returns `None` for disconnected or empty graphs.
+pub fn diameter_double_sweep(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 || !is_connected(g) {
+        return None;
+    }
+    let d0 = bfs_distances(g, 0);
+    let far = d0
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as NodeId)
+        .unwrap();
+    Some(eccentricity(g, far))
+}
+
+/// A degeneracy ordering of the nodes together with the degeneracy (the max,
+/// over the ordering, of a node's back-degree). Linear time (bucket queue).
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<NodeId>, usize) {
+    let n = g.node_count();
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as NodeId);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut floor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket holding a live node.
+        let mut d = floor;
+        let v = loop {
+            while d < buckets.len() && buckets[d].is_empty() {
+                d += 1;
+            }
+            assert!(d < buckets.len(), "bucket queue exhausted early");
+            let cand = buckets[d].pop().unwrap();
+            if !removed[cand as usize] && deg[cand as usize] == d {
+                break cand;
+            }
+            // Stale entry: the node moved buckets; retry from same level.
+        };
+        floor = d.saturating_sub(1);
+        degeneracy = degeneracy.max(d);
+        removed[v as usize] = true;
+        order.push(v);
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if !removed[u] {
+                deg[u] -= 1;
+                buckets[deg[u]].push(u as NodeId);
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = crate::Graph::empty(3);
+        let d = bfs_distances(&g, 1);
+        assert_eq!(d, vec![usize::MAX, 0, usize::MAX]);
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let mut b = crate::GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[5], comp[0]);
+        assert_eq!(component_count(&g), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn tree_and_forest_predicates() {
+        assert!(is_tree(&generators::path(10)));
+        assert!(is_tree(&generators::star(8)));
+        assert!(!is_tree(&generators::cycle(4)));
+        assert!(is_forest(&crate::Graph::empty(5)));
+        assert!(!is_tree(&crate::Graph::empty(5)));
+        assert!(!is_forest(&generators::cycle(3)));
+    }
+
+    #[test]
+    fn bipartite_predicates() {
+        assert!(is_bipartite(&generators::cycle(6)));
+        assert!(!is_bipartite(&generators::cycle(5)));
+        assert!(is_bipartite(&generators::path(9)));
+        assert!(!is_bipartite(&generators::complete(3)));
+        assert!(is_bipartite(&crate::Graph::empty(4)));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter_exact(&generators::path(10)), Some(9));
+        assert_eq!(diameter_exact(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter_exact(&generators::complete(5)), Some(1));
+        assert_eq!(diameter_exact(&crate::Graph::empty(2)), None);
+        assert_eq!(diameter_exact(&generators::hypercube(5)), Some(5));
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        for seed in 0..10 {
+            let g = generators::random_tree(64, seed);
+            assert_eq!(diameter_double_sweep(&g), diameter_exact(&g));
+        }
+    }
+
+    #[test]
+    fn degeneracy_of_standard_graphs() {
+        assert_eq!(degeneracy_ordering(&generators::path(10)).1, 1);
+        assert_eq!(degeneracy_ordering(&generators::cycle(10)).1, 2);
+        assert_eq!(degeneracy_ordering(&generators::complete(6)).1, 5);
+        assert_eq!(degeneracy_ordering(&generators::random_tree(50, 3)).1, 1);
+        let (order, _) = degeneracy_ordering(&generators::complete(4));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn eccentricity_on_star() {
+        let g = generators::star(10);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 5), 2);
+    }
+}

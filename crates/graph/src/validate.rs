@@ -1,0 +1,220 @@
+//! Independent validators for the outputs of the distributed protocols.
+//!
+//! Correctness in the paper's sense (Section 2) demands that *every* output
+//! configuration reached with positive probability is a valid solution.
+//! Experiments therefore never trust a protocol's own bookkeeping: every
+//! terminal configuration is re-checked by the plain sequential predicates
+//! in this module.
+
+use crate::{Graph, NodeId};
+
+/// Whether `in_set` (indexed by node) is an independent set: no edge has
+/// both endpoints selected.
+pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+    assert_eq!(in_set.len(), g.node_count());
+    g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+}
+
+/// Whether `in_set` is a *maximal* independent set: independent, and every
+/// unselected node has a selected neighbor (no node can be added).
+pub fn is_maximal_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+    assert_eq!(in_set.len(), g.node_count());
+    if !is_independent_set(g, in_set) {
+        return false;
+    }
+    g.nodes().all(|v| {
+        in_set[v as usize]
+            || g.neighbors(v).iter().any(|&u| in_set[u as usize])
+    })
+}
+
+/// Whether `colors` (indexed by node) is a proper coloring: adjacent nodes
+/// differ.
+pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
+    assert_eq!(colors.len(), g.node_count());
+    g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])
+}
+
+/// Whether `colors` is a proper coloring using at most `k` distinct values
+/// drawn from `0..k`.
+pub fn is_proper_k_coloring(g: &Graph, colors: &[u32], k: u32) -> bool {
+    colors.iter().all(|&c| c < k) && is_proper_coloring(g, colors)
+}
+
+/// Whether `matched` is a matching: a set of edges no two of which share an
+/// endpoint. Edges are given as pairs; orientation is ignored.
+pub fn is_matching(g: &Graph, matched: &[(NodeId, NodeId)]) -> bool {
+    let mut used = vec![false; g.node_count()];
+    for &(u, v) in matched {
+        if u == v || !g.has_edge(u, v) {
+            return false;
+        }
+        if used[u as usize] || used[v as usize] {
+            return false;
+        }
+        used[u as usize] = true;
+        used[v as usize] = true;
+    }
+    true
+}
+
+/// Whether `matched` is a *maximal* matching: a matching such that every
+/// edge of `g` has at least one matched endpoint.
+pub fn is_maximal_matching(g: &Graph, matched: &[(NodeId, NodeId)]) -> bool {
+    if !is_matching(g, matched) {
+        return false;
+    }
+    let mut used = vec![false; g.node_count()];
+    for &(u, v) in matched {
+        used[u as usize] = true;
+        used[v as usize] = true;
+    }
+    g.edges().all(|(u, v)| used[u as usize] || used[v as usize])
+}
+
+/// The number of nodes that are *good* in the sense of the paper's
+/// Section 5: a node of a tree (or forest) is good if it is isolated, a
+/// leaf, or has degree 2 with both neighbors of degree at most 2.
+///
+/// Observation 5.2 asserts at least a 1/5 fraction of tree nodes are good;
+/// experiment E6 measures this.
+pub fn count_good_tree_nodes(g: &Graph) -> usize {
+    g.nodes()
+        .filter(|&v| {
+            let d = g.degree(v);
+            d <= 1
+                || (d == 2 && g.neighbors(v).iter().all(|&u| g.degree(u) <= 2))
+        })
+        .count()
+}
+
+/// The number of nodes that are *good* in the sense of the paper's
+/// Section 4 (following Alon–Babai–Itai): `v` is good if at least a third
+/// of its neighbors have degree ≤ deg(v). Degree-0 nodes count as good.
+pub fn count_good_mis_nodes(g: &Graph) -> usize {
+    g.nodes().filter(|&v| is_good_mis_node(g, v)).count()
+}
+
+/// Whether a single node is good in the Section 4 sense.
+pub fn is_good_mis_node(g: &Graph, v: NodeId) -> bool {
+    let d = g.degree(v);
+    if d == 0 {
+        return true;
+    }
+    let low = g
+        .neighbors(v)
+        .iter()
+        .filter(|&&u| g.degree(u) <= d)
+        .count();
+    3 * low >= d
+}
+
+/// The number of edges incident on at least one good (Section 4) node.
+///
+/// Lemma 4.4 asserts this is more than half of all edges; experiment E3
+/// measures it.
+pub fn edges_on_good_mis_nodes(g: &Graph) -> usize {
+    g.edges()
+        .filter(|&(u, v)| is_good_mis_node(g, u) || is_good_mis_node(g, v))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn independence_on_path() {
+        let g = generators::path(4);
+        assert!(is_independent_set(&g, &[true, false, true, false]));
+        assert!(!is_independent_set(&g, &[true, true, false, false]));
+        assert!(is_independent_set(&g, &[false; 4]));
+    }
+
+    #[test]
+    fn maximality_on_path() {
+        let g = generators::path(4);
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
+        assert!(is_maximal_independent_set(&g, &[true, false, false, true]));
+        // Independent but not maximal: node 3 could be added.
+        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+        // Not independent at all.
+        assert!(!is_maximal_independent_set(&g, &[true, true, false, true]));
+    }
+
+    #[test]
+    fn empty_graph_mis_is_all_nodes() {
+        let g = crate::Graph::empty(3);
+        assert!(is_maximal_independent_set(&g, &[true, true, true]));
+        assert!(!is_maximal_independent_set(&g, &[true, false, true]));
+    }
+
+    #[test]
+    fn coloring_validators() {
+        let g = generators::cycle(4);
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 0]));
+        assert!(is_proper_k_coloring(&g, &[0, 1, 0, 1], 2));
+        assert!(!is_proper_k_coloring(&g, &[0, 1, 0, 2], 2));
+        assert!(is_proper_k_coloring(&g, &[0, 1, 0, 2], 3));
+    }
+
+    #[test]
+    fn matching_validators() {
+        let g = generators::path(5); // edges 0-1,1-2,2-3,3-4
+        assert!(is_matching(&g, &[(0, 1), (2, 3)]));
+        assert!(is_maximal_matching(&g, &[(0, 1), (2, 3)]));
+        assert!(is_maximal_matching(&g, &[(1, 2), (3, 4)]));
+        // Matching, but edge 2-3 has no matched endpoint.
+        assert!(!is_maximal_matching(&g, &[(0, 1)]));
+        // Shares endpoint 1.
+        assert!(!is_matching(&g, &[(0, 1), (1, 2)]));
+        // Not an edge.
+        assert!(!is_matching(&g, &[(0, 2)]));
+        // Reversed orientation is fine.
+        assert!(is_matching(&g, &[(1, 0)]));
+        // Empty matching is a matching but not maximal (unless no edges).
+        assert!(is_matching(&g, &[]));
+        assert!(!is_maximal_matching(&g, &[]));
+        assert!(is_maximal_matching(&crate::Graph::empty(3), &[]));
+    }
+
+    #[test]
+    fn good_tree_nodes_on_known_shapes() {
+        // Path: every node is good (leaves + degree-2 with degree-≤2 nbrs).
+        assert_eq!(count_good_tree_nodes(&generators::path(6)), 6);
+        // Star K_{1,5}: the 5 leaves are good, the center is not.
+        assert_eq!(count_good_tree_nodes(&generators::star(6)), 5);
+        let n = 101;
+        let g = generators::random_tree(n, 7);
+        assert!(count_good_tree_nodes(&g) * 5 >= n, "Observation 5.2");
+    }
+
+    #[test]
+    fn good_mis_nodes_on_known_shapes() {
+        // In a regular graph every node is good.
+        assert_eq!(count_good_mis_nodes(&generators::cycle(5)), 5);
+        assert_eq!(count_good_mis_nodes(&generators::complete(4)), 4);
+        // In a star, leaves have their only neighbor of higher degree; the
+        // center has all neighbors of lower degree.
+        let g = generators::star(5);
+        assert!(is_good_mis_node(&g, 0));
+        assert!(!is_good_mis_node(&g, 1));
+    }
+
+    #[test]
+    fn lemma_4_4_half_edges_on_good_nodes() {
+        for seed in 0..5 {
+            let g = generators::gnp(120, 0.05, seed);
+            let m = g.edge_count();
+            if m == 0 {
+                continue;
+            }
+            assert!(
+                2 * edges_on_good_mis_nodes(&g) > m,
+                "Lemma 4.4 violated at seed {seed}"
+            );
+        }
+    }
+}

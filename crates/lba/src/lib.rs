@@ -1,0 +1,26 @@
+//! The computational-power results of Section 6 of *Stone Age Distributed
+//! Computing*: nFSM protocols are, in power, exactly **randomized linear
+//! bounded automata** (rLBAs).
+//!
+//! * [`machine`] — the rLBA substrate: end-marked tapes, deterministic and
+//!   randomized transition tables, a direct runner.
+//! * [`machines`] — a library of example machines: the canonical
+//!   context-sensitive language `aⁿbⁿcⁿ`, palindromes, majority, a regular
+//!   single-sweep divisibility check, and a randomized machine.
+//! * [`to_nfsm`] — **Lemma 6.2**: compiling any rLBA into an nFSM protocol
+//!   on a path, one node per tape cell; the head travels as handoff
+//!   messages between adjacent nodes.
+//! * [`sweep`] — **Lemma 6.1**: simulating any nFSM protocol on any graph
+//!   by a machine that works on an adjacency-list *tape* with strictly
+//!   local head movement and O(1) auxiliary state per node/edge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod machines;
+pub mod sweep;
+pub mod to_nfsm;
+
+pub use machine::{Lba, LbaBuilder, LbaError, Move, RunOutcome, Symbol, MARKER_LEFT, MARKER_RIGHT};
+pub use to_nfsm::LbaOnPath;

@@ -1,0 +1,472 @@
+//! Randomized linear bounded automata.
+//!
+//! A (randomized) LBA is a Turing machine whose working tape is restricted
+//! to the cells carrying the input (`DSPACE(O(n))`); we use the standard
+//! end-marker convention: the runner brackets the input with [`MARKER_LEFT`]
+//! and [`MARKER_RIGHT`], which machines may read but never overwrite or
+//! move past. Transitions may offer several choices, one of which is drawn
+//! uniformly at random (the *randomized* LBA of the paper; a single choice
+//! everywhere makes it deterministic).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A tape symbol, identified by its index into the machine's working
+/// alphabet `Γ`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub u16);
+
+/// The reserved left end-marker `⊢` (alphabet index 0).
+pub const MARKER_LEFT: Symbol = Symbol(0);
+/// The reserved right end-marker `⊣` (alphabet index 1).
+pub const MARKER_RIGHT: Symbol = Symbol(1);
+
+/// Head movement. An LBA head moves every step (the paper's Lemma 6.2
+/// encoding transmits the move direction with every head handoff).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+}
+
+/// A single transition choice: write `write`, move `mv`, enter `state`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Action {
+    /// Symbol written over the scanned cell.
+    pub write: Symbol,
+    /// Head movement.
+    pub mv: Move,
+    /// Next machine state.
+    pub state: u16,
+}
+
+#[derive(Clone, Debug, Default)]
+enum Cell {
+    #[default]
+    Unset,
+    Choices(Vec<Action>),
+    Accept,
+    Reject,
+}
+
+/// Errors arising from running an ill-formed machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LbaError {
+    /// `δ(state, symbol)` is undefined.
+    MissingTransition {
+        /// The machine state.
+        state: u16,
+        /// The scanned symbol.
+        symbol: Symbol,
+    },
+    /// The machine tried to overwrite an end marker or write one elsewhere.
+    MarkerViolation {
+        /// The machine state at the violation.
+        state: u16,
+    },
+    /// The head attempted to move past an end marker.
+    OffTape {
+        /// The machine state at the violation.
+        state: u16,
+    },
+    /// The step budget was exhausted (possible loop).
+    StepLimit(u64),
+    /// An input symbol is a reserved marker or out of alphabet range.
+    BadInput(Symbol),
+}
+
+impl std::fmt::Display for LbaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LbaError::MissingTransition { state, symbol } => {
+                write!(f, "δ(p{state}, {symbol:?}) is undefined")
+            }
+            LbaError::MarkerViolation { state } => {
+                write!(f, "marker overwritten in state p{state}")
+            }
+            LbaError::OffTape { state } => write!(f, "head left the tape in state p{state}"),
+            LbaError::StepLimit(n) => write!(f, "no halt within {n} steps"),
+            LbaError::BadInput(s) => write!(f, "invalid input symbol {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LbaError {}
+
+/// Result of a completed LBA run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the machine accepted.
+    pub accepted: bool,
+    /// Steps executed.
+    pub steps: u64,
+    /// Final tape contents (including markers).
+    pub tape: Vec<Symbol>,
+}
+
+/// A (randomized) linear bounded automaton.
+///
+/// Build with [`LbaBuilder`]. States are `0..state_count` with state 0 the
+/// initial state; accepting/rejecting states are declared explicitly and
+/// halt the machine.
+#[derive(Clone, Debug)]
+pub struct Lba {
+    name: String,
+    alphabet: Vec<String>,
+    state_names: Vec<String>,
+    /// `table[state][symbol]`.
+    table: Vec<Vec<Cell>>,
+}
+
+impl Lba {
+    /// The machine's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of machine states `|P|`.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Number of working-alphabet symbols `|Γ|` (markers included).
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// Display name of a symbol.
+    pub fn symbol_name(&self, s: Symbol) -> &str {
+        &self.alphabet[s.0 as usize]
+    }
+
+    /// The symbol with the given display name.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.alphabet
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Symbol(i as u16))
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accept(&self, state: u16) -> bool {
+        self.table[state as usize]
+            .iter()
+            .all(|c| matches!(c, Cell::Accept))
+    }
+
+    /// Whether `state` is rejecting.
+    pub fn is_reject(&self, state: u16) -> bool {
+        self.table[state as usize]
+            .iter()
+            .all(|c| matches!(c, Cell::Reject))
+    }
+
+    /// Whether `state` halts (accepting or rejecting).
+    pub fn is_halting(&self, state: u16) -> bool {
+        self.is_accept(state) || self.is_reject(state)
+    }
+
+    /// The choice set `δ(state, symbol)`; `None` when the state halts.
+    pub fn choices(&self, state: u16, symbol: Symbol) -> Result<Option<&[Action]>, LbaError> {
+        match &self.table[state as usize][symbol.0 as usize] {
+            Cell::Unset => Err(LbaError::MissingTransition { state, symbol }),
+            Cell::Choices(c) => Ok(Some(c)),
+            Cell::Accept | Cell::Reject => Ok(None),
+        }
+    }
+
+    /// Whether the halting `state` accepts (panics on non-halting states).
+    pub fn halt_accepts(&self, state: u16) -> bool {
+        assert!(self.is_halting(state));
+        self.is_accept(state)
+    }
+
+    /// Runs the machine directly on `input` (markers added automatically),
+    /// drawing random choices from the given seed.
+    pub fn run(&self, input: &[Symbol], seed: u64, max_steps: u64) -> Result<RunOutcome, LbaError> {
+        for &s in input {
+            if s == MARKER_LEFT || s == MARKER_RIGHT || s.0 as usize >= self.alphabet.len() {
+                return Err(LbaError::BadInput(s));
+            }
+        }
+        let mut tape: Vec<Symbol> = Vec::with_capacity(input.len() + 2);
+        tape.push(MARKER_LEFT);
+        tape.extend_from_slice(input);
+        tape.push(MARKER_RIGHT);
+        let mut head = 0usize;
+        let mut state = 0u16;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut steps = 0u64;
+        loop {
+            if steps >= max_steps {
+                return Err(LbaError::StepLimit(max_steps));
+            }
+            let scanned = tape[head];
+            let choices = match self.choices(state, scanned)? {
+                Some(c) => c,
+                None => {
+                    return Ok(RunOutcome {
+                        accepted: self.is_accept(state),
+                        steps,
+                        tape,
+                    });
+                }
+            };
+            let action = if choices.len() == 1 {
+                choices[0]
+            } else {
+                choices[rng.gen_range(0..choices.len())]
+            };
+            let is_marker = scanned == MARKER_LEFT || scanned == MARKER_RIGHT;
+            if (is_marker && action.write != scanned)
+                || (!is_marker
+                    && (action.write == MARKER_LEFT || action.write == MARKER_RIGHT))
+            {
+                return Err(LbaError::MarkerViolation { state });
+            }
+            tape[head] = action.write;
+            match action.mv {
+                Move::Left => {
+                    if head == 0 {
+                        return Err(LbaError::OffTape { state });
+                    }
+                    head -= 1;
+                }
+                Move::Right => {
+                    if head + 1 >= tape.len() {
+                        return Err(LbaError::OffTape { state });
+                    }
+                    head += 1;
+                }
+            }
+            state = action.state;
+            steps += 1;
+        }
+    }
+
+    /// Decides `input` deterministically (seed 0); convenience for tests.
+    pub fn accepts(&self, input: &[Symbol], max_steps: u64) -> Result<bool, LbaError> {
+        Ok(self.run(input, 0, max_steps)?.accepted)
+    }
+}
+
+/// Builder for [`Lba`] machines.
+pub struct LbaBuilder {
+    name: String,
+    alphabet: Vec<String>,
+    state_names: Vec<String>,
+    table: Vec<Vec<Cell>>,
+}
+
+impl LbaBuilder {
+    /// Starts a machine over the working alphabet `extra_symbols` (the
+    /// markers `⊢`, `⊣` are added automatically as indices 0 and 1).
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        name: impl Into<String>,
+        extra_symbols: I,
+    ) -> Self {
+        let mut alphabet = vec!["⊢".to_owned(), "⊣".to_owned()];
+        alphabet.extend(extra_symbols.into_iter().map(Into::into));
+        LbaBuilder {
+            name: name.into(),
+            alphabet,
+            state_names: Vec::new(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Adds a working state; the first added state is the initial state.
+    pub fn state(&mut self, name: impl Into<String>) -> u16 {
+        let id = self.state_names.len() as u16;
+        self.state_names.push(name.into());
+        self.table.push(vec![Cell::Unset; self.alphabet.len()]);
+        id
+    }
+
+    /// Adds an accepting halt state.
+    pub fn accept_state(&mut self, name: impl Into<String>) -> u16 {
+        let id = self.state(name);
+        self.table[id as usize] = vec![Cell::Accept; self.alphabet.len()];
+        id
+    }
+
+    /// Adds a rejecting halt state.
+    pub fn reject_state(&mut self, name: impl Into<String>) -> u16 {
+        let id = self.state(name);
+        self.table[id as usize] = vec![Cell::Reject; self.alphabet.len()];
+        id
+    }
+
+    /// Sets the deterministic transition `δ(state, read) = (write, mv, next)`.
+    pub fn on(&mut self, state: u16, read: Symbol, write: Symbol, mv: Move, next: u16) {
+        self.table[state as usize][read.0 as usize] = Cell::Choices(vec![Action {
+            write,
+            mv,
+            state: next,
+        }]);
+    }
+
+    /// Sets a randomized transition: a uniform choice among `actions`.
+    pub fn on_random(&mut self, state: u16, read: Symbol, actions: Vec<Action>) {
+        assert!(!actions.is_empty());
+        self.table[state as usize][read.0 as usize] = Cell::Choices(actions);
+    }
+
+    /// Finalizes the machine. Unset cells remain as runtime errors — a
+    /// machine is allowed to leave genuinely unreachable cells undefined.
+    pub fn build(self) -> Lba {
+        assert!(
+            !self.state_names.is_empty(),
+            "a machine needs at least one state"
+        );
+        Lba {
+            name: self.name,
+            alphabet: self.alphabet,
+            state_names: self.state_names,
+            table: self.table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Machine that scans right and accepts at the right marker.
+    fn scanner() -> Lba {
+        let mut b = LbaBuilder::new("scan", ["a"]);
+        let a = Symbol(2);
+        let scan = b.state("scan");
+        let acc = b.accept_state("acc");
+        b.on(scan, MARKER_LEFT, MARKER_LEFT, Move::Right, scan);
+        b.on(scan, a, a, Move::Right, scan);
+        b.on(scan, MARKER_RIGHT, MARKER_RIGHT, Move::Left, acc);
+        b.build()
+    }
+
+    #[test]
+    fn scanner_accepts_and_counts_steps() {
+        let m = scanner();
+        let out = m.run(&[Symbol(2); 5], 0, 1000).unwrap();
+        assert!(out.accepted);
+        // ⊢ + 5 cells + ⊣-turnaround = 7 steps.
+        assert_eq!(out.steps, 7);
+        assert_eq!(out.tape.len(), 7);
+    }
+
+    #[test]
+    fn empty_input_works() {
+        let m = scanner();
+        assert!(m.accepts(&[], 100).unwrap());
+    }
+
+    #[test]
+    fn missing_transition_is_reported() {
+        let mut b = LbaBuilder::new("partial", ["a"]);
+        let s = b.state("s");
+        b.on(s, MARKER_LEFT, MARKER_LEFT, Move::Right, s);
+        let m = b.build();
+        let err = m.run(&[Symbol(2)], 0, 100).unwrap_err();
+        assert_eq!(
+            err,
+            LbaError::MissingTransition {
+                state: 0,
+                symbol: Symbol(2)
+            }
+        );
+    }
+
+    #[test]
+    fn marker_overwrite_is_reported() {
+        let mut b = LbaBuilder::new("vandal", ["a"]);
+        let a = Symbol(2);
+        let s = b.state("s");
+        b.on(s, MARKER_LEFT, a, Move::Right, s);
+        let m = b.build();
+        assert_eq!(
+            m.run(&[a], 0, 100).unwrap_err(),
+            LbaError::MarkerViolation { state: 0 }
+        );
+    }
+
+    #[test]
+    fn off_tape_is_reported() {
+        let mut b = LbaBuilder::new("runaway", ["a"]);
+        let s = b.state("s");
+        b.on(s, MARKER_LEFT, MARKER_LEFT, Move::Left, s);
+        let m = b.build();
+        assert_eq!(
+            m.run(&[], 0, 100).unwrap_err(),
+            LbaError::OffTape { state: 0 }
+        );
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let mut b = LbaBuilder::new("loop", ["a"]);
+        let a = Symbol(2);
+        let s = b.state("s");
+        let t = b.state("t");
+        b.on(s, MARKER_LEFT, MARKER_LEFT, Move::Right, t);
+        b.on(t, a, a, Move::Left, s);
+        b.on(s, a, a, Move::Right, t);
+        b.on(t, MARKER_LEFT, MARKER_LEFT, Move::Right, s);
+        let m = b.build();
+        assert_eq!(m.run(&[a], 0, 50).unwrap_err(), LbaError::StepLimit(50));
+    }
+
+    #[test]
+    fn reserved_input_symbols_rejected() {
+        let m = scanner();
+        assert_eq!(
+            m.run(&[MARKER_LEFT], 0, 10).unwrap_err(),
+            LbaError::BadInput(MARKER_LEFT)
+        );
+        assert_eq!(
+            m.run(&[Symbol(99)], 0, 10).unwrap_err(),
+            LbaError::BadInput(Symbol(99))
+        );
+    }
+
+    #[test]
+    fn randomized_machine_samples_choices() {
+        // From the start state, randomly accept or reject: both outcomes
+        // must occur across seeds.
+        let mut b = LbaBuilder::new("coin", ["a"]);
+        let s = b.state("s");
+        let acc = b.accept_state("acc");
+        let rej = b.reject_state("rej");
+        b.on_random(
+            s,
+            MARKER_LEFT,
+            vec![
+                Action {
+                    write: MARKER_LEFT,
+                    mv: Move::Right,
+                    state: acc,
+                },
+                Action {
+                    write: MARKER_LEFT,
+                    mv: Move::Right,
+                    state: rej,
+                },
+            ],
+        );
+        let m = b.build();
+        let outcomes: std::collections::HashSet<bool> = (0..40)
+            .map(|seed| m.run(&[], seed, 100).unwrap().accepted)
+            .collect();
+        assert_eq!(outcomes.len(), 2);
+    }
+
+    #[test]
+    fn halting_state_classification() {
+        let m = scanner();
+        assert!(m.is_accept(1));
+        assert!(!m.is_reject(1));
+        assert!(m.is_halting(1));
+        assert!(!m.is_halting(0));
+    }
+}

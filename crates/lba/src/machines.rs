@@ -1,0 +1,457 @@
+//! A library of example LBAs used by the Section 6 experiments.
+//!
+//! `aⁿbⁿcⁿ` is the canonical **context-sensitive** language (recognizable
+//! by an LBA but by no pushdown automaton), making it the natural witness
+//! for the computational-power claim; palindromes and majority exercise
+//! zig-zag head movement; the divisibility machine is a single-sweep
+//! regular-language baseline; and the randomized scanner exercises the
+//! rLBA choice machinery end to end.
+
+use crate::machine::{Action, Lba, LbaBuilder, Move, Symbol, MARKER_LEFT, MARKER_RIGHT};
+
+/// Symbols of the `{a, b, c}` machines: `a = 2`, `b = 3`, `c = 4`,
+/// crossed-off `X = 5`.
+pub mod sym {
+    use crate::machine::Symbol;
+
+    /// Input letter `a`.
+    pub const A: Symbol = Symbol(2);
+    /// Input letter `b`.
+    pub const B: Symbol = Symbol(3);
+    /// Input letter `c`.
+    pub const C: Symbol = Symbol(4);
+    /// Crossed-off cell.
+    pub const X: Symbol = Symbol(5);
+}
+
+/// Encodes an ASCII string over `{a, b, c}` into machine symbols.
+///
+/// # Panics
+/// Panics on characters outside `{a, b, c}`.
+pub fn encode_abc(text: &str) -> Vec<Symbol> {
+    text.chars()
+        .map(|ch| match ch {
+            'a' => sym::A,
+            'b' => sym::B,
+            'c' => sym::C,
+            other => panic!("unsupported character {other:?}"),
+        })
+        .collect()
+}
+
+/// The language `{aⁿbⁿcⁿ : n ≥ 0}` — context-sensitive, not context-free.
+///
+/// Strategy: repeatedly sweep right crossing off the first live `a`, the
+/// first live `b` and the first live `c` (rejecting on bad letter order),
+/// then return to the left marker; accept when a sweep finds no live
+/// letters at all.
+pub fn abc_equal() -> Lba {
+    use sym::{A, B, C, X};
+    let mut m = LbaBuilder::new("a^n b^n c^n", ["a", "b", "c", "X"]);
+    let start = m.state("start"); // at ⊢, launch a sweep
+    let seek_a = m.state("seek_a");
+    let seek_b = m.state("seek_b");
+    let seek_c = m.state("seek_c");
+    let check_tail = m.state("check_tail"); // after crossing c: rest must be X
+    let rewind = m.state("rewind");
+    let acc = m.accept_state("accept");
+    let rej = m.reject_state("reject");
+
+    m.on(start, MARKER_LEFT, MARKER_LEFT, Move::Right, seek_a);
+
+    // seek_a: skip X; first live letter must be `a` (cross it off); hitting
+    // ⊣ or a `b`/`c` with *nothing* live at all... a `b`/`c` here means
+    // the `a`s ran out before the `b`s/`c`s — reject. ⊣ means everything
+    // is crossed off — accept.
+    m.on(seek_a, X, X, Move::Right, seek_a);
+    m.on(seek_a, A, X, Move::Right, seek_b);
+    m.on(seek_a, B, B, Move::Left, rej);
+    m.on(seek_a, C, C, Move::Left, rej);
+    m.on(seek_a, MARKER_RIGHT, MARKER_RIGHT, Move::Left, acc);
+
+    // seek_b: skip X and remaining a's; cross off the first b.
+    m.on(seek_b, X, X, Move::Right, seek_b);
+    m.on(seek_b, A, A, Move::Right, seek_b);
+    m.on(seek_b, B, X, Move::Right, seek_c);
+    m.on(seek_b, C, C, Move::Left, rej);
+    m.on(seek_b, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+
+    // seek_c: skip X and remaining b's; cross off the first c. A live `a`
+    // here would mean letters out of order.
+    m.on(seek_c, X, X, Move::Right, seek_c);
+    m.on(seek_c, B, B, Move::Right, seek_c);
+    m.on(seek_c, A, A, Move::Left, rej);
+    m.on(seek_c, C, X, Move::Right, check_tail);
+    m.on(seek_c, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+
+    // check_tail: everything after the crossed c must be c or X until ⊣
+    // (an `a` or `b` after the c-block is out of order).
+    m.on(check_tail, C, C, Move::Right, check_tail);
+    m.on(check_tail, X, X, Move::Right, check_tail);
+    m.on(check_tail, A, A, Move::Left, rej);
+    m.on(check_tail, B, B, Move::Left, rej);
+    m.on(check_tail, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rewind);
+
+    // rewind to ⊢ and start the next sweep.
+    for s in [A, B, C, X] {
+        m.on(rewind, s, s, Move::Left, rewind);
+    }
+    m.on(rewind, MARKER_LEFT, MARKER_LEFT, Move::Right, seek_a);
+
+    m.build()
+}
+
+/// Palindromes over `{a, b}`: zig-zag comparing and crossing off the two
+/// ends until the live region is empty or a single cell.
+pub fn palindrome() -> Lba {
+    use sym::{A, B, X};
+    let mut m = LbaBuilder::new("palindrome", ["a", "b", "c", "X"]);
+    let start = m.state("start");
+    let got_a = m.state("got_a"); // crossed an `a` on the left; find right end
+    let got_b = m.state("got_b");
+    let match_a = m.state("match_a"); // at right end: last live must be `a`
+    let match_b = m.state("match_b");
+    let rewind = m.state("rewind");
+    let acc = m.accept_state("accept");
+    let rej = m.reject_state("reject");
+
+    // start: at ⊢ or inside X prefix, find the first live letter.
+    m.on(start, MARKER_LEFT, MARKER_LEFT, Move::Right, start);
+    m.on(start, X, X, Move::Right, start);
+    m.on(start, A, X, Move::Right, got_a);
+    m.on(start, B, X, Move::Right, got_b);
+    // No live letters left: palindrome.
+    m.on(start, MARKER_RIGHT, MARKER_RIGHT, Move::Left, acc);
+
+    // Walk right to the end of the live region.
+    for (walk, match_state) in [(got_a, match_a), (got_b, match_b)] {
+        m.on(walk, A, A, Move::Right, walk);
+        m.on(walk, B, B, Move::Right, walk);
+        m.on(walk, X, X, Move::Left, match_state);
+        m.on(walk, MARKER_RIGHT, MARKER_RIGHT, Move::Left, match_state);
+    }
+
+    // match_a: the cell under the head is the last live letter (or X if
+    // the crossed letter was the only one — odd-length middle).
+    m.on(match_a, A, X, Move::Left, rewind);
+    m.on(match_a, B, B, Move::Left, rej);
+    m.on(match_a, X, X, Move::Left, acc); // single middle letter consumed
+    m.on(match_a, MARKER_LEFT, MARKER_LEFT, Move::Right, acc);
+    m.on(match_b, B, X, Move::Left, rewind);
+    m.on(match_b, A, A, Move::Left, rej);
+    m.on(match_b, X, X, Move::Left, acc);
+    m.on(match_b, MARKER_LEFT, MARKER_LEFT, Move::Right, acc);
+
+    // rewind to the left end of the live region.
+    m.on(rewind, A, A, Move::Left, rewind);
+    m.on(rewind, B, B, Move::Left, rewind);
+    m.on(rewind, X, X, Move::Right, start);
+    m.on(rewind, MARKER_LEFT, MARKER_LEFT, Move::Right, start);
+
+    m.build()
+}
+
+/// Majority over `{a, b}`: accepts iff strictly more `a`s than `b`s, by
+/// repeatedly crossing off one `a` and one `b`.
+pub fn majority() -> Lba {
+    use sym::{A, B, X};
+    let mut m = LbaBuilder::new("majority", ["a", "b", "c", "X"]);
+    let start = m.state("start");
+    let find_b = m.state("find_b"); // crossed an a, cross a b anywhere
+    let rewind = m.state("rewind");
+    let only_a = m.state("only_a"); // no b found: any live a remains ⇒ accept
+    let acc = m.accept_state("accept");
+    let rej = m.reject_state("reject");
+
+    m.on(start, MARKER_LEFT, MARKER_LEFT, Move::Right, start);
+    m.on(start, X, X, Move::Right, start);
+    m.on(start, A, X, Move::Right, find_b);
+    // Leading b with no a yet: cross it and look for an a instead — by
+    // symmetry, cross the b and hunt an a; simplest: treat `b` first like
+    // `a` first with roles swapped via a dedicated pair of states.
+    m.on(start, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej); // all crossed: equal ⇒ not a strict majority
+    let find_a = m.state("find_a");
+    m.on(start, B, X, Move::Right, find_a);
+
+    m.on(find_b, A, A, Move::Right, find_b);
+    m.on(find_b, X, X, Move::Right, find_b);
+    m.on(find_b, B, X, Move::Left, rewind);
+    // No b remains: strictly more a's iff at least the crossed one ⇒ accept
+    // (there is one un-matched a — the one just crossed — plus possibly
+    // more live ones).
+    m.on(find_b, MARKER_RIGHT, MARKER_RIGHT, Move::Left, only_a);
+
+    m.on(find_a, B, B, Move::Right, find_a);
+    m.on(find_a, X, X, Move::Right, find_a);
+    m.on(find_a, A, X, Move::Left, rewind);
+    // No a remains: b-majority or tie ⇒ reject.
+    m.on(find_a, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+
+    for s in [A, B, X] {
+        m.on(rewind, s, s, Move::Left, rewind);
+        m.on(only_a, s, s, Move::Left, only_a);
+    }
+    m.on(rewind, MARKER_LEFT, MARKER_LEFT, Move::Right, start);
+    m.on(only_a, MARKER_LEFT, MARKER_LEFT, Move::Right, acc);
+
+    m.build()
+}
+
+/// The context-free classic `{aⁿbⁿ : n ≥ 0}`: cross off one `a` and one
+/// `b` per sweep. Sits strictly between the regular and context-sensitive
+/// examples in the Chomsky hierarchy the paper's Section 6 points at.
+pub fn anbn() -> Lba {
+    use sym::{A, B, X};
+    let mut m = LbaBuilder::new("a^n b^n", ["a", "b", "c", "X"]);
+    let start = m.state("start");
+    let seek_a = m.state("seek_a");
+    let seek_b = m.state("seek_b");
+    let check_tail = m.state("check_tail");
+    let rewind = m.state("rewind");
+    let acc = m.accept_state("accept");
+    let rej = m.reject_state("reject");
+
+    m.on(start, MARKER_LEFT, MARKER_LEFT, Move::Right, seek_a);
+    m.on(seek_a, X, X, Move::Right, seek_a);
+    m.on(seek_a, A, X, Move::Right, seek_b);
+    m.on(seek_a, B, B, Move::Left, rej);
+    m.on(seek_a, MARKER_RIGHT, MARKER_RIGHT, Move::Left, acc);
+
+    m.on(seek_b, X, X, Move::Right, seek_b);
+    m.on(seek_b, A, A, Move::Right, seek_b);
+    m.on(seek_b, B, X, Move::Right, check_tail);
+    m.on(seek_b, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+
+    m.on(check_tail, B, B, Move::Right, check_tail);
+    m.on(check_tail, X, X, Move::Right, check_tail);
+    m.on(check_tail, A, A, Move::Left, rej);
+    m.on(check_tail, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rewind);
+
+    for s in [A, B, X] {
+        m.on(rewind, s, s, Move::Left, rewind);
+    }
+    m.on(rewind, MARKER_LEFT, MARKER_LEFT, Move::Right, seek_a);
+    m.build()
+}
+
+/// Single-sweep machine accepting strings over `{a}` whose length is
+/// divisible by 3 — a regular-language baseline (DFA as LBA).
+pub fn length_mod3() -> Lba {
+    use sym::A;
+    let mut m = LbaBuilder::new("|w| ≡ 0 (mod 3)", ["a", "b", "c", "X"]);
+    let s0 = m.state("r0");
+    let s1 = m.state("r1");
+    let s2 = m.state("r2");
+    let acc = m.accept_state("accept");
+    let rej = m.reject_state("reject");
+    m.on(s0, MARKER_LEFT, MARKER_LEFT, Move::Right, s0);
+    m.on(s0, A, A, Move::Right, s1);
+    m.on(s1, A, A, Move::Right, s2);
+    m.on(s2, A, A, Move::Right, s0);
+    m.on(s0, MARKER_RIGHT, MARKER_RIGHT, Move::Left, acc);
+    m.on(s1, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+    m.on(s2, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+    m.build()
+}
+
+/// A *randomized* LBA whose verdict is nonetheless deterministic: it
+/// checks that the input contains at least one `b`, scanning left-to-right
+/// but randomly dawdling (each live cell is re-scanned with probability
+/// 1/2). Exercises rLBA choice sets with a testable language.
+pub fn random_walk_contains_b() -> Lba {
+    use sym::{A, B, C, X};
+    let mut m = LbaBuilder::new("random-dawdle contains-b", ["a", "b", "c", "X"]);
+    let scan = m.state("scan");
+    let acc = m.accept_state("accept");
+    let rej = m.reject_state("reject");
+    m.on(scan, MARKER_LEFT, MARKER_LEFT, Move::Right, scan);
+    for live in [A, C, X] {
+        // Randomly either advance or bounce in place (left then back is
+        // impossible in one action; dawdle = rewrite and stay moving right
+        // vs. stepping left to the previous cell and returning via scan).
+        m.on_random(
+            scan,
+            live,
+            vec![
+                Action {
+                    write: live,
+                    mv: Move::Right,
+                    state: scan,
+                },
+                Action {
+                    write: live,
+                    mv: Move::Left,
+                    state: scan,
+                },
+            ],
+        );
+    }
+    m.on(scan, B, B, Move::Right, acc);
+    m.on(scan, MARKER_RIGHT, MARKER_RIGHT, Move::Left, rej);
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: u64 = 1_000_000;
+
+    #[test]
+    fn abc_accepts_exactly_the_language() {
+        let m = abc_equal();
+        for (word, expect) in [
+            ("", true),
+            ("abc", true),
+            ("aabbcc", true),
+            ("aaabbbccc", true),
+            ("ab", false),
+            ("abcc", false),
+            ("aabbc", false),
+            ("acb", false),
+            ("ba", false),
+            ("cba", false),
+            ("aabcbc", false),
+            ("abcabc", false),
+            ("c", false),
+            ("a", false),
+        ] {
+            assert_eq!(
+                m.accepts(&encode_abc(word), MAX).unwrap(),
+                expect,
+                "word {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn abc_brute_force_against_definition() {
+        let m = abc_equal();
+        // All words over {a,b,c} of length ≤ 6.
+        fn words(len: usize) -> Vec<String> {
+            if len == 0 {
+                return vec![String::new()];
+            }
+            words(len - 1)
+                .into_iter()
+                .flat_map(|w| {
+                    ["a", "b", "c"].iter().map(move |c| format!("{w}{c}"))
+                })
+                .collect()
+        }
+        for len in 0..=6 {
+            for w in words(len) {
+                let n = w.len() / 3;
+                let expect = w.len() % 3 == 0
+                    && w == format!("{}{}{}", "a".repeat(n), "b".repeat(n), "c".repeat(n));
+                assert_eq!(m.accepts(&encode_abc(&w), MAX).unwrap(), expect, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn palindrome_brute_force() {
+        let m = palindrome();
+        fn words(len: usize) -> Vec<String> {
+            if len == 0 {
+                return vec![String::new()];
+            }
+            words(len - 1)
+                .into_iter()
+                .flat_map(|w| ["a", "b"].iter().map(move |c| format!("{w}{c}")))
+                .collect()
+        }
+        for len in 0..=8 {
+            for w in words(len) {
+                let expect = w.chars().rev().collect::<String>() == w;
+                assert_eq!(m.accepts(&encode_abc(&w), MAX).unwrap(), expect, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_brute_force() {
+        let m = majority();
+        fn words(len: usize) -> Vec<String> {
+            if len == 0 {
+                return vec![String::new()];
+            }
+            words(len - 1)
+                .into_iter()
+                .flat_map(|w| ["a", "b"].iter().map(move |c| format!("{w}{c}")))
+                .collect()
+        }
+        for len in 0..=7 {
+            for w in words(len) {
+                let a = w.matches('a').count();
+                let b = w.matches('b').count();
+                assert_eq!(
+                    m.accepts(&encode_abc(&w), MAX).unwrap(),
+                    a > b,
+                    "{w:?} (a={a}, b={b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anbn_brute_force_against_definition() {
+        let m = anbn();
+        fn words(len: usize) -> Vec<String> {
+            if len == 0 {
+                return vec![String::new()];
+            }
+            words(len - 1)
+                .into_iter()
+                .flat_map(|w| ["a", "b"].iter().map(move |c| format!("{w}{c}")))
+                .collect()
+        }
+        for len in 0..=8 {
+            for w in words(len) {
+                let n = w.len() / 2;
+                let expect = w.len() % 2 == 0
+                    && w == format!("{}{}", "a".repeat(n), "b".repeat(n));
+                assert_eq!(m.accepts(&encode_abc(&w), MAX).unwrap(), expect, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn anbn_runs_on_a_path_of_nfsm_nodes() {
+        let m = anbn();
+        for (w, expect) in [("", true), ("ab", true), ("aabb", true), ("abab", false)] {
+            let (verdict, _) =
+                crate::to_nfsm::run_on_path(&m, &encode_abc(w), 0, 1_000_000).unwrap();
+            assert_eq!(verdict, expect, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn length_mod3_is_a_dfa() {
+        let m = length_mod3();
+        for n in 0..12 {
+            let w = "a".repeat(n);
+            assert_eq!(m.accepts(&encode_abc(&w), MAX).unwrap(), n % 3 == 0, "{n}");
+        }
+    }
+
+    #[test]
+    fn randomized_machine_verdict_is_seed_independent() {
+        let m = random_walk_contains_b();
+        for (word, expect) in [("aab", true), ("b", true), ("aaca", false), ("", false)] {
+            for seed in 0..20 {
+                let out = m.run(&encode_abc(word), seed, MAX).unwrap();
+                assert_eq!(out.accepted, expect, "{word:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_machine_paths_differ_across_seeds() {
+        let m = random_walk_contains_b();
+        let steps: std::collections::HashSet<u64> = (0..20)
+            .map(|seed| m.run(&encode_abc("aaaab"), seed, MAX).unwrap().steps)
+            .collect();
+        assert!(steps.len() > 1, "dawdling should vary run lengths");
+    }
+}

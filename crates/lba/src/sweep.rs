@@ -1,0 +1,391 @@
+#![allow(clippy::needless_range_loop)]
+
+//! **Lemma 6.1**: an nFSM protocol on a graph of arbitrary topology can be
+//! simulated by an rLBA.
+//!
+//! The proof stores the graph as an adjacency list on the tape, augmented
+//! with O(1) extra cells per node (current state, next transmitted letter)
+//! and O(1) per edge (the port content), and simulates each round by two
+//! sweeps: the first computes every node's transition from its current
+//! ports *without* delivering anything; the second delivers the computed
+//! letters into the ports.
+//!
+//! This module implements that simulation against a [`Tape`] that only
+//! permits reading/writing the cell under the head and moving it one cell
+//! at a time — the LBA's *resource* semantics (linear space, local
+//! access). The finite control is Rust code standing in for the proof's
+//! "hard-wired" FSM; in particular node-id comparisons that a literal LBA
+//! would perform by zig-zag marking are done in control registers (a
+//! polynomial-time, zero-space difference, documented in DESIGN.md). The
+//! space accounting — exactly `3n + 4m` tape cells — is asserted, and
+//! head movement is counted so the experiments can report the simulation's
+//! (polynomial) cost.
+//!
+//! Running this simulator with the same per-node seeds as the native
+//! synchronous engine reproduces its execution **bit for bit**, which is
+//! the equivalence experiment E9.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use stoneage_core::{BoundedCount, MultiFsm, ObsVec};
+use stoneage_graph::{Graph, NodeId};
+
+/// A bounded tape allowing only head-local access.
+///
+/// All mutation goes through [`Tape::read`], [`Tape::write`],
+/// [`Tape::move_left`] and [`Tape::move_right`]; the cell count is fixed
+/// at construction (the linear bound).
+#[derive(Clone, Debug)]
+pub struct Tape {
+    cells: Vec<u64>,
+    head: usize,
+    moves: u64,
+}
+
+impl Tape {
+    /// A zeroed tape with `len` cells and the head at cell 0.
+    pub fn new(len: usize) -> Self {
+        Tape {
+            cells: vec![0; len],
+            head: 0,
+            moves: 0,
+        }
+    }
+
+    /// Number of cells (fixed for the tape's lifetime).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the tape has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell under the head.
+    pub fn read(&self) -> u64 {
+        self.cells[self.head]
+    }
+
+    /// Overwrites the cell under the head.
+    pub fn write(&mut self, value: u64) {
+        self.cells[self.head] = value;
+    }
+
+    /// Moves the head one cell left (clamped at 0 — a real LBA bounces on
+    /// its marker).
+    pub fn move_left(&mut self) {
+        if self.head > 0 {
+            self.head -= 1;
+            self.moves += 1;
+        }
+    }
+
+    /// Moves the head one cell right (clamped at the end).
+    pub fn move_right(&mut self) {
+        if self.head + 1 < self.cells.len() {
+            self.head += 1;
+            self.moves += 1;
+        }
+    }
+
+    /// Total head movements so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Walks the head to an absolute cell (sequence of unit moves).
+    fn seek(&mut self, target: usize) {
+        while self.head < target {
+            self.move_right();
+        }
+        while self.head > target {
+            self.move_left();
+        }
+    }
+}
+
+/// Outcome of a completed sweep simulation.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Per-node outputs.
+    pub outputs: Vec<u64>,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Tape cells used (the linear bound: `3n + 4m`).
+    pub tape_cells: usize,
+    /// Total head movements (the simulation's time cost).
+    pub head_moves: u64,
+}
+
+/// Simulates `protocol` on `graph` for up to `max_rounds` rounds on an
+/// adjacency-list tape, using the same per-node randomness as
+/// `stoneage_sim::run_sync` with the same `seed` — outputs are identical.
+///
+/// `encode`/`decode` translate protocol states to tape words (the sweep
+/// simulator's analogue of the proof's "hard-wired" state table).
+pub fn simulate_on_tape<P, E, D>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    max_rounds: u64,
+    encode: E,
+    decode: D,
+) -> Result<SweepOutcome, String>
+where
+    P: MultiFsm,
+    E: Fn(&P::State) -> u64,
+    D: Fn(u64) -> P::State,
+{
+    let n = graph.node_count();
+    if inputs.len() != n {
+        return Err(format!("{} inputs for {n} nodes", inputs.len()));
+    }
+    let sigma = protocol.alphabet().len();
+    let b = protocol.bound();
+    let sigma0 = protocol.initial_letter().index() as u64;
+
+    // Tape layout per node v (records concatenated in id order):
+    //   [ state, pending_letter (0 = ε, k+1 = letter k), degree,
+    //     (neighbor_id, port_letter) * degree ]
+    // Offsets are control-side bookkeeping derived from the input graph.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    for v in 0..n {
+        offsets.push(acc);
+        acc += 3 + 2 * graph.degree(v as NodeId);
+    }
+    offsets.push(acc);
+    let mut tape = Tape::new(acc);
+
+    // Initialize the tape: states from inputs, ports to σ₀.
+    for v in 0..n {
+        tape.seek(offsets[v]);
+        let state = protocol.initial_state(inputs[v]);
+        tape.write(encode(&state));
+        tape.move_right();
+        tape.write(0);
+        tape.move_right();
+        let deg = graph.degree(v as NodeId);
+        tape.write(deg as u64);
+        for &u in graph.neighbors(v as NodeId) {
+            tape.move_right();
+            tape.write(u as u64);
+            tape.move_right();
+            tape.write(sigma0);
+        }
+    }
+
+    // Identical RNG streams to stoneage_sim::run_sync.
+    let mut rngs: Vec<SmallRng> = (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v))))
+        .collect();
+
+    let all_output = |tape: &mut Tape| -> Option<Vec<u64>> {
+        let mut outputs = Vec::with_capacity(n);
+        for v in 0..n {
+            tape.seek(offsets[v]);
+            let state = decode(tape.read());
+            outputs.push(protocol.output(&state)?);
+        }
+        Some(outputs)
+    };
+
+    if let Some(outputs) = all_output(&mut tape) {
+        return Ok(SweepOutcome {
+            outputs,
+            rounds: 0,
+            tape_cells: tape.len(),
+            head_moves: tape.moves(),
+        });
+    }
+
+    let mut counts = vec![0usize; sigma];
+    for round in 1..=max_rounds {
+        // Sweep 1: compute every node's transition from its (old) ports.
+        for v in 0..n {
+            tape.seek(offsets[v]);
+            let state = decode(tape.read());
+            // Count the letters over v's ports (bounded counters).
+            counts.iter_mut().for_each(|c| *c = 0);
+            let deg = graph.degree(v as NodeId);
+            for k in 0..deg {
+                tape.seek(offsets[v] + 3 + 2 * k + 1);
+                counts[tape.read() as usize] += 1;
+            }
+            let obs = ObsVec::new(
+                counts
+                    .iter()
+                    .map(|&c| BoundedCount::from_count(c, b))
+                    .collect(),
+            );
+            let transitions = protocol.delta(&state, &obs);
+            let (next, emission) = transitions.sample(&mut rngs[v]);
+            let next_code = encode(next);
+            let pending = emission.map_or(0, |l| l.index() as u64 + 1);
+            tape.seek(offsets[v]);
+            tape.write(next_code);
+            tape.move_right();
+            tape.write(pending);
+        }
+        // Sweep 2: deliver the pending letters into the ports.
+        for v in 0..n {
+            tape.seek(offsets[v] + 1);
+            let pending = tape.read();
+            if pending == 0 {
+                continue;
+            }
+            let letter = pending - 1;
+            // Replace the content of ψ_u(v) for every neighbor u.
+            for &u in graph.neighbors(v as NodeId) {
+                let u = u as usize;
+                let deg_u = graph.degree(u as NodeId);
+                for k in 0..deg_u {
+                    tape.seek(offsets[u] + 3 + 2 * k);
+                    if tape.read() == v as u64 {
+                        tape.move_right();
+                        tape.write(letter);
+                        break;
+                    }
+                }
+            }
+            tape.seek(offsets[v] + 1);
+            tape.write(0);
+        }
+        if let Some(outputs) = all_output(&mut tape) {
+            return Ok(SweepOutcome {
+                outputs,
+                rounds: round,
+                tape_cells: tape.len(),
+                head_moves: tape.moves(),
+            });
+        }
+    }
+    Err(format!("no output configuration within {max_rounds} rounds"))
+}
+
+/// SplitMix64, kept bit-identical to `stoneage_sim`'s seeding.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::generators;
+    use stoneage_protocols::{MisProtocol, MisState};
+    use stoneage_sim::{run_sync, run_sync_with_inputs, SyncConfig};
+
+    fn mis_encode(s: &MisState) -> u64 {
+        *s as u64
+    }
+
+    fn mis_decode(code: u64) -> MisState {
+        MisState::ALL[code as usize]
+    }
+
+    #[test]
+    fn tape_is_head_local() {
+        let mut t = Tape::new(5);
+        t.write(7);
+        t.move_right();
+        t.write(9);
+        assert_eq!(t.read(), 9);
+        t.move_left();
+        assert_eq!(t.read(), 7);
+        t.move_left(); // clamped
+        assert_eq!(t.read(), 7);
+        assert_eq!(t.moves(), 2);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn sweep_simulation_matches_native_engine_exactly() {
+        // Lemma 6.1, bit-for-bit: same seeds ⇒ same outputs and rounds.
+        for (gname, g) in [
+            ("gnp", generators::gnp(24, 0.15, 3)),
+            ("cycle", generators::cycle(15)),
+            ("tree", generators::random_tree(20, 7)),
+            ("complete", generators::complete(8)),
+        ] {
+            for seed in 0..5 {
+                let native =
+                    run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+                let sweep = simulate_on_tape(
+                    &MisProtocol::new(),
+                    &g,
+                    &vec![0; g.node_count()],
+                    seed,
+                    1_000_000,
+                    mis_encode,
+                    mis_decode,
+                )
+                .unwrap();
+                assert_eq!(sweep.outputs, native.outputs, "{gname} seed {seed}");
+                assert_eq!(sweep.rounds, native.rounds, "{gname} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn tape_space_is_linear_in_nodes_plus_edges() {
+        let g = generators::gnp(40, 0.1, 1);
+        let sweep = simulate_on_tape(
+            &MisProtocol::new(),
+            &g,
+            &vec![0; 40],
+            0,
+            1_000_000,
+            mis_encode,
+            mis_decode,
+        )
+        .unwrap();
+        // 3 cells per node + 2 per directed edge = O(1) per node/edge.
+        assert_eq!(sweep.tape_cells, 3 * 40 + 4 * g.edge_count());
+        assert!(sweep.head_moves > 0);
+    }
+
+    #[test]
+    fn sweep_simulation_handles_inputs() {
+        // Wave protocol (per-node inputs) through the sweep simulator.
+        use stoneage_core::AsMulti;
+        use stoneage_protocols::wave::{wave_inputs, wave_protocol};
+        let g = generators::path(12);
+        let inputs = wave_inputs(12, &[0]);
+        let p = AsMulti(wave_protocol());
+        let native = run_sync_with_inputs(&p, &g, &inputs, &SyncConfig::seeded(4)).unwrap();
+        let sweep = simulate_on_tape(
+            &p,
+            &g,
+            &inputs,
+            4,
+            100_000,
+            |s| *s as u64,
+            |c| c as u16,
+        )
+        .unwrap();
+        assert_eq!(sweep.outputs, native.outputs);
+        assert_eq!(sweep.rounds, native.rounds);
+    }
+
+    #[test]
+    fn mismatched_inputs_error() {
+        let g = generators::path(3);
+        let err = simulate_on_tape(
+            &MisProtocol::new(),
+            &g,
+            &[0],
+            0,
+            10,
+            mis_encode,
+            mis_decode,
+        )
+        .unwrap_err();
+        assert!(err.contains("inputs"));
+    }
+}

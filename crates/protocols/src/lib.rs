@@ -1,0 +1,52 @@
+//! The concrete nFSM protocols of *Stone Age Distributed Computing*.
+//!
+//! * [`mis`] — the maximal-independent-set protocol of Section 4 (the
+//!   paper's Figure 1): seven states, seven letters, bounding parameter
+//!   `b = 1`, run-time `O(log² n)` (Theorem 4.5).
+//! * [`coloring`] — the 3-coloring protocol for undirected trees of
+//!   Section 5: phases of four rounds, bounding parameter `b = 3`,
+//!   run-time `O(log n)` (Theorem 5.4).
+//! * [`wave`] — a minimal single-letter broadcast ("wave") protocol used
+//!   as a calibration subject for the synchronizer experiments: its round
+//!   complexity is exactly the source eccentricity plus one.
+//! * [`matching`] — the paper's deferred maximal-matching result, built on
+//!   the port-select model extension (see `stoneage_sim::scoped`).
+//!
+//! All protocols are written against the multiple-letter-query layer
+//! ([`stoneage_core::MultiFsm`]) or directly as single-letter
+//! [`stoneage_core::Fsm`]s; Theorems 3.4 and 3.1 (the [`stoneage_core`]
+//! compilers) carry them to the fully asynchronous model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod matching;
+pub mod mis;
+pub mod wave;
+
+pub use coloring::{ColoringProtocol, ColoringState};
+pub use matching::{run_matching, MatchingOutcome, MatchingProtocol, MatchingState};
+pub use mis::{MisProtocol, MisState};
+pub use wave::wave_protocol;
+
+/// Decodes MIS protocol outputs (`1` = WIN = in the set) into a membership
+/// vector.
+pub fn decode_mis(outputs: &[u64]) -> Vec<bool> {
+    outputs.iter().map(|&o| o == 1).collect()
+}
+
+/// Decodes coloring protocol outputs into `0`-based colors (the protocol
+/// emits colors `1..=3`).
+pub fn decode_coloring(outputs: &[u64]) -> Vec<u32> {
+    outputs.iter().map(|&o| (o as u32) - 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn decoders() {
+        assert_eq!(super::decode_mis(&[1, 0, 1]), vec![true, false, true]);
+        assert_eq!(super::decode_coloring(&[1, 3, 2]), vec![0, 2, 1]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Adversarial scheduling policies for the asynchronous environment.
+//!
+//! Section 2 of the paper models asynchrony by an **oblivious adversary**
+//! that fixes, in advance and independently of the protocol's coin tosses,
+//! a step length `L_{v,t}` for every node `v` and step `t`, and a delivery
+//! delay `D_{v,t,u}` for every transmission. We realize obliviousness
+//! literally: every adversary here is a *pure function* of `(seed, v, t)`
+//! or `(seed, v, t, u)` via hashing — the drawn values cannot depend on the
+//! execution path, let alone the protocol's randomness.
+//!
+//! The paper's correctness claims quantify over *all* policies; the
+//! experiments quantify over this family (uniform, heavy-tailed, lockstep,
+//! straggler nodes, slow edges, bursty), chosen to exercise the interesting
+//! behaviors: message overwrite/loss, large skew between neighbors, and
+//! time-varying speed.
+
+use stoneage_graph::NodeId;
+
+use crate::splitmix64;
+
+/// An oblivious adversarial policy: the pair of infinite parameter
+/// sequences `(L_{v,t}, D_{v,t,u})` of the paper, evaluated on demand.
+///
+/// All returned values must be finite and strictly positive. Values are
+/// *unnormalized*; the executor reports run-time in units of the largest
+/// parameter it consumed (the paper's "time unit").
+pub trait Adversary {
+    /// The length `L_{v,t}` of step `t ∈ Z>0` of node `v`.
+    fn step_length(&self, v: NodeId, t: u64) -> f64;
+
+    /// The delay `D_{v,t,u}` of the delivery to `u` of the message
+    /// transmitted by `v` at its step `t`.
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64;
+
+    /// Diagnostic name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+fn mix3(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    h = splitmix64(h ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = splitmix64(h ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    splitmix64(h ^ c.wrapping_mul(0x1656_67B1_9E37_79F9))
+}
+
+/// Hash → uniform float in `(0, 1]`.
+fn unit_float(h: u64) -> f64 {
+    // 53 random mantissa bits, then shift from [0,1) to (0,1].
+    let x = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 - x
+}
+
+/// Lockstep: every step lasts 1, every delivery takes 1/2. This makes the
+/// asynchronous executor behave like a synchronous network and is the
+/// baseline against which other policies' slowdowns are measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lockstep;
+
+impl Adversary for Lockstep {
+    fn step_length(&self, _v: NodeId, _t: u64) -> f64 {
+        1.0
+    }
+
+    fn delay(&self, _v: NodeId, _t: u64, _u: NodeId) -> f64 {
+        0.5
+    }
+
+    fn name(&self) -> &'static str {
+        "lockstep"
+    }
+}
+
+/// Uniform: step lengths and delays i.i.d. uniform in `(0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformRandom {
+    /// Seed of the oblivious parameter sequences.
+    pub seed: u64,
+}
+
+impl Adversary for UniformRandom {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        unit_float(mix3(self.seed, 1, v as u64, t))
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        unit_float(mix3(self.seed, 2, (v as u64) << 32 | u as u64, t))
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Heavy-tailed: exponential with the given mean, truncated to
+/// `[mean/100, 8·mean]`, for both step lengths and delays. Produces large
+/// skews between neighbors while keeping the time-unit normalization
+/// meaningful.
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    /// Seed of the oblivious parameter sequences.
+    pub seed: u64,
+    /// Mean of the (untruncated) exponential.
+    pub mean: f64,
+}
+
+impl Exponential {
+    fn draw(&self, h: u64) -> f64 {
+        let x = -self.mean * unit_float(h).ln();
+        x.clamp(self.mean / 100.0, 8.0 * self.mean)
+    }
+}
+
+impl Adversary for Exponential {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        self.draw(mix3(self.seed, 3, v as u64, t))
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        self.draw(mix3(self.seed, 4, (v as u64) << 32 | u as u64, t))
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Straggler nodes: a hash-chosen `fraction` of the nodes is permanently
+/// slow — their steps take `factor` times longer. Message delays stay
+/// uniform. Models heterogeneous devices (e.g. cells of different sizes).
+#[derive(Clone, Copy, Debug)]
+pub struct SlowNodes {
+    /// Seed of the oblivious parameter sequences.
+    pub seed: u64,
+    /// Fraction of nodes that are slow, in `[0, 1]`.
+    pub fraction: f64,
+    /// Slowdown multiplier for slow nodes (≥ 1).
+    pub factor: f64,
+}
+
+impl SlowNodes {
+    /// Whether this policy makes `v` a straggler.
+    pub fn is_slow(&self, v: NodeId) -> bool {
+        unit_float(mix3(self.seed, 5, v as u64, 0)) <= self.fraction
+    }
+}
+
+impl Adversary for SlowNodes {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        let base = unit_float(mix3(self.seed, 6, v as u64, t));
+        if self.is_slow(v) {
+            (base * self.factor).min(self.factor)
+        } else {
+            base
+        }
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        unit_float(mix3(self.seed, 7, (v as u64) << 32 | u as u64, t))
+    }
+
+    fn name(&self) -> &'static str {
+        "slow-nodes"
+    }
+}
+
+/// Slow edges: a hash-chosen `fraction` of the *directed* edges is
+/// permanently slow — deliveries across them take `factor` times longer.
+/// Step lengths stay uniform. Exercises the overwrite-and-lose semantics:
+/// a slow port receives bursts of messages of which it observes only the
+/// last.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowEdges {
+    /// Seed of the oblivious parameter sequences.
+    pub seed: u64,
+    /// Fraction of directed edges that are slow, in `[0, 1]`.
+    pub fraction: f64,
+    /// Slowdown multiplier for slow edges (≥ 1).
+    pub factor: f64,
+}
+
+impl SlowEdges {
+    /// Whether the directed edge `v → u` is slow under this policy.
+    pub fn is_slow(&self, v: NodeId, u: NodeId) -> bool {
+        unit_float(mix3(self.seed, 8, (v as u64) << 32 | u as u64, 0)) <= self.fraction
+    }
+}
+
+impl Adversary for SlowEdges {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        unit_float(mix3(self.seed, 9, v as u64, t))
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        let base = unit_float(mix3(self.seed, 10, (v as u64) << 32 | u as u64, t));
+        if self.is_slow(v, u) {
+            (base * self.factor).min(self.factor)
+        } else {
+            base
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "slow-edges"
+    }
+}
+
+/// Bursty: each node alternates between fast epochs and slow epochs of
+/// `period` steps, with a per-node phase offset, so neighborhoods drift in
+/// and out of relative synchrony. Models duty-cycled devices.
+#[derive(Clone, Copy, Debug)]
+pub struct Bursty {
+    /// Seed of the oblivious parameter sequences.
+    pub seed: u64,
+    /// Steps per epoch (≥ 1).
+    pub period: u64,
+    /// Step-length multiplier during slow epochs (≥ 1).
+    pub slow_factor: f64,
+}
+
+impl Adversary for Bursty {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        let period = self.period.max(1);
+        let phase = splitmix64(self.seed ^ v as u64) % period;
+        let slow = ((t + phase) / period) % 2 == 1;
+        let base = unit_float(mix3(self.seed, 11, v as u64, t));
+        if slow {
+            (base * self.slow_factor).min(self.slow_factor)
+        } else {
+            base
+        }
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        unit_float(mix3(self.seed, 12, (v as u64) << 32 | u as u64, t))
+    }
+
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+}
+
+/// The standard panel of adversaries used by the robustness experiments
+/// (E13): one representative of each policy family, at the given seed.
+pub fn standard_panel(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(Lockstep),
+        Box::new(UniformRandom { seed }),
+        Box::new(Exponential { seed, mean: 0.5 }),
+        Box::new(SlowNodes {
+            seed,
+            fraction: 0.1,
+            factor: 10.0,
+        }),
+        Box::new(SlowEdges {
+            seed,
+            fraction: 0.1,
+            factor: 10.0,
+        }),
+        Box::new(Bursty {
+            seed,
+            period: 8,
+            slow_factor: 10.0,
+        }),
+    ]
+}
+
+impl<A: Adversary + ?Sized> Adversary for &A {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        (**self).step_length(v, t)
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        (**self).delay(v, t, u)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl Adversary for Box<dyn Adversary> {
+    fn step_length(&self, v: NodeId, t: u64) -> f64 {
+        (**self).step_length(v, t)
+    }
+
+    fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+        (**self).delay(v, t, u)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positive_and_deterministic<A: Adversary>(a: &A) {
+        for v in 0..20u32 {
+            for t in 1..50u64 {
+                let l = a.step_length(v, t);
+                assert!(l > 0.0 && l.is_finite(), "{} L({v},{t}) = {l}", a.name());
+                assert_eq!(l, a.step_length(v, t), "{} not pure", a.name());
+                let d = a.delay(v, t, (v + 1) % 20);
+                assert!(d > 0.0 && d.is_finite(), "{} D = {d}", a.name());
+                assert_eq!(d, a.delay(v, t, (v + 1) % 20));
+            }
+        }
+    }
+
+    #[test]
+    fn all_policies_are_positive_finite_pure() {
+        positive_and_deterministic(&Lockstep);
+        positive_and_deterministic(&UniformRandom { seed: 1 });
+        positive_and_deterministic(&Exponential { seed: 2, mean: 0.5 });
+        positive_and_deterministic(&SlowNodes {
+            seed: 3,
+            fraction: 0.3,
+            factor: 5.0,
+        });
+        positive_and_deterministic(&SlowEdges {
+            seed: 4,
+            fraction: 0.3,
+            factor: 5.0,
+        });
+        positive_and_deterministic(&Bursty {
+            seed: 5,
+            period: 4,
+            slow_factor: 6.0,
+        });
+    }
+
+    #[test]
+    fn uniform_values_cover_the_unit_interval() {
+        let a = UniformRandom { seed: 9 };
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for t in 1..2000u64 {
+            let x = a.step_length(0, t);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.05, "min {lo}");
+        assert!(hi > 0.95, "max {hi}");
+        assert!(hi <= 1.0);
+    }
+
+    #[test]
+    fn slow_nodes_fraction_is_respected() {
+        let a = SlowNodes {
+            seed: 11,
+            fraction: 0.25,
+            factor: 4.0,
+        };
+        let slow = (0..4000u32).filter(|&v| a.is_slow(v)).count();
+        let frac = slow as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn slow_nodes_are_actually_slower() {
+        let a = SlowNodes {
+            seed: 13,
+            fraction: 0.5,
+            factor: 20.0,
+        };
+        let slow_v = (0..100).find(|&v| a.is_slow(v)).unwrap();
+        let fast_v = (0..100).find(|&v| !a.is_slow(v)).unwrap();
+        let avg = |v: NodeId| {
+            (1..200u64).map(|t| a.step_length(v, t)).sum::<f64>() / 199.0
+        };
+        assert!(avg(slow_v) > 4.0 * avg(fast_v));
+    }
+
+    #[test]
+    fn exponential_is_truncated() {
+        let a = Exponential { seed: 17, mean: 0.5 };
+        for t in 1..5000 {
+            let x = a.step_length(3, t);
+            assert!(x >= 0.005 && x <= 4.0, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn bursty_alternates_speed() {
+        let a = Bursty {
+            seed: 19,
+            period: 10,
+            slow_factor: 50.0,
+        };
+        let vals: Vec<f64> = (1..200u64).map(|t| a.step_length(0, t)).collect();
+        let has_fast = vals.iter().any(|&x| x < 1.0);
+        let has_slow = vals.iter().any(|&x| x > 5.0);
+        assert!(has_fast && has_slow);
+    }
+
+    #[test]
+    fn standard_panel_has_six_distinct_policies() {
+        let panel = standard_panel(1);
+        assert_eq!(panel.len(), 6);
+        let names: std::collections::HashSet<_> = panel.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

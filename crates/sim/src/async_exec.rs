@@ -1,0 +1,545 @@
+//! The fully asynchronous event-driven executor.
+//!
+//! Implements the execution semantics of the paper's Section 2 faithfully:
+//!
+//! * node `v`'s step `t` lasts `L_{v,t}` time (adversary-chosen); the
+//!   transition function is applied instantaneously at the end of the step;
+//! * a transmitted letter is delivered to the port `ψ_u(v)` of each
+//!   neighbor `u` after a delay `D_{v,t,u}` (adversary-chosen), subject to
+//!   per-edge FIFO order;
+//! * a port stores **only the last delivered letter** — there is no buffer,
+//!   so a message can be overwritten before the receiver ever observes it
+//!   (the executor counts these losses);
+//! * at its step, a node observes `f_b(#λ(q))`, the truncated count of its
+//!   query letter over its ports.
+//!
+//! The run-time is reported both as raw completion time and normalized by
+//! the largest `L`/`D` parameter consumed — the paper's **time unit**.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use stoneage_core::{BoundedCount, Fsm, Letter};
+use stoneage_graph::{Graph, NodeId};
+
+use crate::{splitmix64, Adversary, ExecError};
+
+/// Configuration of an asynchronous execution.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncConfig {
+    /// Master seed for the per-node protocol RNGs (the adversary carries
+    /// its own seed — obliviousness demands the streams be independent).
+    pub seed: u64,
+    /// Event budget: exceeding it aborts with [`ExecError::EventLimit`].
+    pub max_events: u64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            seed: 0,
+            max_events: 200_000_000,
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// A config with the given seed and the default event budget.
+    pub fn seeded(seed: u64) -> Self {
+        AsyncConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of an asynchronous execution that reached an output
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct AsyncOutcome {
+    /// Per-node outputs, decoded from the output states.
+    pub outputs: Vec<u64>,
+    /// Raw time at which the first output configuration was reached.
+    pub completion_time: f64,
+    /// The paper's **time unit**: the largest step-length or delay
+    /// parameter consumed before completion.
+    pub time_unit: f64,
+    /// `completion_time / time_unit` — the paper's run-time measure
+    /// `T_Π(I, A, R)`.
+    pub normalized_time: f64,
+    /// Total node steps executed.
+    pub total_steps: u64,
+    /// Total non-`ε` transmissions (each fans out to all neighbors).
+    pub messages_sent: u64,
+    /// Total port writes.
+    pub deliveries: u64,
+    /// Deliveries that overwrote a letter the receiving node had not yet
+    /// had a step to observe — messages *lost* to the no-buffer semantics.
+    pub lost_overwrites: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EventKind {
+    /// Node applies its next transition.
+    Step(NodeId),
+    /// A letter lands in `ports[node][port]`.
+    Deliver {
+        node: NodeId,
+        port: u32,
+        letter: Letter,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Runs `protocol` on `graph` under `adversary` with all-zero inputs.
+pub fn run_async<P: Fsm, A: Adversary + ?Sized>(
+    protocol: &P,
+    graph: &Graph,
+    adversary: &A,
+    config: &AsyncConfig,
+) -> Result<AsyncOutcome, ExecError> {
+    let inputs = vec![0usize; graph.node_count()];
+    run_async_with_inputs(protocol, graph, &inputs, adversary, config)
+}
+
+/// Hook invoked by [`run_async_observed`] after every applied node step,
+/// with the event time and the node's post-transition state. Used by the
+/// Lemma 3.2 / (S1) validation tests to watch phase skew between
+/// neighbors without touching the engine.
+pub trait AsyncObserver<S> {
+    /// Called after node `v` applied its step `t` at time `time`.
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S);
+}
+
+/// An observer that does nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopAsyncObserver;
+
+impl<S> AsyncObserver<S> for NoopAsyncObserver {
+    fn on_step(&mut self, _time: f64, _v: NodeId, _t: u64, _state: &S) {}
+}
+
+/// Runs `protocol` on `graph` under `adversary` with per-node inputs.
+pub fn run_async_with_inputs<P: Fsm, A: Adversary + ?Sized>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    adversary: &A,
+    config: &AsyncConfig,
+) -> Result<AsyncOutcome, ExecError> {
+    run_async_observed(
+        protocol,
+        graph,
+        inputs,
+        adversary,
+        config,
+        &mut NoopAsyncObserver,
+    )
+}
+
+/// Runs `protocol` asynchronously, invoking `observer` after every node
+/// step.
+pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    adversary: &A,
+    config: &AsyncConfig,
+    observer: &mut O,
+) -> Result<AsyncOutcome, ExecError> {
+    let n = graph.node_count();
+    if inputs.len() != n {
+        return Err(ExecError::InputLengthMismatch {
+            nodes: n,
+            inputs: inputs.len(),
+        });
+    }
+    let sigma0 = protocol.initial_letter();
+    let b = protocol.bound();
+
+    let mut states: Vec<P::State> = inputs
+        .iter()
+        .map(|&i| protocol.initial_state(i))
+        .collect();
+    let mut ports: Vec<Vec<Letter>> = (0..n)
+        .map(|v| vec![sigma0; graph.degree(v as NodeId)])
+        .collect();
+    // pending[v][k]: a letter arrived at this port after v's last step.
+    let mut pending: Vec<Vec<bool>> = (0..n)
+        .map(|v| vec![false; graph.degree(v as NodeId)])
+        .collect();
+    // FIFO watermark per directed edge v → neighbors(v)[k].
+    let mut last_arrival: Vec<Vec<f64>> = (0..n)
+        .map(|v| vec![0.0; graph.degree(v as NodeId)])
+        .collect();
+    let mut rngs: Vec<SmallRng> = (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v ^ 0xABCD))))
+        .collect();
+    let mut step_counts: Vec<u64> = vec![1; n];
+
+    let mut unfinished = states
+        .iter()
+        .filter(|q| protocol.output(q).is_none())
+        .count();
+    let mut max_param = 0.0f64;
+    let mut total_steps = 0u64;
+    let mut messages_sent = 0u64;
+    let mut deliveries = 0u64;
+    let mut lost_overwrites = 0u64;
+    let mut seq = 0u64;
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind| {
+        heap.push(Reverse(Event {
+            time,
+            seq: *seq,
+            kind,
+        }));
+        *seq += 1;
+    };
+
+    if unfinished == 0 {
+        let outputs = states
+            .iter()
+            .map(|q| protocol.output(q).expect("checked"))
+            .collect();
+        return Ok(AsyncOutcome {
+            outputs,
+            completion_time: 0.0,
+            time_unit: 1.0,
+            normalized_time: 0.0,
+            total_steps: 0,
+            messages_sent: 0,
+            deliveries: 0,
+            lost_overwrites: 0,
+        });
+    }
+
+    for v in 0..n as NodeId {
+        let l = adversary.step_length(v, 1);
+        debug_assert!(l > 0.0 && l.is_finite());
+        max_param = max_param.max(l);
+        push(&mut heap, &mut seq, l, EventKind::Step(v));
+    }
+
+    let mut events = 0u64;
+    let mut completion_time = None;
+    while let Some(Reverse(event)) = heap.pop() {
+        events += 1;
+        if events > config.max_events {
+            return Err(ExecError::EventLimit {
+                limit: config.max_events,
+                unfinished,
+            });
+        }
+        match event.kind {
+            EventKind::Deliver { node, port, letter } => {
+                let (node, port) = (node as usize, port as usize);
+                if pending[node][port] {
+                    lost_overwrites += 1;
+                }
+                pending[node][port] = true;
+                ports[node][port] = letter;
+                deliveries += 1;
+            }
+            EventKind::Step(v) => {
+                let vi = v as usize;
+                let t = step_counts[v as usize];
+                total_steps += 1;
+                pending[vi].iter_mut().for_each(|p| *p = false);
+
+                let query = protocol.query(&states[vi]);
+                let count = ports[vi].iter().filter(|&&l| l == query).count();
+                let transitions =
+                    protocol.delta(&states[vi], BoundedCount::from_count(count, b));
+                let (next, emission) = transitions.sample(&mut rngs[vi]);
+                let was_output = protocol.output(&states[vi]).is_some();
+                let is_output = protocol.output(next).is_some();
+                states[vi] = next.clone();
+                match (was_output, is_output) {
+                    (false, true) => unfinished -= 1,
+                    (true, false) => unfinished += 1,
+                    _ => {}
+                }
+
+                if let Some(letter) = emission {
+                    messages_sent += 1;
+                    for (k, &u) in graph.neighbors(v).iter().enumerate() {
+                        let d = adversary.delay(v, t, u);
+                        debug_assert!(d > 0.0 && d.is_finite());
+                        max_param = max_param.max(d);
+                        // FIFO: never deliver before an earlier transmission
+                        // on the same directed edge.
+                        let mut arrival = event.time + d;
+                        if arrival <= last_arrival[vi][k] {
+                            arrival = last_arrival[vi][k] * (1.0 + 1e-12) + 1e-12;
+                        }
+                        last_arrival[vi][k] = arrival;
+                        let port = graph
+                            .port_of(u, v)
+                            .expect("neighbor lists are symmetric")
+                            as u32;
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            arrival,
+                            EventKind::Deliver {
+                                node: u,
+                                port,
+                                letter: *letter,
+                            },
+                        );
+                    }
+                }
+
+                observer.on_step(event.time, v, t, &states[vi]);
+
+                if unfinished == 0 {
+                    completion_time = Some(event.time);
+                    break;
+                }
+
+                step_counts[vi] = t + 1;
+                let l = adversary.step_length(v, t + 1);
+                debug_assert!(l > 0.0 && l.is_finite());
+                max_param = max_param.max(l);
+                push(&mut heap, &mut seq, event.time + l, EventKind::Step(v));
+            }
+        }
+    }
+
+    let completion_time = completion_time.expect(
+        "event heap cannot drain before an output configuration: every \
+         unfinished node always has a pending step event",
+    );
+    let outputs = states
+        .iter()
+        .map(|q| protocol.output(q).expect("output configuration"))
+        .collect();
+    Ok(AsyncOutcome {
+        outputs,
+        completion_time,
+        time_unit: max_param,
+        normalized_time: completion_time / max_param,
+        total_steps,
+        messages_sent,
+        deliveries,
+        lost_overwrites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{Exponential, Lockstep, SlowEdges, SlowNodes, UniformRandom};
+    use crate::{run_sync, SyncConfig};
+    use stoneage_core::{
+        Alphabet, AsMulti, Synchronized, TableProtocol, TableProtocolBuilder, Transitions,
+    };
+    use stoneage_graph::generators;
+
+    /// Deterministic protocol: beep at step 1, then output 1 + f_b(#beeps).
+    /// σ₀ is a distinct "quiet" letter, so the count genuinely reflects
+    /// *delivered* beeps — which makes the protocol synchrony-dependent.
+    fn count_neighbors(b: u8) -> TableProtocol {
+        let alphabet = Alphabet::new(["beep", "quiet"]);
+        let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(1));
+        let start = builder.add_state("start", Letter(0));
+        let listen = builder.add_state("listen", Letter(0));
+        builder.add_input_state(start);
+        builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
+        for o in 0..=b {
+            let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
+            builder.set_transition(listen, o, Transitions::det(out, None));
+            builder.set_transition_all(out, Transitions::det(out, None));
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn lockstep_async_matches_sync_for_unsynchronized_protocol() {
+        let g = generators::star(6);
+        let p = count_neighbors(3);
+        let sync_out = run_sync(&AsMulti(p.clone()), &g, &SyncConfig::seeded(1)).unwrap();
+        let async_out =
+            run_async(&p, &g, &Lockstep, &AsyncConfig::seeded(1)).unwrap();
+        assert_eq!(async_out.outputs, sync_out.outputs);
+    }
+
+    #[test]
+    fn unsynchronized_protocol_breaks_under_asynchrony() {
+        // The raw counting protocol relies on synchrony; an adversarial
+        // schedule derails it (this is exactly why Theorem 3.1 exists): a
+        // node whose two steps both fire before any beep is delivered
+        // observes 0 neighbors.
+        let g = generators::star(8);
+        let p = count_neighbors(3);
+        let reference =
+            run_async(&p, &g, &Lockstep, &AsyncConfig::seeded(0)).unwrap().outputs;
+        let mut any_diff = false;
+        for seed in 0..20 {
+            let adv = Exponential { seed, mean: 0.5 };
+            let out = run_async(&p, &g, &adv, &AsyncConfig::seeded(seed)).unwrap();
+            if out.outputs != reference {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(
+            any_diff,
+            "expected at least one adversarial schedule to break the \
+             unsynchronized protocol"
+        );
+    }
+
+    #[test]
+    fn synchronized_protocol_is_correct_under_every_adversary() {
+        // The synchronizer makes the deterministic counting protocol yield
+        // its unique correct outputs under arbitrary schedules.
+        let g = generators::star(5);
+        let p = Synchronized::new(count_neighbors(3));
+        let mut expected = vec![1 + 3u64]; // center, degree 4 truncated to ≥3
+        expected.extend(std::iter::repeat(1 + 1).take(4));
+        for (i, adv) in crate::adversary::standard_panel(7).iter().enumerate() {
+            let out = run_async(&p, &g, adv, &AsyncConfig::seeded(100 + i as u64)).unwrap();
+            assert_eq!(out.outputs, expected, "adversary {}", adv.name());
+            assert!(out.normalized_time > 0.0);
+            assert!(out.time_unit > 0.0);
+        }
+    }
+
+    #[test]
+    fn async_execution_is_deterministic_per_seeds() {
+        let g = generators::gnp(20, 0.2, 3);
+        let p = Synchronized::new(count_neighbors(2));
+        let adv = UniformRandom { seed: 5 };
+        let a = run_async(&p, &g, &adv, &AsyncConfig::seeded(9)).unwrap();
+        let b = run_async(&p, &g, &adv, &AsyncConfig::seeded(9)).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.total_steps, b.total_steps);
+    }
+
+    #[test]
+    fn event_limit_is_reported() {
+        let g = generators::path(4);
+        let p = Synchronized::new(count_neighbors(1));
+        let adv = UniformRandom { seed: 1 };
+        let err = run_async(
+            &p,
+            &g,
+            &adv,
+            &AsyncConfig {
+                seed: 0,
+                max_events: 50,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::EventLimit { limit: 50, .. }));
+    }
+
+    #[test]
+    fn normalized_time_is_scale_invariant() {
+        // Scaling all adversary parameters by a constant must not change
+        // the normalized run-time (the paper's measure).
+        #[derive(Clone, Copy)]
+        struct Scaled<A>(A, f64);
+        impl<A: Adversary> Adversary for Scaled<A> {
+            fn step_length(&self, v: NodeId, t: u64) -> f64 {
+                self.1 * self.0.step_length(v, t)
+            }
+            fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
+                self.1 * self.0.delay(v, t, u)
+            }
+            fn name(&self) -> &'static str {
+                "scaled"
+            }
+        }
+        let g = generators::cycle(6);
+        let p = Synchronized::new(count_neighbors(1));
+        let base = UniformRandom { seed: 2 };
+        let a = run_async(&p, &g, &base, &AsyncConfig::seeded(4)).unwrap();
+        let b = run_async(&p, &g, &Scaled(base, 100.0), &AsyncConfig::seeded(4)).unwrap();
+        assert!((a.normalized_time - b.normalized_time).abs() < 1e-6);
+        assert!((b.completion_time / a.completion_time - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lost_overwrites_occur_on_slow_receivers() {
+        // A very slow receiver cannot observe every message of a fast
+        // sender; the no-buffer semantics must register losses.
+        let g = generators::path(2);
+        let p = Synchronized::new(count_neighbors(1));
+        let adv = SlowNodes {
+            seed: 3,
+            fraction: 0.5,
+            factor: 50.0,
+        };
+        let out = run_async(&p, &g, &adv, &AsyncConfig::seeded(8)).unwrap();
+        // Not asserting a specific count — just exercising the path; with
+        // factor 50 some loss is overwhelmingly likely but not certain.
+        assert!(out.deliveries > 0);
+    }
+
+    #[test]
+    fn isolated_nodes_complete_alone() {
+        let g = stoneage_graph::Graph::empty(4);
+        let p = Synchronized::new(count_neighbors(2));
+        let adv = Exponential { seed: 1, mean: 0.3 };
+        let out = run_async(&p, &g, &adv, &AsyncConfig::seeded(0)).unwrap();
+        assert_eq!(out.outputs, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn slow_edges_still_converge() {
+        let g = generators::complete(5);
+        let p = Synchronized::new(count_neighbors(3));
+        let adv = SlowEdges {
+            seed: 6,
+            fraction: 0.3,
+            factor: 20.0,
+        };
+        let out = run_async(&p, &g, &adv, &AsyncConfig::seeded(2)).unwrap();
+        assert_eq!(out.outputs, vec![4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn input_mismatch_is_reported() {
+        let g = generators::path(3);
+        let p = count_neighbors(1);
+        let err = run_async_with_inputs(&p, &g, &[0], &Lockstep, &AsyncConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InputLengthMismatch { .. }));
+    }
+}

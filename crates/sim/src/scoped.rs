@@ -1,0 +1,364 @@
+//! The **port-select extension** of the nFSM model, used only by the
+//! maximal-matching protocol.
+//!
+//! Section 1 of the paper announces an efficient maximal-matching protocol
+//! "but this requires a small unavoidable modification of the nFSM model
+//! that goes beyond the scope of the current version of the paper". A
+//! broadcast-only node cannot distinguish, or be distinguished by, one
+//! particular neighbor — yet a matching is precisely a set of
+//! distinguished pairs — so *some* symmetry-breaking addressing primitive
+//! is unavoidable. We adopt the smallest one we could design that
+//! preserves requirement (M4) (constant-size FSMs, no port numbers in the
+//! program): a transmission may be **scoped to a single uniformly random
+//! port among those currently holding a given letter**. The FSM names
+//! only letters; the engine resolves the port choice with the node's own
+//! randomness.
+//!
+//! This module provides the extended protocol trait and a lockstep
+//! synchronous engine for it. The engine also reports every scoped
+//! delivery, which is how the matching runner extracts the matched pairs
+//! (a node's constant-size output cannot name its partner; the *edge* is
+//! the engine-level witness).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use stoneage_core::{Alphabet, BoundedCount, Letter, ObsVec};
+use stoneage_graph::{Graph, NodeId};
+
+use crate::{splitmix64, ExecError};
+
+/// An emission under the port-select extension.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScopedEmission {
+    /// Transmit nothing (`ε`).
+    Silent,
+    /// Ordinary nFSM broadcast to all neighbors.
+    Broadcast(Letter),
+    /// Deliver `send` to **one** uniformly random port currently holding
+    /// `holding`; silently does nothing when no port qualifies.
+    ToOnePortHolding {
+        /// The letter to transmit.
+        send: Letter,
+        /// The qualifying port content.
+        holding: Letter,
+    },
+}
+
+/// A transition choice set under the port-select extension.
+#[derive(Clone, Debug)]
+pub struct ScopedTransitions<S> {
+    /// Candidate `(next state, emission)` pairs, drawn uniformly.
+    pub choices: Vec<(S, ScopedEmission)>,
+}
+
+impl<S> ScopedTransitions<S> {
+    /// A deterministic transition.
+    pub fn det(state: S, emission: ScopedEmission) -> Self {
+        ScopedTransitions {
+            choices: vec![(state, emission)],
+        }
+    }
+
+    /// A uniform choice among the given pairs.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty.
+    pub fn uniform(choices: Vec<(S, ScopedEmission)>) -> Self {
+        assert!(!choices.is_empty());
+        ScopedTransitions { choices }
+    }
+}
+
+/// A multi-letter-query protocol under the port-select extension.
+pub trait ScopedMultiFsm {
+    /// The state set `Q`.
+    type State: Clone + Eq + std::fmt::Debug;
+
+    /// The communication alphabet `Σ`.
+    fn alphabet(&self) -> &Alphabet;
+
+    /// The bounding parameter `b`.
+    fn bound(&self) -> u8;
+
+    /// The initial letter `σ₀`.
+    fn initial_letter(&self) -> Letter;
+
+    /// The input state for input symbol `input`.
+    fn initial_state(&self, input: usize) -> Self::State;
+
+    /// `Some(output)` iff the state is an output state.
+    fn output(&self, q: &Self::State) -> Option<u64>;
+
+    /// The transition function.
+    fn delta(&self, q: &Self::State, obs: &ObsVec) -> ScopedTransitions<Self::State>;
+}
+
+/// One scoped (port-selected) delivery, as witnessed by the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScopedDelivery {
+    /// Round of the transmission.
+    pub round: u64,
+    /// The transmitting node.
+    pub from: NodeId,
+    /// The selected recipient.
+    pub to: NodeId,
+    /// The letter delivered.
+    pub letter: Letter,
+}
+
+/// Result of a scoped synchronous execution.
+#[derive(Clone, Debug)]
+pub struct ScopedOutcome {
+    /// Per-node outputs.
+    pub outputs: Vec<u64>,
+    /// Rounds until the first output configuration.
+    pub rounds: u64,
+    /// Every port-selected delivery, in round order.
+    pub scoped_deliveries: Vec<ScopedDelivery>,
+}
+
+/// Runs a scoped protocol on `graph` in lockstep synchronous rounds.
+pub fn run_scoped<P: ScopedMultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<ScopedOutcome, ExecError> {
+    let n = graph.node_count();
+    let sigma = protocol.alphabet().len();
+    let b = protocol.bound();
+    let sigma0 = protocol.initial_letter();
+
+    let mut states: Vec<P::State> = (0..n).map(|_| protocol.initial_state(0)).collect();
+    let mut ports: Vec<Vec<Letter>> = (0..n)
+        .map(|v| vec![sigma0; graph.degree(v as NodeId)])
+        .collect();
+    let mut rngs: Vec<SmallRng> = (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
+        .collect();
+
+    let mut scoped_deliveries = Vec::new();
+    let mut counts = vec![0usize; sigma];
+    let mut emissions: Vec<ScopedEmission> = vec![ScopedEmission::Silent; n];
+
+    let finished =
+        |states: &[P::State]| states.iter().all(|q| protocol.output(q).is_some());
+    if finished(&states) {
+        return Ok(ScopedOutcome {
+            outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
+            rounds: 0,
+            scoped_deliveries,
+        });
+    }
+
+    for round in 1..=max_rounds {
+        // Phase 1: transitions from the old ports.
+        for v in 0..n {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &l in &ports[v] {
+                counts[l.index()] += 1;
+            }
+            let obs = ObsVec::new(
+                counts
+                    .iter()
+                    .map(|&c| BoundedCount::from_count(c, b))
+                    .collect(),
+            );
+            let t = protocol.delta(&states[v], &obs);
+            let idx = if t.choices.len() == 1 {
+                0
+            } else {
+                rngs[v].gen_range(0..t.choices.len())
+            };
+            states[v] = t.choices[idx].0.clone();
+            emissions[v] = t.choices[idx].1;
+        }
+        // Phase 2: resolve and apply emissions against the old ports.
+        // Scoped target selection must use the ports as the sender
+        // observed them, so compute all targets before writing.
+        let mut writes: Vec<(usize, usize, Letter)> = Vec::new(); // (node, port, letter)
+        for v in 0..n {
+            match emissions[v] {
+                ScopedEmission::Silent => {}
+                ScopedEmission::Broadcast(letter) => {
+                    for &u in graph.neighbors(v as NodeId) {
+                        let port = graph.port_of(u, v as NodeId).expect("symmetric");
+                        writes.push((u as usize, port, letter));
+                    }
+                }
+                ScopedEmission::ToOnePortHolding { send, holding } => {
+                    let candidates: Vec<usize> = ports[v]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &l)| l == holding)
+                        .map(|(k, _)| k)
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let k = candidates[rngs[v].gen_range(0..candidates.len())];
+                    let u = graph.neighbors(v as NodeId)[k];
+                    let port = graph.port_of(u, v as NodeId).expect("symmetric");
+                    writes.push((u as usize, port, send));
+                    scoped_deliveries.push(ScopedDelivery {
+                        round,
+                        from: v as NodeId,
+                        to: u,
+                        letter: send,
+                    });
+                }
+            }
+        }
+        for (u, port, letter) in writes {
+            ports[u][port] = letter;
+        }
+        if finished(&states) {
+            return Ok(ScopedOutcome {
+                outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
+                rounds: round,
+                scoped_deliveries,
+            });
+        }
+    }
+    Err(ExecError::RoundLimit {
+        limit: max_rounds,
+        unfinished: states
+            .iter()
+            .filter(|q| protocol.output(q).is_none())
+            .count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::generators;
+
+    /// Toy scoped protocol: node 0-behavior is id-free — every node beeps
+    /// FREE once, then pokes exactly one FREE port with POKE, then outputs
+    /// how many pokes it got (b = 2).
+    #[derive(Clone, Debug)]
+    struct Poke {
+        alphabet: Alphabet,
+    }
+
+    impl Poke {
+        fn new() -> Self {
+            Poke {
+                alphabet: Alphabet::new(["INIT", "FREE", "POKE"]),
+            }
+        }
+    }
+
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum PokeState {
+        Announce,
+        Poke,
+        Wait,
+        Done(u64),
+    }
+
+    impl ScopedMultiFsm for Poke {
+        type State = PokeState;
+
+        fn alphabet(&self) -> &Alphabet {
+            &self.alphabet
+        }
+
+        fn bound(&self) -> u8 {
+            2
+        }
+
+        fn initial_letter(&self) -> Letter {
+            Letter(0)
+        }
+
+        fn initial_state(&self, _input: usize) -> PokeState {
+            PokeState::Announce
+        }
+
+        fn output(&self, q: &PokeState) -> Option<u64> {
+            match q {
+                PokeState::Done(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        fn delta(&self, q: &PokeState, obs: &ObsVec) -> ScopedTransitions<PokeState> {
+            match q {
+                PokeState::Announce => ScopedTransitions::det(
+                    PokeState::Poke,
+                    ScopedEmission::Broadcast(Letter(1)),
+                ),
+                PokeState::Poke => ScopedTransitions::det(
+                    PokeState::Wait,
+                    ScopedEmission::ToOnePortHolding {
+                        send: Letter(2),
+                        holding: Letter(1),
+                    },
+                ),
+                PokeState::Wait => ScopedTransitions::det(
+                    PokeState::Done(obs.get(Letter(2)).raw() as u64),
+                    ScopedEmission::Silent,
+                ),
+                PokeState::Done(v) => {
+                    ScopedTransitions::det(PokeState::Done(*v), ScopedEmission::Silent)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_node_pokes_exactly_one_neighbor() {
+        let g = generators::complete(6);
+        let out = run_scoped(&Poke::new(), &g, 3, 100).unwrap();
+        // 6 nodes × 1 scoped send each.
+        assert_eq!(out.scoped_deliveries.len(), 6);
+        // Total pokes received equals pokes sent; counts are truncated at
+        // b = 2 in outputs but deliveries are exact.
+        let mut received = vec![0usize; 6];
+        for d in &out.scoped_deliveries {
+            assert_eq!(d.letter, Letter(2));
+            assert_ne!(d.from, d.to);
+            received[d.to as usize] += 1;
+        }
+        for v in 0..6 {
+            assert_eq!(out.outputs[v], (received[v].min(2)) as u64);
+        }
+    }
+
+    #[test]
+    fn scoping_with_no_qualifying_port_is_silent() {
+        // Isolated nodes: no FREE port ever, no deliveries.
+        let g = stoneage_graph::Graph::empty(3);
+        let out = run_scoped(&Poke::new(), &g, 0, 100).unwrap();
+        assert!(out.scoped_deliveries.is_empty());
+        assert_eq!(out.outputs, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn scoped_runs_are_deterministic_per_seed() {
+        let g = generators::gnp(20, 0.3, 1);
+        let a = run_scoped(&Poke::new(), &g, 7, 100).unwrap();
+        let b = run_scoped(&Poke::new(), &g, 7, 100).unwrap();
+        assert_eq!(a.scoped_deliveries, b.scoped_deliveries);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn target_choice_is_random_across_seeds() {
+        let g = generators::star(5);
+        let targets: std::collections::HashSet<NodeId> = (0..30)
+            .map(|seed| {
+                let out = run_scoped(&Poke::new(), &g, seed, 100).unwrap();
+                out.scoped_deliveries
+                    .iter()
+                    .find(|d| d.from == 0)
+                    .unwrap()
+                    .to
+            })
+            .collect();
+        assert!(targets.len() > 1, "center should poke varying leaves");
+    }
+}

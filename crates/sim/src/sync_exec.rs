@@ -1,0 +1,388 @@
+#![allow(clippy::needless_range_loop)]
+
+//! The lockstep synchronous round executor.
+//!
+//! Implements the *locally synchronous environment* of Section 3.1 in its
+//! strongest (lockstep) form, which trivially satisfies the two
+//! synchronization properties: (S1) all nodes are in the same round, and
+//! (S2) at the end of round `t + 1`, the port `ψ_u(v)` stores the message
+//! transmitted by `v` in round `t` (or the last message transmitted prior
+//! to round `t` — `ε` emissions do not overwrite ports).
+//!
+//! The executor runs [`MultiFsm`] protocols directly (multiple-letter
+//! queries are free in a synchronous environment by Theorem 3.4); run
+//! single-letter [`stoneage_core::Fsm`] protocols through
+//! [`stoneage_core::AsMulti`].
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use stoneage_core::{BoundedCount, Letter, MultiFsm, ObsVec};
+use stoneage_graph::Graph;
+
+use crate::{splitmix64, ExecError};
+
+/// Configuration of a synchronous execution.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncConfig {
+    /// Master seed for the per-node protocol RNGs.
+    pub seed: u64,
+    /// Round budget: exceeding it aborts with [`ExecError::RoundLimit`].
+    pub max_rounds: u64,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            seed: 0,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// A config with the given seed and the default round budget.
+    pub fn seeded(seed: u64) -> Self {
+        SyncConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a synchronous execution that reached an output configuration.
+#[derive(Clone, Debug)]
+pub struct SyncOutcome {
+    /// Per-node outputs, decoded from the output states.
+    pub outputs: Vec<u64>,
+    /// Rounds until the first output configuration (the paper's run-time
+    /// measure in the synchronous setting).
+    pub rounds: u64,
+    /// Total non-`ε` transmissions.
+    pub messages_sent: u64,
+}
+
+/// Hook invoked by [`run_sync_observed`] at the end of every round, with
+/// the full post-round state vector. Used by the analysis experiments
+/// (tournament lengths, edge decay) to instrument protocols from outside.
+pub trait SyncObserver<S> {
+    /// Called after round `round` (1-based) has been applied to all nodes.
+    fn on_round_end(&mut self, round: u64, states: &[S]);
+}
+
+/// An observer that does nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl<S> SyncObserver<S> for NoopObserver {
+    fn on_round_end(&mut self, _round: u64, _states: &[S]) {}
+}
+
+/// Runs `protocol` on `graph` synchronously with all-zero inputs.
+pub fn run_sync<P: MultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError> {
+    let inputs = vec![0usize; graph.node_count()];
+    run_sync_with_inputs(protocol, graph, &inputs, config)
+}
+
+/// Runs `protocol` on `graph` synchronously with the given per-node input
+/// symbols.
+pub fn run_sync_with_inputs<P: MultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError> {
+    run_sync_observed(protocol, graph, inputs, config, &mut NoopObserver)
+}
+
+/// Runs `protocol` synchronously, invoking `observer` after every round.
+pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    observer: &mut O,
+) -> Result<SyncOutcome, ExecError> {
+    let n = graph.node_count();
+    if inputs.len() != n {
+        return Err(ExecError::InputLengthMismatch {
+            nodes: n,
+            inputs: inputs.len(),
+        });
+    }
+    let sigma = protocol.alphabet().len();
+    let b = protocol.bound();
+    let sigma0 = protocol.initial_letter();
+
+    let mut states: Vec<P::State> = inputs
+        .iter()
+        .map(|&i| protocol.initial_state(i))
+        .collect();
+    // ports[v][k] = last letter delivered from graph.neighbors(v)[k].
+    let mut ports: Vec<Vec<Letter>> = (0..n)
+        .map(|v| vec![sigma0; graph.degree(v as u32)])
+        .collect();
+    let mut rngs: Vec<SmallRng> = (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v))))
+        .collect();
+
+    let mut messages_sent = 0u64;
+    let mut counts = vec![0usize; sigma];
+    let mut emissions: Vec<Option<Letter>> = vec![None; n];
+
+    let finished = |states: &[P::State]| {
+        states.iter().all(|q| protocol.output(q).is_some())
+    };
+
+    if finished(&states) {
+        let outputs = states
+            .iter()
+            .map(|q| protocol.output(q).expect("checked"))
+            .collect();
+        return Ok(SyncOutcome {
+            outputs,
+            rounds: 0,
+            messages_sent,
+        });
+    }
+
+    for round in 1..=config.max_rounds {
+        // Phase 1: every node observes its ports and applies δ.
+        for v in 0..n {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &l in &ports[v] {
+                counts[l.index()] += 1;
+            }
+            let obs = ObsVec::new(
+                counts
+                    .iter()
+                    .map(|&c| BoundedCount::from_count(c, b))
+                    .collect(),
+            );
+            let transitions = protocol.delta(&states[v], &obs);
+            let (next, emission) = transitions.sample(&mut rngs[v]);
+            states[v] = next.clone();
+            emissions[v] = *emission;
+        }
+        // Phase 2: deliver all emissions (ε leaves ports untouched).
+        for v in 0..n {
+            if let Some(letter) = emissions[v] {
+                messages_sent += 1;
+                for &u in graph.neighbors(v as u32) {
+                    let port = graph
+                        .port_of(u, v as u32)
+                        .expect("neighbor lists are symmetric");
+                    ports[u as usize][port] = letter;
+                }
+            }
+        }
+        observer.on_round_end(round, &states);
+        if finished(&states) {
+            let outputs = states
+                .iter()
+                .map(|q| protocol.output(q).expect("checked"))
+                .collect();
+            return Ok(SyncOutcome {
+                outputs,
+                rounds: round,
+                messages_sent,
+            });
+        }
+    }
+    let unfinished = states
+        .iter()
+        .filter(|q| protocol.output(q).is_none())
+        .count();
+    Err(ExecError::RoundLimit {
+        limit: config.max_rounds,
+        unfinished,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_core::{Alphabet, AsMulti, TableProtocol, TableProtocolBuilder, Transitions};
+    use stoneage_graph::generators;
+
+    /// Single-letter protocol: round 1 every node beeps; from round 2 a
+    /// node outputs 1 + f₂(#beeps heard).
+    fn count_neighbors(b: u8) -> TableProtocol {
+        let alphabet = Alphabet::new(["beep"]);
+        let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(0));
+        let start = builder.add_state("start", Letter(0));
+        let listen = builder.add_state("listen", Letter(0));
+        builder.add_input_state(start);
+        builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
+        for o in 0..=b {
+            let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
+            builder.set_transition(listen, o, Transitions::det(out, None));
+            builder.set_transition_all(out, Transitions::det(out, None));
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn counting_protocol_observes_degrees() {
+        // On a star with b = 3: center sees ≥3 beeps, leaves see 1.
+        let g = generators::star(6);
+        let p = AsMulti(count_neighbors(3));
+        let out = run_sync(&p, &g, &SyncConfig::seeded(1)).unwrap();
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.outputs[0], 1 + 3); // truncated: ≥3
+        for v in 1..6 {
+            assert_eq!(out.outputs[v], 1 + 1);
+        }
+        // Every node transmitted exactly once.
+        assert_eq!(out.messages_sent, 6);
+    }
+
+    #[test]
+    fn one_two_many_truncation_is_visible() {
+        // With b = 1 (the beeping bound) the center of a star cannot
+        // distinguish its high degree from 1.
+        let g = generators::star(6);
+        let p = AsMulti(count_neighbors(1));
+        let out = run_sync(&p, &g, &SyncConfig::seeded(1)).unwrap();
+        assert_eq!(out.outputs[0], 2);
+        assert_eq!(out.outputs[1], 2);
+    }
+
+    #[test]
+    fn isolated_nodes_observe_zero() {
+        let g = stoneage_graph::Graph::empty(3);
+        let p = AsMulti(count_neighbors(2));
+        let out = run_sync(&p, &g, &SyncConfig::seeded(0)).unwrap();
+        assert_eq!(out.outputs, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        // A protocol that never reaches an output state.
+        let alphabet = Alphabet::new(["x"]);
+        let mut b = TableProtocolBuilder::new("spin", alphabet, 1, Letter(0));
+        let s = b.add_state("s", Letter(0));
+        b.add_input_state(s);
+        b.set_transition_all(s, Transitions::det(s, None));
+        let p = AsMulti(b.build().unwrap());
+        let g = generators::path(3);
+        let err = run_sync(
+            &p,
+            &g,
+            &SyncConfig {
+                seed: 0,
+                max_rounds: 10,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::RoundLimit {
+                limit: 10,
+                unfinished: 3
+            }
+        );
+    }
+
+    #[test]
+    fn input_mismatch_is_reported() {
+        let p = AsMulti(count_neighbors(1));
+        let g = generators::path(3);
+        let err = run_sync_with_inputs(&p, &g, &[0, 0], &SyncConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::InputLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn per_node_inputs_select_initial_states() {
+        // Two input states with different outputs reachable immediately.
+        let alphabet = Alphabet::new(["x"]);
+        let mut b = TableProtocolBuilder::new("inputs", alphabet, 1, Letter(0));
+        let a0 = b.add_state("a0", Letter(0));
+        let a1 = b.add_state("a1", Letter(0));
+        let o0 = b.add_output_state("o0", Letter(0), 100);
+        let o1 = b.add_output_state("o1", Letter(0), 200);
+        b.add_input_state(a0);
+        b.add_input_state(a1);
+        b.set_transition_all(a0, Transitions::det(o0, None));
+        b.set_transition_all(a1, Transitions::det(o1, None));
+        b.set_transition_all(o0, Transitions::det(o0, None));
+        b.set_transition_all(o1, Transitions::det(o1, None));
+        let p = AsMulti(b.build().unwrap());
+        let g = generators::path(4);
+        let out =
+            run_sync_with_inputs(&p, &g, &[0, 1, 1, 0], &SyncConfig::default()).unwrap();
+        assert_eq!(out.outputs, vec![100, 200, 200, 100]);
+    }
+
+    #[test]
+    fn epsilon_emissions_do_not_overwrite_ports() {
+        // Node observes `beep` in round 2 even though the beeper goes
+        // silent afterwards: ports retain the last letter.
+        let alphabet = Alphabet::new(["beep", "noop"]);
+        let mut b = TableProtocolBuilder::new("retain", alphabet, 1, Letter(1));
+        let start = b.add_state("start", Letter(0));
+        let wait1 = b.add_state("wait1", Letter(0));
+        let wait2 = b.add_state("wait2", Letter(0));
+        let no = b.add_output_state("no", Letter(0), 0);
+        let yes = b.add_output_state("yes", Letter(0), 1);
+        b.add_input_state(start);
+        // Beep once at round 1, then silence.
+        b.set_transition_all(start, Transitions::det(wait1, Some(Letter(0))));
+        b.set_transition_all(wait1, Transitions::det(wait2, None));
+        // Round 3: check whether the old beep is still in the port.
+        b.set_transition(wait2, 0, Transitions::det(no, None));
+        b.set_transition(wait2, 1, Transitions::det(yes, None));
+        b.set_transition_all(no, Transitions::det(no, None));
+        b.set_transition_all(yes, Transitions::det(yes, None));
+        let p = AsMulti(b.build().unwrap());
+        let g = generators::path(2);
+        let out = run_sync(&p, &g, &SyncConfig::seeded(3)).unwrap();
+        assert_eq!(out.outputs, vec![1, 1]);
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        struct Counter(u64);
+        impl<S> SyncObserver<S> for Counter {
+            fn on_round_end(&mut self, round: u64, _states: &[S]) {
+                self.0 = round;
+            }
+        }
+        let p = AsMulti(count_neighbors(1));
+        let g = generators::cycle(5);
+        let mut obs = Counter(0);
+        let inputs = vec![0; 5];
+        let out =
+            run_sync_observed(&p, &g, &inputs, &SyncConfig::seeded(0), &mut obs).unwrap();
+        assert_eq!(obs.0, out.rounds);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let g = generators::gnp(30, 0.2, 5);
+        let p = AsMulti(count_neighbors(2));
+        let a = run_sync(&p, &g, &SyncConfig::seeded(7)).unwrap();
+        let b = run_sync(&p, &g, &SyncConfig::seeded(7)).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn zero_round_outcome_for_instant_output() {
+        // Protocol whose input state is already an output state.
+        let alphabet = Alphabet::new(["x"]);
+        let mut b = TableProtocolBuilder::new("done", alphabet, 1, Letter(0));
+        let d = b.add_output_state("d", Letter(0), 9);
+        b.add_input_state(d);
+        b.set_transition_all(d, Transitions::det(d, None));
+        let p = AsMulti(b.build().unwrap());
+        let g = generators::path(2);
+        let out = run_sync(&p, &g, &SyncConfig::default()).unwrap();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.outputs, vec![9, 9]);
+    }
+}

@@ -1,0 +1,41 @@
+//! **stoneage** — a complete Rust reproduction of *Stone Age Distributed
+//! Computing* (Emek, Smula, Wattenhofer; PODC 2013 / arXiv:1202.1186).
+//!
+//! This facade re-exports the workspace crates under one roof:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the nFSM model: protocols, `f_b` counting, the synchronizer (Thm 3.1) and multi-letter compiler (Thm 3.4) |
+//! | [`sim`] | asynchronous (adversarial) and synchronous executors, plus the port-select extension engine |
+//! | [`protocols`] | the paper's MIS (Fig. 1), tree 3-coloring, wave, and maximal matching |
+//! | [`lba`] | Section 6: rLBAs, Lemma 6.1 sweep simulation, Lemma 6.2 path compilation |
+//! | [`graph`] | graph substrate: generators, traversals, validators |
+//! | [`baselines`] | Luby/ABI/Métivier/beeping MIS, Cole–Vishkin coloring, message-passing matching |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stoneage::protocols::{decode_mis, MisProtocol};
+//! use stoneage::sim::{run_sync, SyncConfig};
+//! use stoneage::graph::{generators, validate};
+//!
+//! let g = generators::gnp(200, 0.05, 42);
+//! let out = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(7)).unwrap();
+//! let mis = decode_mis(&out.outputs);
+//! assert!(validate::is_maximal_independent_set(&g, &mis));
+//! println!("MIS of {} nodes in {} rounds", mis.iter().filter(|&&x| x).count(), out.rounds);
+//! ```
+//!
+//! For the full asynchronous pipeline (the paper's actual model), compile
+//! a protocol through [`core::SingleLetter`] and [`core::Synchronized`]
+//! and run it with [`sim::run_async`] under any [`sim::adversary`] policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use stoneage_baselines as baselines;
+pub use stoneage_core as core;
+pub use stoneage_graph as graph;
+pub use stoneage_lba as lba;
+pub use stoneage_protocols as protocols;
+pub use stoneage_sim as sim;

@@ -1,0 +1,130 @@
+//! End-to-end pipeline tests spanning every crate: protocol → Theorem 3.4
+//! compiler → Theorem 3.1 synchronizer → asynchronous adversarial engine,
+//! with outputs validated by the independent graph validators.
+
+use stoneage::core::{AsMulti, SingleLetter, Synchronized};
+use stoneage::graph::{generators, traversal, validate};
+use stoneage::protocols::{
+    decode_mis,
+    wave::{wave_inputs, wave_protocol},
+    MisProtocol,
+};
+use stoneage::sim::adversary::{standard_panel, Exponential, UniformRandom};
+use stoneage::sim::{
+    run_async, run_async_with_inputs, run_sync, run_sync_with_inputs, AsyncConfig, SyncConfig,
+};
+
+#[test]
+fn mis_full_pipeline_is_correct_under_all_adversaries() {
+    let g = generators::gnp(24, 0.12, 3);
+    let pipeline = Synchronized::new(SingleLetter::new(MisProtocol::new()));
+    for (i, adv) in standard_panel(5).iter().enumerate() {
+        let out = run_async(&pipeline, &g, adv, &AsyncConfig::seeded(40 + i as u64))
+            .unwrap_or_else(|e| panic!("{}: {e}", adv.name()));
+        assert!(
+            validate::is_maximal_independent_set(&g, &decode_mis(&out.outputs)),
+            "adversary {}",
+            adv.name()
+        );
+    }
+}
+
+#[test]
+fn mis_pipeline_on_structured_graphs() {
+    let pipeline = Synchronized::new(SingleLetter::new(MisProtocol::new()));
+    let adv = UniformRandom { seed: 77 };
+    for (name, g) in [
+        ("path", generators::path(16)),
+        ("star", generators::star(12)),
+        ("cycle", generators::cycle(15)),
+        ("complete", generators::complete(8)),
+        ("tree", generators::random_tree(18, 2)),
+    ] {
+        let out = run_async(&pipeline, &g, &adv, &AsyncConfig::seeded(1))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            validate::is_maximal_independent_set(&g, &decode_mis(&out.outputs)),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn single_letter_compilation_is_exact_on_mis() {
+    // Theorem 3.4 at integration level: identical outputs, ×|Σ| rounds.
+    for seed in 0..6 {
+        let g = generators::gnp(40, 0.1, seed);
+        let direct = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+        let compiled = run_sync(
+            &AsMulti(SingleLetter::new(MisProtocol::new())),
+            &g,
+            &SyncConfig::seeded(seed),
+        )
+        .unwrap();
+        assert_eq!(direct.outputs, compiled.outputs, "seed {seed}");
+        assert_eq!(compiled.rounds, direct.rounds * 7, "seed {seed}");
+    }
+}
+
+#[test]
+fn synchronized_wave_covers_every_connected_graph() {
+    let wave = Synchronized::new(wave_protocol());
+    for (g, src) in [
+        (generators::path(20), 5u32),
+        (generators::random_tree(25, 9), 0),
+        (generators::grid(4, 6), 3),
+        (generators::cycle(12), 0),
+    ] {
+        assert!(traversal::is_connected(&g));
+        let inputs = wave_inputs(g.node_count(), &[src]);
+        let adv = Exponential { seed: 4, mean: 0.4 };
+        let out =
+            run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(6)).unwrap();
+        assert!(out.outputs.iter().all(|&o| o == 1));
+        assert!(out.normalized_time > 0.0);
+        assert!(out.time_unit > 0.0);
+    }
+}
+
+#[test]
+fn synchronizer_overhead_is_constant_per_round() {
+    // Theorem 3.1's quantitative content: async time units per simulated
+    // round do not grow with n (under a fixed adversary).
+    let wave = Synchronized::new(wave_protocol());
+    let adv = UniformRandom { seed: 10 };
+    let mut per_round = Vec::new();
+    for n in [16usize, 32, 64, 128] {
+        let g = generators::path(n);
+        let inputs = wave_inputs(n, &[0]);
+        let sync = run_sync_with_inputs(
+            &AsMulti(wave_protocol()),
+            &g,
+            &inputs,
+            &SyncConfig::seeded(0),
+        )
+        .unwrap();
+        let asy =
+            run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(2)).unwrap();
+        per_round.push(asy.normalized_time / sync.rounds as f64);
+    }
+    let min = per_round.iter().copied().fold(f64::MAX, f64::min);
+    let max = per_round.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max < 3.0 * min,
+        "overhead per round should be flat across n: {per_round:?}"
+    );
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The README quickstart, as a test.
+    let g = stoneage::graph::generators::gnp(200, 0.05, 42);
+    let out = stoneage::sim::run_sync(
+        &stoneage::protocols::MisProtocol::new(),
+        &g,
+        &stoneage::sim::SyncConfig::seeded(7),
+    )
+    .unwrap();
+    let mis = stoneage::protocols::decode_mis(&out.outputs);
+    assert!(stoneage::graph::validate::is_maximal_independent_set(&g, &mis));
+}

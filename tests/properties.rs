@@ -1,0 +1,90 @@
+//! Cross-crate property-based tests: protocol correctness over randomized
+//! graphs, seeds and adversaries.
+
+use proptest::prelude::*;
+
+use stoneage::graph::{generators, validate};
+use stoneage::protocols::{
+    decode_coloring, decode_mis, run_matching, ColoringProtocol, MisProtocol,
+};
+use stoneage::sim::{run_sync, SyncConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 4.5's correctness half: every output configuration is an
+    /// MIS, for arbitrary (n, p, graph seed, protocol seed).
+    #[test]
+    fn mis_always_valid(
+        n in 1usize..60,
+        p in 0.0f64..0.4,
+        gseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::gnp(n, p, gseed);
+        let out = run_sync(&MisProtocol::new(), &g, &SyncConfig { seed, max_rounds: 1_000_000 })
+            .expect("MIS terminates");
+        prop_assert!(validate::is_maximal_independent_set(&g, &decode_mis(&out.outputs)));
+    }
+
+    /// Theorem 5.4's correctness half on uniformly random trees.
+    #[test]
+    fn coloring_always_valid(
+        n in 1usize..80,
+        gseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::random_tree(n, gseed);
+        let out = run_sync(
+            &ColoringProtocol::new(),
+            &g,
+            &SyncConfig { seed, max_rounds: 1_000_000 },
+        ).expect("coloring terminates");
+        prop_assert!(validate::is_proper_k_coloring(&g, &decode_coloring(&out.outputs), 3));
+    }
+
+    /// The matching extension always yields a maximal matching, with
+    /// outputs consistent with the recovered edges.
+    #[test]
+    fn matching_always_valid(
+        n in 1usize..50,
+        p in 0.0f64..0.4,
+        gseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::gnp(n, p, gseed);
+        let out = run_matching(&g, seed, 1_000_000).expect("matching terminates");
+        prop_assert!(validate::is_maximal_matching(&g, &out.matched));
+        let mut touched = vec![false; n];
+        for &(a, b) in &out.matched {
+            touched[a as usize] = true;
+            touched[b as usize] = true;
+        }
+        for v in 0..n {
+            prop_assert_eq!(out.outputs[v] == 1, touched[v]);
+        }
+    }
+
+    /// Determinism: identical seeds reproduce identical executions.
+    #[test]
+    fn executions_are_reproducible(
+        n in 2usize..40,
+        gseed in 0u64..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::gnp(n, 0.15, gseed);
+        let a = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+        let b = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.rounds, b.rounds);
+    }
+
+    /// Graph substrate invariant feeding everything else: uniformly random
+    /// trees are trees, and Observation 5.2's good-node bound holds.
+    #[test]
+    fn random_trees_are_trees_with_good_nodes(n in 1usize..200, gseed in 0u64..1000) {
+        let g = generators::random_tree(n, gseed);
+        prop_assert!(stoneage::graph::traversal::is_tree(&g));
+        prop_assert!(5 * validate::count_good_tree_nodes(&g) >= n);
+    }
+}
