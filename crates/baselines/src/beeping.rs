@@ -59,10 +59,7 @@ pub fn beeping_mis(g: &Graph, seed: u64) -> BeepMisRun {
             }
             for v in 0..n {
                 if candidate[v] && live[v] && !beeps[v] {
-                    let heard = g
-                        .neighbors(v as NodeId)
-                        .iter()
-                        .any(|&u| beeps[u as usize]);
+                    let heard = g.neighbors(v as NodeId).iter().any(|&u| beeps[u as usize]);
                     if heard {
                         candidate[v] = false;
                     }

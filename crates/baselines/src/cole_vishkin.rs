@@ -26,7 +26,10 @@ pub struct CvRun {
 /// # Panics
 /// Panics if `g` is not a tree.
 pub fn root_tree(g: &Graph, root: NodeId) -> Vec<NodeId> {
-    assert!(stoneage_graph::traversal::is_tree(g), "input must be a tree");
+    assert!(
+        stoneage_graph::traversal::is_tree(g),
+        "input must be a tree"
+    );
     let n = g.node_count();
     let mut parent = vec![NodeId::MAX; n];
     let mut queue = std::collections::VecDeque::new();
@@ -141,10 +144,7 @@ mod tests {
         ];
         for g in &cases {
             let run = cole_vishkin_3color(g, 0);
-            assert!(
-                validate::is_proper_k_coloring(g, &run.colors, 3),
-                "{g:?}"
-            );
+            assert!(validate::is_proper_k_coloring(g, &run.colors, 3), "{g:?}");
         }
     }
 

@@ -33,12 +33,7 @@ pub fn proposal_matching(g: &Graph, seed: u64) -> MatchingRun {
         // A free node with no free neighbor can never match: done when
         // none remains.
         let active: Vec<usize> = (0..n)
-            .filter(|&v| {
-                free[v]
-                    && g.neighbors(v as NodeId)
-                        .iter()
-                        .any(|&u| free[u as usize])
-            })
+            .filter(|&v| free[v] && g.neighbors(v as NodeId).iter().any(|&u| free[u as usize]))
             .collect();
         if active.is_empty() {
             break;
@@ -64,11 +59,8 @@ pub fn proposal_matching(g: &Graph, seed: u64) -> MatchingRun {
             if !free[v] || proposals[v].is_empty() {
                 continue;
             }
-            let candidates: Vec<usize> = proposals[v]
-                .iter()
-                .copied()
-                .filter(|&u| free[u])
-                .collect();
+            let candidates: Vec<usize> =
+                proposals[v].iter().copied().filter(|&u| free[u]).collect();
             if let Some(&partner) = candidates.choose(&mut rng) {
                 free[v] = false;
                 free[partner] = false;

@@ -11,12 +11,7 @@ fn bench_lba(c: &mut Criterion) {
     group.sample_size(10);
     let m = machines::abc_equal();
     for &n in &[4usize, 8, 16] {
-        let word: String = format!(
-            "{}{}{}",
-            "a".repeat(n),
-            "b".repeat(n),
-            "c".repeat(n)
-        );
+        let word: String = format!("{}{}{}", "a".repeat(n), "b".repeat(n), "c".repeat(n));
         let input = machines::encode_abc(&word);
         group.bench_with_input(BenchmarkId::new("direct", 3 * n), &input, |b, input| {
             b.iter(|| m.run(input, 0, 100_000_000).unwrap());

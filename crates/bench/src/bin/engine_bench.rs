@@ -1,0 +1,118 @@
+//! Emits the `BENCH_engine.json` perf-trajectory snapshot: rounds/sec of
+//! the flat delivery engine vs the preserved naive reference executor on
+//! gnp(50k, avg deg 8).
+//!
+//! ```text
+//! engine_bench                      # writes BENCH_engine.json in the cwd
+//! engine_bench --out path.json      # custom output path
+//! engine_bench --quick              # CI-sized instance (n = 5k)
+//! ```
+//!
+//! The workload is the same blinker protocol as `benches/engine.rs`:
+//! every round every node broadcasts, every delivery flips its port's
+//! letter, so both the reverse-port-map write path and the incremental
+//! count maintenance run at full tilt. Each engine is measured over
+//! several repetitions and the best (least-noise) repetition is reported.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use stoneage_bench::json::Value;
+use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuilder, Transitions};
+use stoneage_graph::generators;
+use stoneage_sim::{run_sync, run_sync_reference, ExecError, SyncConfig, SyncOutcome};
+
+fn blinker() -> TableProtocol {
+    let alphabet = Alphabet::new(["a", "b"]);
+    let mut builder = TableProtocolBuilder::new("blinker", alphabet, 1, Letter(0));
+    let s0 = builder.add_state("s0", Letter(0));
+    let s1 = builder.add_state("s1", Letter(1));
+    builder.add_input_state(s0);
+    builder.set_transition_all(s0, Transitions::det(s1, Some(Letter(0))));
+    builder.set_transition_all(s1, Transitions::det(s0, Some(Letter(1))));
+    builder.build().unwrap()
+}
+
+fn measure(rounds: u64, reps: usize, run: impl Fn() -> Result<SyncOutcome, ExecError>) -> f64 {
+    // Warm-up.
+    let _ = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let err = run().expect_err("blinker never terminates");
+        assert!(matches!(err, ExecError::RoundLimit { .. }));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    rounds as f64 / best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_engine.json".to_owned();
+    let mut n = 50_000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => n = 5_000,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: engine_bench [--quick] [--out path]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let avg_deg = 8.0;
+    let rounds = 20u64;
+    let reps = 5usize;
+    let g = generators::gnp(n, avg_deg / n as f64, 7);
+    let p = AsMulti(blinker());
+    let config = SyncConfig {
+        seed: 1,
+        max_rounds: rounds,
+    };
+
+    eprintln!(
+        "engine_bench: gnp(n = {n}, avg deg {avg_deg}), |E| = {}, {rounds} rounds x {reps} reps",
+        g.edge_count()
+    );
+    let reference = measure(rounds, reps, || run_sync_reference(&p, &g, &config));
+    eprintln!("  reference: {reference:.1} rounds/sec");
+    let flat = measure(rounds, reps, || run_sync(&p, &g, &config));
+    eprintln!("  flat:      {flat:.1} rounds/sec");
+    let speedup = flat / reference;
+    eprintln!("  speedup:   {speedup:.2}x");
+
+    let json = Value::Object(vec![
+        ("bench".to_owned(), "engine_throughput".into()),
+        (
+            "workload".to_owned(),
+            "blinker broadcast, every port overwritten per round".into(),
+        ),
+        (
+            "graph".to_owned(),
+            Value::Object(vec![
+                ("family".to_owned(), "gnp".into()),
+                ("n".to_owned(), n.into()),
+                ("avg_degree".to_owned(), avg_deg.into()),
+                ("edges".to_owned(), g.edge_count().into()),
+                ("seed".to_owned(), 7u64.into()),
+            ]),
+        ),
+        ("rounds_per_run".to_owned(), rounds.into()),
+        ("reps".to_owned(), reps.into()),
+        (
+            "baseline_reference_rounds_per_sec".to_owned(),
+            reference.into(),
+        ),
+        ("flat_rounds_per_sec".to_owned(), flat.into()),
+        ("speedup".to_owned(), speedup.into()),
+    ]);
+    let mut f = std::fs::File::create(&out_path).expect("create bench output");
+    writeln!(f, "{}", json.to_string_pretty()).unwrap();
+    eprintln!("wrote {out_path}");
+}

@@ -72,9 +72,9 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json: Vec<serde_json::Value> = tables.iter().map(|t| t.to_json()).collect();
+        let json = stoneage_bench::json::Value::Array(tables.iter().map(|t| t.to_json()).collect());
         let mut f = std::fs::File::create(&path).expect("create json output");
-        writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap()).unwrap();
+        writeln!(f, "{}", json.to_string_pretty()).unwrap();
         eprintln!("wrote {path}");
     }
 }

@@ -2,9 +2,10 @@
 
 use std::fmt::Write as _;
 
+use crate::json::Value;
+
 /// A cell value.
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
-#[serde(untagged)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Cell {
     /// Text.
     Text(String),
@@ -61,7 +62,7 @@ impl Cell {
 }
 
 /// One experiment's result: a titled table plus free-form findings.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment id (e.g. "E2").
     pub id: String,
@@ -77,11 +78,7 @@ pub struct Table {
 
 impl Table {
     /// Starts an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -149,8 +146,38 @@ impl Table {
     }
 
     /// JSON form.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("tables serialize")
+    pub fn to_json(&self) -> Value {
+        let cell = |c: &Cell| match c {
+            Cell::Text(s) => Value::Str(s.clone()),
+            Cell::Int(v) => Value::Int(*v),
+            Cell::Float(v) => Value::Float(*v),
+        };
+        Value::Object(vec![
+            ("id".to_owned(), Value::Str(self.id.clone())),
+            ("title".to_owned(), Value::Str(self.title.clone())),
+            (
+                "columns".to_owned(),
+                Value::Array(self.columns.iter().map(|c| Value::Str(c.clone())).collect()),
+            ),
+            (
+                "rows".to_owned(),
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| Value::Array(r.iter().map(cell).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "findings".to_owned(),
+                Value::Array(
+                    self.findings
+                        .iter()
+                        .map(|f| Value::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -1,0 +1,214 @@
+//! Vendored shim for the subset of the `criterion` API this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`/`bench_function`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! The build environment is offline, so the real `criterion` crate cannot
+//! be fetched. Statistics are intentionally simple: after one warm-up
+//! iteration, each benchmark runs `sample_size` timed samples (each sample
+//! auto-scales its iteration count to at least ~5 ms of work) and reports
+//! min / mean / max per-iteration wall time on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare name.
+    pub fn from_name<S: Into<String>>(name: S) -> Self {
+        BenchmarkId { full: name.into() }
+    }
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single unparameterized benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark over the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then `sample_size` timed
+    /// samples whose iteration counts auto-scale to at least ~5 ms each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos().max(1)) as usize)
+            .clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().div_f64(per_sample as f64));
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let min = bencher.samples.iter().min().unwrap();
+    let max = bencher.samples.iter().max().unwrap();
+    let mean = bencher
+        .samples
+        .iter()
+        .sum::<Duration>()
+        .div_f64(bencher.samples.len() as f64);
+    println!("{label}: [{min:?} {mean:?} {max:?}] ({sample_size} samples)");
+}
+
+/// Declares a group function invoking each target with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_runs_targets() {
+        benches();
+    }
+}

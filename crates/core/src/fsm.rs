@@ -59,11 +59,7 @@ impl<S> Transitions<S> {
     /// Maps the state type, preserving emissions and choice order.
     pub fn map_states<T, F: FnMut(S) -> T>(self, mut f: F) -> Transitions<T> {
         Transitions {
-            choices: self
-                .choices
-                .into_iter()
-                .map(|(s, e)| (f(s), e))
-                .collect(),
+            choices: self.choices.into_iter().map(|(s, e)| (f(s), e)).collect(),
         }
     }
 }
@@ -125,6 +121,33 @@ impl ObsVec {
         ObsVec {
             counts: exact.iter().map(|&x| crate::fb(x, b)).collect(),
         }
+    }
+
+    /// An all-zero observation vector over `sigma` letters.
+    ///
+    /// Intended as a reusable scratch buffer: allocate once per executor
+    /// (or per worker thread) and [`ObsVec::refill_from_counts`] it for
+    /// every node, instead of collecting a fresh `Vec` per observation.
+    pub fn zeroed(sigma: usize) -> Self {
+        ObsVec {
+            counts: vec![BoundedCount::zero(); sigma],
+        }
+    }
+
+    /// Overwrites this vector in place with `f_b` applied to exact
+    /// per-letter counts, reusing the existing allocation.
+    ///
+    /// This is the zero-allocation companion of [`ObsVec::from_counts`]
+    /// for engines that maintain incremental per-node letter counts: the
+    /// whole phase-1 observation of a node becomes one O(|Σ|) refill of a
+    /// shared scratch buffer.
+    pub fn refill_from_counts(&mut self, exact: &[u32], b: u8) {
+        self.counts.clear();
+        self.counts.extend(
+            exact
+                .iter()
+                .map(|&x| BoundedCount::from_count(x as usize, b)),
+        );
     }
 
     /// The truncated count of `letter`.
@@ -266,10 +289,7 @@ mod tests {
     fn map_states_preserves_emissions() {
         let t: Transitions<u8> = Transitions::uniform(vec![(1, Some(Letter(0))), (2, None)]);
         let t2 = t.map_states(|s| s as u32 * 10);
-        assert_eq!(
-            t2.choices,
-            vec![(10u32, Some(Letter(0))), (20u32, None)]
-        );
+        assert_eq!(t2.choices, vec![(10u32, Some(Letter(0))), (20u32, None)]);
     }
 
     #[test]
@@ -279,5 +299,17 @@ mod tests {
         assert_eq!(o.get(Letter(1)).raw(), 1);
         assert_eq!(o.get(Letter(2)).raw(), 2);
         assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn obsvec_refill_matches_from_counts() {
+        let mut scratch = ObsVec::zeroed(3);
+        assert_eq!(scratch.len(), 3);
+        assert!(scratch.as_slice().iter().all(|c| c.is_zero()));
+        for (exact, b) in [(vec![0u32, 1, 5], 2u8), (vec![7, 0, 2, 9], 3)] {
+            scratch.refill_from_counts(&exact, b);
+            let exact_usize: Vec<usize> = exact.iter().map(|&x| x as usize).collect();
+            assert_eq!(scratch, ObsVec::from_counts(&exact_usize, b));
+        }
     }
 }

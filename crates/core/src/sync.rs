@@ -224,7 +224,12 @@ impl<P: Fsm> Synchronized<P> {
         s1 * s1
     }
 
-    fn start_sim(&self, inner: P::State, retained: Option<Letter>, trit: u8) -> SyncState<P::State> {
+    fn start_sim(
+        &self,
+        inner: P::State,
+        retained: Option<Letter>,
+        trit: u8,
+    ) -> SyncState<P::State> {
         SyncState::Sim {
             inner,
             retained,
@@ -399,8 +404,7 @@ impl<P: Fsm> Fsm for Synchronized<P> {
                             .into_iter()
                             .map(|(q_next, emission)| {
                                 let new_retained = emission.or(*retained);
-                                let message =
-                                    self.encode_message(*retained, new_retained, *trit);
+                                let message = self.encode_message(*retained, new_retained, *trit);
                                 (
                                     SyncState::Pause {
                                         inner: q_next,
@@ -615,9 +619,6 @@ mod tests {
     fn accounting_is_constant_in_the_network() {
         let p = Synchronized::new(beep_once());
         // |Q̂| per inner state depends only on |Σ| and b.
-        assert_eq!(
-            p.states_per_inner_state(),
-            3 * 2 * (2 * 2 + 3 * 2 * 2 * 2)
-        );
+        assert_eq!(p.states_per_inner_state(), 3 * 2 * (2 * 2 + 3 * 2 * 2 * 2));
     }
 }

@@ -130,12 +130,7 @@ impl TableProtocol {
             } else {
                 ""
             };
-            writeln!(
-                out,
-                "  q{i} [label=\"{}\", shape={shape}{style}];",
-                s.name
-            )
-            .unwrap();
+            writeln!(out, "  q{i} [label=\"{}\", shape={shape}{style}];", s.name).unwrap();
         }
         for (q, rows) in self.transitions.iter().enumerate() {
             for (obs, t) in rows.iter().enumerate() {
@@ -277,8 +272,7 @@ impl TableProtocolBuilder {
             query,
             output,
         });
-        self.transitions
-            .push(vec![None; self.bound as usize + 1]);
+        self.transitions.push(vec![None; self.bound as usize + 1]);
         id as StateId
     }
 

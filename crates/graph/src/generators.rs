@@ -252,9 +252,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
         return b.build();
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let seq: Vec<NodeId> = (0..n - 2)
-        .map(|_| rng.gen_range(0..n as NodeId))
-        .collect();
+    let seq: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n as NodeId)).collect();
     prufer::decode(&seq)
 }
 
@@ -299,7 +297,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 /// sensor networks motivation: interaction is local in space.
 pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     unit_disk_from_points(&pts, radius)
 }
 

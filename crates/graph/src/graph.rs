@@ -14,19 +14,43 @@ pub type NodeId = u32;
 /// Neighbor lists are sorted, which gives deterministic iteration order —
 /// important because the simulators assign *ports* (one per neighbor) by
 /// neighbor-list position.
+///
+/// # The reverse-port map
+///
+/// Alongside the CSR arrays, every graph precomputes its **reverse-port
+/// map** at build time: for the `k`-th neighbor `u` of `v` (the directed
+/// slot `v → u`), [`Graph::reverse_ports`]`(v)[k]` is the port number
+/// `ψ_u(v)` — the position of `v` inside `u`'s neighbor list. Delivery
+/// engines use it to turn "write `v`'s letter into `u`'s port for `v`"
+/// into a single indexed store, where previously every delivery paid a
+/// `O(log deg(u))` binary search ([`Graph::port_of`]). Combined with
+/// [`Graph::csr_offset`], the pair `(u, ψ_u(v))` addresses a *flat* port
+/// store (`Vec` indexed by CSR slot) with no per-node indirection.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
     offsets: Vec<usize>,
     /// Concatenated sorted neighbor lists.
     neighbors: Vec<NodeId>,
+    /// `rev_ports[offsets[v] + k] = ψ_u(v)` where `u = neighbors(v)[k]`:
+    /// the position of `v` in `u`'s neighbor list. Same layout as
+    /// `neighbors`; computed once in `from_csr`.
+    rev_ports: Vec<u32>,
 }
 
 impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
-        Graph { offsets, neighbors }
+        let rev_ports = compute_reverse_ports(&offsets, &neighbors);
+        let g = Graph {
+            offsets,
+            neighbors,
+            rev_ports,
+        };
+        #[cfg(debug_assertions)]
+        g.debug_check_reverse_ports();
+        g
     }
 
     /// The empty graph on `n` isolated nodes.
@@ -34,6 +58,20 @@ impl Graph {
         Graph {
             offsets: vec![0; n + 1],
             neighbors: Vec::new(),
+            rev_ports: Vec::new(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check_reverse_ports(&self) {
+        for v in 0..self.node_count() as NodeId {
+            for (k, &u) in self.neighbors(v).iter().enumerate() {
+                debug_assert_eq!(
+                    self.port_of(u, v),
+                    Some(self.reverse_ports(v)[k] as usize),
+                    "reverse-port map disagrees with port_of for edge {v}→{u}"
+                );
+            }
         }
     }
 
@@ -85,9 +123,38 @@ impl Graph {
     /// Position of neighbor `u` within `v`'s neighbor list, if adjacent.
     ///
     /// This is the *port number* under which `v` stores messages from `u`
-    /// (the paper's `ψ_v(u)`).
+    /// (the paper's `ψ_v(u)`). Costs a binary search; delivery loops
+    /// should use the precomputed [`Graph::reverse_ports`] instead.
     pub fn port_of(&self, v: NodeId, u: NodeId) -> Option<usize> {
         self.neighbors(v).binary_search(&u).ok()
+    }
+
+    /// The reverse-port map row for `v`, parallel to
+    /// [`Graph::neighbors`]`(v)`: entry `k` is `ψ_u(v)`, the port under
+    /// which `u = neighbors(v)[k]` stores messages from `v`. Precomputed
+    /// at build time in O(|E|).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn reverse_ports(&self, v: NodeId) -> &[u32] {
+        let v = v as usize;
+        &self.rev_ports[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The base index of `v`'s ports in a flat CSR-indexed store:
+    /// `v`'s `k`-th port lives at slot `csr_offset(v) + k`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range (note `v == node_count()` is in range:
+    /// it yields the one-past-the-end slot, i.e. [`Graph::port_slot_count`]).
+    pub fn csr_offset(&self, v: NodeId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Total number of directed port slots (`= 2|E| =` [`Graph::degree_sum`]),
+    /// the length a flat CSR-indexed port store must have.
+    pub fn port_slot_count(&self) -> usize {
+        self.neighbors.len()
     }
 
     /// Iterator over each undirected edge exactly once, as `(u, v)` with
@@ -142,6 +209,28 @@ impl Graph {
             .filter(|&(u, v)| keep[u as usize] && keep[v as usize])
             .count()
     }
+}
+
+/// Computes the reverse-port map in one O(|E|) pass.
+///
+/// Scanning all directed slots `(v → u)` with `v` ascending and each
+/// neighbor list itself sorted, the sources `v` of edges into any fixed
+/// `u` appear in ascending order — so the `j`-th time `u` shows up as a
+/// target, the source is exactly `u`'s `j`-th smallest neighbor, i.e. the
+/// source sits at port `j` of `u`. A per-node cursor therefore yields
+/// `ψ_u(v)` without any searching.
+fn compute_reverse_ports(offsets: &[usize], neighbors: &[NodeId]) -> Vec<u32> {
+    let n = offsets.len() - 1;
+    let mut rev = vec![0u32; neighbors.len()];
+    let mut cursor = vec![0u32; n];
+    for v in 0..n {
+        for slot in offsets[v]..offsets[v + 1] {
+            let u = neighbors[slot] as usize;
+            rev[slot] = cursor[u];
+            cursor[u] += 1;
+        }
+    }
+    rev
 }
 
 impl fmt::Debug for Graph {
@@ -227,6 +316,48 @@ mod tests {
         for v in g.nodes() {
             for (i, &u) in g.neighbors(v).iter().enumerate() {
                 assert_eq!(g.port_of(v, u), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_ports_agree_with_port_of() {
+        let mut b = GraphBuilder::new(7);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 5), (5, 6), (3, 5), (1, 6)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        for v in g.nodes() {
+            let rev = g.reverse_ports(v);
+            assert_eq!(rev.len(), g.degree(v));
+            for (k, &u) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(g.port_of(u, v), Some(rev[k] as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_offsets_address_flat_slots() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.port_slot_count(), g.degree_sum());
+        let mut seen = vec![false; g.port_slot_count()];
+        for v in g.nodes() {
+            for k in 0..g.degree(v) {
+                let slot = g.csr_offset(v) + k;
+                assert!(!seen[slot], "slot {slot} assigned twice");
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn reverse_ports_on_induced_subgraph() {
+        let g = triangle_plus_isolated();
+        let (sub, _) = g.induced_subgraph(&[true, true, true, false]);
+        for v in sub.nodes() {
+            for (k, &u) in sub.neighbors(v).iter().enumerate() {
+                assert_eq!(sub.port_of(u, v), Some(sub.reverse_ports(v)[k] as usize));
             }
         }
     }

@@ -11,7 +11,10 @@ use crate::{Graph, NodeId};
 /// Greedy MIS scanning nodes in id order: select a node iff none of its
 /// selected neighbors precede it.
 pub fn greedy_mis(g: &Graph) -> Vec<bool> {
-    greedy_mis_ordered(g, (0..g.node_count() as NodeId).collect::<Vec<_>>().as_slice())
+    greedy_mis_ordered(
+        g,
+        (0..g.node_count() as NodeId).collect::<Vec<_>>().as_slice(),
+    )
 }
 
 /// Greedy MIS scanning nodes in the given order (a permutation of all

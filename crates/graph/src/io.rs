@@ -115,10 +115,7 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
         got += 1;
     }
     if got < m {
-        return Err(ParseError::TruncatedInput {
-            expected: m,
-            got,
-        });
+        return Err(ParseError::TruncatedInput { expected: m, got });
     }
     Ok(b.build())
 }
@@ -154,7 +151,10 @@ mod tests {
     fn truncated_input_is_error() {
         assert!(matches!(
             from_edge_list("3 2\n0 1\n"),
-            Err(ParseError::TruncatedInput { expected: 2, got: 1 })
+            Err(ParseError::TruncatedInput {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

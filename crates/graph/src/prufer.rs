@@ -66,7 +66,8 @@ pub fn encode(g: &Graph) -> Vec<NodeId> {
     let mut leaf = ptr;
     for _ in 0..n.saturating_sub(2) {
         removed[leaf] = true;
-        let parent = g.neighbors(leaf as NodeId)
+        let parent = g
+            .neighbors(leaf as NodeId)
             .iter()
             .copied()
             .find(|&u| !removed[u as usize])

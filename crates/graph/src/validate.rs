@@ -12,7 +12,8 @@ use crate::{Graph, NodeId};
 /// both endpoints selected.
 pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
     assert_eq!(in_set.len(), g.node_count());
-    g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+    g.edges()
+        .all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
 }
 
 /// Whether `in_set` is a *maximal* independent set: independent, and every
@@ -22,17 +23,16 @@ pub fn is_maximal_independent_set(g: &Graph, in_set: &[bool]) -> bool {
     if !is_independent_set(g, in_set) {
         return false;
     }
-    g.nodes().all(|v| {
-        in_set[v as usize]
-            || g.neighbors(v).iter().any(|&u| in_set[u as usize])
-    })
+    g.nodes()
+        .all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
 }
 
 /// Whether `colors` (indexed by node) is a proper coloring: adjacent nodes
 /// differ.
 pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
     assert_eq!(colors.len(), g.node_count());
-    g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])
+    g.edges()
+        .all(|(u, v)| colors[u as usize] != colors[v as usize])
 }
 
 /// Whether `colors` is a proper coloring using at most `k` distinct values
@@ -82,8 +82,7 @@ pub fn count_good_tree_nodes(g: &Graph) -> usize {
     g.nodes()
         .filter(|&v| {
             let d = g.degree(v);
-            d <= 1
-                || (d == 2 && g.neighbors(v).iter().all(|&u| g.degree(u) <= 2))
+            d <= 1 || (d == 2 && g.neighbors(v).iter().all(|&u| g.degree(u) <= 2))
         })
         .count()
 }
@@ -101,11 +100,7 @@ pub fn is_good_mis_node(g: &Graph, v: NodeId) -> bool {
     if d == 0 {
         return true;
     }
-    let low = g
-        .neighbors(v)
-        .iter()
-        .filter(|&&u| g.degree(u) <= d)
-        .count();
+    let low = g.neighbors(v).iter().filter(|&&u| g.degree(u) <= d).count();
     3 * low >= d
 }
 
@@ -138,7 +133,10 @@ mod tests {
         assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
         assert!(is_maximal_independent_set(&g, &[true, false, false, true]));
         // Independent but not maximal: node 3 could be added.
-        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+        assert!(!is_maximal_independent_set(
+            &g,
+            &[true, false, false, false]
+        ));
         // Not independent at all.
         assert!(!is_maximal_independent_set(&g, &[true, true, false, true]));
     }

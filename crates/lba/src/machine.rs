@@ -221,8 +221,7 @@ impl Lba {
             };
             let is_marker = scanned == MARKER_LEFT || scanned == MARKER_RIGHT;
             if (is_marker && action.write != scanned)
-                || (!is_marker
-                    && (action.write == MARKER_LEFT || action.write == MARKER_RIGHT))
+                || (!is_marker && (action.write == MARKER_LEFT || action.write == MARKER_RIGHT))
             {
                 return Err(LbaError::MarkerViolation { state });
             }

@@ -334,9 +334,7 @@ mod tests {
             }
             words(len - 1)
                 .into_iter()
-                .flat_map(|w| {
-                    ["a", "b", "c"].iter().map(move |c| format!("{w}{c}"))
-                })
+                .flat_map(|w| ["a", "b", "c"].iter().map(move |c| format!("{w}{c}")))
                 .collect()
         }
         for len in 0..=6 {
@@ -409,8 +407,7 @@ mod tests {
         for len in 0..=8 {
             for w in words(len) {
                 let n = w.len() / 2;
-                let expect = w.len() % 2 == 0
-                    && w == format!("{}{}", "a".repeat(n), "b".repeat(n));
+                let expect = w.len() % 2 == 0 && w == format!("{}{}", "a".repeat(n), "b".repeat(n));
                 assert_eq!(m.accepts(&encode_abc(&w), MAX).unwrap(), expect, "{w:?}");
             }
         }

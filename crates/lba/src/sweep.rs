@@ -263,7 +263,9 @@ where
             });
         }
     }
-    Err(format!("no output configuration within {max_rounds} rounds"))
+    Err(format!(
+        "no output configuration within {max_rounds} rounds"
+    ))
 }
 
 /// SplitMix64, kept bit-identical to `stoneage_sim`'s seeding.
@@ -314,8 +316,7 @@ mod tests {
             ("complete", generators::complete(8)),
         ] {
             for seed in 0..5 {
-                let native =
-                    run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+                let native = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
                 let sweep = simulate_on_tape(
                     &MisProtocol::new(),
                     &g,
@@ -359,16 +360,8 @@ mod tests {
         let inputs = wave_inputs(12, &[0]);
         let p = AsMulti(wave_protocol());
         let native = run_sync_with_inputs(&p, &g, &inputs, &SyncConfig::seeded(4)).unwrap();
-        let sweep = simulate_on_tape(
-            &p,
-            &g,
-            &inputs,
-            4,
-            100_000,
-            |s| *s as u64,
-            |c| c as u16,
-        )
-        .unwrap();
+        let sweep =
+            simulate_on_tape(&p, &g, &inputs, 4, 100_000, |s| *s as u64, |c| c as u16).unwrap();
         assert_eq!(sweep.outputs, native.outputs);
         assert_eq!(sweep.rounds, native.rounds);
     }
@@ -376,16 +369,8 @@ mod tests {
     #[test]
     fn mismatched_inputs_error() {
         let g = generators::path(3);
-        let err = simulate_on_tape(
-            &MisProtocol::new(),
-            &g,
-            &[0],
-            0,
-            10,
-            mis_encode,
-            mis_decode,
-        )
-        .unwrap_err();
+        let err = simulate_on_tape(&MisProtocol::new(), &g, &[0], 0, 10, mis_encode, mis_decode)
+            .unwrap_err();
         assert!(err.contains("inputs"));
     }
 }

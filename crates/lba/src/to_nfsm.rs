@@ -107,7 +107,11 @@ const L_HALT_REJ: Letter = Letter(2);
 impl LbaOnPath {
     /// Compiles `machine` into a path protocol.
     pub fn new(machine: Lba) -> Self {
-        let mut names = vec!["INIT".to_owned(), "HALT_ACC".to_owned(), "HALT_REJ".to_owned()];
+        let mut names = vec![
+            "INIT".to_owned(),
+            "HALT_ACC".to_owned(),
+            "HALT_REJ".to_owned(),
+        ];
         for p in 0..machine.state_count() {
             for dir in ["L", "R"] {
                 for parity in 0..2 {
@@ -230,7 +234,9 @@ impl MultiFsm for LbaOnPath {
             None
         };
         match q {
-            PathState::Done { accept } => Transitions::det(PathState::Done { accept: *accept }, None),
+            PathState::Done { accept } => {
+                Transitions::det(PathState::Done { accept: *accept }, None)
+            }
             PathState::InitialHead { sym } => {
                 // Machine state 0 starts here; apply the first transition
                 // unconditionally.
@@ -277,15 +283,7 @@ pub fn run_on_path(
 ) -> Result<(bool, u64), ExecError> {
     let protocol = LbaOnPath::new(machine.clone());
     let (graph, inputs) = path_instance(input);
-    let out = run_sync_with_inputs(
-        &protocol,
-        &graph,
-        &inputs,
-        &SyncConfig {
-            seed,
-            max_rounds,
-        },
-    )?;
+    let out = run_sync_with_inputs(&protocol, &graph, &inputs, &SyncConfig { seed, max_rounds })?;
     // All nodes flood to the same verdict.
     debug_assert!(out.outputs.windows(2).all(|w| w[0] == w[1]));
     Ok((out.outputs[0] == 1, out.rounds))
@@ -298,11 +296,7 @@ pub fn path_instance(input: &[Symbol]) -> (Graph, Vec<usize>) {
     let graph = generators::path(n);
     let mut inputs = Vec::with_capacity(n);
     inputs.push(LbaOnPath::encode_input(crate::MARKER_LEFT, true));
-    inputs.extend(
-        input
-            .iter()
-            .map(|&s| LbaOnPath::encode_input(s, false)),
-    );
+    inputs.extend(input.iter().map(|&s| LbaOnPath::encode_input(s, false)));
     inputs.push(LbaOnPath::encode_input(crate::MARKER_RIGHT, false));
     (graph, inputs)
 }
@@ -353,10 +347,7 @@ mod tests {
     #[test]
     fn alphabet_size_is_constant_in_input_length() {
         let p = LbaOnPath::new(machines::abc_equal());
-        assert_eq!(
-            p.alphabet().len(),
-            3 + 4 * p.machine().state_count()
-        );
+        assert_eq!(p.alphabet().len(), 3 + 4 * p.machine().state_count());
     }
 
     #[test]
@@ -398,8 +389,7 @@ mod tests {
         let m = machines::random_walk_contains_b();
         for seed in 0..10 {
             for (word, expect) in [("aab", true), ("aaa", false), ("b", true)] {
-                let (verdict, _) =
-                    run_on_path(&m, &encode_abc(word), seed, 10_000_000).unwrap();
+                let (verdict, _) = run_on_path(&m, &encode_abc(word), seed, 10_000_000).unwrap();
                 assert_eq!(verdict, expect, "{word:?} seed {seed}");
             }
         }

@@ -426,10 +426,7 @@ mod tests {
         let t = p.delta(&ColoringState::A3 { deg: 0 }, &o);
         assert_eq!(
             t.choices,
-            vec![(
-                ColoringState::A4 { color: 3 },
-                Some(L::Prop3.letter())
-            )]
+            vec![(ColoringState::A4 { color: 3 }, Some(L::Prop3.letter()))]
         );
     }
 
@@ -512,10 +509,7 @@ mod tests {
         let t = p.delta(&ColoringState::A4 { color: 1 }, &o);
         assert_eq!(
             t.choices,
-            vec![(
-                ColoringState::Colored { color: 1 },
-                Some(L::Col1.letter())
-            )]
+            vec![(ColoringState::Colored { color: 1 }, Some(L::Col1.letter()))]
         );
     }
 

@@ -26,9 +26,7 @@
 
 use stoneage_core::{Alphabet, Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
-use stoneage_sim::{
-    run_scoped, ExecError, ScopedEmission, ScopedMultiFsm, ScopedTransitions,
-};
+use stoneage_sim::{run_scoped, ExecError, ScopedEmission, ScopedMultiFsm, ScopedTransitions};
 
 const L_FREE: Letter = Letter(1);
 const L_PROPOSE: Letter = Letter(2);
@@ -76,9 +74,7 @@ impl MatchingProtocol {
     /// Builds the protocol.
     pub fn new() -> Self {
         MatchingProtocol {
-            alphabet: Alphabet::new([
-                "INIT", "FREE", "PROPOSE", "ACCEPT", "MATCHED", "GONE",
-            ]),
+            alphabet: Alphabet::new(["INIT", "FREE", "PROPOSE", "ACCEPT", "MATCHED", "GONE"]),
         }
     }
 }
@@ -138,10 +134,7 @@ impl ScopedMultiFsm for MatchingProtocol {
                 if obs.get(L_ACCEPT).is_zero() {
                     ScopedTransitions::det(S::F1, ScopedEmission::Silent)
                 } else {
-                    ScopedTransitions::det(
-                        S::DoneMatched,
-                        ScopedEmission::Broadcast(L_MATCHED),
-                    )
+                    ScopedTransitions::det(S::DoneMatched, ScopedEmission::Broadcast(L_MATCHED))
                 }
             }
             S::L3 => {
@@ -160,9 +153,7 @@ impl ScopedMultiFsm for MatchingProtocol {
             S::A4 => ScopedTransitions::det(S::DoneMatched, ScopedEmission::Broadcast(L_MATCHED)),
             S::L4 => ScopedTransitions::det(S::F1, ScopedEmission::Silent),
             S::DoneMatched => ScopedTransitions::det(S::DoneMatched, ScopedEmission::Silent),
-            S::DoneUnmatched => {
-                ScopedTransitions::det(S::DoneUnmatched, ScopedEmission::Silent)
-            }
+            S::DoneUnmatched => ScopedTransitions::det(S::DoneUnmatched, ScopedEmission::Silent),
         }
     }
 }
@@ -230,8 +221,8 @@ mod tests {
                     touched[a as usize] = true;
                     touched[b as usize] = true;
                 }
-                for v in 0..g.node_count() {
-                    assert_eq!(out.outputs[v] == 1, touched[v], "{name} node {v}");
+                for (v, &t) in touched.iter().enumerate() {
+                    assert_eq!(out.outputs[v] == 1, t, "{name} node {v}");
                 }
             }
         }
@@ -245,7 +236,7 @@ mod tests {
         let g = generators::gnp(30, 0.2, 1);
         let out = run_matching(&g, 2, 100_000).unwrap();
         assert!(
-            out.rounds % 4 == 0 || out.rounds % 4 == 2,
+            out.rounds.is_multiple_of(4) || out.rounds % 4 == 2,
             "rounds = {}",
             out.rounds
         );
@@ -265,11 +256,7 @@ mod tests {
             let g = generators::gnp(n, 6.0 / n as f64, 11);
             let out = run_matching(&g, 11, 1_000_000).unwrap();
             let bound = 40.0 * (n as f64).log2();
-            assert!(
-                (out.rounds as f64) < bound,
-                "n={n}: {} rounds",
-                out.rounds
-            );
+            assert!((out.rounds as f64) < bound, "n={n}: {} rounds", out.rounds);
         }
     }
 }

@@ -210,8 +210,8 @@ impl MultiFsm for MisProtocol {
                 // tournament — WIN if no neighbor is in UP_j or UP_{j+1}
                 // (our tournament outlasted theirs), DOWN2 otherwise.
                 let heads = Self::moving(up, next_up);
-                let rivals = !obs.get(up.letter()).is_zero()
-                    || !obs.get(next_up.letter()).is_zero();
+                let rivals =
+                    !obs.get(up.letter()).is_zero() || !obs.get(next_up.letter()).is_zero();
                 let tails = if rivals {
                     Self::moving(up, MisState::Down2)
                 } else {
@@ -307,10 +307,7 @@ mod tests {
         // UP0 with no rivals: heads → UP1, tails → WIN.
         let t = p.delta(&MisState::Up0, &obs([0, 1, 0, 0, 0, 0, 1]));
         assert_eq!(t.choices.len(), 2);
-        assert_eq!(
-            t.choices[0],
-            (MisState::Up1, Some(MisState::Up1.letter()))
-        );
+        assert_eq!(t.choices[0], (MisState::Up1, Some(MisState::Up1.letter())));
         assert_eq!(t.choices[1], (MisState::Win, Some(MisState::Win.letter())));
         // UP0 with a rival in UP0 or UP1: tails → DOWN2.
         for rival in [2usize, 3] {

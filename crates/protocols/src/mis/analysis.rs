@@ -143,8 +143,7 @@ mod tests {
         let p = MisProtocol::new();
         let mut obs = MisObserver::new(g.node_count());
         let inputs = vec![0usize; g.node_count()];
-        let out =
-            run_sync_observed(&p, g, &inputs, &SyncConfig::seeded(seed), &mut obs).unwrap();
+        let out = run_sync_observed(&p, g, &inputs, &SyncConfig::seeded(seed), &mut obs).unwrap();
         (obs, crate::decode_mis(&out.outputs))
     }
 
@@ -229,8 +228,8 @@ mod tests {
         // UP turn).
         let g = generators::cycle(30);
         let (obs, mis) = run_observed(&g, 11);
-        for v in 0..30 {
-            if mis[v] {
+        for (v, &in_mis) in mis.iter().enumerate() {
+            if in_mis {
                 let turns = obs.tournament_turns(v);
                 assert!(*turns.last().unwrap() >= 2, "node {v}: {turns:?}");
             }

@@ -111,13 +111,8 @@ mod tests {
     #[test]
     fn source_only_graph_finishes_in_one_round() {
         let g = stoneage_graph::Graph::empty(1);
-        let out = run_sync_with_inputs(
-            &AsMulti(wave_protocol()),
-            &g,
-            &[1],
-            &SyncConfig::seeded(0),
-        )
-        .unwrap();
+        let out = run_sync_with_inputs(&AsMulti(wave_protocol()), &g, &[1], &SyncConfig::seeded(0))
+            .unwrap();
         assert_eq!(out.rounds, 1);
     }
 }

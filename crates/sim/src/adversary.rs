@@ -367,18 +367,19 @@ mod tests {
         };
         let slow_v = (0..100).find(|&v| a.is_slow(v)).unwrap();
         let fast_v = (0..100).find(|&v| !a.is_slow(v)).unwrap();
-        let avg = |v: NodeId| {
-            (1..200u64).map(|t| a.step_length(v, t)).sum::<f64>() / 199.0
-        };
+        let avg = |v: NodeId| (1..200u64).map(|t| a.step_length(v, t)).sum::<f64>() / 199.0;
         assert!(avg(slow_v) > 4.0 * avg(fast_v));
     }
 
     #[test]
     fn exponential_is_truncated() {
-        let a = Exponential { seed: 17, mean: 0.5 };
+        let a = Exponential {
+            seed: 17,
+            mean: 0.5,
+        };
         for t in 1..5000 {
             let x = a.step_length(3, t);
-            assert!(x >= 0.005 && x <= 4.0, "x = {x}");
+            assert!((0.005..=4.0).contains(&x), "x = {x}");
         }
     }
 

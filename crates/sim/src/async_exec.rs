@@ -15,6 +15,12 @@
 //!
 //! The run-time is reported both as raw completion time and normalized by
 //! the largest `L`/`D` parameter consumed — the paper's **time unit**.
+//!
+//! Delivery runs on the flat engine ([`crate::engine`]): each transmission
+//! resolves its receiver-side port slot through the graph's precomputed
+//! reverse-port map at *enqueue* time (formerly a `port_of` binary search
+//! per delivery event), and a step's observation reads the incrementally
+//! maintained letter count in O(1) instead of scanning the node's ports.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -25,6 +31,7 @@ use rand::SeedableRng;
 use stoneage_core::{BoundedCount, Fsm, Letter};
 use stoneage_graph::{Graph, NodeId};
 
+use crate::engine::FlatPorts;
 use crate::{splitmix64, Adversary, ExecError};
 
 /// Configuration of an asynchronous execution.
@@ -85,10 +92,12 @@ pub struct AsyncOutcome {
 enum EventKind {
     /// Node applies its next transition.
     Step(NodeId),
-    /// A letter lands in `ports[node][port]`.
+    /// A letter lands in the flat port store at `slot` (a CSR slot of
+    /// `node`, precomputed from the reverse-port map at transmission
+    /// time — no lookup happens at delivery time).
     Deliver {
         node: NodeId,
-        port: u32,
+        slot: u32,
         letter: Letter,
     },
 }
@@ -186,23 +195,28 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
         });
     }
     let sigma0 = protocol.initial_letter();
+    let sigma = protocol.alphabet().len();
     let b = protocol.bound();
 
-    let mut states: Vec<P::State> = inputs
-        .iter()
-        .map(|&i| protocol.initial_state(i))
-        .collect();
-    let mut ports: Vec<Vec<Letter>> = (0..n)
-        .map(|v| vec![sigma0; graph.degree(v as NodeId)])
-        .collect();
-    // pending[v][k]: a letter arrived at this port after v's last step.
-    let mut pending: Vec<Vec<bool>> = (0..n)
-        .map(|v| vec![false; graph.degree(v as NodeId)])
-        .collect();
-    // FIFO watermark per directed edge v → neighbors(v)[k].
-    let mut last_arrival: Vec<Vec<f64>> = (0..n)
-        .map(|v| vec![0.0; graph.degree(v as NodeId)])
-        .collect();
+    // Deliver events carry the receiver's flat CSR slot as u32; fail fast
+    // rather than silently wrapping on graphs beyond that addressing limit
+    // (~2.1B directed port slots).
+    assert!(
+        u32::try_from(graph.port_slot_count()).is_ok(),
+        "graph has {} directed port slots, exceeding the async engine's u32 slot addressing",
+        graph.port_slot_count()
+    );
+
+    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
+    // Flat CSR-indexed port store with incremental per-letter counts:
+    // a step's observation is an O(1) count lookup, not a port scan.
+    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    // pending[slot]: a letter arrived at this port after the owner's last
+    // step. Flat, same CSR layout as the port store.
+    let mut pending: Vec<bool> = vec![false; graph.port_slot_count()];
+    // FIFO watermark per directed edge, indexed by the *sender's* CSR
+    // slot for v → neighbors(v)[k].
+    let mut last_arrival: Vec<f64> = vec![0.0; graph.port_slot_count()];
     let mut rngs: Vec<SmallRng> = (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v ^ 0xABCD))))
         .collect();
@@ -264,25 +278,27 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
             });
         }
         match event.kind {
-            EventKind::Deliver { node, port, letter } => {
-                let (node, port) = (node as usize, port as usize);
-                if pending[node][port] {
+            EventKind::Deliver { node, slot, letter } => {
+                let slot = slot as usize;
+                if pending[slot] {
                     lost_overwrites += 1;
                 }
-                pending[node][port] = true;
-                ports[node][port] = letter;
+                pending[slot] = true;
+                ports.deliver(node as usize, slot, letter);
                 deliveries += 1;
             }
             EventKind::Step(v) => {
                 let vi = v as usize;
                 let t = step_counts[v as usize];
                 total_steps += 1;
-                pending[vi].iter_mut().for_each(|p| *p = false);
+                let base = graph.csr_offset(v);
+                pending[base..base + graph.degree(v)]
+                    .iter_mut()
+                    .for_each(|p| *p = false);
 
                 let query = protocol.query(&states[vi]);
-                let count = ports[vi].iter().filter(|&&l| l == query).count();
-                let transitions =
-                    protocol.delta(&states[vi], BoundedCount::from_count(count, b));
+                let count = ports.count(vi, query) as usize;
+                let transitions = protocol.delta(&states[vi], BoundedCount::from_count(count, b));
                 let (next, emission) = transitions.sample(&mut rngs[vi]);
                 let was_output = protocol.output(&states[vi]).is_some();
                 let is_output = protocol.output(next).is_some();
@@ -295,28 +311,30 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
 
                 if let Some(letter) = emission {
                     messages_sent += 1;
-                    for (k, &u) in graph.neighbors(v).iter().enumerate() {
+                    let nbrs = graph.neighbors(v);
+                    let rev = graph.reverse_ports(v);
+                    for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
                         let d = adversary.delay(v, t, u);
                         debug_assert!(d > 0.0 && d.is_finite());
                         max_param = max_param.max(d);
                         // FIFO: never deliver before an earlier transmission
                         // on the same directed edge.
                         let mut arrival = event.time + d;
-                        if arrival <= last_arrival[vi][k] {
-                            arrival = last_arrival[vi][k] * (1.0 + 1e-12) + 1e-12;
+                        if arrival <= last_arrival[base + k] {
+                            arrival = last_arrival[base + k] * (1.0 + 1e-12) + 1e-12;
                         }
-                        last_arrival[vi][k] = arrival;
-                        let port = graph
-                            .port_of(u, v)
-                            .expect("neighbor lists are symmetric")
-                            as u32;
+                        last_arrival[base + k] = arrival;
+                        // The receiver-side flat slot, via the precomputed
+                        // reverse-port map (formerly a per-event binary
+                        // search through `port_of`).
+                        let slot = (graph.csr_offset(u) + rp as usize) as u32;
                         push(
                             &mut heap,
                             &mut seq,
                             arrival,
                             EventKind::Deliver {
                                 node: u,
-                                port,
+                                slot,
                                 letter: *letter,
                             },
                         );
@@ -392,8 +410,7 @@ mod tests {
         let g = generators::star(6);
         let p = count_neighbors(3);
         let sync_out = run_sync(&AsMulti(p.clone()), &g, &SyncConfig::seeded(1)).unwrap();
-        let async_out =
-            run_async(&p, &g, &Lockstep, &AsyncConfig::seeded(1)).unwrap();
+        let async_out = run_async(&p, &g, &Lockstep, &AsyncConfig::seeded(1)).unwrap();
         assert_eq!(async_out.outputs, sync_out.outputs);
     }
 
@@ -405,8 +422,9 @@ mod tests {
         // observes 0 neighbors.
         let g = generators::star(8);
         let p = count_neighbors(3);
-        let reference =
-            run_async(&p, &g, &Lockstep, &AsyncConfig::seeded(0)).unwrap().outputs;
+        let reference = run_async(&p, &g, &Lockstep, &AsyncConfig::seeded(0))
+            .unwrap()
+            .outputs;
         let mut any_diff = false;
         for seed in 0..20 {
             let adv = Exponential { seed, mean: 0.5 };
@@ -430,7 +448,7 @@ mod tests {
         let g = generators::star(5);
         let p = Synchronized::new(count_neighbors(3));
         let mut expected = vec![1 + 3u64]; // center, degree 4 truncated to ≥3
-        expected.extend(std::iter::repeat(1 + 1).take(4));
+        expected.extend(std::iter::repeat_n(1 + 1, 4));
         for (i, adv) in crate::adversary::standard_panel(7).iter().enumerate() {
             let out = run_async(&p, &g, adv, &AsyncConfig::seeded(100 + i as u64)).unwrap();
             assert_eq!(out.outputs, expected, "adversary {}", adv.name());
@@ -538,8 +556,8 @@ mod tests {
     fn input_mismatch_is_reported() {
         let g = generators::path(3);
         let p = count_neighbors(1);
-        let err = run_async_with_inputs(&p, &g, &[0], &Lockstep, &AsyncConfig::default())
-            .unwrap_err();
+        let err =
+            run_async_with_inputs(&p, &g, &[0], &Lockstep, &AsyncConfig::default()).unwrap_err();
         assert!(matches!(err, ExecError::InputLengthMismatch { .. }));
     }
 }

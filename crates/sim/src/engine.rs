@@ -1,0 +1,228 @@
+//! The **flat delivery engine**: the shared execution substrate of the
+//! synchronous, scoped, and asynchronous executors.
+//!
+//! Three representation choices remove the per-round heap churn that used
+//! to dominate large sweeps:
+//!
+//! 1. **Flat port store.** All ports of all nodes live in one
+//!    `Vec<Letter>` indexed by the graph's CSR offsets
+//!    ([`stoneage_graph::Graph::csr_offset`]): node `v`'s `k`-th port is
+//!    slot `csr_offset(v) + k`. No `Vec<Vec<_>>`, no per-node pointer
+//!    chase, no per-run nested allocations.
+//! 2. **Precomputed reverse-port maps.** Delivering `v`'s letter to every
+//!    neighbor `u` writes slot `csr_offset(u) + ψ_u(v)` where `ψ_u(v)`
+//!    comes from [`stoneage_graph::Graph::reverse_ports`], computed once
+//!    at graph build time — replacing the former per-delivery
+//!    `O(log deg(u))` `port_of` binary search.
+//! 3. **Incremental observation counts.** [`FlatPorts`] maintains, per
+//!    node, the exact number of ports holding each letter; every port
+//!    overwrite decrements the old letter's count and increments the new
+//!    one. A node's phase-1 observation is then an O(|Σ|) refill of a
+//!    reusable [`ObsVec`] scratch buffer
+//!    ([`stoneage_core::ObsVec::refill_from_counts`]) instead of an
+//!    O(deg(v)) port scan plus a fresh `Vec` collect.
+//!
+//! The memory cost of (3) is `|V| · |Σ|` counters, which is the right
+//! trade for the protocol sizes the nFSM model mandates (|Σ| is a model
+//! constant, requirement (M4)).
+//!
+//! Executors additionally keep an **undecided-node counter** (maintained
+//! on state transitions) so termination detection is O(1) per round
+//! rather than an O(|V|) output scan.
+
+use stoneage_core::Letter;
+use stoneage_graph::{Graph, NodeId};
+
+/// The flat port store plus incrementally maintained per-node letter
+/// counts. See the module docs for the layout.
+#[derive(Clone, Debug)]
+pub struct FlatPorts {
+    sigma: usize,
+    /// `letters[csr_offset(v) + k]` = last letter delivered on `v`'s
+    /// `k`-th port.
+    letters: Vec<Letter>,
+    /// `counts[v * sigma + l]` = exact number of `v`'s ports holding
+    /// letter `l`. Always consistent with `letters`.
+    counts: Vec<u32>,
+}
+
+impl FlatPorts {
+    /// All ports initialized to the initial letter `σ₀` (the paper's
+    /// pre-delivery port contents).
+    pub fn new(graph: &Graph, sigma: usize, sigma0: Letter) -> Self {
+        let n = graph.node_count();
+        let mut counts = vec![0u32; n * sigma];
+        for v in 0..n {
+            counts[v * sigma + sigma0.index()] = graph.degree(v as NodeId) as u32;
+        }
+        FlatPorts {
+            sigma,
+            letters: vec![sigma0; graph.port_slot_count()],
+            counts,
+        }
+    }
+
+    /// The alphabet size this store was built for.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The exact per-letter counts of node `v`, indexed by letter index.
+    #[inline]
+    pub fn counts_of(&self, v: usize) -> &[u32] {
+        &self.counts[v * self.sigma..(v + 1) * self.sigma]
+    }
+
+    /// The exact count of `letter` over `v`'s ports — the untruncated
+    /// `#letter` of the paper, in O(1).
+    #[inline]
+    pub fn count(&self, v: usize, letter: Letter) -> u32 {
+        self.counts[v * self.sigma + letter.index()]
+    }
+
+    /// Node `v`'s ports as a slice (port `k` = `v`'s `k`-th neighbor).
+    #[inline]
+    pub fn ports_of(&self, graph: &Graph, v: NodeId) -> &[Letter] {
+        let base = graph.csr_offset(v);
+        &self.letters[base..base + graph.degree(v)]
+    }
+
+    /// The letter currently stored in flat slot `slot`.
+    #[inline]
+    pub fn letter_at(&self, slot: usize) -> Letter {
+        self.letters[slot]
+    }
+
+    /// Overwrites the port at flat `slot` (belonging to node `node`) with
+    /// `letter`, maintaining the incremental counts.
+    #[inline]
+    pub fn deliver(&mut self, node: usize, slot: usize, letter: Letter) {
+        let old = std::mem::replace(&mut self.letters[slot], letter);
+        if old != letter {
+            let base = node * self.sigma;
+            self.counts[base + old.index()] -= 1;
+            self.counts[base + letter.index()] += 1;
+        }
+    }
+
+    /// Broadcasts `letter` from `v` to all of its neighbors' reverse
+    /// ports — the flat-engine delivery of one non-`ε` emission.
+    #[inline]
+    pub fn broadcast(&mut self, graph: &Graph, v: NodeId, letter: Letter) {
+        let nbrs = graph.neighbors(v);
+        let rev = graph.reverse_ports(v);
+        for (&u, &rp) in nbrs.iter().zip(rev) {
+            self.deliver(u as usize, graph.csr_offset(u) + rp as usize, letter);
+        }
+    }
+
+    /// Recomputes all per-node letter counts from scratch by scanning the
+    /// port store. Used by property tests to validate the incremental
+    /// maintenance; executors never call this.
+    pub fn recount(&self, graph: &Graph) -> Vec<u32> {
+        let n = graph.node_count();
+        let mut counts = vec![0u32; n * self.sigma];
+        for v in 0..n {
+            let base = graph.csr_offset(v as NodeId);
+            for k in 0..graph.degree(v as NodeId) {
+                counts[v * self.sigma + self.letters[base + k].index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The raw incremental counts, laid out `[v * sigma + letter]`. For
+    /// comparison against [`FlatPorts::recount`] in tests.
+    pub fn raw_counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use stoneage_graph::generators;
+
+    #[test]
+    fn initial_counts_are_degrees_on_sigma0() {
+        let g = generators::star(5);
+        let ports = FlatPorts::new(&g, 3, Letter(1));
+        assert_eq!(ports.counts_of(0), &[0, 4, 0]);
+        for v in 1..5 {
+            assert_eq!(ports.counts_of(v), &[0, 1, 0]);
+            assert_eq!(ports.count(v, Letter(1)), 1);
+        }
+        assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+    }
+
+    #[test]
+    fn broadcast_lands_on_reverse_ports() {
+        let g = generators::cycle(4);
+        let mut ports = FlatPorts::new(&g, 2, Letter(0));
+        ports.broadcast(&g, 1, Letter(1));
+        // Exactly 0's and 2's ports toward node 1 hold the new letter.
+        for v in g.nodes() {
+            for (k, &u) in g.neighbors(v).iter().enumerate() {
+                let expected = if u == 1 { Letter(1) } else { Letter(0) };
+                assert_eq!(ports.letter_at(g.csr_offset(v) + k), expected);
+            }
+        }
+        assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+    }
+
+    #[test]
+    fn redundant_overwrite_keeps_counts_consistent() {
+        let g = generators::path(3);
+        let mut ports = FlatPorts::new(&g, 2, Letter(0));
+        let slot = g.csr_offset(1); // node 1's port toward node 0
+        ports.deliver(1, slot, Letter(1));
+        ports.deliver(1, slot, Letter(1)); // same letter again
+        ports.deliver(1, slot, Letter(0)); // back to σ₀
+        assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+        assert_eq!(ports.count(1, Letter(0)), 2);
+        assert_eq!(ports.count(1, Letter(1)), 0);
+    }
+
+    proptest! {
+        /// The tentpole invariant: after any sequence of random
+        /// deliveries, the incrementally maintained counts equal a
+        /// from-scratch recount of the port store.
+        #[test]
+        fn incremental_counts_match_recount(
+            n in 2usize..40,
+            p in 0.05f64..0.5,
+            gseed in 0u64..500,
+            sigma in 1usize..6,
+            rounds in 1usize..60,
+        ) {
+            let g = generators::gnp(n, p, gseed);
+            let mut ports = FlatPorts::new(&g, sigma, Letter(0));
+            let mut state = gseed.wrapping_mul(0x9E3779B97F4A7C15) ^ rounds as u64;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..rounds {
+                let v = (next() % n as u64) as usize;
+                let deg = g.degree(v as u32);
+                if deg == 0 {
+                    continue;
+                }
+                if next() % 3 == 0 {
+                    // Whole-node broadcast through the reverse-port map.
+                    let letter = Letter((next() % sigma as u64) as u16);
+                    ports.broadcast(&g, v as u32, letter);
+                } else {
+                    // Single-port overwrite.
+                    let k = (next() % deg as u64) as usize;
+                    let letter = Letter((next() % sigma as u64) as u16);
+                    ports.deliver(v, g.csr_offset(v as u32) + k, letter);
+                }
+            }
+            prop_assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+        }
+    }
+}

@@ -18,20 +18,58 @@
 //! Run-times are reported in the paper's units: rounds for the synchronous
 //! engine; for the asynchronous engine, the completion time normalized by
 //! the largest step-length/delay parameter used (the paper's "time unit").
+//!
+//! # The flat delivery engine
+//!
+//! All three executors (synchronous, [`scoped`], asynchronous) share the
+//! flat execution substrate of the [`engine`] module:
+//!
+//! * **Flat port store** — every port of every node lives in one
+//!   `Vec<Letter>` indexed by the graph's CSR offsets; node `v`'s `k`-th
+//!   port is slot `csr_offset(v) + k`. The round/event loops perform no
+//!   heap allocation.
+//! * **Precomputed reverse-port maps** — the port number `ψ_u(v)` for
+//!   every directed edge `v → u` is computed once at graph build time
+//!   ([`stoneage_graph::Graph::reverse_ports`]), so a delivery is a single
+//!   indexed store instead of a binary search.
+//! * **Incremental observation counts** — per-node per-letter port counts
+//!   are maintained on every overwrite; a phase-1 observation is an
+//!   O(|Σ|) refill of a reusable [`stoneage_core::ObsVec`] scratch buffer
+//!   rather than an O(deg) port scan with a fresh allocation.
+//! * **Undecided-node counter** — termination is detected by a counter
+//!   updated on state transitions, not an O(|V|) output scan per round.
+//!
+//! None of this changes semantics. The lockstep loop still applies all
+//! phase-1 transitions against the frozen previous-round ports before any
+//! phase-2 delivery, preserving (S1) — all nodes observe the same round —
+//! and (S2) — after round `t + 1`, port `ψ_u(v)` holds the letter `v`
+//! transmitted in round `t` (or the last earlier one; `ε` never
+//! overwrites). Outputs are **bit-identical per seed** to the naive
+//! pre-flat executor, which survives as [`reference::run_sync_reference`]
+//! for differential testing and benchmarking.
+//!
+//! With the `parallel` cargo feature (alias: `rayon`; implemented with
+//! `std::thread` because this build environment vendors no external
+//! crates), [`run_sync_parallel`] chunks phase 1 across worker threads —
+//! deterministically, since every node owns an independent seeded RNG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 mod async_exec;
+pub mod engine;
+pub mod reference;
 pub mod scoped;
 mod sync_exec;
 
 pub use adversary::Adversary;
 pub use async_exec::{
-    run_async, run_async_observed, run_async_with_inputs, AsyncConfig, AsyncObserver,
-    AsyncOutcome, NoopAsyncObserver,
+    run_async, run_async_observed, run_async_with_inputs, AsyncConfig, AsyncObserver, AsyncOutcome,
+    NoopAsyncObserver,
 };
+pub use engine::FlatPorts;
+pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
 pub use scoped::{
     run_scoped, ScopedDelivery, ScopedEmission, ScopedMultiFsm, ScopedOutcome, ScopedTransitions,
 };
@@ -39,6 +77,8 @@ pub use sync_exec::{
     run_sync, run_sync_observed, run_sync_with_inputs, NoopObserver, SyncConfig, SyncObserver,
     SyncOutcome,
 };
+#[cfg(feature = "parallel")]
+pub use sync_exec::{run_sync_parallel, run_sync_parallel_with_inputs};
 
 /// Why an execution failed to reach an output configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]

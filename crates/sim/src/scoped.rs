@@ -23,9 +23,10 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use stoneage_core::{Alphabet, BoundedCount, Letter, ObsVec};
+use stoneage_core::{Alphabet, Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
 
+use crate::engine::FlatPorts;
 use crate::{splitmix64, ExecError};
 
 /// An emission under the port-select extension.
@@ -131,20 +132,24 @@ pub fn run_scoped<P: ScopedMultiFsm>(
     let sigma0 = protocol.initial_letter();
 
     let mut states: Vec<P::State> = (0..n).map(|_| protocol.initial_state(0)).collect();
-    let mut ports: Vec<Vec<Letter>> = (0..n)
-        .map(|v| vec![sigma0; graph.degree(v as NodeId)])
-        .collect();
+    let mut ports = FlatPorts::new(graph, sigma, sigma0);
     let mut rngs: Vec<SmallRng> = (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
         .collect();
 
     let mut scoped_deliveries = Vec::new();
-    let mut counts = vec![0usize; sigma];
+    let mut obs = ObsVec::zeroed(sigma);
     let mut emissions: Vec<ScopedEmission> = vec![ScopedEmission::Silent; n];
+    // Round-loop scratch buffers, reused across rounds.
+    let mut writes: Vec<(usize, usize, Letter)> = Vec::new(); // (node, flat slot, letter)
+    let mut candidates: Vec<usize> = Vec::new();
 
-    let finished =
-        |states: &[P::State]| states.iter().all(|q| protocol.output(q).is_some());
-    if finished(&states) {
+    // Undecided-node counter, maintained on state transitions.
+    let mut undecided = states
+        .iter()
+        .filter(|q| protocol.output(q).is_none())
+        .count();
+    if undecided == 0 {
         return Ok(ScopedOutcome {
             outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
             rounds: 0,
@@ -153,54 +158,59 @@ pub fn run_scoped<P: ScopedMultiFsm>(
     }
 
     for round in 1..=max_rounds {
-        // Phase 1: transitions from the old ports.
+        // Phase 1: transitions from the old ports, observed through the
+        // incremental per-letter counts.
         for v in 0..n {
-            counts.iter_mut().for_each(|c| *c = 0);
-            for &l in &ports[v] {
-                counts[l.index()] += 1;
-            }
-            let obs = ObsVec::new(
-                counts
-                    .iter()
-                    .map(|&c| BoundedCount::from_count(c, b))
-                    .collect(),
-            );
+            obs.refill_from_counts(ports.counts_of(v), b);
             let t = protocol.delta(&states[v], &obs);
             let idx = if t.choices.len() == 1 {
                 0
             } else {
                 rngs[v].gen_range(0..t.choices.len())
             };
+            let was_output = protocol.output(&states[v]).is_some();
+            let is_output = protocol.output(&t.choices[idx].0).is_some();
+            match (was_output, is_output) {
+                (false, true) => undecided -= 1,
+                (true, false) => undecided += 1,
+                _ => {}
+            }
             states[v] = t.choices[idx].0.clone();
             emissions[v] = t.choices[idx].1;
         }
         // Phase 2: resolve and apply emissions against the old ports.
         // Scoped target selection must use the ports as the sender
         // observed them, so compute all targets before writing.
-        let mut writes: Vec<(usize, usize, Letter)> = Vec::new(); // (node, port, letter)
+        writes.clear();
         for v in 0..n {
             match emissions[v] {
                 ScopedEmission::Silent => {}
                 ScopedEmission::Broadcast(letter) => {
-                    for &u in graph.neighbors(v as NodeId) {
-                        let port = graph.port_of(u, v as NodeId).expect("symmetric");
-                        writes.push((u as usize, port, letter));
+                    let nbrs = graph.neighbors(v as NodeId);
+                    let rev = graph.reverse_ports(v as NodeId);
+                    for (&u, &rp) in nbrs.iter().zip(rev) {
+                        writes.push((u as usize, graph.csr_offset(u) + rp as usize, letter));
                     }
                 }
                 ScopedEmission::ToOnePortHolding { send, holding } => {
-                    let candidates: Vec<usize> = ports[v]
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &l)| l == holding)
-                        .map(|(k, _)| k)
-                        .collect();
-                    if candidates.is_empty() {
+                    // O(1) pre-check via the incremental counts before
+                    // scanning for the qualifying ports.
+                    if ports.count(v, holding) == 0 {
                         continue;
                     }
+                    candidates.clear();
+                    candidates.extend(
+                        ports
+                            .ports_of(graph, v as NodeId)
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &l)| l == holding)
+                            .map(|(k, _)| k),
+                    );
                     let k = candidates[rngs[v].gen_range(0..candidates.len())];
                     let u = graph.neighbors(v as NodeId)[k];
-                    let port = graph.port_of(u, v as NodeId).expect("symmetric");
-                    writes.push((u as usize, port, send));
+                    let rp = graph.reverse_ports(v as NodeId)[k] as usize;
+                    writes.push((u as usize, graph.csr_offset(u) + rp, send));
                     scoped_deliveries.push(ScopedDelivery {
                         round,
                         from: v as NodeId,
@@ -210,10 +220,10 @@ pub fn run_scoped<P: ScopedMultiFsm>(
                 }
             }
         }
-        for (u, port, letter) in writes {
-            ports[u][port] = letter;
+        for &(u, slot, letter) in &writes {
+            ports.deliver(u, slot, letter);
         }
-        if finished(&states) {
+        if undecided == 0 {
             return Ok(ScopedOutcome {
                 outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
                 rounds: round,
@@ -223,10 +233,7 @@ pub fn run_scoped<P: ScopedMultiFsm>(
     }
     Err(ExecError::RoundLimit {
         limit: max_rounds,
-        unfinished: states
-            .iter()
-            .filter(|q| protocol.output(q).is_none())
-            .count(),
+        unfinished: undecided,
     })
 }
 
@@ -287,10 +294,9 @@ mod tests {
 
         fn delta(&self, q: &PokeState, obs: &ObsVec) -> ScopedTransitions<PokeState> {
             match q {
-                PokeState::Announce => ScopedTransitions::det(
-                    PokeState::Poke,
-                    ScopedEmission::Broadcast(Letter(1)),
-                ),
+                PokeState::Announce => {
+                    ScopedTransitions::det(PokeState::Poke, ScopedEmission::Broadcast(Letter(1)))
+                }
                 PokeState::Poke => ScopedTransitions::det(
                     PokeState::Wait,
                     ScopedEmission::ToOnePortHolding {
@@ -317,14 +323,14 @@ mod tests {
         assert_eq!(out.scoped_deliveries.len(), 6);
         // Total pokes received equals pokes sent; counts are truncated at
         // b = 2 in outputs but deliveries are exact.
-        let mut received = vec![0usize; 6];
+        let mut received = [0usize; 6];
         for d in &out.scoped_deliveries {
             assert_eq!(d.letter, Letter(2));
             assert_ne!(d.from, d.to);
             received[d.to as usize] += 1;
         }
-        for v in 0..6 {
-            assert_eq!(out.outputs[v], (received[v].min(2)) as u64);
+        for (v, &r) in received.iter().enumerate() {
+            assert_eq!(out.outputs[v], r.min(2) as u64);
         }
     }
 

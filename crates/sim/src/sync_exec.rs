@@ -1,6 +1,6 @@
 #![allow(clippy::needless_range_loop)]
 
-//! The lockstep synchronous round executor.
+//! The lockstep synchronous round executor, on the flat delivery engine.
 //!
 //! Implements the *locally synchronous environment* of Section 3.1 in its
 //! strongest (lockstep) form, which trivially satisfies the two
@@ -8,6 +8,15 @@
 //! (S2) at the end of round `t + 1`, the port `ψ_u(v)` stores the message
 //! transmitted by `v` in round `t` (or the last message transmitted prior
 //! to round `t` — `ε` emissions do not overwrite ports).
+//!
+//! The round loop allocates nothing: ports live in a flat CSR-indexed
+//! store with incremental per-letter counts ([`crate::engine::FlatPorts`]),
+//! observations refill a scratch [`ObsVec`], deliveries use the graph's
+//! precomputed reverse-port map, and termination is detected by an
+//! undecided-node counter updated on state transitions. Outputs are
+//! bit-identical per seed to the naive reference executor
+//! ([`crate::reference::run_sync_reference`]), which is kept as a
+//! differential-testing oracle.
 //!
 //! The executor runs [`MultiFsm`] protocols directly (multiple-letter
 //! queries are free in a synchronous environment by Theorem 3.4); run
@@ -17,9 +26,10 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use stoneage_core::{BoundedCount, Letter, MultiFsm, ObsVec};
+use stoneage_core::{Letter, MultiFsm, ObsVec};
 use stoneage_graph::Graph;
 
+use crate::engine::FlatPorts;
 use crate::{splitmix64, ExecError};
 
 /// Configuration of a synchronous execution.
@@ -99,6 +109,67 @@ pub fn run_sync_with_inputs<P: MultiFsm>(
     run_sync_observed(protocol, graph, inputs, config, &mut NoopObserver)
 }
 
+/// The per-node RNG streams: a pure function of `(seed, node id)`, shared
+/// by the serial and parallel executors so their draws are identical.
+fn seed_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
+    (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v))))
+        .collect()
+}
+
+fn collect_outputs<P: MultiFsm>(protocol: &P, states: &[P::State]) -> Vec<u64> {
+    states
+        .iter()
+        .map(|q| protocol.output(q).expect("output configuration"))
+        .collect()
+}
+
+/// Phase 1 over the node window `base..base + states.len()`: observe the
+/// frozen ports through the incremental counts and apply δ. Returns the
+/// change to the undecided-node counter. This is the single transcription
+/// of the phase-1 semantics — the serial executor runs it over the whole
+/// node range, the parallel executor over disjoint chunks.
+fn phase1<P: MultiFsm>(
+    protocol: &P,
+    ports: &FlatPorts,
+    base: usize,
+    states: &mut [P::State],
+    emissions: &mut [Option<Letter>],
+    rngs: &mut [SmallRng],
+    obs: &mut ObsVec,
+) -> isize {
+    let b = protocol.bound();
+    let mut undecided_delta = 0isize;
+    for i in 0..states.len() {
+        obs.refill_from_counts(ports.counts_of(base + i), b);
+        let transitions = protocol.delta(&states[i], obs);
+        let (next, emission) = transitions.sample(&mut rngs[i]);
+        let was_output = protocol.output(&states[i]).is_some();
+        let is_output = protocol.output(next).is_some();
+        match (was_output, is_output) {
+            (false, true) => undecided_delta -= 1,
+            (true, false) => undecided_delta += 1,
+            _ => {}
+        }
+        states[i] = next.clone();
+        emissions[i] = *emission;
+    }
+    undecided_delta
+}
+
+/// Phase 2: deliver all emissions through the reverse-port map (`ε`
+/// leaves ports untouched). Returns the number of non-`ε` transmissions.
+fn phase2(graph: &Graph, ports: &mut FlatPorts, emissions: &[Option<Letter>]) -> u64 {
+    let mut sent = 0u64;
+    for (v, emission) in emissions.iter().enumerate() {
+        if let Some(letter) = emission {
+            sent += 1;
+            ports.broadcast(graph, v as u32, *letter);
+        }
+    }
+    sent
+}
+
 /// Runs `protocol` synchronously, invoking `observer` after every round.
 pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
     protocol: &P,
@@ -115,91 +186,187 @@ pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
         });
     }
     let sigma = protocol.alphabet().len();
-    let b = protocol.bound();
     let sigma0 = protocol.initial_letter();
 
-    let mut states: Vec<P::State> = inputs
-        .iter()
-        .map(|&i| protocol.initial_state(i))
-        .collect();
-    // ports[v][k] = last letter delivered from graph.neighbors(v)[k].
-    let mut ports: Vec<Vec<Letter>> = (0..n)
-        .map(|v| vec![sigma0; graph.degree(v as u32)])
-        .collect();
-    let mut rngs: Vec<SmallRng> = (0..n as u64)
-        .map(|v| SmallRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v))))
-        .collect();
+    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
+    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    let mut rngs = seed_rngs(n, config.seed);
 
     let mut messages_sent = 0u64;
-    let mut counts = vec![0usize; sigma];
+    let mut obs = ObsVec::zeroed(sigma);
     let mut emissions: Vec<Option<Letter>> = vec![None; n];
 
-    let finished = |states: &[P::State]| {
-        states.iter().all(|q| protocol.output(q).is_some())
-    };
+    // Termination detection: count of nodes not yet in an output state,
+    // maintained on every state transition instead of scanned per round.
+    let mut undecided = states
+        .iter()
+        .filter(|q| protocol.output(q).is_none())
+        .count() as isize;
 
-    if finished(&states) {
-        let outputs = states
-            .iter()
-            .map(|q| protocol.output(q).expect("checked"))
-            .collect();
+    if undecided == 0 {
         return Ok(SyncOutcome {
-            outputs,
+            outputs: collect_outputs(protocol, &states),
             rounds: 0,
             messages_sent,
         });
     }
 
     for round in 1..=config.max_rounds {
-        // Phase 1: every node observes its ports and applies δ.
-        for v in 0..n {
-            counts.iter_mut().for_each(|c| *c = 0);
-            for &l in &ports[v] {
-                counts[l.index()] += 1;
-            }
-            let obs = ObsVec::new(
-                counts
-                    .iter()
-                    .map(|&c| BoundedCount::from_count(c, b))
-                    .collect(),
-            );
-            let transitions = protocol.delta(&states[v], &obs);
-            let (next, emission) = transitions.sample(&mut rngs[v]);
-            states[v] = next.clone();
-            emissions[v] = *emission;
-        }
-        // Phase 2: deliver all emissions (ε leaves ports untouched).
-        for v in 0..n {
-            if let Some(letter) = emissions[v] {
-                messages_sent += 1;
-                for &u in graph.neighbors(v as u32) {
-                    let port = graph
-                        .port_of(u, v as u32)
-                        .expect("neighbor lists are symmetric");
-                    ports[u as usize][port] = letter;
-                }
-            }
-        }
+        undecided += phase1(
+            protocol,
+            &ports,
+            0,
+            &mut states,
+            &mut emissions,
+            &mut rngs,
+            &mut obs,
+        );
+        messages_sent += phase2(graph, &mut ports, &emissions);
         observer.on_round_end(round, &states);
-        if finished(&states) {
-            let outputs = states
-                .iter()
-                .map(|q| protocol.output(q).expect("checked"))
-                .collect();
+        if undecided == 0 {
             return Ok(SyncOutcome {
-                outputs,
+                outputs: collect_outputs(protocol, &states),
                 rounds: round,
                 messages_sent,
             });
         }
     }
-    let unfinished = states
-        .iter()
-        .filter(|q| protocol.output(q).is_none())
-        .count();
     Err(ExecError::RoundLimit {
         limit: config.max_rounds,
-        unfinished,
+        unfinished: undecided as usize,
+    })
+}
+
+/// Runs `protocol` synchronously with all-zero inputs, parallelizing
+/// phase 1 across nodes. See [`run_sync_parallel_with_inputs`].
+#[cfg(feature = "parallel")]
+pub fn run_sync_parallel<P>(
+    protocol: &P,
+    graph: &Graph,
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    let inputs = vec![0usize; graph.node_count()];
+    run_sync_parallel_with_inputs(protocol, graph, &inputs, config)
+}
+
+/// Below this node count the per-round thread spawn+join overhead of the
+/// chunked phase 1 outweighs the parallel speedup, so
+/// [`run_sync_parallel_with_inputs`] falls back to the serial engine
+/// (which is bit-identical anyway).
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_NODES: usize = 4096;
+
+/// The parallel twin of [`run_sync_with_inputs`]: phase 1 (observation +
+/// transition) is data-parallel across nodes, so it is chunked over
+/// `std::thread::scope` workers; phase 2 (delivery) and termination
+/// detection stay serial. Both phases are the *same* [`phase1`]/[`phase2`]
+/// code the serial engine runs — only the chunking differs — so the two
+/// executors cannot drift apart semantically.
+///
+/// Because every node owns an independent seeded RNG and phase 1 reads
+/// only the (frozen) previous-round ports, the parallel schedule cannot
+/// change any node's draw: outputs, rounds, and message counts are
+/// **bit-identical** to [`run_sync_with_inputs`] for every seed. For
+/// graphs smaller than [`PARALLEL_MIN_NODES`] this delegates to the
+/// serial engine outright.
+///
+/// (The `rayon` crate is not vendored in this offline build; the `rayon`
+/// cargo feature is an alias of `parallel` and selects this same
+/// `std::thread`-based implementation.)
+#[cfg(feature = "parallel")]
+pub fn run_sync_parallel_with_inputs<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    let n = graph.node_count();
+    let workers = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    if n < PARALLEL_MIN_NODES || workers < 2 {
+        return run_sync_with_inputs(protocol, graph, inputs, config);
+    }
+    if inputs.len() != n {
+        return Err(ExecError::InputLengthMismatch {
+            nodes: n,
+            inputs: inputs.len(),
+        });
+    }
+    let sigma = protocol.alphabet().len();
+    let sigma0 = protocol.initial_letter();
+
+    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
+    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    let mut rngs = seed_rngs(n, config.seed);
+
+    let mut messages_sent = 0u64;
+    let mut emissions: Vec<Option<Letter>> = vec![None; n];
+    let mut undecided = states
+        .iter()
+        .filter(|q| protocol.output(q).is_none())
+        .count() as isize;
+
+    if undecided == 0 {
+        return Ok(SyncOutcome {
+            outputs: collect_outputs(protocol, &states),
+            rounds: 0,
+            messages_sent,
+        });
+    }
+
+    let chunk = n.div_ceil(workers);
+
+    for round in 1..=config.max_rounds {
+        // Phase 1, chunked: disjoint &mut windows over states, emissions,
+        // and RNGs; shared reads of the frozen ports and counts. Each
+        // chunk runs the same `phase1` the serial engine uses.
+        let ports_ref = &ports;
+        let chunk_deltas: Vec<isize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = states
+                .chunks_mut(chunk)
+                .zip(emissions.chunks_mut(chunk))
+                .zip(rngs.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, ((state_c, emit_c), rng_c))| {
+                    scope.spawn(move || {
+                        let mut obs = ObsVec::zeroed(sigma);
+                        phase1(
+                            protocol,
+                            ports_ref,
+                            ci * chunk,
+                            state_c,
+                            emit_c,
+                            rng_c,
+                            &mut obs,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        undecided += chunk_deltas.iter().sum::<isize>();
+
+        messages_sent += phase2(graph, &mut ports, &emissions);
+        if undecided == 0 {
+            return Ok(SyncOutcome {
+                outputs: collect_outputs(protocol, &states),
+                rounds: round,
+                messages_sent,
+            });
+        }
+    }
+    Err(ExecError::RoundLimit {
+        limit: config.max_rounds,
+        unfinished: undecided as usize,
     })
 }
 
@@ -313,8 +480,7 @@ mod tests {
         b.set_transition_all(o1, Transitions::det(o1, None));
         let p = AsMulti(b.build().unwrap());
         let g = generators::path(4);
-        let out =
-            run_sync_with_inputs(&p, &g, &[0, 1, 1, 0], &SyncConfig::default()).unwrap();
+        let out = run_sync_with_inputs(&p, &g, &[0, 1, 1, 0], &SyncConfig::default()).unwrap();
         assert_eq!(out.outputs, vec![100, 200, 200, 100]);
     }
 
@@ -356,8 +522,7 @@ mod tests {
         let g = generators::cycle(5);
         let mut obs = Counter(0);
         let inputs = vec![0; 5];
-        let out =
-            run_sync_observed(&p, &g, &inputs, &SyncConfig::seeded(0), &mut obs).unwrap();
+        let out = run_sync_observed(&p, &g, &inputs, &SyncConfig::seeded(0), &mut obs).unwrap();
         assert_eq!(obs.0, out.rounds);
     }
 

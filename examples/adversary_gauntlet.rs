@@ -36,8 +36,8 @@ fn main() {
     );
 
     println!(
-        "{:<14} {:>12} {:>10} {:>12} {:>10}  {}",
-        "adversary", "time units", "steps", "deliveries", "lost", "result"
+        "{:<14} {:>12} {:>10} {:>12} {:>10}  result",
+        "adversary", "time units", "steps", "deliveries", "lost"
     );
     for adv in standard_panel(17) {
         let out = run_async(&pipeline, &g, &adv, &AsyncConfig::seeded(9))

@@ -23,8 +23,14 @@ fn main() {
     let protocol = MisProtocol::new();
     let mut observer = MisObserver::new(n);
     let inputs = vec![0usize; n];
-    let out = run_sync_observed(&protocol, &g, &inputs, &SyncConfig::seeded(7), &mut observer)
-        .expect("the MIS protocol terminates with probability 1");
+    let out = run_sync_observed(
+        &protocol,
+        &g,
+        &inputs,
+        &SyncConfig::seeded(7),
+        &mut observer,
+    )
+    .expect("the MIS protocol terminates with probability 1");
 
     let mis = decode_mis(&out.outputs);
     let size = mis.iter().filter(|&&x| x).count();

@@ -40,8 +40,8 @@ fn main() {
 
     // Lemma 6.2: the same computation on a path network of |w| + 2 nFSM
     // nodes (end markers are the degree-1 endpoints).
-    let (accepted, rounds) = to_nfsm::run_on_path(&machine, &input, 1, 10_000_000)
-        .expect("path protocol terminates");
+    let (accepted, rounds) =
+        to_nfsm::run_on_path(&machine, &input, 1, 10_000_000).expect("path protocol terminates");
     println!(
         "path of {} nFSM nodes: {:?} → {} in {} synchronous rounds",
         input.len() + 2,

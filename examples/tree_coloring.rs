@@ -44,14 +44,12 @@ fn main() {
 
     // A small tree, drawn with its colors.
     let g = generators::kary_tree(15, 2);
-    let out = run_sync(
-        &ColoringProtocol::new(),
-        &g,
-        &SyncConfig::seeded(1),
-    )
-    .unwrap();
+    let out = run_sync(&ColoringProtocol::new(), &g, &SyncConfig::seeded(1)).unwrap();
     let colors = decode_coloring(&out.outputs);
-    println!("\ncomplete binary tree on 15 nodes, colored in {} rounds:", out.rounds);
+    println!(
+        "\ncomplete binary tree on 15 nodes, colored in {} rounds:",
+        out.rounds
+    );
     let mut level_start = 0usize;
     let mut width = 1usize;
     while level_start < 15 {

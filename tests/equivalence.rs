@@ -43,13 +43,8 @@ fn lemma_61_handles_structured_state_protocols() {
     ] {
         let inputs = wave_inputs(g.node_count(), &[src]);
         let p = AsMulti(wave_protocol());
-        let native = stoneage::sim::run_sync_with_inputs(
-            &p,
-            &g,
-            &inputs,
-            &SyncConfig::seeded(2),
-        )
-        .unwrap();
+        let native =
+            stoneage::sim::run_sync_with_inputs(&p, &g, &inputs, &SyncConfig::seeded(2)).unwrap();
         let sweep =
             sweep::simulate_on_tape(&p, &g, &inputs, 2, 100_000, |s| *s as u64, |c| c as u16)
                 .unwrap();
@@ -87,8 +82,7 @@ fn lemma_62_randomized_machine_many_seeds() {
     let m = machines::random_walk_contains_b();
     for seed in 0..8 {
         for (w, expect) in [("aaab", true), ("aaaa", false), ("", false), ("b", true)] {
-            let (verdict, _) =
-                to_nfsm::run_on_path(&m, &encode_abc(w), seed, 10_000_000).unwrap();
+            let (verdict, _) = to_nfsm::run_on_path(&m, &encode_abc(w), seed, 10_000_000).unwrap();
             assert_eq!(verdict, expect, "{w:?} seed {seed}");
         }
     }
@@ -109,7 +103,9 @@ fn coloring_protocol_survives_large_instances() {
         )
         .unwrap();
         let colors = stoneage::protocols::decode_coloring(&out.outputs);
-        assert!(stoneage::graph::validate::is_proper_k_coloring(&g, &colors, 3));
+        assert!(stoneage::graph::validate::is_proper_k_coloring(
+            &g, &colors, 3
+        ));
         assert!(
             out.rounds < 60 * 15,
             "O(log n): got {} rounds for n = 20000",

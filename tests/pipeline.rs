@@ -78,8 +78,7 @@ fn synchronized_wave_covers_every_connected_graph() {
         assert!(traversal::is_connected(&g));
         let inputs = wave_inputs(g.node_count(), &[src]);
         let adv = Exponential { seed: 4, mean: 0.4 };
-        let out =
-            run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(6)).unwrap();
+        let out = run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(6)).unwrap();
         assert!(out.outputs.iter().all(|&o| o == 1));
         assert!(out.normalized_time > 0.0);
         assert!(out.time_unit > 0.0);
@@ -103,8 +102,7 @@ fn synchronizer_overhead_is_constant_per_round() {
             &SyncConfig::seeded(0),
         )
         .unwrap();
-        let asy =
-            run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(2)).unwrap();
+        let asy = run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(2)).unwrap();
         per_round.push(asy.normalized_time / sync.rounds as f64);
     }
     let min = per_round.iter().copied().fold(f64::MAX, f64::min);
@@ -126,5 +124,7 @@ fn facade_reexports_compose() {
     )
     .unwrap();
     let mis = stoneage::protocols::decode_mis(&out.outputs);
-    assert!(stoneage::graph::validate::is_maximal_independent_set(&g, &mis));
+    assert!(stoneage::graph::validate::is_maximal_independent_set(
+        &g, &mis
+    ));
 }

@@ -60,8 +60,8 @@ proptest! {
             touched[a as usize] = true;
             touched[b as usize] = true;
         }
-        for v in 0..n {
-            prop_assert_eq!(out.outputs[v] == 1, touched[v]);
+        for (v, &t) in touched.iter().enumerate() {
+            prop_assert_eq!(out.outputs[v] == 1, t);
         }
     }
 

@@ -2,8 +2,8 @@
 //! Lemma 3.2 / synchronization property (S1) — plus the asynchronous
 //! engine's per-edge FIFO guarantee.
 
-use stoneage::core::{Fsm, SingleLetter, Synchronized};
 use stoneage::core::sync::SyncState;
+use stoneage::core::{Fsm, SingleLetter, Synchronized};
 use stoneage::graph::{generators, Graph, NodeId};
 use stoneage::protocols::MisProtocol;
 use stoneage::sim::adversary::{Exponential, SlowNodes, UniformRandom};
@@ -28,7 +28,7 @@ impl<'g, S> SkewWatch<'g, S> {
             phases: vec![0; graph.node_count()],
             in_pause_zero: vec![true; graph.node_count()],
             max_skew: 0,
-        _marker: std::marker::PhantomData,
+            _marker: std::marker::PhantomData,
         }
     }
 }
@@ -61,8 +61,15 @@ fn check_s1<A: Adversary>(g: &Graph, adv: &A, seed: u64) {
     let pipeline = Synchronized::new(SingleLetter::new(MisProtocol::new()));
     let inputs = vec![0usize; g.node_count()];
     let mut watch = SkewWatch::new(g);
-    run_async_observed(&pipeline, g, &inputs, adv, &AsyncConfig::seeded(seed), &mut watch)
-        .expect("pipeline terminates");
+    run_async_observed(
+        &pipeline,
+        g,
+        &inputs,
+        adv,
+        &AsyncConfig::seeded(seed),
+        &mut watch,
+    )
+    .expect("pipeline terminates");
     // The watch must actually have seen progress.
     assert!(watch.phases.iter().any(|&p| p > 2), "no phases observed");
 }
