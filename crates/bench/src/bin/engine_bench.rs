@@ -1,26 +1,39 @@
-//! Emits the `BENCH_engine.json` perf-trajectory snapshot: rounds/sec of
-//! the flat delivery engine vs the preserved naive reference executor on
-//! gnp(50k, avg deg 8).
+//! Emits the `BENCH_engine.json` perf-trajectory snapshot:
+//!
+//! * **sync section** — rounds/sec of the flat delivery engine vs the
+//!   preserved naive reference executor on gnp(50k, avg deg 8);
+//! * **async sweep** — events/sec (and derived rounds/sec) of the
+//!   calendar-wheel scheduler vs the preserved binary-heap scheduler on
+//!   gnp / tree / grid instances under a uniform-random adversary.
 //!
 //! ```text
-//! engine_bench                      # writes BENCH_engine.json in the cwd
-//! engine_bench --out path.json      # custom output path
-//! engine_bench --quick              # CI-sized instance (n = 5k)
+//! engine_bench                          # writes BENCH_engine.json in the cwd
+//! engine_bench --out path.json          # custom output path
+//! engine_bench --quick                  # CI-sized instances (n = 5k)
+//! engine_bench --min-async-speedup 1.0  # exit(1) if any wheel entry
+//!                                       # regresses below that ratio
 //! ```
 //!
-//! The workload is the same blinker protocol as `benches/engine.rs`:
+//! The sync workload is the same blinker protocol as `benches/engine.rs`:
 //! every round every node broadcasts, every delivery flips its port's
 //! letter, so both the reverse-port-map write path and the incremental
-//! count maintenance run at full tilt. Each engine is measured over
-//! several repetitions and the best (least-noise) repetition is reported.
+//! count maintenance run at full tilt. The async workload runs the same
+//! blinker under `UniformRandom` to a fixed event budget, so heap and
+//! wheel execute the *identical* event sequence (they are bit-identical
+//! per seed) and differ only in scheduling cost. Each measurement takes
+//! the best of several repetitions.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use stoneage_bench::json::Value;
 use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuilder, Transitions};
-use stoneage_graph::generators;
-use stoneage_sim::{run_sync, run_sync_reference, ExecError, SyncConfig, SyncOutcome};
+use stoneage_graph::{generators, Graph};
+use stoneage_sim::adversary::UniformRandom;
+use stoneage_sim::{
+    run_async, run_sync, run_sync_reference, AsyncConfig, ExecError, SchedulerKind, SyncConfig,
+    SyncOutcome,
+};
 
 fn blinker() -> TableProtocol {
     let alphabet = Alphabet::new(["a", "b"]);
@@ -46,20 +59,134 @@ fn measure(rounds: u64, reps: usize, run: impl Fn() -> Result<SyncOutcome, ExecE
     rounds as f64 / best
 }
 
+/// Best-rep events/sec of one async scheduler on a fixed event budget,
+/// plus the unfinished-node frontier at the budget (a cheap differential
+/// guard across schedulers).
+fn measure_async(
+    g: &Graph,
+    scheduler: SchedulerKind,
+    max_events: u64,
+    reps: usize,
+) -> (f64, usize) {
+    let p = blinker();
+    let adv = UniformRandom { seed: 11 };
+    let config = AsyncConfig {
+        max_events,
+        ..AsyncConfig::seeded(1).with_scheduler(scheduler)
+    };
+    let run = || run_async(&p, g, &adv, &config);
+    // Warm-up.
+    let warm = run().expect_err("blinker never terminates");
+    let unfinished = match warm {
+        ExecError::EventLimit { unfinished, .. } => unfinished,
+        other => panic!("expected EventLimit, got {other:?}"),
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let err = run().expect_err("blinker never terminates");
+        assert!(matches!(err, ExecError::EventLimit { .. }));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (max_events as f64 / best, unfinished)
+}
+
+struct AsyncEntry {
+    family: &'static str,
+    n: usize,
+    edges: usize,
+    heap_eps: f64,
+    wheel_eps: f64,
+    heap_rps: f64,
+    wheel_rps: f64,
+    speedup: f64,
+}
+
+fn async_sweep(quick: bool, reps: usize) -> (Vec<AsyncEntry>, u64) {
+    let n: usize = if quick { 5_000 } else { 50_000 };
+    let max_events: u64 = if quick { 400_000 } else { 4_000_000 };
+    let avg_deg = 8.0;
+    let side = (n as f64).sqrt().ceil() as usize;
+    let graphs: [(&'static str, Graph); 3] = [
+        ("gnp", generators::gnp(n, avg_deg / n as f64, 7)),
+        ("tree", generators::random_tree(n, 13)),
+        ("grid", generators::grid(side, side)),
+    ];
+    let mut entries = Vec::new();
+    for (family, g) in graphs {
+        let nodes = g.node_count();
+        let edges = g.edge_count();
+        eprintln!(
+            "engine_bench[async]: {family}(n = {nodes}, |E| = {edges}), \
+             {max_events} events x {reps} reps"
+        );
+        let (heap_eps, heap_unfinished) =
+            measure_async(&g, SchedulerKind::BinaryHeap, max_events, reps);
+        let (wheel_eps, wheel_unfinished) =
+            measure_async(&g, SchedulerKind::CalendarWheel, max_events, reps);
+        assert_eq!(
+            heap_unfinished, wheel_unfinished,
+            "schedulers reached different frontiers — bit-identity is broken"
+        );
+        // A blinker "round" is one step of every node plus its full
+        // fan-out: n + 2|E| events. Deterministic given the topology, so
+        // rounds/sec is comparable across schedulers and snapshots.
+        let events_per_round = (nodes + 2 * edges) as f64;
+        let entry = AsyncEntry {
+            family,
+            n: nodes,
+            edges,
+            heap_eps,
+            wheel_eps,
+            heap_rps: heap_eps / events_per_round,
+            wheel_rps: wheel_eps / events_per_round,
+            speedup: wheel_eps / heap_eps,
+        };
+        eprintln!(
+            "  heap:  {:>12.0} events/sec ({:.1} rounds/sec)",
+            entry.heap_eps, entry.heap_rps
+        );
+        eprintln!(
+            "  wheel: {:>12.0} events/sec ({:.1} rounds/sec)",
+            entry.wheel_eps, entry.wheel_rps
+        );
+        eprintln!("  speedup: {:.2}x", entry.speedup);
+        entries.push(entry);
+    }
+    (entries, max_events)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_engine.json".to_owned();
     let mut n = 50_000usize;
+    let mut quick = false;
+    let mut min_async_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => n = 5_000,
+            "--quick" => {
+                n = 5_000;
+                quick = true;
+            }
             "--out" => {
                 i += 1;
                 out_path = args.get(i).expect("--out needs a path").clone();
             }
+            "--min-async-speedup" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--min-async-speedup needs a ratio")
+                    .parse::<f64>()
+                    .expect("--min-async-speedup needs a number");
+                min_async_speedup = Some(v);
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: engine_bench [--quick] [--out path]");
+                eprintln!(
+                    "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
+                     [--min-async-speedup ratio]"
+                );
                 std::process::exit(2);
             }
         }
@@ -87,6 +214,37 @@ fn main() {
     let speedup = flat / reference;
     eprintln!("  speedup:   {speedup:.2}x");
 
+    let (async_entries, async_events) = async_sweep(quick, if quick { 3 } else { reps });
+
+    let async_json = Value::Object(vec![
+        (
+            "workload".to_owned(),
+            "blinker broadcast to a fixed event budget".into(),
+        ),
+        ("adversary".to_owned(), "uniform".into()),
+        ("max_events".to_owned(), async_events.into()),
+        (
+            "entries".to_owned(),
+            Value::Array(
+                async_entries
+                    .iter()
+                    .map(|e| {
+                        Value::Object(vec![
+                            ("family".to_owned(), e.family.into()),
+                            ("n".to_owned(), e.n.into()),
+                            ("edges".to_owned(), e.edges.into()),
+                            ("heap_events_per_sec".to_owned(), e.heap_eps.into()),
+                            ("wheel_events_per_sec".to_owned(), e.wheel_eps.into()),
+                            ("heap_rounds_per_sec".to_owned(), e.heap_rps.into()),
+                            ("wheel_rounds_per_sec".to_owned(), e.wheel_rps.into()),
+                            ("speedup".to_owned(), e.speedup.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
     let json = Value::Object(vec![
         ("bench".to_owned(), "engine_throughput".into()),
         (
@@ -111,8 +269,26 @@ fn main() {
         ),
         ("flat_rounds_per_sec".to_owned(), flat.into()),
         ("speedup".to_owned(), speedup.into()),
+        ("async_sweep".to_owned(), async_json),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{}", json.to_string_pretty()).unwrap();
     eprintln!("wrote {out_path}");
+
+    if let Some(min) = min_async_speedup {
+        let mut failed = false;
+        for e in &async_entries {
+            if e.speedup < min {
+                eprintln!(
+                    "REGRESSION: async wheel at {:.2}x of heap on {} (required >= {min:.2}x)",
+                    e.speedup, e.family
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("async wheel within budget: all families >= {min:.2}x of heap");
+    }
 }

@@ -150,6 +150,21 @@ impl ObsVec {
         );
     }
 
+    /// Overwrites this vector in place from a *sparse* count map: the
+    /// `(letter index, exact count)` pairs of the letters with non-zero
+    /// counts, over an alphabet of `sigma` letters (every absent letter
+    /// counts 0). The sparse companion of
+    /// [`ObsVec::refill_from_counts`], used by engines that keep per-node
+    /// counts sparsely when the compiled alphabet is large (e.g. the
+    /// `3(σ+1)²` letters of a synchronized single-letter compilation).
+    pub fn refill_from_sparse(&mut self, sigma: usize, nonzero: &[(u16, u32)], b: u8) {
+        self.counts.clear();
+        self.counts.resize(sigma, BoundedCount::zero());
+        for &(letter, count) in nonzero {
+            self.counts[letter as usize] = BoundedCount::from_count(count as usize, b);
+        }
+    }
+
     /// The truncated count of `letter`.
     pub fn get(&self, letter: Letter) -> BoundedCount {
         self.counts[letter.index()]

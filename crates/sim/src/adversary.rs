@@ -32,6 +32,29 @@ pub trait Adversary {
     /// transmitted by `v` at its step `t`.
     fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64;
 
+    /// Fills `out[k]` with `delay(v, t, neighbors[k])` — the whole latency
+    /// schedule of one broadcast in a single call, so the calendar
+    /// scheduler ([`crate::schedule`]) can turn it into per-edge arrival
+    /// batches without a virtual dispatch per neighbor. Policies with
+    /// structure (e.g. constant delays) may override this with a bulk
+    /// fill; the result must equal per-`k` [`Adversary::delay`] calls
+    /// exactly, or the executor's differential guarantees break.
+    fn fill_delays(&self, v: NodeId, t: u64, neighbors: &[NodeId], out: &mut [f64]) {
+        debug_assert_eq!(neighbors.len(), out.len());
+        for (slot, &u) in out.iter_mut().zip(neighbors) {
+            *slot = self.delay(v, t, u);
+        }
+    }
+
+    /// The policy's own typical step-length scale, if it knows one — used
+    /// by the calendar scheduler to pick its bucket width (see
+    /// [`crate::schedule`] for the trade-off). `None` makes the executor
+    /// estimate the scale from a small deterministic sample of the
+    /// policy. Purely a performance hint: it cannot affect outcomes.
+    fn time_scale_hint(&self) -> Option<f64> {
+        None
+    }
+
     /// Diagnostic name used in experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -63,6 +86,15 @@ impl Adversary for Lockstep {
 
     fn delay(&self, _v: NodeId, _t: u64, _u: NodeId) -> f64 {
         0.5
+    }
+
+    fn fill_delays(&self, _v: NodeId, _t: u64, neighbors: &[NodeId], out: &mut [f64]) {
+        debug_assert_eq!(neighbors.len(), out.len());
+        out.fill(0.5);
+    }
+
+    fn time_scale_hint(&self) -> Option<f64> {
+        Some(1.0)
     }
 
     fn name(&self) -> &'static str {
@@ -117,6 +149,10 @@ impl Adversary for Exponential {
 
     fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
         self.draw(mix3(self.seed, 4, (v as u64) << 32 | u as u64, t))
+    }
+
+    fn time_scale_hint(&self) -> Option<f64> {
+        Some(self.mean)
     }
 
     fn name(&self) -> &'static str {
@@ -273,6 +309,14 @@ impl<A: Adversary + ?Sized> Adversary for &A {
         (**self).delay(v, t, u)
     }
 
+    fn fill_delays(&self, v: NodeId, t: u64, neighbors: &[NodeId], out: &mut [f64]) {
+        (**self).fill_delays(v, t, neighbors, out)
+    }
+
+    fn time_scale_hint(&self) -> Option<f64> {
+        (**self).time_scale_hint()
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -285,6 +329,14 @@ impl Adversary for Box<dyn Adversary> {
 
     fn delay(&self, v: NodeId, t: u64, u: NodeId) -> f64 {
         (**self).delay(v, t, u)
+    }
+
+    fn fill_delays(&self, v: NodeId, t: u64, neighbors: &[NodeId], out: &mut [f64]) {
+        (**self).fill_delays(v, t, neighbors, out)
+    }
+
+    fn time_scale_hint(&self) -> Option<f64> {
+        (**self).time_scale_hint()
     }
 
     fn name(&self) -> &'static str {
@@ -394,6 +446,33 @@ mod tests {
         let has_fast = vals.iter().any(|&x| x < 1.0);
         let has_slow = vals.iter().any(|&x| x > 5.0);
         assert!(has_fast && has_slow);
+    }
+
+    #[test]
+    fn fill_delays_matches_pointwise_delay_for_every_policy() {
+        // The batch API must be a pure transcription of `delay` — the
+        // wheel executor's bit-identity to the heap path depends on it.
+        for adv in standard_panel(21) {
+            let neighbors: Vec<NodeId> = (0..12).collect();
+            let mut out = vec![0.0; neighbors.len()];
+            for v in 0..5u32 {
+                for t in 1..4u64 {
+                    adv.fill_delays(v, t, &neighbors, &mut out);
+                    for (k, &u) in neighbors.iter().enumerate() {
+                        assert_eq!(out[k], adv.delay(v, t, u), "{} v={v} t={t}", adv.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_scale_hints_are_positive_where_present() {
+        for adv in standard_panel(3) {
+            if let Some(s) = adv.time_scale_hint() {
+                assert!(s > 0.0 && s.is_finite(), "{}", adv.name());
+            }
+        }
     }
 
     #[test]

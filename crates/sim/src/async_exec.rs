@@ -16,11 +16,36 @@
 //! The run-time is reported both as raw completion time and normalized by
 //! the largest `L`/`D` parameter consumed — the paper's **time unit**.
 //!
+//! # Scheduling
+//!
+//! Two schedulers drive the event loop, selected by
+//! [`AsyncConfig::scheduler`]:
+//!
+//! * [`SchedulerKind::CalendarWheel`] (the default) — the hierarchical
+//!   timing wheel of [`crate::schedule`]. Pushes and pops are O(1)
+//!   amortized, and a broadcast's same-arrival-time deliveries are
+//!   **batched per edge run**: one bucket entry drains a whole run with a
+//!   single [`FlatPorts`] write pass instead of one heap pop per letter
+//!   (under quantized or lockstep-like latency schedules this collapses a
+//!   `deg(v)`-way fan-out into one event).
+//! * [`SchedulerKind::BinaryHeap`] — the original single global
+//!   `BinaryHeap<Reverse<Event>>`, preserved verbatim as the differential
+//!   oracle and benchmark baseline; its push/pop costs the `O(log m)`
+//!   factor the wheel removes.
+//!
+//! Both paths share every piece of execution state and apply events in the
+//! **exact same `(time, seq)` order**: the wheel orders candidate events
+//! of the current bucket by their exact time and tie-breaking sequence
+//! number, and batches occupy contiguous `seq` ranges, so no foreign event
+//! can interleave a batch that the heap would have split. Outcomes are
+//! bit-identical per seed — pinned by differential and fingerprint tests
+//! in `tests/async_wheel.rs`.
+//!
 //! Delivery runs on the flat engine ([`crate::engine`]): each transmission
 //! resolves its receiver-side port slot through the graph's precomputed
-//! reverse-port map at *enqueue* time (formerly a `port_of` binary search
-//! per delivery event), and a step's observation reads the incrementally
-//! maintained letter count in O(1) instead of scanning the node's ports.
+//! reverse-port map at *enqueue* time, and a step's observation reads the
+//! incrementally maintained letter count in O(1) instead of scanning the
+//! node's ports.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -32,7 +57,20 @@ use stoneage_core::{BoundedCount, Fsm, Letter};
 use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::FlatPorts;
+use crate::schedule::CalendarQueue;
 use crate::{splitmix64, Adversary, ExecError};
+
+/// Which event queue drives [`run_async`]. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The calendar-queue / hierarchical timing wheel of
+    /// [`crate::schedule`], with per-edge batched delivery.
+    #[default]
+    CalendarWheel,
+    /// The preserved global binary-heap path: the differential oracle and
+    /// benchmark baseline.
+    BinaryHeap,
+}
 
 /// Configuration of an asynchronous execution.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +80,14 @@ pub struct AsyncConfig {
     pub seed: u64,
     /// Event budget: exceeding it aborts with [`ExecError::EventLimit`].
     pub max_events: u64,
+    /// Event queue driving the run. Outcomes are bit-identical across
+    /// kinds; only throughput differs.
+    pub scheduler: SchedulerKind,
+    /// Explicit calendar bucket width in simulated time units, overriding
+    /// the executor's estimate (see [`crate::schedule`] for the
+    /// trade-off). Ignored by the heap scheduler. Performance-only: it
+    /// cannot affect outcomes.
+    pub bucket_width: Option<f64>,
 }
 
 impl Default for AsyncConfig {
@@ -49,6 +95,8 @@ impl Default for AsyncConfig {
         AsyncConfig {
             seed: 0,
             max_events: 200_000_000,
+            scheduler: SchedulerKind::CalendarWheel,
+            bucket_width: None,
         }
     }
 }
@@ -60,6 +108,12 @@ impl AsyncConfig {
             seed,
             ..Default::default()
         }
+    }
+
+    /// This config with the given scheduler kind.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 }
 
@@ -88,8 +142,9 @@ pub struct AsyncOutcome {
     pub lost_overwrites: u64,
 }
 
+/// Events of the preserved binary-heap path: one entry per delivery.
 #[derive(Clone, Copy, Debug)]
-enum EventKind {
+enum HeapKind {
     /// Node applies its next transition.
     Step(NodeId),
     /// A letter lands in the flat port store at `slot` (a CSR slot of
@@ -102,11 +157,37 @@ enum EventKind {
     },
 }
 
+/// Events of the calendar-wheel path. Identical to [`HeapKind`] except
+/// that a run of same-arrival-time deliveries of one broadcast collapses
+/// into a single [`WheelKind::DeliverRun`] occupying the run's contiguous
+/// `seq` range.
+#[derive(Clone, Copy, Debug)]
+enum WheelKind {
+    /// Node applies its next transition.
+    Step(NodeId),
+    /// A single delivery (run of length 1), slot precomputed.
+    Deliver {
+        node: NodeId,
+        slot: u32,
+        letter: Letter,
+    },
+    /// Deliveries to neighbors `from..from + len` of `v` (sender-side
+    /// port indices), all arriving at the same instant: drained with one
+    /// flat write pass. Consumes `len` consecutive `seq` values starting
+    /// at the event's own.
+    DeliverRun {
+        v: NodeId,
+        from: u32,
+        len: u32,
+        letter: Letter,
+    },
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Event {
     time: f64,
     seq: u64,
-    kind: EventKind,
+    kind: HeapKind,
 }
 
 impl PartialEq for Event {
@@ -177,6 +258,206 @@ pub fn run_async_with_inputs<P: Fsm, A: Adversary + ?Sized>(
     )
 }
 
+/// The shared execution state of both scheduler paths: everything except
+/// the event queue itself. Keeping it single ensures the wheel rewrite
+/// cannot drift from the preserved heap semantics.
+struct Exec<'a, P: Fsm> {
+    protocol: &'a P,
+    graph: &'a Graph,
+    b: u8,
+    states: Vec<P::State>,
+    /// Flat CSR-indexed port store with incremental per-letter counts:
+    /// a step's observation is an O(1) count lookup, not a port scan.
+    ports: FlatPorts,
+    /// `pending[slot]`: a letter arrived at this port after the owner's
+    /// last step. Flat, same CSR layout as the port store.
+    pending: Vec<bool>,
+    /// FIFO watermark per directed edge, indexed by the *sender's* CSR
+    /// slot for `v → neighbors(v)[k]`.
+    last_arrival: Vec<f64>,
+    rngs: Vec<SmallRng>,
+    step_counts: Vec<u64>,
+    unfinished: usize,
+    max_param: f64,
+    total_steps: u64,
+    messages_sent: u64,
+    deliveries: u64,
+    lost_overwrites: u64,
+}
+
+impl<'a, P: Fsm> Exec<'a, P> {
+    fn new(protocol: &'a P, graph: &'a Graph, inputs: &[usize], seed: u64) -> Self {
+        let n = graph.node_count();
+        let sigma = protocol.alphabet().len();
+        let sigma0 = protocol.initial_letter();
+        let states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
+        let unfinished = states
+            .iter()
+            .filter(|q| protocol.output(q).is_none())
+            .count();
+        Exec {
+            protocol,
+            graph,
+            b: protocol.bound(),
+            states,
+            ports: FlatPorts::new(graph, sigma, sigma0),
+            pending: vec![false; graph.port_slot_count()],
+            last_arrival: vec![0.0; graph.port_slot_count()],
+            rngs: (0..n as u64)
+                .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0xABCD))))
+                .collect(),
+            step_counts: vec![1; n],
+            unfinished,
+            max_param: 0.0,
+            total_steps: 0,
+            messages_sent: 0,
+            deliveries: 0,
+            lost_overwrites: 0,
+        }
+    }
+
+    /// One port write with overwrite-loss accounting.
+    #[inline]
+    fn deliver(&mut self, node: NodeId, slot: usize, letter: Letter) {
+        if self.pending[slot] {
+            self.lost_overwrites += 1;
+        }
+        self.pending[slot] = true;
+        self.ports.deliver(node as usize, slot, letter);
+        self.deliveries += 1;
+    }
+
+    /// Applies node `v`'s pending transition: clears its pending marks,
+    /// observes the query-letter count, samples δ, and maintains the
+    /// undecided counter. Returns the step index and the emission.
+    #[inline]
+    fn apply_step(&mut self, v: NodeId) -> (u64, Option<Letter>) {
+        let vi = v as usize;
+        let t = self.step_counts[vi];
+        self.total_steps += 1;
+        let base = self.graph.csr_offset(v);
+        self.pending[base..base + self.graph.degree(v)]
+            .iter_mut()
+            .for_each(|p| *p = false);
+
+        let query = self.protocol.query(&self.states[vi]);
+        let count = self.ports.count(vi, query) as usize;
+        let transitions = self
+            .protocol
+            .delta(&self.states[vi], BoundedCount::from_count(count, self.b));
+        let (next, emission) = transitions.sample(&mut self.rngs[vi]);
+        let was_output = self.protocol.output(&self.states[vi]).is_some();
+        let is_output = self.protocol.output(next).is_some();
+        self.states[vi] = next.clone();
+        match (was_output, is_output) {
+            (false, true) => self.unfinished -= 1,
+            (true, false) => self.unfinished += 1,
+            _ => {}
+        }
+        (t, *emission)
+    }
+
+    /// Computes the FIFO-bumped arrival time of `v`'s step-`t` broadcast
+    /// at every neighbor, in port order, into `arrivals`. The delay draws,
+    /// `max_param` folding, and the per-edge watermark update are the
+    /// single transcription both scheduler paths share.
+    fn compute_arrivals<A: Adversary + ?Sized>(
+        &mut self,
+        adversary: &A,
+        v: NodeId,
+        t: u64,
+        now: f64,
+        arrivals: &mut Vec<f64>,
+    ) {
+        let nbrs = self.graph.neighbors(v);
+        let base = self.graph.csr_offset(v);
+        arrivals.clear();
+        arrivals.resize(nbrs.len(), 0.0);
+        adversary.fill_delays(v, t, nbrs, arrivals);
+        for (k, a) in arrivals.iter_mut().enumerate() {
+            let d = *a;
+            debug_assert!(d > 0.0 && d.is_finite());
+            self.max_param = self.max_param.max(d);
+            // FIFO: never deliver before an earlier transmission on the
+            // same directed edge.
+            let mut arrival = now + d;
+            if arrival <= self.last_arrival[base + k] {
+                arrival = self.last_arrival[base + k] * (1.0 + 1e-12) + 1e-12;
+            }
+            self.last_arrival[base + k] = arrival;
+            *a = arrival;
+        }
+    }
+
+    /// The next step length for `(v, t)`, folded into the time unit.
+    #[inline]
+    fn step_length<A: Adversary + ?Sized>(&mut self, adversary: &A, v: NodeId, t: u64) -> f64 {
+        let l = adversary.step_length(v, t);
+        debug_assert!(l > 0.0 && l.is_finite());
+        self.max_param = self.max_param.max(l);
+        l
+    }
+
+    fn outcome(self, completion_time: f64) -> AsyncOutcome {
+        let outputs = self
+            .states
+            .iter()
+            .map(|q| self.protocol.output(q).expect("output configuration"))
+            .collect();
+        AsyncOutcome {
+            outputs,
+            completion_time,
+            time_unit: self.max_param,
+            normalized_time: completion_time / self.max_param,
+            total_steps: self.total_steps,
+            messages_sent: self.messages_sent,
+            deliveries: self.deliveries,
+            lost_overwrites: self.lost_overwrites,
+        }
+    }
+}
+
+/// Target mean events per calendar bucket; see [`crate::schedule`] for
+/// why a small handful is the sweet spot.
+const TARGET_EVENTS_PER_TICK: f64 = 4.0;
+
+/// Picks the calendar bucket width for `adversary` on `graph`:
+/// `target / rate` with `rate ≈ (|V| + Σ deg) / mean_step` — every step
+/// reschedules itself and fans out at most `deg(v)` deliveries per unit
+/// of simulated time. The step scale comes from the policy's
+/// [`Adversary::time_scale_hint`] or a small deterministic sample.
+/// Performance-only: any positive width yields identical outcomes.
+fn choose_bucket_width<A: Adversary + ?Sized>(
+    adversary: &A,
+    graph: &Graph,
+    override_width: Option<f64>,
+) -> f64 {
+    if let Some(w) = override_width {
+        if w.is_finite() && w > 0.0 {
+            return w;
+        }
+    }
+    let n = graph.node_count().max(1);
+    let scale = adversary.time_scale_hint().unwrap_or_else(|| {
+        // Deterministic probe of the oblivious parameter sequences: a
+        // handful of early step lengths across a node stride.
+        let probes = n.min(16);
+        let stride = (n / probes).max(1);
+        let mut sum = 0.0;
+        let mut count = 0u32;
+        for i in 0..probes {
+            let v = (i * stride) as NodeId;
+            for t in 1..=2u64 {
+                sum += adversary.step_length(v, t);
+                count += 1;
+            }
+        }
+        sum / count as f64
+    });
+    let rate = (n + graph.degree_sum()) as f64 / scale.max(f64::MIN_POSITIVE);
+    TARGET_EVENTS_PER_TICK / rate
+}
+
 /// Runs `protocol` asynchronously, invoking `observer` after every node
 /// step.
 pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
@@ -194,9 +475,6 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
             inputs: inputs.len(),
         });
     }
-    let sigma0 = protocol.initial_letter();
-    let sigma = protocol.alphabet().len();
-    let b = protocol.bound();
 
     // Deliver events carry the receiver's flat CSR slot as u32; fail fast
     // rather than silently wrapping on graphs beyond that addressing limit
@@ -207,44 +485,11 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
         graph.port_slot_count()
     );
 
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    // Flat CSR-indexed port store with incremental per-letter counts:
-    // a step's observation is an O(1) count lookup, not a port scan.
-    let mut ports = FlatPorts::new(graph, sigma, sigma0);
-    // pending[slot]: a letter arrived at this port after the owner's last
-    // step. Flat, same CSR layout as the port store.
-    let mut pending: Vec<bool> = vec![false; graph.port_slot_count()];
-    // FIFO watermark per directed edge, indexed by the *sender's* CSR
-    // slot for v → neighbors(v)[k].
-    let mut last_arrival: Vec<f64> = vec![0.0; graph.port_slot_count()];
-    let mut rngs: Vec<SmallRng> = (0..n as u64)
-        .map(|v| SmallRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v ^ 0xABCD))))
-        .collect();
-    let mut step_counts: Vec<u64> = vec![1; n];
+    let ex = Exec::new(protocol, graph, inputs, config.seed);
 
-    let mut unfinished = states
-        .iter()
-        .filter(|q| protocol.output(q).is_none())
-        .count();
-    let mut max_param = 0.0f64;
-    let mut total_steps = 0u64;
-    let mut messages_sent = 0u64;
-    let mut deliveries = 0u64;
-    let mut lost_overwrites = 0u64;
-    let mut seq = 0u64;
-
-    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind| {
-        heap.push(Reverse(Event {
-            time,
-            seq: *seq,
-            kind,
-        }));
-        *seq += 1;
-    };
-
-    if unfinished == 0 {
-        let outputs = states
+    if ex.unfinished == 0 {
+        let outputs = ex
+            .states
             .iter()
             .map(|q| protocol.output(q).expect("checked"))
             .collect();
@@ -260,13 +505,39 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
         });
     }
 
+    match config.scheduler {
+        SchedulerKind::BinaryHeap => run_heap_loop(ex, adversary, config, observer),
+        SchedulerKind::CalendarWheel => run_wheel_loop(ex, adversary, config, observer),
+    }
+}
+
+/// The preserved binary-heap event loop: one heap entry per delivery,
+/// `O(log m)` per push/pop. Kept as the oracle the wheel is differentially
+/// tested against, and as the benchmark baseline.
+fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
+    mut ex: Exec<'_, P>,
+    adversary: &A,
+    config: &AsyncConfig,
+    observer: &mut O,
+) -> Result<AsyncOutcome, ExecError> {
+    let n = ex.graph.node_count();
+    let mut seq = 0u64;
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind| {
+        heap.push(Reverse(Event {
+            time,
+            seq: *seq,
+            kind,
+        }));
+        *seq += 1;
+    };
+
     for v in 0..n as NodeId {
-        let l = adversary.step_length(v, 1);
-        debug_assert!(l > 0.0 && l.is_finite());
-        max_param = max_param.max(l);
-        push(&mut heap, &mut seq, l, EventKind::Step(v));
+        let l = ex.step_length(adversary, v, 1);
+        push(&mut heap, &mut seq, l, HeapKind::Step(v));
     }
 
+    let mut arrivals: Vec<f64> = Vec::new();
     let mut events = 0u64;
     let mut completion_time = None;
     while let Some(Reverse(event)) = heap.pop() {
@@ -274,107 +545,200 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
         if events > config.max_events {
             return Err(ExecError::EventLimit {
                 limit: config.max_events,
-                unfinished,
+                unfinished: ex.unfinished,
             });
         }
         match event.kind {
-            EventKind::Deliver { node, slot, letter } => {
-                let slot = slot as usize;
-                if pending[slot] {
-                    lost_overwrites += 1;
-                }
-                pending[slot] = true;
-                ports.deliver(node as usize, slot, letter);
-                deliveries += 1;
+            HeapKind::Deliver { node, slot, letter } => {
+                ex.deliver(node, slot as usize, letter);
             }
-            EventKind::Step(v) => {
+            HeapKind::Step(v) => {
                 let vi = v as usize;
-                let t = step_counts[v as usize];
-                total_steps += 1;
-                let base = graph.csr_offset(v);
-                pending[base..base + graph.degree(v)]
-                    .iter_mut()
-                    .for_each(|p| *p = false);
-
-                let query = protocol.query(&states[vi]);
-                let count = ports.count(vi, query) as usize;
-                let transitions = protocol.delta(&states[vi], BoundedCount::from_count(count, b));
-                let (next, emission) = transitions.sample(&mut rngs[vi]);
-                let was_output = protocol.output(&states[vi]).is_some();
-                let is_output = protocol.output(next).is_some();
-                states[vi] = next.clone();
-                match (was_output, is_output) {
-                    (false, true) => unfinished -= 1,
-                    (true, false) => unfinished += 1,
-                    _ => {}
-                }
+                let (t, emission) = ex.apply_step(v);
 
                 if let Some(letter) = emission {
-                    messages_sent += 1;
-                    let nbrs = graph.neighbors(v);
-                    let rev = graph.reverse_ports(v);
+                    ex.messages_sent += 1;
+                    ex.compute_arrivals(adversary, v, t, event.time, &mut arrivals);
+                    let nbrs = ex.graph.neighbors(v);
+                    let rev = ex.graph.reverse_ports(v);
                     for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
-                        let d = adversary.delay(v, t, u);
-                        debug_assert!(d > 0.0 && d.is_finite());
-                        max_param = max_param.max(d);
-                        // FIFO: never deliver before an earlier transmission
-                        // on the same directed edge.
-                        let mut arrival = event.time + d;
-                        if arrival <= last_arrival[base + k] {
-                            arrival = last_arrival[base + k] * (1.0 + 1e-12) + 1e-12;
-                        }
-                        last_arrival[base + k] = arrival;
                         // The receiver-side flat slot, via the precomputed
-                        // reverse-port map (formerly a per-event binary
-                        // search through `port_of`).
-                        let slot = (graph.csr_offset(u) + rp as usize) as u32;
+                        // reverse-port map.
+                        let slot = (ex.graph.csr_offset(u) + rp as usize) as u32;
                         push(
                             &mut heap,
                             &mut seq,
-                            arrival,
-                            EventKind::Deliver {
+                            arrivals[k],
+                            HeapKind::Deliver {
                                 node: u,
                                 slot,
-                                letter: *letter,
+                                letter,
                             },
                         );
                     }
                 }
 
-                observer.on_step(event.time, v, t, &states[vi]);
+                observer.on_step(event.time, v, t, &ex.states[vi]);
 
-                if unfinished == 0 {
+                if ex.unfinished == 0 {
                     completion_time = Some(event.time);
                     break;
                 }
 
-                step_counts[vi] = t + 1;
-                let l = adversary.step_length(v, t + 1);
-                debug_assert!(l > 0.0 && l.is_finite());
-                max_param = max_param.max(l);
-                push(&mut heap, &mut seq, event.time + l, EventKind::Step(v));
+                ex.step_counts[vi] = t + 1;
+                let l = ex.step_length(adversary, v, t + 1);
+                push(&mut heap, &mut seq, event.time + l, HeapKind::Step(v));
             }
         }
     }
 
     let completion_time = completion_time.expect(
-        "event heap cannot drain before an output configuration: every \
+        "event queue cannot drain before an output configuration: every \
          unfinished node always has a pending step event",
     );
-    let outputs = states
-        .iter()
-        .map(|q| protocol.output(q).expect("output configuration"))
-        .collect();
-    Ok(AsyncOutcome {
-        outputs,
-        completion_time,
-        time_unit: max_param,
-        normalized_time: completion_time / max_param,
-        total_steps,
-        messages_sent,
-        deliveries,
-        lost_overwrites,
-    })
+    Ok(ex.outcome(completion_time))
+}
+
+/// The calendar-wheel event loop: O(1) amortized scheduling, and runs of
+/// same-arrival deliveries of one broadcast drain as a single batched
+/// flat-write pass. Bit-identical to [`run_heap_loop`] per seed.
+fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
+    mut ex: Exec<'_, P>,
+    adversary: &A,
+    config: &AsyncConfig,
+    observer: &mut O,
+) -> Result<AsyncOutcome, ExecError> {
+    let n = ex.graph.node_count();
+    let width = choose_bucket_width(adversary, ex.graph, config.bucket_width);
+    let mut wheel: CalendarQueue<WheelKind> = CalendarQueue::new(width);
+    let mut seq = 0u64;
+
+    for v in 0..n as NodeId {
+        let l = ex.step_length(adversary, v, 1);
+        wheel.push(l, seq, WheelKind::Step(v));
+        seq += 1;
+    }
+
+    let mut arrivals: Vec<f64> = Vec::new();
+    let mut events = 0u64;
+    let mut completion_time = None;
+    while let Some((time, _, kind)) = wheel.pop() {
+        match kind {
+            WheelKind::Deliver { node, slot, letter } => {
+                events += 1;
+                if events > config.max_events {
+                    return Err(ExecError::EventLimit {
+                        limit: config.max_events,
+                        unfinished: ex.unfinished,
+                    });
+                }
+                ex.deliver(node, slot as usize, letter);
+            }
+            WheelKind::DeliverRun {
+                v,
+                from,
+                len,
+                letter,
+            } => {
+                // Drain the whole same-instant run with one write pass.
+                // Deliveries never change `unfinished`, so hitting the
+                // event budget mid-run reports exactly what the heap
+                // path's per-letter pops would have.
+                let nbrs = ex.graph.neighbors(v);
+                let rev = ex.graph.reverse_ports(v);
+                for k in from as usize..(from + len) as usize {
+                    events += 1;
+                    if events > config.max_events {
+                        return Err(ExecError::EventLimit {
+                            limit: config.max_events,
+                            unfinished: ex.unfinished,
+                        });
+                    }
+                    let u = nbrs[k];
+                    let slot = ex.graph.csr_offset(u) + rev[k] as usize;
+                    ex.deliver(u, slot, letter);
+                }
+            }
+            WheelKind::Step(v) => {
+                events += 1;
+                if events > config.max_events {
+                    return Err(ExecError::EventLimit {
+                        limit: config.max_events,
+                        unfinished: ex.unfinished,
+                    });
+                }
+                let vi = v as usize;
+                let (t, emission) = ex.apply_step(v);
+
+                if let Some(letter) = emission {
+                    ex.messages_sent += 1;
+                    ex.compute_arrivals(adversary, v, t, time, &mut arrivals);
+                    // Partition the broadcast into maximal runs of equal
+                    // arrival time (bitwise-equal f64s — the adversary's
+                    // latency schedule lands directly in shared buckets).
+                    // A run of length `r` occupies `r` contiguous seqs, so
+                    // its single event sorts exactly where the heap path's
+                    // `r` per-letter events would, and nothing can
+                    // interleave them.
+                    let nbrs = ex.graph.neighbors(v);
+                    let rev = ex.graph.reverse_ports(v);
+                    let deg = nbrs.len();
+                    let mut k = 0usize;
+                    while k < deg {
+                        let arrival = arrivals[k];
+                        let mut end = k + 1;
+                        while end < deg && arrivals[end] == arrival {
+                            end += 1;
+                        }
+                        let run = (end - k) as u32;
+                        if run == 1 {
+                            let slot = (ex.graph.csr_offset(nbrs[k]) + rev[k] as usize) as u32;
+                            wheel.push(
+                                arrival,
+                                seq,
+                                WheelKind::Deliver {
+                                    node: nbrs[k],
+                                    slot,
+                                    letter,
+                                },
+                            );
+                        } else {
+                            wheel.push(
+                                arrival,
+                                seq,
+                                WheelKind::DeliverRun {
+                                    v,
+                                    from: k as u32,
+                                    len: run,
+                                    letter,
+                                },
+                            );
+                        }
+                        seq += run as u64;
+                        k = end;
+                    }
+                }
+
+                observer.on_step(time, v, t, &ex.states[vi]);
+
+                if ex.unfinished == 0 {
+                    completion_time = Some(time);
+                    break;
+                }
+
+                ex.step_counts[vi] = t + 1;
+                let l = ex.step_length(adversary, v, t + 1);
+                wheel.push(time + l, seq, WheelKind::Step(v));
+                seq += 1;
+            }
+        }
+    }
+
+    let completion_time = completion_time.expect(
+        "event queue cannot drain before an output configuration: every \
+         unfinished node always has a pending step event",
+    );
+    Ok(ex.outcome(completion_time))
 }
 
 #[cfg(test)]
@@ -470,21 +834,60 @@ mod tests {
     }
 
     #[test]
+    fn schedulers_agree_regardless_of_bucket_width() {
+        // Pathological explicit widths (one giant bucket; every event past
+        // the wheel horizon) must not change a single outcome field.
+        let g = generators::gnp(18, 0.25, 2);
+        let p = Synchronized::new(count_neighbors(2));
+        let adv = UniformRandom { seed: 8 };
+        let heap = run_async(
+            &p,
+            &g,
+            &adv,
+            &AsyncConfig::seeded(3).with_scheduler(SchedulerKind::BinaryHeap),
+        )
+        .unwrap();
+        for width in [None, Some(1e9), Some(1e-9), Some(0.37)] {
+            let cfg = AsyncConfig {
+                bucket_width: width,
+                ..AsyncConfig::seeded(3)
+            };
+            let wheel = run_async(&p, &g, &adv, &cfg).unwrap();
+            assert_eq!(wheel.outputs, heap.outputs, "width {width:?}");
+            assert_eq!(
+                wheel.completion_time, heap.completion_time,
+                "width {width:?}"
+            );
+            assert_eq!(wheel.total_steps, heap.total_steps, "width {width:?}");
+            assert_eq!(wheel.deliveries, heap.deliveries, "width {width:?}");
+            assert_eq!(
+                wheel.lost_overwrites, heap.lost_overwrites,
+                "width {width:?}"
+            );
+        }
+    }
+
+    #[test]
     fn event_limit_is_reported() {
         let g = generators::path(4);
         let p = Synchronized::new(count_neighbors(1));
         let adv = UniformRandom { seed: 1 };
-        let err = run_async(
-            &p,
-            &g,
-            &adv,
-            &AsyncConfig {
-                seed: 0,
-                max_events: 50,
-            },
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExecError::EventLimit { limit: 50, .. }));
+        for scheduler in [SchedulerKind::CalendarWheel, SchedulerKind::BinaryHeap] {
+            let err = run_async(
+                &p,
+                &g,
+                &adv,
+                &AsyncConfig {
+                    max_events: 50,
+                    ..AsyncConfig::seeded(0).with_scheduler(scheduler)
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ExecError::EventLimit { limit: 50, .. }),
+                "{scheduler:?}"
+            );
+        }
     }
 
     #[test]
@@ -559,5 +962,20 @@ mod tests {
         let err =
             run_async_with_inputs(&p, &g, &[0], &Lockstep, &AsyncConfig::default()).unwrap_err();
         assert!(matches!(err, ExecError::InputLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn chosen_bucket_width_is_positive_and_scales_with_rate() {
+        let small = generators::gnp(20, 0.2, 1);
+        let large = generators::gnp(2000, 4.0 / 2000.0, 1);
+        let adv = UniformRandom { seed: 4 };
+        let ws = choose_bucket_width(&adv, &small, None);
+        let wl = choose_bucket_width(&adv, &large, None);
+        assert!(ws > 0.0 && ws.is_finite());
+        assert!(wl > 0.0 && wl.is_finite());
+        // More nodes and edges → denser event stream → narrower buckets.
+        assert!(wl < ws);
+        // Explicit override wins.
+        assert_eq!(choose_bucket_width(&adv, &small, Some(0.125)), 0.125);
     }
 }

@@ -18,20 +18,54 @@
 //!    node, the exact number of ports holding each letter; every port
 //!    overwrite decrements the old letter's count and increments the new
 //!    one. A node's phase-1 observation is then an O(|Σ|) refill of a
-//!    reusable [`ObsVec`] scratch buffer
-//!    ([`stoneage_core::ObsVec::refill_from_counts`]) instead of an
-//!    O(deg(v)) port scan plus a fresh `Vec` collect.
+//!    reusable [`ObsVec`] scratch buffer ([`FlatPorts::refill_obs`])
+//!    instead of an O(deg(v)) port scan plus a fresh `Vec` collect.
 //!
-//! The memory cost of (3) is `|V| · |Σ|` counters, which is the right
-//! trade for the protocol sizes the nFSM model mandates (|Σ| is a model
-//! constant, requirement (M4)).
+//! # Dense vs. sparse counts
+//!
+//! The count table of (3) is dense by default — `|V| · |Σ|` `u32`
+//! counters, the right trade for the protocol sizes the nFSM model
+//! mandates (|Σ| is a model constant, requirement (M4)). But *compiled*
+//! protocols blow the constant up: `Synchronized` ∘ `SingleLetter` grows
+//! an alphabet of `σ` letters to `3(σ+1)²`, so a σ = 9 source protocol
+//! already costs 300 counters per node while any node's ports can hold at
+//! most `deg(v)` distinct letters. Above
+//! [`SPARSE_SIGMA_THRESHOLD`] letters, [`FlatPorts::new`] therefore
+//! switches to a **sparse** per-node map of `(letter, count)` pairs
+//! (sorted by letter, non-zero counts only): memory `O(Σ_v deg(v))`
+//! instead of `O(|V| · |Σ|)`, updates by binary search over at most
+//! `deg(v)` live entries. [`FlatPorts::with_layout`] forces either
+//! representation; a property test pins sparse ≡ dense.
 //!
 //! Executors additionally keep an **undecided-node counter** (maintained
 //! on state transitions) so termination detection is O(1) per round
 //! rather than an O(|V|) output scan.
 
-use stoneage_core::Letter;
+use stoneage_core::{Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
+
+/// Alphabet size above which [`FlatPorts::new`] keeps its per-node
+/// observation counts sparse. `3(σ+1)²` — the compiled alphabet of
+/// `Synchronized` ∘ `SingleLetter` — lands exactly here at σ = 3 (still
+/// dense) and crosses at σ = 4, so every synthesized protocol beyond toy
+/// alphabets gets the sparse layout while hand-written model-constant
+/// alphabets stay dense.
+pub const SPARSE_SIGMA_THRESHOLD: usize = 48;
+
+/// Which per-node count representation a [`FlatPorts`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountLayout {
+    /// `counts[v * sigma + letter]`, one `u32` per (node, letter).
+    Dense,
+    /// Per node, the sorted `(letter, count)` pairs with non-zero count.
+    Sparse,
+}
+
+#[derive(Clone, Debug)]
+enum Counts {
+    Dense(Vec<u32>),
+    Sparse(Vec<Vec<(u16, u32)>>),
+}
 
 /// The flat port store plus incrementally maintained per-node letter
 /// counts. See the module docs for the layout.
@@ -41,20 +75,50 @@ pub struct FlatPorts {
     /// `letters[csr_offset(v) + k]` = last letter delivered on `v`'s
     /// `k`-th port.
     letters: Vec<Letter>,
-    /// `counts[v * sigma + l]` = exact number of `v`'s ports holding
-    /// letter `l`. Always consistent with `letters`.
-    counts: Vec<u32>,
+    /// Per-node per-letter counts, dense or sparse. Always consistent
+    /// with `letters`.
+    counts: Counts,
 }
 
 impl FlatPorts {
     /// All ports initialized to the initial letter `σ₀` (the paper's
-    /// pre-delivery port contents).
+    /// pre-delivery port contents). Picks the count layout by alphabet
+    /// size: dense up to [`SPARSE_SIGMA_THRESHOLD`] letters, sparse
+    /// beyond.
     pub fn new(graph: &Graph, sigma: usize, sigma0: Letter) -> Self {
+        let layout = if sigma > SPARSE_SIGMA_THRESHOLD {
+            CountLayout::Sparse
+        } else {
+            CountLayout::Dense
+        };
+        Self::with_layout(graph, sigma, sigma0, layout)
+    }
+
+    /// Like [`FlatPorts::new`] with an explicit count layout — used by the
+    /// sparse ≡ dense differential tests; executors take the gate.
+    pub fn with_layout(graph: &Graph, sigma: usize, sigma0: Letter, layout: CountLayout) -> Self {
         let n = graph.node_count();
-        let mut counts = vec![0u32; n * sigma];
-        for v in 0..n {
-            counts[v * sigma + sigma0.index()] = graph.degree(v as NodeId) as u32;
-        }
+        let counts = match layout {
+            CountLayout::Dense => {
+                let mut counts = vec![0u32; n * sigma];
+                for v in 0..n {
+                    counts[v * sigma + sigma0.index()] = graph.degree(v as NodeId) as u32;
+                }
+                Counts::Dense(counts)
+            }
+            CountLayout::Sparse => Counts::Sparse(
+                (0..n)
+                    .map(|v| {
+                        let deg = graph.degree(v as NodeId) as u32;
+                        if deg == 0 {
+                            Vec::new()
+                        } else {
+                            vec![(sigma0.0, deg)]
+                        }
+                    })
+                    .collect(),
+            ),
+        };
         FlatPorts {
             sigma,
             letters: vec![sigma0; graph.port_slot_count()],
@@ -67,17 +131,52 @@ impl FlatPorts {
         self.sigma
     }
 
+    /// The count representation in use.
+    pub fn layout(&self) -> CountLayout {
+        match self.counts {
+            Counts::Dense(_) => CountLayout::Dense,
+            Counts::Sparse(_) => CountLayout::Sparse,
+        }
+    }
+
     /// The exact per-letter counts of node `v`, indexed by letter index.
+    ///
+    /// Only available in the dense layout (a sparse store has no dense
+    /// slice to lend); engines observe through [`FlatPorts::refill_obs`],
+    /// which handles both.
     #[inline]
     pub fn counts_of(&self, v: usize) -> &[u32] {
-        &self.counts[v * self.sigma..(v + 1) * self.sigma]
+        match &self.counts {
+            Counts::Dense(counts) => &counts[v * self.sigma..(v + 1) * self.sigma],
+            Counts::Sparse(_) => {
+                panic!("counts_of requires the dense layout; use refill_obs or count")
+            }
+        }
     }
 
     /// The exact count of `letter` over `v`'s ports — the untruncated
-    /// `#letter` of the paper, in O(1).
+    /// `#letter` of the paper. O(1) dense, O(log deg) sparse.
     #[inline]
     pub fn count(&self, v: usize, letter: Letter) -> u32 {
-        self.counts[v * self.sigma + letter.index()]
+        match &self.counts {
+            Counts::Dense(counts) => counts[v * self.sigma + letter.index()],
+            Counts::Sparse(maps) => maps[v]
+                .binary_search_by_key(&letter.0, |e| e.0)
+                .map(|i| maps[v][i].1)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Refills `obs` with `f_b` of node `v`'s exact per-letter counts —
+    /// the phase-1 observation, independent of the count layout.
+    #[inline]
+    pub fn refill_obs(&self, v: usize, obs: &mut ObsVec, b: u8) {
+        match &self.counts {
+            Counts::Dense(counts) => {
+                obs.refill_from_counts(&counts[v * self.sigma..(v + 1) * self.sigma], b)
+            }
+            Counts::Sparse(maps) => obs.refill_from_sparse(self.sigma, &maps[v], b),
+        }
     }
 
     /// Node `v`'s ports as a slice (port `k` = `v`'s `k`-th neighbor).
@@ -98,10 +197,29 @@ impl FlatPorts {
     #[inline]
     pub fn deliver(&mut self, node: usize, slot: usize, letter: Letter) {
         let old = std::mem::replace(&mut self.letters[slot], letter);
-        if old != letter {
-            let base = node * self.sigma;
-            self.counts[base + old.index()] -= 1;
-            self.counts[base + letter.index()] += 1;
+        if old == letter {
+            return;
+        }
+        match &mut self.counts {
+            Counts::Dense(counts) => {
+                let base = node * self.sigma;
+                counts[base + old.index()] -= 1;
+                counts[base + letter.index()] += 1;
+            }
+            Counts::Sparse(maps) => {
+                let m = &mut maps[node];
+                let i = m
+                    .binary_search_by_key(&old.0, |e| e.0)
+                    .expect("sparse counts track every stored letter");
+                m[i].1 -= 1;
+                if m[i].1 == 0 {
+                    m.remove(i);
+                }
+                match m.binary_search_by_key(&letter.0, |e| e.0) {
+                    Ok(i) => m[i].1 += 1,
+                    Err(i) => m.insert(i, (letter.0, 1)),
+                }
+            }
         }
     }
 
@@ -117,8 +235,8 @@ impl FlatPorts {
     }
 
     /// Recomputes all per-node letter counts from scratch by scanning the
-    /// port store. Used by property tests to validate the incremental
-    /// maintenance; executors never call this.
+    /// port store, in dense layout. Used by property tests to validate
+    /// the incremental maintenance; executors never call this.
     pub fn recount(&self, graph: &Graph) -> Vec<u32> {
         let n = graph.node_count();
         let mut counts = vec![0u32; n * self.sigma];
@@ -131,10 +249,23 @@ impl FlatPorts {
         counts
     }
 
-    /// The raw incremental counts, laid out `[v * sigma + letter]`. For
-    /// comparison against [`FlatPorts::recount`] in tests.
-    pub fn raw_counts(&self) -> &[u32] {
-        &self.counts
+    /// The incremental counts materialized densely (`[v * sigma +
+    /// letter]`) whatever the layout — for comparison against
+    /// [`FlatPorts::recount`] and the sparse ≡ dense property tests.
+    pub fn dense_counts(&self, graph: &Graph) -> Vec<u32> {
+        match &self.counts {
+            Counts::Dense(counts) => counts.clone(),
+            Counts::Sparse(maps) => {
+                let n = graph.node_count();
+                let mut counts = vec![0u32; n * self.sigma];
+                for (v, m) in maps.iter().enumerate() {
+                    for &(letter, count) in m {
+                        counts[v * self.sigma + letter as usize] = count;
+                    }
+                }
+                counts
+            }
+        }
     }
 }
 
@@ -148,12 +279,13 @@ mod tests {
     fn initial_counts_are_degrees_on_sigma0() {
         let g = generators::star(5);
         let ports = FlatPorts::new(&g, 3, Letter(1));
+        assert_eq!(ports.layout(), CountLayout::Dense);
         assert_eq!(ports.counts_of(0), &[0, 4, 0]);
         for v in 1..5 {
             assert_eq!(ports.counts_of(v), &[0, 1, 0]);
             assert_eq!(ports.count(v, Letter(1)), 1);
         }
-        assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+        assert_eq!(ports.dense_counts(&g), ports.recount(&g));
     }
 
     #[test]
@@ -168,20 +300,68 @@ mod tests {
                 assert_eq!(ports.letter_at(g.csr_offset(v) + k), expected);
             }
         }
-        assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+        assert_eq!(ports.dense_counts(&g), ports.recount(&g));
     }
 
     #[test]
     fn redundant_overwrite_keeps_counts_consistent() {
         let g = generators::path(3);
-        let mut ports = FlatPorts::new(&g, 2, Letter(0));
-        let slot = g.csr_offset(1); // node 1's port toward node 0
-        ports.deliver(1, slot, Letter(1));
-        ports.deliver(1, slot, Letter(1)); // same letter again
-        ports.deliver(1, slot, Letter(0)); // back to σ₀
-        assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
-        assert_eq!(ports.count(1, Letter(0)), 2);
-        assert_eq!(ports.count(1, Letter(1)), 0);
+        for layout in [CountLayout::Dense, CountLayout::Sparse] {
+            let mut ports = FlatPorts::with_layout(&g, 2, Letter(0), layout);
+            let slot = g.csr_offset(1); // node 1's port toward node 0
+            ports.deliver(1, slot, Letter(1));
+            ports.deliver(1, slot, Letter(1)); // same letter again
+            ports.deliver(1, slot, Letter(0)); // back to σ₀
+            assert_eq!(ports.dense_counts(&g), ports.recount(&g), "{layout:?}");
+            assert_eq!(ports.count(1, Letter(0)), 2);
+            assert_eq!(ports.count(1, Letter(1)), 0);
+        }
+    }
+
+    #[test]
+    fn large_alphabets_gate_into_the_sparse_layout() {
+        let g = generators::star(4);
+        assert_eq!(
+            FlatPorts::new(&g, SPARSE_SIGMA_THRESHOLD, Letter(0)).layout(),
+            CountLayout::Dense
+        );
+        // 3(σ+1)² for σ = 4 — a synthesized synchronized alphabet.
+        let ports = FlatPorts::new(&g, 75, Letter(7));
+        assert_eq!(ports.layout(), CountLayout::Sparse);
+        assert_eq!(ports.count(0, Letter(7)), 3);
+        assert_eq!(ports.count(0, Letter(8)), 0);
+        assert_eq!(ports.dense_counts(&g), ports.recount(&g));
+    }
+
+    #[test]
+    fn sparse_observation_matches_dense_observation() {
+        use stoneage_core::ObsVec;
+        let g = generators::cycle(5);
+        let sigma = 60;
+        let mut dense = FlatPorts::with_layout(&g, sigma, Letter(0), CountLayout::Dense);
+        let mut sparse = FlatPorts::with_layout(&g, sigma, Letter(0), CountLayout::Sparse);
+        for (i, slot) in [(0usize, 0usize), (1, 2), (2, 4), (2, 5)]
+            .into_iter()
+            .enumerate()
+        {
+            dense.deliver(
+                slot.0,
+                g.csr_offset(slot.0 as u32) + slot.1 % 2,
+                Letter(i as u16 + 9),
+            );
+            sparse.deliver(
+                slot.0,
+                g.csr_offset(slot.0 as u32) + slot.1 % 2,
+                Letter(i as u16 + 9),
+            );
+        }
+        let mut od = ObsVec::zeroed(sigma);
+        let mut os = ObsVec::zeroed(sigma);
+        for v in 0..5 {
+            dense.refill_obs(v, &mut od, 2);
+            sparse.refill_obs(v, &mut os, 2);
+            assert_eq!(od, os, "node {v}");
+        }
     }
 
     proptest! {
@@ -222,7 +402,59 @@ mod tests {
                     ports.deliver(v, g.csr_offset(v as u32) + k, letter);
                 }
             }
-            prop_assert_eq!(ports.raw_counts(), &ports.recount(&g)[..]);
+            prop_assert_eq!(ports.dense_counts(&g), ports.recount(&g));
+        }
+
+        /// The sparse gate invariant: both layouts, driven through the
+        /// same delivery sequence, agree on every count, every
+        /// observation, and the recount — sparse ≡ dense.
+        #[test]
+        fn sparse_layout_matches_dense_layout(
+            n in 2usize..30,
+            p in 0.05f64..0.5,
+            gseed in 0u64..300,
+            sigma in 50usize..90,
+            rounds in 1usize..50,
+        ) {
+            use stoneage_core::ObsVec;
+            let g = generators::gnp(n, p, gseed);
+            let mut dense = FlatPorts::with_layout(&g, sigma, Letter(0), CountLayout::Dense);
+            let mut sparse = FlatPorts::with_layout(&g, sigma, Letter(0), CountLayout::Sparse);
+            let mut state = gseed.wrapping_mul(0x2545F4914F6CDD1D) ^ (rounds as u64) << 7;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..rounds {
+                let v = (next() % n as u64) as usize;
+                let deg = g.degree(v as u32);
+                if deg == 0 {
+                    continue;
+                }
+                let letter = Letter((next() % sigma as u64) as u16);
+                if next() % 3 == 0 {
+                    dense.broadcast(&g, v as u32, letter);
+                    sparse.broadcast(&g, v as u32, letter);
+                } else {
+                    let slot = g.csr_offset(v as u32) + (next() % deg as u64) as usize;
+                    dense.deliver(v, slot, letter);
+                    sparse.deliver(v, slot, letter);
+                }
+            }
+            prop_assert_eq!(dense.dense_counts(&g), sparse.dense_counts(&g));
+            prop_assert_eq!(sparse.dense_counts(&g), sparse.recount(&g));
+            let mut od = ObsVec::zeroed(sigma);
+            let mut os = ObsVec::zeroed(sigma);
+            for v in 0..n {
+                dense.refill_obs(v, &mut od, 3);
+                sparse.refill_obs(v, &mut os, 3);
+                prop_assert_eq!(&od, &os);
+                for l in 0..sigma as u16 {
+                    prop_assert_eq!(dense.count(v, Letter(l)), sparse.count(v, Letter(l)));
+                }
+            }
         }
     }
 }

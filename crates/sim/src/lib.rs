@@ -39,6 +39,12 @@
 //! * **Undecided-node counter** — termination is detected by a counter
 //!   updated on state transitions, not an O(|V|) output scan per round.
 //!
+//! The asynchronous executor additionally schedules its events on the
+//! calendar-queue / hierarchical timing wheel of the [`schedule`] module
+//! (O(1) amortized per event instead of the global heap's `O(log m)`),
+//! batching same-arrival-time deliveries per edge; the heap path survives
+//! behind [`SchedulerKind::BinaryHeap`] as a differential oracle.
+//!
 //! None of this changes semantics. The lockstep loop still applies all
 //! phase-1 transitions against the frozen previous-round ports before any
 //! phase-2 delivery, preserving (S1) — all nodes observe the same round —
@@ -50,7 +56,7 @@
 //!
 //! With the `parallel` cargo feature (alias: `rayon`; implemented with
 //! `std::thread` because this build environment vendors no external
-//! crates), [`run_sync_parallel`] chunks phase 1 across worker threads —
+//! crates), `run_sync_parallel` chunks phase 1 across worker threads —
 //! deterministically, since every node owns an independent seeded RNG.
 
 #![forbid(unsafe_code)]
@@ -60,16 +66,18 @@ pub mod adversary;
 mod async_exec;
 pub mod engine;
 pub mod reference;
+pub mod schedule;
 pub mod scoped;
 mod sync_exec;
 
 pub use adversary::Adversary;
 pub use async_exec::{
     run_async, run_async_observed, run_async_with_inputs, AsyncConfig, AsyncObserver, AsyncOutcome,
-    NoopAsyncObserver,
+    NoopAsyncObserver, SchedulerKind,
 };
 pub use engine::FlatPorts;
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
+pub use schedule::CalendarQueue;
 pub use scoped::{
     run_scoped, ScopedDelivery, ScopedEmission, ScopedMultiFsm, ScopedOutcome, ScopedTransitions,
 };

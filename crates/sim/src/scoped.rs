@@ -161,7 +161,7 @@ pub fn run_scoped<P: ScopedMultiFsm>(
         // Phase 1: transitions from the old ports, observed through the
         // incremental per-letter counts.
         for v in 0..n {
-            obs.refill_from_counts(ports.counts_of(v), b);
+            ports.refill_obs(v, &mut obs, b);
             let t = protocol.delta(&states[v], &obs);
             let idx = if t.choices.len() == 1 {
                 0

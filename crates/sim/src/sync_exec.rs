@@ -141,7 +141,7 @@ fn phase1<P: MultiFsm>(
     let b = protocol.bound();
     let mut undecided_delta = 0isize;
     for i in 0..states.len() {
-        obs.refill_from_counts(ports.counts_of(base + i), b);
+        ports.refill_obs(base + i, obs, b);
         let transitions = protocol.delta(&states[i], obs);
         let (next, emission) = transitions.sample(&mut rngs[i]);
         let was_output = protocol.output(&states[i]).is_some();

@@ -156,6 +156,38 @@ fn flat_engine_matches_reference_on_round_limit() {
 }
 
 #[test]
+fn sparse_count_layout_matches_reference_executor() {
+    // A beeper protocol over an alphabet padded past
+    // `stoneage_sim::engine::SPARSE_SIGMA_THRESHOLD`, so the flat engine
+    // runs its *sparse* per-node observation counts end-to-end. The naive
+    // reference executor has no count layout at all, so agreement pins
+    // sparse correctness through a whole execution, not just unit ops.
+    let names: Vec<String> = (0..60).map(|i| format!("l{i}")).collect();
+    let alphabet = Alphabet::new(names);
+    let mut builder = TableProtocolBuilder::new("padded", alphabet, 2, Letter(59));
+    let start = builder.add_state("start", Letter(0));
+    let listen = builder.add_state("listen", Letter(0));
+    builder.add_input_state(start);
+    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
+    for o in 0..=2 {
+        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
+        builder.set_transition(listen, o, Transitions::det(out, None));
+        builder.set_transition_all(out, Transitions::det(out, None));
+    }
+    let p = AsMulti(builder.build().unwrap());
+    for (name, g) in graph_family() {
+        for seed in 20..23 {
+            let config = SyncConfig::seeded(seed);
+            assert_same_outcome(
+                &format!("sparse/{name}/seed{seed}"),
+                run_sync(&p, &g, &config),
+                run_sync_reference(&p, &g, &config),
+            );
+        }
+    }
+}
+
+#[test]
 fn flat_engine_matches_reference_with_inputs() {
     let p = AsMulti(count_neighbors(2));
     let g = generators::random_tree(80, 4);
