@@ -4,7 +4,11 @@
 //!   preserved naive reference executor on gnp(50k, avg deg 8);
 //! * **async sweep** — events/sec (and derived rounds/sec) of the
 //!   calendar-wheel scheduler vs the preserved binary-heap scheduler on
-//!   gnp / tree / grid instances under a uniform-random adversary.
+//!   gnp / tree / grid instances under a uniform-random adversary;
+//! * **parallel sweep** (`--features parallel` builds) — rounds/sec of
+//!   the serial flat engine vs the fully parallel engine (chunked
+//!   phase 1 + sharded-write-buffer phase 2) at several worker counts on
+//!   the same gnp instance.
 //!
 //! ```text
 //! engine_bench                          # writes BENCH_engine.json in the cwd
@@ -12,6 +16,11 @@
 //! engine_bench --quick                  # CI-sized instances (n = 5k)
 //! engine_bench --min-async-speedup 1.0  # exit(1) if any wheel entry
 //!                                       # regresses below that ratio
+//! engine_bench --min-parallel-speedup 1.5
+//!                                       # exit(1) if the parallel engine at
+//!                                       # 4+ workers falls below that ratio
+//!                                       # (skipped with a warning when the
+//!                                       # host has fewer than 4 CPUs)
 //! ```
 //!
 //! The sync workload is the same blinker protocol as `benches/engine.rs`:
@@ -91,6 +100,58 @@ fn measure_async(
     (max_events as f64 / best, unfinished)
 }
 
+/// One serial-vs-parallel measurement of the sync engine.
+#[cfg(feature = "parallel")]
+struct ParEntry {
+    workers: usize,
+    rounds_per_sec: f64,
+    speedup: f64,
+}
+
+/// Measures the fully parallel sync engine (chunked phase 1 + sharded
+/// buffered phase 2) against the serial `flat` baseline on the same
+/// instance, at worker counts {2, 4, available}. Worker counts beyond
+/// the host's CPUs are still measured (the OS time-slices them) so the
+/// recorded sweep is comparable across hosts, but the gate in `main`
+/// only enforces counts the hardware can actually run.
+#[cfg(feature = "parallel")]
+fn parallel_sweep(
+    g: &Graph,
+    config: &stoneage_sim::SyncConfig,
+    rounds: u64,
+    reps: usize,
+    serial_rps: f64,
+) -> (Vec<ParEntry>, usize) {
+    use stoneage_sim::{run_sync_parallel_with_policy, MergeStrategy, ParallelPolicy};
+    let hw = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![2usize, 4, hw];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    worker_counts.retain(|&w| w >= 2);
+    let p = AsMulti(blinker());
+    let inputs = vec![0usize; g.node_count()];
+    let mut entries = Vec::new();
+    for w in worker_counts {
+        let policy = ParallelPolicy::forced(w, MergeStrategy::DestinationSharded);
+        let rps = measure(rounds, reps, || {
+            run_sync_parallel_with_policy(&p, g, &inputs, config, &policy)
+        });
+        let entry = ParEntry {
+            workers: w,
+            rounds_per_sec: rps,
+            speedup: rps / serial_rps,
+        };
+        eprintln!(
+            "  parallel[w={}]: {:>8.1} rounds/sec ({:.2}x serial)",
+            entry.workers, entry.rounds_per_sec, entry.speedup
+        );
+        entries.push(entry);
+    }
+    (entries, hw)
+}
+
 struct AsyncEntry {
     family: &'static str,
     n: usize,
@@ -162,6 +223,7 @@ fn main() {
     let mut n = 50_000usize;
     let mut quick = false;
     let mut min_async_speedup: Option<f64> = None;
+    let mut min_parallel_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -182,10 +244,26 @@ fn main() {
                     .expect("--min-async-speedup needs a number");
                 min_async_speedup = Some(v);
             }
+            "--min-parallel-speedup" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--min-parallel-speedup needs a ratio")
+                    .parse::<f64>()
+                    .expect("--min-parallel-speedup needs a number");
+                if cfg!(not(feature = "parallel")) {
+                    eprintln!(
+                        "--min-parallel-speedup requires a `--features parallel` build \
+                         of stoneage-bench"
+                    );
+                    std::process::exit(2);
+                }
+                min_parallel_speedup = Some(v);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
-                     [--min-async-speedup ratio]"
+                     [--min-async-speedup ratio] [--min-parallel-speedup ratio]"
                 );
                 std::process::exit(2);
             }
@@ -213,6 +291,12 @@ fn main() {
     eprintln!("  flat:      {flat:.1} rounds/sec");
     let speedup = flat / reference;
     eprintln!("  speedup:   {speedup:.2}x");
+
+    #[cfg(feature = "parallel")]
+    let (par_entries, workers_available) = {
+        eprintln!("engine_bench[parallel]: serial vs parallel flat engine, same instance");
+        parallel_sweep(&g, &config, rounds, reps, flat)
+    };
 
     let (async_entries, async_events) = async_sweep(quick, if quick { 3 } else { reps });
 
@@ -245,8 +329,52 @@ fn main() {
         ),
     ]);
 
+    #[cfg(feature = "parallel")]
+    let parallel_json = Value::Object(vec![
+        (
+            "workload".to_owned(),
+            "blinker broadcast; parallel = chunked phase 1 + sharded phase-2 write buffers".into(),
+        ),
+        ("merge".to_owned(), "destination_sharded".into()),
+        ("workers_available".to_owned(), workers_available.into()),
+        ("serial_rounds_per_sec".to_owned(), flat.into()),
+        (
+            "entries".to_owned(),
+            Value::Array(
+                par_entries
+                    .iter()
+                    .map(|e| {
+                        Value::Object(vec![
+                            ("workers".to_owned(), e.workers.into()),
+                            ("rounds_per_sec".to_owned(), e.rounds_per_sec.into()),
+                            ("speedup".to_owned(), e.speedup.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    #[cfg(not(feature = "parallel"))]
+    let parallel_json = Value::Object(vec![
+        ("enabled".to_owned(), Value::Bool(false)),
+        (
+            "note".to_owned(),
+            "build stoneage-bench with --features parallel to record the sweep".into(),
+        ),
+    ]);
+
     let json = Value::Object(vec![
         ("bench".to_owned(), "engine_throughput".into()),
+        // Absolute throughputs are host-dependent; recording the CPU
+        // count keeps cross-snapshot comparisons interpretable (e.g. a
+        // 1-CPU container cannot show parallel speedups).
+        (
+            "host_cpus".to_owned(),
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+                .into(),
+        ),
         (
             "workload".to_owned(),
             "blinker broadcast, every port overwritten per round".into(),
@@ -269,6 +397,7 @@ fn main() {
         ),
         ("flat_rounds_per_sec".to_owned(), flat.into()),
         ("speedup".to_owned(), speedup.into()),
+        ("parallel_sweep".to_owned(), parallel_json),
         ("async_sweep".to_owned(), async_json),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
@@ -291,4 +420,42 @@ fn main() {
         }
         eprintln!("async wheel within budget: all families >= {min:.2}x of heap");
     }
+
+    // The parallel gate enforces the speedup only at worker counts the
+    // hardware can genuinely run in parallel (>= 4 workers, like the
+    // acceptance target): on a narrower host the sweep is still recorded
+    // but gating time-sliced threads would only measure the OS scheduler.
+    #[cfg(feature = "parallel")]
+    if let Some(min) = min_parallel_speedup {
+        let gated: Vec<&ParEntry> = par_entries
+            .iter()
+            .filter(|e| e.workers >= 4 && e.workers <= workers_available)
+            .collect();
+        if gated.is_empty() {
+            eprintln!(
+                "parallel gate skipped: host has {workers_available} CPUs, \
+                 need >= 4 workers to enforce >= {min:.2}x"
+            );
+        } else {
+            let mut failed = false;
+            for e in gated {
+                if e.speedup < min {
+                    eprintln!(
+                        "REGRESSION: parallel engine at {:.2}x of serial with {} workers \
+                         (required >= {min:.2}x)",
+                        e.speedup, e.workers
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!(
+                "parallel engine within budget: all gated worker counts >= {min:.2}x of serial"
+            );
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = min_parallel_speedup;
 }

@@ -1,8 +1,10 @@
 //! Deterministic execution fingerprints, printed to stdout.
 //!
-//! Runs a fixed panel of synchronous and asynchronous cases (the same
-//! instances the pinned tests in `crates/sim/tests/` guard) and prints
-//! one `case scheduler seed fingerprint` line each. Two invocations must
+//! Runs the fixed panel of synchronous and asynchronous cases that the
+//! pinned tests in `crates/sim/tests/` guard — the case instances,
+//! protocol builders, and hashes all come from `stoneage-testkit`, so
+//! this bin and the test suites cannot drift apart — and prints one
+//! `case scheduler seed fingerprint` line each. Two invocations must
 //! emit byte-identical output — the CI `determinism` job runs this twice
 //! and diffs; any divergence means an engine picked up nondeterminism
 //! (time, address, or iteration-order dependence).
@@ -11,217 +13,27 @@
 //! semantics change (`PINNED` in `crates/sim/tests/flat_engine.rs`,
 //! `PINNED_ASYNC` in `crates/sim/tests/async_wheel.rs`).
 
-use stoneage_core::{
-    Alphabet, AsMulti, Letter, Synchronized, TableProtocol, TableProtocolBuilder, Transitions,
+use stoneage_sim::SchedulerKind;
+use stoneage_testkit::{
+    async_fingerprint, run_async_pinned, run_sync_pinned, sync_fingerprint, ASYNC_PINNED_CASES,
+    SYNC_PINNED_CASES,
 };
-use stoneage_graph::{generators, Graph};
-use stoneage_sim::adversary::UniformRandom;
-use stoneage_sim::{run_async, run_sync, AsyncConfig, AsyncOutcome, SchedulerKind, SyncConfig};
-
-/// Deterministic protocol: beep at step 1, then output 1 + f_b(#beeps).
-/// Must stay in lockstep with the copies in `crates/sim/tests/`.
-fn count_neighbors(b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep", "quiet"]);
-    let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(1));
-    let start = builder.add_state("start", Letter(0));
-    let listen = builder.add_state("listen", Letter(0));
-    builder.add_input_state(start);
-    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
-    for o in 0..=b {
-        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
-        builder.set_transition(listen, o, Transitions::det(out, None));
-        builder.set_transition_all(out, Transitions::det(out, None));
-    }
-    builder.build().unwrap()
-}
-
-/// Single-letter variant used by the synchronous pinned cases.
-fn count_neighbors_sync(b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep"]);
-    let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(0));
-    let start = builder.add_state("start", Letter(0));
-    let listen = builder.add_state("listen", Letter(0));
-    builder.add_input_state(start);
-    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
-    for o in 0..=b {
-        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
-        builder.set_transition(listen, o, Transitions::det(out, None));
-        builder.set_transition_all(out, Transitions::det(out, None));
-    }
-    builder.build().unwrap()
-}
-
-fn random_beeper(phases: usize, b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep", "idle"]);
-    let mut builder = TableProtocolBuilder::new("rbeep", alphabet, b, Letter(1));
-    let states: Vec<_> = (0..phases)
-        .map(|i| builder.add_state(format!("r{i}"), Letter(0)))
-        .collect();
-    builder.add_input_state(states[0]);
-    for i in 0..phases {
-        if i + 1 < phases {
-            let next = states[i + 1];
-            builder.set_transition_all(
-                states[i],
-                Transitions::uniform(vec![
-                    (next, Some(Letter(0))),
-                    (next, None),
-                    (next, Some(Letter(1))),
-                ]),
-            );
-        } else {
-            for o in 0..=b {
-                let out = builder.add_output_state(format!("out{o}"), Letter(0), o as u64);
-                builder.set_transition(states[i], o, Transitions::det(out, None));
-                builder.set_transition_all(out, Transitions::det(out, None));
-            }
-        }
-    }
-    builder.build().unwrap()
-}
-
-/// Randomized beeper over a single-letter alphabet (the synchronous
-/// pinned cases' variant).
-fn random_beeper_sync(phases: usize, b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep", "idle"]);
-    let mut builder = TableProtocolBuilder::new("rbeep", alphabet, b, Letter(1));
-    let states: Vec<_> = (0..phases)
-        .map(|i| builder.add_state(format!("r{i}"), Letter(0)))
-        .collect();
-    builder.add_input_state(states[0]);
-    for i in 0..phases {
-        let next = if i + 1 < phases {
-            states[i + 1]
-        } else {
-            states[i]
-        };
-        if i + 1 < phases {
-            builder.set_transition_all(
-                states[i],
-                Transitions::uniform(vec![
-                    (next, Some(Letter(0))),
-                    (next, None),
-                    (next, Some(Letter(1))),
-                ]),
-            );
-        } else {
-            for o in 0..=b {
-                let out = builder.add_output_state(format!("out{o}"), Letter(0), o as u64);
-                builder.set_transition(states[i], o, Transitions::det(out, None));
-                builder.set_transition_all(out, Transitions::det(out, None));
-            }
-        }
-    }
-    builder.build().unwrap()
-}
-
-fn fnv1a(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ seed;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
-
-fn async_fingerprint(out: &AsyncOutcome) -> u64 {
-    fnv1a(
-        out.total_steps ^ (out.messages_sent << 16) ^ (out.deliveries << 32),
-        out.outputs.iter().copied().chain([
-            out.completion_time.to_bits(),
-            out.time_unit.to_bits(),
-            out.lost_overwrites,
-        ]),
-    )
-}
-
-fn async_case(name: &str) -> (Graph, Synchronized<TableProtocol>, u64) {
-    match name {
-        "gnp-async" => (
-            generators::gnp(90, 0.07, 19),
-            Synchronized::new(count_neighbors(2)),
-            4,
-        ),
-        "tree-async" => (
-            generators::random_tree(120, 23),
-            Synchronized::new(random_beeper(4, 2)),
-            5,
-        ),
-        "grid-async" => (
-            generators::grid(9, 11),
-            Synchronized::new(random_beeper(3, 3)),
-            6,
-        ),
-        other => panic!("unknown async case {other}"),
-    }
-}
 
 fn main() {
     // Synchronous pinned panel (mirrors tests/flat_engine.rs).
-    let sync_cases: [(&str, u64); 6] = [
-        ("gnp-count", 1),
-        ("gnp-count2", 2),
-        ("tree-rbeep", 1),
-        ("tree-rbeep", 2),
-        ("grid-rbeep", 7),
-        ("grid-rbeep", 8),
-    ];
-    for (name, seed) in sync_cases {
-        let out = match name {
-            "gnp-count" => run_sync(
-                &AsMulti(count_neighbors_sync(3)),
-                &generators::gnp(120, 0.06, 9),
-                &SyncConfig::seeded(seed),
-            ),
-            "gnp-count2" => run_sync(
-                &AsMulti(count_neighbors_sync(2)),
-                &generators::gnp(90, 0.1, 23),
-                &SyncConfig::seeded(seed),
-            ),
-            "tree-rbeep" => run_sync(
-                &AsMulti(random_beeper_sync(5, 2)),
-                &generators::random_tree(150, 21),
-                &SyncConfig::seeded(seed),
-            ),
-            "grid-rbeep" => run_sync(
-                &AsMulti(random_beeper_sync(4, 3)),
-                &generators::grid(10, 14),
-                &SyncConfig::seeded(seed),
-            ),
-            other => panic!("unknown sync case {other}"),
-        }
-        .expect("pinned cases terminate");
-        let fp = fnv1a(
-            out.rounds ^ (out.messages_sent << 20),
-            out.outputs.iter().copied(),
-        );
+    for (name, seed) in SYNC_PINNED_CASES {
+        let fp = sync_fingerprint(&run_sync_pinned(name, seed));
         println!("sync  {name:<12} -          seed={seed:<6} fp={fp:#018x}");
     }
 
     // Asynchronous pinned panel (mirrors tests/async_wheel.rs), on both
     // schedulers — the lines must agree pairwise and across runs.
-    let async_cases: [(&str, u64); 3] = [
-        ("gnp-async", 4242),
-        ("tree-async", 77),
-        ("grid-async", 9000),
-    ];
-    for (name, seed) in async_cases {
-        let (g, p, adv_seed) = async_case(name);
-        let adv = UniformRandom { seed: adv_seed };
+    for (name, seed) in ASYNC_PINNED_CASES {
         for (label, scheduler) in [
             ("heap", SchedulerKind::BinaryHeap),
             ("wheel", SchedulerKind::CalendarWheel),
         ] {
-            let out = run_async(
-                &p,
-                &g,
-                &adv,
-                &AsyncConfig::seeded(seed).with_scheduler(scheduler),
-            )
-            .expect("pinned cases terminate");
-            let fp = async_fingerprint(&out);
+            let fp = async_fingerprint(&run_async_pinned(name, seed, scheduler));
             println!("async {name:<12} {label:<9} seed={seed:<6} fp={fp:#018x}");
         }
     }

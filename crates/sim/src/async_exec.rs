@@ -27,7 +27,13 @@
 //!   **batched per edge run**: one bucket entry drains a whole run with a
 //!   single [`FlatPorts`] write pass instead of one heap pop per letter
 //!   (under quantized or lockstep-like latency schedules this collapses a
-//!   `deg(v)`-way fan-out into one event).
+//!   `deg(v)`-way fan-out into one event). On top of the per-edge runs,
+//!   the drain **coalesces per receiver**: consecutive same-instant
+//!   deliveries *to one node* from different senders merge their
+//!   pending-flag and count updates into a single grouped write pass
+//!   ([`FlatPorts::deliver_run`]) — safe because per-edge FIFO makes
+//!   same-instant slots distinct, so the grouped application is
+//!   bit-identical to the heap path's per-letter order.
 //! * [`SchedulerKind::BinaryHeap`] — the original single global
 //!   `BinaryHeap<Reverse<Event>>`, preserved verbatim as the differential
 //!   oracle and benchmark baseline; its push/pop costs the `O(log m)`
@@ -327,6 +333,32 @@ impl<'a, P: Fsm> Exec<'a, P> {
         self.deliveries += 1;
     }
 
+    /// Applies a group of same-instant deliveries **to one receiver**
+    /// (from different senders) with a single count-update pass — the
+    /// wheel loop's per-receiver coalescing. The slots are pairwise
+    /// distinct (per-edge FIFO forbids two same-instant arrivals on one
+    /// directed edge), so the pending flags, overwrite-loss accounting,
+    /// letter swaps, and net count deltas are all order-independent:
+    /// the result is bit-identical to per-letter [`Exec::deliver`] calls
+    /// in the heap path's order.
+    #[inline]
+    fn deliver_grouped(
+        &mut self,
+        node: NodeId,
+        writes: &[(u32, Letter)],
+        deltas: &mut Vec<(u16, i64)>,
+    ) {
+        for &(slot, _) in writes {
+            let slot = slot as usize;
+            if self.pending[slot] {
+                self.lost_overwrites += 1;
+            }
+            self.pending[slot] = true;
+        }
+        self.ports.deliver_run(node as usize, writes, deltas);
+        self.deliveries += writes.len() as u64;
+    }
+
     /// Applies node `v`'s pending transition: clears its pending marks,
     /// observes the query-letter count, samples δ, and maintains the
     /// undecided counter. Returns the step index and the emission.
@@ -622,41 +654,94 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     let mut arrivals: Vec<f64> = Vec::new();
     let mut events = 0u64;
     let mut completion_time = None;
-    while let Some((time, _, kind)) = wheel.pop() {
+    // Per-receiver coalescing scratch: `batch` gathers the maximal run of
+    // consecutive same-instant delivery events (across senders), `held`
+    // parks the one event popped past the run's end, `deltas` is the
+    // count-merge scratch of `deliver_grouped`.
+    let mut held: Option<(f64, u64, WheelKind)> = None;
+    let mut batch: Vec<(NodeId, u32, Letter)> = Vec::new();
+    let mut group: Vec<(u32, Letter)> = Vec::new();
+    let mut deltas: Vec<(u16, i64)> = Vec::new();
+    while let Some((time, _, kind)) = held.take().or_else(|| wheel.pop()) {
         match kind {
-            WheelKind::Deliver { node, slot, letter } => {
-                events += 1;
-                if events > config.max_events {
-                    return Err(ExecError::EventLimit {
-                        limit: config.max_events,
-                        unfinished: ex.unfinished,
-                    });
-                }
-                ex.deliver(node, slot as usize, letter);
-            }
-            WheelKind::DeliverRun {
-                v,
-                from,
-                len,
-                letter,
-            } => {
-                // Drain the whole same-instant run with one write pass.
-                // Deliveries never change `unfinished`, so hitting the
-                // event budget mid-run reports exactly what the heap
-                // path's per-letter pops would have.
-                let nbrs = ex.graph.neighbors(v);
-                let rev = ex.graph.reverse_ports(v);
-                for k in from as usize..(from + len) as usize {
-                    events += 1;
-                    if events > config.max_events {
-                        return Err(ExecError::EventLimit {
-                            limit: config.max_events,
-                            unfinished: ex.unfinished,
-                        });
+            WheelKind::Deliver { .. } | WheelKind::DeliverRun { .. } => {
+                // Gather every consecutive delivery event at exactly this
+                // instant, then apply them grouped by receiver: arrivals
+                // of *different* broadcasts colliding on one node merge
+                // their pending-flag and count updates into one pass.
+                // Deliveries never change `unfinished` and the budget is
+                // counted per delivery as it is gathered, so hitting the
+                // event limit mid-batch reports exactly what the heap
+                // path's per-letter pops would have; and because same-
+                // instant deliveries always hit distinct slots (per-edge
+                // FIFO), the grouped application is bit-identical.
+                batch.clear();
+                let mut next = Some(kind);
+                while let Some(kind) = next.take() {
+                    match kind {
+                        WheelKind::Deliver { node, slot, letter } => {
+                            events += 1;
+                            if events > config.max_events {
+                                return Err(ExecError::EventLimit {
+                                    limit: config.max_events,
+                                    unfinished: ex.unfinished,
+                                });
+                            }
+                            batch.push((node, slot, letter));
+                        }
+                        WheelKind::DeliverRun {
+                            v,
+                            from,
+                            len,
+                            letter,
+                        } => {
+                            let nbrs = ex.graph.neighbors(v);
+                            let rev = ex.graph.reverse_ports(v);
+                            for k in from as usize..(from + len) as usize {
+                                events += 1;
+                                if events > config.max_events {
+                                    return Err(ExecError::EventLimit {
+                                        limit: config.max_events,
+                                        unfinished: ex.unfinished,
+                                    });
+                                }
+                                let u = nbrs[k];
+                                let slot = (ex.graph.csr_offset(u) + rev[k] as usize) as u32;
+                                batch.push((u, slot, letter));
+                            }
+                        }
+                        WheelKind::Step(_) => unreachable!("steps never enter a delivery batch"),
                     }
-                    let u = nbrs[k];
-                    let slot = ex.graph.csr_offset(u) + rev[k] as usize;
-                    ex.deliver(u, slot, letter);
+                    if let Some((t2, s2, k2)) = wheel.pop() {
+                        if t2 == time && !matches!(k2, WheelKind::Step(_)) {
+                            next = Some(k2);
+                        } else {
+                            held = Some((t2, s2, k2));
+                        }
+                    }
+                }
+                if let [(node, slot, letter)] = batch[..] {
+                    ex.deliver(node, slot as usize, letter);
+                } else {
+                    batch.sort_unstable_by_key(|&(node, slot, _)| (node, slot));
+                    let mut i = 0;
+                    while i < batch.len() {
+                        let node = batch[i].0;
+                        let mut j = i + 1;
+                        while j < batch.len() && batch[j].0 == node {
+                            j += 1;
+                        }
+                        if j - i == 1 {
+                            ex.deliver(node, batch[i].1 as usize, batch[i].2);
+                        } else {
+                            group.clear();
+                            group.extend(
+                                batch[i..j].iter().map(|&(_, slot, letter)| (slot, letter)),
+                            );
+                            ex.deliver_grouped(node, &group, &mut deltas);
+                        }
+                        i = j;
+                    }
                 }
             }
             WheelKind::Step(v) => {

@@ -40,6 +40,18 @@
 //! Executors additionally keep an **undecided-node counter** (maintained
 //! on state transitions) so termination detection is O(1) per round
 //! rather than an O(|V|) output scan.
+//!
+//! # Shard views
+//!
+//! The parallel phase-2 delivery of [`crate::parbuf`] needs several
+//! workers writing into one port store at once. Because the store is CSR
+//! laid out, a partition of the *node* range into contiguous shards
+//! induces a partition of both the letter slots and the count rows into
+//! contiguous, disjoint memory ranges — so [`FlatPorts::shards_mut`] can
+//! hand out one safe `&mut` view per shard ([`PortShard`]) with plain
+//! `split_at_mut`, no locks and no unsafe. A shard accepts exactly the
+//! deliveries whose *receiver* falls in its node range; slots and count
+//! rows of different shards never alias.
 
 use stoneage_core::{Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
@@ -206,18 +218,60 @@ impl FlatPorts {
                 counts[base + old.index()] -= 1;
                 counts[base + letter.index()] += 1;
             }
+            Counts::Sparse(maps) => sparse_swap(&mut maps[node], old, letter),
+        }
+    }
+
+    /// Applies several port overwrites of **one node** with a single
+    /// count-update pass: letters are swapped slot by slot while the
+    /// per-letter count changes accumulate as net deltas in `deltas`
+    /// (caller-owned scratch, cleared here), which are then applied to
+    /// `node`'s count row once per distinct letter.
+    ///
+    /// Produces exactly the state that the same writes applied one
+    /// [`FlatPorts::deliver`] at a time would — per-letter count updates
+    /// are commutative integer sums and the sparse map is canonical — but
+    /// pays one count-row lookup per *distinct letter* instead of two per
+    /// write. The async executor uses this to coalesce same-instant
+    /// deliveries to one receiver from different senders (the slots are
+    /// distinct by per-edge FIFO, so the swaps commute too).
+    pub fn deliver_run(
+        &mut self,
+        node: usize,
+        writes: &[(u32, Letter)],
+        deltas: &mut Vec<(u16, i64)>,
+    ) {
+        fn accumulate(deltas: &mut Vec<(u16, i64)>, letter: u16, d: i64) {
+            match deltas.iter_mut().find(|e| e.0 == letter) {
+                Some(e) => e.1 += d,
+                None => deltas.push((letter, d)),
+            }
+        }
+        deltas.clear();
+        for &(slot, letter) in writes {
+            let old = std::mem::replace(&mut self.letters[slot as usize], letter);
+            if old == letter {
+                continue;
+            }
+            accumulate(deltas, old.0, -1);
+            accumulate(deltas, letter.0, 1);
+        }
+        match &mut self.counts {
+            Counts::Dense(counts) => {
+                let base = node * self.sigma;
+                for &(l, d) in deltas.iter() {
+                    if d != 0 {
+                        let c = &mut counts[base + l as usize];
+                        *c = (*c as i64 + d) as u32;
+                    }
+                }
+            }
             Counts::Sparse(maps) => {
                 let m = &mut maps[node];
-                let i = m
-                    .binary_search_by_key(&old.0, |e| e.0)
-                    .expect("sparse counts track every stored letter");
-                m[i].1 -= 1;
-                if m[i].1 == 0 {
-                    m.remove(i);
-                }
-                match m.binary_search_by_key(&letter.0, |e| e.0) {
-                    Ok(i) => m[i].1 += 1,
-                    Err(i) => m.insert(i, (letter.0, 1)),
+                for &(l, d) in deltas.iter() {
+                    if d != 0 {
+                        sparse_apply_delta(m, l, d);
+                    }
                 }
             }
         }
@@ -265,6 +319,154 @@ impl FlatPorts {
                 }
                 counts
             }
+        }
+    }
+
+    /// Splits the store into disjoint mutable shard views along the given
+    /// contiguous node partition (`node_bounds[0] = 0`, ascending, last
+    /// entry `= |V|`; shard `s` owns receivers `node_bounds[s] ..
+    /// node_bounds[s + 1]`). Because the store is CSR laid out, each
+    /// shard's letter slots and count rows are contiguous ranges, so the
+    /// views are plain `split_at_mut` slices — workers on different
+    /// shards can deliver concurrently without locks or unsafe code.
+    ///
+    /// See the module docs; [`crate::parbuf`] builds its deterministic
+    /// parallel phase-2 merge on these views.
+    pub fn shards_mut<'a>(
+        &'a mut self,
+        graph: &Graph,
+        node_bounds: &[usize],
+    ) -> Vec<PortShard<'a>> {
+        let n = graph.node_count();
+        assert!(
+            node_bounds.len() >= 2 && node_bounds[0] == 0 && *node_bounds.last().unwrap() == n,
+            "node bounds must start at 0 and end at the node count"
+        );
+        let sigma = self.sigma;
+        enum Rest<'a> {
+            Dense(&'a mut [u32]),
+            Sparse(&'a mut [Vec<(u16, u32)>]),
+        }
+        let mut letters_rest = &mut self.letters[..];
+        let mut counts_rest = match &mut self.counts {
+            Counts::Dense(c) => Rest::Dense(&mut c[..]),
+            Counts::Sparse(m) => Rest::Sparse(&mut m[..]),
+        };
+        let mut shards = Vec::with_capacity(node_bounds.len() - 1);
+        let mut slot_base = 0usize;
+        let mut node_base = 0usize;
+        for w in node_bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            assert!(lo == node_base && hi >= lo, "node bounds must be ascending");
+            let slot_hi = graph.csr_offset(hi as NodeId);
+            let (letters, tail) = letters_rest.split_at_mut(slot_hi - slot_base);
+            letters_rest = tail;
+            let counts = match counts_rest {
+                Rest::Dense(c) => {
+                    let (head, tail) = c.split_at_mut((hi - node_base) * sigma);
+                    counts_rest = Rest::Dense(tail);
+                    ShardCounts::Dense(head)
+                }
+                Rest::Sparse(m) => {
+                    let (head, tail) = m.split_at_mut(hi - node_base);
+                    counts_rest = Rest::Sparse(tail);
+                    ShardCounts::Sparse(head)
+                }
+            };
+            shards.push(PortShard {
+                sigma,
+                node_base,
+                slot_base,
+                letters,
+                counts,
+            });
+            node_base = hi;
+            slot_base = slot_hi;
+        }
+        shards
+    }
+}
+
+/// Applies one `old → new` letter swap to a sparse per-node count map.
+#[inline]
+fn sparse_swap(m: &mut Vec<(u16, u32)>, old: Letter, new: Letter) {
+    let i = m
+        .binary_search_by_key(&old.0, |e| e.0)
+        .expect("sparse counts track every stored letter");
+    m[i].1 -= 1;
+    if m[i].1 == 0 {
+        m.remove(i);
+    }
+    match m.binary_search_by_key(&new.0, |e| e.0) {
+        Ok(i) => m[i].1 += 1,
+        Err(i) => m.insert(i, (new.0, 1)),
+    }
+}
+
+/// Applies a net per-letter count delta to a sparse map, keeping it
+/// canonical (sorted, non-zero counts only).
+#[inline]
+fn sparse_apply_delta(m: &mut Vec<(u16, u32)>, letter: u16, delta: i64) {
+    match m.binary_search_by_key(&letter, |e| e.0) {
+        Ok(i) => {
+            let next = m[i].1 as i64 + delta;
+            debug_assert!(next >= 0, "sparse count would go negative");
+            if next == 0 {
+                m.remove(i);
+            } else {
+                m[i].1 = next as u32;
+            }
+        }
+        Err(i) => {
+            debug_assert!(delta > 0, "delta for an absent letter must be positive");
+            m.insert(i, (letter, delta as u32));
+        }
+    }
+}
+
+/// Which count representation a [`PortShard`] borrows.
+enum ShardCounts<'a> {
+    Dense(&'a mut [u32]),
+    Sparse(&'a mut [Vec<(u16, u32)>]),
+}
+
+/// A disjoint mutable view over one contiguous receiver range of a
+/// [`FlatPorts`], produced by [`FlatPorts::shards_mut`]. Accepts the same
+/// absolute `(node, slot)` addressing as [`FlatPorts::deliver`] but only
+/// for receivers inside the shard (out-of-range writes panic on the slice
+/// bounds — a misrouted delivery can never silently corrupt a neighbor
+/// shard).
+pub struct PortShard<'a> {
+    sigma: usize,
+    node_base: usize,
+    slot_base: usize,
+    letters: &'a mut [Letter],
+    counts: ShardCounts<'a>,
+}
+
+impl PortShard<'_> {
+    /// The first receiver node this shard owns.
+    pub fn node_base(&self) -> usize {
+        self.node_base
+    }
+
+    /// Overwrites the port at absolute flat `slot` (belonging to `node`,
+    /// which must fall in this shard's receiver range), maintaining the
+    /// incremental counts — the shard-local twin of
+    /// [`FlatPorts::deliver`].
+    #[inline]
+    pub fn deliver(&mut self, node: usize, slot: usize, letter: Letter) {
+        let old = std::mem::replace(&mut self.letters[slot - self.slot_base], letter);
+        if old == letter {
+            return;
+        }
+        match &mut self.counts {
+            ShardCounts::Dense(counts) => {
+                let base = (node - self.node_base) * self.sigma;
+                counts[base + old.index()] -= 1;
+                counts[base + letter.index()] += 1;
+            }
+            ShardCounts::Sparse(maps) => sparse_swap(&mut maps[node - self.node_base], old, letter),
         }
     }
 }
@@ -362,6 +564,78 @@ mod tests {
             sparse.refill_obs(v, &mut os, 2);
             assert_eq!(od, os, "node {v}");
         }
+    }
+
+    #[test]
+    fn deliver_run_matches_sequential_delivers() {
+        let g = generators::star(5);
+        for layout in [CountLayout::Dense, CountLayout::Sparse] {
+            let mut one = FlatPorts::with_layout(&g, 4, Letter(0), layout);
+            let mut run = one.clone();
+            // Center node 0 has 4 ports; include a redundant overwrite and
+            // a repeated letter so the delta accumulation is exercised.
+            let base = g.csr_offset(0) as u32;
+            let writes = [
+                (base, Letter(2)),
+                (base + 1, Letter(2)),
+                (base + 2, Letter(0)),
+                (base + 3, Letter(3)),
+            ];
+            for &(slot, letter) in &writes {
+                one.deliver(0, slot as usize, letter);
+            }
+            let mut scratch = Vec::new();
+            run.deliver_run(0, &writes, &mut scratch);
+            assert_eq!(one.dense_counts(&g), run.dense_counts(&g), "{layout:?}");
+            for slot in 0..g.port_slot_count() {
+                assert_eq!(one.letter_at(slot), run.letter_at(slot), "{layout:?}");
+            }
+            assert_eq!(run.dense_counts(&g), run.recount(&g), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn shard_views_deliver_like_the_whole_store() {
+        let g = generators::cycle(7);
+        for layout in [CountLayout::Dense, CountLayout::Sparse] {
+            let mut whole = FlatPorts::with_layout(&g, 3, Letter(0), layout);
+            let mut sharded = whole.clone();
+            // (receiver, port k, letter) spread across all three shards.
+            let writes = [
+                (0usize, 0usize, Letter(1)),
+                (1, 1, Letter(2)),
+                (3, 0, Letter(1)),
+                (4, 1, Letter(2)),
+                (6, 0, Letter(1)),
+                (6, 1, Letter(2)),
+            ];
+            for &(v, k, letter) in &writes {
+                whole.deliver(v, g.csr_offset(v as u32) + k, letter);
+            }
+            let bounds = [0usize, 2, 5, 7];
+            let mut shards = sharded.shards_mut(&g, &bounds);
+            for &(v, k, letter) in &writes {
+                let s = bounds[1..].partition_point(|&b| b <= v);
+                shards[s].deliver(v, g.csr_offset(v as u32) + k, letter);
+            }
+            drop(shards);
+            assert_eq!(
+                whole.dense_counts(&g),
+                sharded.dense_counts(&g),
+                "{layout:?}"
+            );
+            for slot in 0..g.port_slot_count() {
+                assert_eq!(whole.letter_at(slot), sharded.letter_at(slot), "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node bounds")]
+    fn shard_bounds_must_cover_the_node_range() {
+        let g = generators::path(4);
+        let mut ports = FlatPorts::new(&g, 2, Letter(0));
+        let _ = ports.shards_mut(&g, &[0, 2]);
     }
 
     proptest! {

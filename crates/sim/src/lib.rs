@@ -56,8 +56,14 @@
 //!
 //! With the `parallel` cargo feature (alias: `rayon`; implemented with
 //! `std::thread` because this build environment vendors no external
-//! crates), `run_sync_parallel` chunks phase 1 across worker threads —
-//! deterministically, since every node owns an independent seeded RNG.
+//! crates), `run_sync_parallel` and `run_scoped_parallel` chunk **both**
+//! round phases across worker threads: phase 1 (observation + transition)
+//! over disjoint node chunks, and phase 2 (delivery) through the
+//! per-worker sharded write buffers of the [`parbuf`] module, merged
+//! destination-sharded so workers never contend on a node's CSR slots.
+//! Outcomes stay bit-identical to the serial engines for every seed,
+//! worker count, and merge strategy — see the [`parbuf`] docs for the
+//! determinism argument.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +71,7 @@
 pub mod adversary;
 mod async_exec;
 pub mod engine;
+pub mod parbuf;
 pub mod reference;
 pub mod schedule;
 pub mod scoped;
@@ -76,17 +83,22 @@ pub use async_exec::{
     NoopAsyncObserver, SchedulerKind,
 };
 pub use engine::FlatPorts;
+pub use parbuf::{MergeStrategy, ParallelPolicy};
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
 pub use schedule::CalendarQueue;
 pub use scoped::{
     run_scoped, ScopedDelivery, ScopedEmission, ScopedMultiFsm, ScopedOutcome, ScopedTransitions,
 };
+#[cfg(feature = "parallel")]
+pub use scoped::{run_scoped_parallel, run_scoped_parallel_with_policy};
 pub use sync_exec::{
     run_sync, run_sync_observed, run_sync_with_inputs, NoopObserver, SyncConfig, SyncObserver,
     SyncOutcome,
 };
 #[cfg(feature = "parallel")]
-pub use sync_exec::{run_sync_parallel, run_sync_parallel_with_inputs};
+pub use sync_exec::{
+    run_sync_parallel, run_sync_parallel_with_inputs, run_sync_parallel_with_policy,
+};
 
 /// Why an execution failed to reach an output configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -27,6 +27,8 @@ use stoneage_core::{Alphabet, Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::FlatPorts;
+#[cfg(feature = "parallel")]
+use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, ShardPlan};
 use crate::{splitmix64, ExecError};
 
 /// An emission under the port-select extension.
@@ -119,6 +121,44 @@ pub struct ScopedOutcome {
     pub scoped_deliveries: Vec<ScopedDelivery>,
 }
 
+/// Resolves a `ToOnePortHolding` emission of `v` against the frozen
+/// ports: `None` when no port qualifies, otherwise the index of the
+/// uniformly drawn qualifying port.
+///
+/// The incremental per-letter counts give the number of qualifying ports
+/// up front — O(1) in the dense layout, a binary search over `v`'s live
+/// `(letter, count)` pairs in the sparse layout (|Σ| >
+/// [`crate::engine::SPARSE_SIGMA_THRESHOLD`]) — so the draw happens
+/// *before* any port scan and the scan early-exits at the drawn
+/// qualifying port instead of collecting every candidate. The draw is
+/// `gen_range(0 .. count)`, exactly the draw the collect-then-index
+/// implementation made (`count` equals the candidate-list length), so
+/// per-node RNG streams and therefore outcomes are unchanged.
+#[inline]
+fn select_scoped_port<R: Rng>(
+    graph: &Graph,
+    ports: &FlatPorts,
+    v: NodeId,
+    holding: Letter,
+    rng: &mut R,
+) -> Option<usize> {
+    let count = ports.count(v as usize, holding) as usize;
+    if count == 0 {
+        return None;
+    }
+    let j = rng.gen_range(0..count);
+    let mut seen = 0usize;
+    for (k, &l) in ports.ports_of(graph, v).iter().enumerate() {
+        if l == holding {
+            if seen == j {
+                return Some(k);
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("incremental counts track every stored letter")
+}
+
 /// Runs a scoped protocol on `graph` in lockstep synchronous rounds.
 pub fn run_scoped<P: ScopedMultiFsm>(
     protocol: &P,
@@ -140,9 +180,8 @@ pub fn run_scoped<P: ScopedMultiFsm>(
     let mut scoped_deliveries = Vec::new();
     let mut obs = ObsVec::zeroed(sigma);
     let mut emissions: Vec<ScopedEmission> = vec![ScopedEmission::Silent; n];
-    // Round-loop scratch buffers, reused across rounds.
+    // Round-loop scratch buffer, reused across rounds.
     let mut writes: Vec<(usize, usize, Letter)> = Vec::new(); // (node, flat slot, letter)
-    let mut candidates: Vec<usize> = Vec::new();
 
     // Undecided-node counter, maintained on state transitions.
     let mut undecided = states
@@ -193,30 +232,19 @@ pub fn run_scoped<P: ScopedMultiFsm>(
                     }
                 }
                 ScopedEmission::ToOnePortHolding { send, holding } => {
-                    // O(1) pre-check via the incremental counts before
-                    // scanning for the qualifying ports.
-                    if ports.count(v, holding) == 0 {
-                        continue;
+                    if let Some(k) =
+                        select_scoped_port(graph, &ports, v as NodeId, holding, &mut rngs[v])
+                    {
+                        let u = graph.neighbors(v as NodeId)[k];
+                        let rp = graph.reverse_ports(v as NodeId)[k] as usize;
+                        writes.push((u as usize, graph.csr_offset(u) + rp, send));
+                        scoped_deliveries.push(ScopedDelivery {
+                            round,
+                            from: v as NodeId,
+                            to: u,
+                            letter: send,
+                        });
                     }
-                    candidates.clear();
-                    candidates.extend(
-                        ports
-                            .ports_of(graph, v as NodeId)
-                            .iter()
-                            .enumerate()
-                            .filter(|&(_, &l)| l == holding)
-                            .map(|(k, _)| k),
-                    );
-                    let k = candidates[rngs[v].gen_range(0..candidates.len())];
-                    let u = graph.neighbors(v as NodeId)[k];
-                    let rp = graph.reverse_ports(v as NodeId)[k] as usize;
-                    writes.push((u as usize, graph.csr_offset(u) + rp, send));
-                    scoped_deliveries.push(ScopedDelivery {
-                        round,
-                        from: v as NodeId,
-                        to: u,
-                        letter: send,
-                    });
                 }
             }
         }
@@ -234,6 +262,186 @@ pub fn run_scoped<P: ScopedMultiFsm>(
     Err(ExecError::RoundLimit {
         limit: max_rounds,
         unfinished: undecided,
+    })
+}
+
+/// Runs a scoped protocol with the default [`ParallelPolicy`] (hardware
+/// worker count, destination-sharded merge, serial fallback on small
+/// graphs). See [`run_scoped_parallel_with_policy`].
+#[cfg(feature = "parallel")]
+pub fn run_scoped_parallel<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    run_scoped_parallel_with_policy(
+        protocol,
+        graph,
+        seed,
+        max_rounds,
+        &ParallelPolicy::default(),
+    )
+}
+
+/// The parallel twin of [`run_scoped`], on the same sharded-write-buffer
+/// schedule as the synchronous executor (see [`crate::parbuf`]): worker
+/// `i` owns a contiguous node chunk and, per round in a single
+/// `std::thread::scope` pass, applies each of its nodes' transitions and
+/// immediately resolves the node's emission — broadcasts through the
+/// reverse-port map, port-selected sends via the same early-exit
+/// count-draw the serial engine uses — into a private
+/// [`DeliveryBuffer`] plus a worker-local [`ScopedDelivery`] transcript.
+/// The buffers then merge under the policy's strategy.
+///
+/// Bit-identical to [`run_scoped`] for every seed, worker count, and
+/// merge strategy:
+///
+/// * a node's RNG draws happen in the serial order (transition draw, then
+///   target draw) because both phases of a node run back to back on its
+///   own stream, and target selection reads only the frozen
+///   previous-round ports — which no worker mutates until the merge;
+/// * the scoped-delivery witness list is the concatenation of the
+///   worker transcripts in worker order, i.e. ascending sender order —
+///   exactly the serial engine's push order;
+/// * the merged port store is byte-identical by the slot-uniqueness /
+///   commutative-counts argument of the [`crate::parbuf`] module docs.
+#[cfg(feature = "parallel")]
+pub fn run_scoped_parallel_with_policy<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+    policy: &ParallelPolicy,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    let n = graph.node_count();
+    if policy.use_serial(n) {
+        return run_scoped(protocol, graph, seed, max_rounds);
+    }
+    let sigma = protocol.alphabet().len();
+    let b = protocol.bound();
+    let sigma0 = protocol.initial_letter();
+
+    let mut states: Vec<P::State> = (0..n).map(|_| protocol.initial_state(0)).collect();
+    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    // The identical per-node streams of the serial engine.
+    let mut rngs: Vec<SmallRng> = (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
+        .collect();
+
+    let mut scoped_deliveries = Vec::new();
+    let mut undecided = states
+        .iter()
+        .filter(|q| protocol.output(q).is_none())
+        .count() as isize;
+    if undecided == 0 {
+        return Ok(ScopedOutcome {
+            outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
+            rounds: 0,
+            scoped_deliveries,
+        });
+    }
+
+    let plan = ShardPlan::new(graph, policy.resolve_workers());
+    let mut buffers: Vec<DeliveryBuffer> = (0..plan.workers())
+        .map(|_| DeliveryBuffer::new(plan.workers()))
+        .collect();
+    let mut transcripts: Vec<Vec<ScopedDelivery>> = vec![Vec::new(); plan.workers()];
+
+    for round in 1..=max_rounds {
+        let ports_ref = &ports;
+        let chunk_deltas: Vec<isize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .chunks_mut(&mut states)
+                .into_iter()
+                .zip(plan.chunks_mut(&mut rngs))
+                .zip(buffers.iter_mut())
+                .zip(transcripts.iter_mut())
+                .enumerate()
+                .map(|(ci, (((state_c, rng_c), buffer), transcript))| {
+                    let base = plan.bounds()[ci];
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        let mut obs = ObsVec::zeroed(sigma);
+                        let mut delta = 0isize;
+                        buffer.clear();
+                        transcript.clear();
+                        for i in 0..state_c.len() {
+                            let v = (base + i) as NodeId;
+                            ports_ref.refill_obs(base + i, &mut obs, b);
+                            let t = protocol.delta(&state_c[i], &obs);
+                            let idx = if t.choices.len() == 1 {
+                                0
+                            } else {
+                                rng_c[i].gen_range(0..t.choices.len())
+                            };
+                            let was_output = protocol.output(&state_c[i]).is_some();
+                            let is_output = protocol.output(&t.choices[idx].0).is_some();
+                            match (was_output, is_output) {
+                                (false, true) => delta -= 1,
+                                (true, false) => delta += 1,
+                                _ => {}
+                            }
+                            state_c[i] = t.choices[idx].0.clone();
+                            match t.choices[idx].1 {
+                                ScopedEmission::Silent => {}
+                                ScopedEmission::Broadcast(letter) => {
+                                    buffer.broadcast(graph, plan, v, letter);
+                                }
+                                ScopedEmission::ToOnePortHolding { send, holding } => {
+                                    if let Some(k) = select_scoped_port(
+                                        graph,
+                                        ports_ref,
+                                        v,
+                                        holding,
+                                        &mut rng_c[i],
+                                    ) {
+                                        let u = graph.neighbors(v)[k];
+                                        let rp = graph.reverse_ports(v)[k] as usize;
+                                        buffer.push(plan, u, graph.csr_offset(u) + rp, send);
+                                        transcript.push(ScopedDelivery {
+                                            round,
+                                            from: v,
+                                            to: u,
+                                            letter: send,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        delta
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        undecided += chunk_deltas.iter().sum::<isize>();
+        // Worker order = ascending sender order: the serial witness list.
+        for transcript in &transcripts {
+            scoped_deliveries.extend_from_slice(transcript);
+        }
+
+        parbuf::merge(policy.merge, &mut ports, graph, &plan, &buffers);
+
+        if undecided == 0 {
+            return Ok(ScopedOutcome {
+                outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
+                rounds: round,
+                scoped_deliveries,
+            });
+        }
+    }
+    Err(ExecError::RoundLimit {
+        limit: max_rounds,
+        unfinished: undecided as usize,
     })
 }
 

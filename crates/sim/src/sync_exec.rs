@@ -30,6 +30,8 @@ use stoneage_core::{Letter, MultiFsm, ObsVec};
 use stoneage_graph::Graph;
 
 use crate::engine::FlatPorts;
+#[cfg(feature = "parallel")]
+use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, ShardPlan};
 use crate::{splitmix64, ExecError};
 
 /// Configuration of a synchronous execution.
@@ -238,7 +240,7 @@ pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
 }
 
 /// Runs `protocol` synchronously with all-zero inputs, parallelizing
-/// phase 1 across nodes. See [`run_sync_parallel_with_inputs`].
+/// both round phases across nodes. See [`run_sync_parallel_with_inputs`].
 #[cfg(feature = "parallel")]
 pub fn run_sync_parallel<P>(
     protocol: &P,
@@ -253,26 +255,10 @@ where
     run_sync_parallel_with_inputs(protocol, graph, &inputs, config)
 }
 
-/// Below this node count the per-round thread spawn+join overhead of the
-/// chunked phase 1 outweighs the parallel speedup, so
-/// [`run_sync_parallel_with_inputs`] falls back to the serial engine
-/// (which is bit-identical anyway).
-#[cfg(feature = "parallel")]
-const PARALLEL_MIN_NODES: usize = 4096;
-
-/// The parallel twin of [`run_sync_with_inputs`]: phase 1 (observation +
-/// transition) is data-parallel across nodes, so it is chunked over
-/// `std::thread::scope` workers; phase 2 (delivery) and termination
-/// detection stay serial. Both phases are the *same* [`phase1`]/[`phase2`]
-/// code the serial engine runs — only the chunking differs — so the two
-/// executors cannot drift apart semantically.
-///
-/// Because every node owns an independent seeded RNG and phase 1 reads
-/// only the (frozen) previous-round ports, the parallel schedule cannot
-/// change any node's draw: outputs, rounds, and message counts are
-/// **bit-identical** to [`run_sync_with_inputs`] for every seed. For
-/// graphs smaller than [`PARALLEL_MIN_NODES`] this delegates to the
-/// serial engine outright.
+/// The parallel twin of [`run_sync_with_inputs`] under the default
+/// [`ParallelPolicy`]: hardware worker count, destination-sharded phase-2
+/// merge, serial fallback below [`crate::parbuf::PARALLEL_MIN_NODES`]
+/// nodes.
 ///
 /// (The `rayon` crate is not vendored in this offline build; the `rayon`
 /// cargo feature is an alias of `parallel` and selects this same
@@ -288,11 +274,46 @@ where
     P: MultiFsm + Sync,
     P::State: Send + Sync,
 {
+    run_sync_parallel_with_policy(protocol, graph, inputs, config, &ParallelPolicy::default())
+}
+
+/// The fully parallel synchronous executor: **both** round phases are
+/// data-parallel over `std::thread::scope` workers on the shared
+/// [`ShardPlan`] node partition.
+///
+/// * **Phase 1 + 2a (one scope):** worker `i` runs the same [`phase1`]
+///   the serial engine runs over its node chunk, then immediately
+///   resolves its own chunk's emissions into a private
+///   [`DeliveryBuffer`] — reading only the frozen previous-round ports,
+///   writing only worker-private state.
+/// * **Phase 2b (second scope):** the buffers merge into [`FlatPorts`]
+///   under the policy's [`crate::parbuf::MergeStrategy`] —
+///   destination-sharded by default (disjoint
+///   [`crate::engine::PortShard`] views, no contention), or the serial
+///   buffer-replay oracle.
+///
+/// Because every node owns an independent seeded RNG, phase 1 reads only
+/// frozen ports, and every flat slot is written at most once per round
+/// (see the [`crate::parbuf`] module docs for the full argument),
+/// outputs, rounds, and message counts are **bit-identical** to
+/// [`run_sync_with_inputs`] for every seed, policy, worker count, and
+/// merge strategy. When [`ParallelPolicy::use_serial`] says the instance
+/// is too small (and no explicit worker count forces the machinery),
+/// this delegates to the serial engine outright.
+#[cfg(feature = "parallel")]
+pub fn run_sync_parallel_with_policy<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    policy: &ParallelPolicy,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
     let n = graph.node_count();
-    let workers = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1);
-    if n < PARALLEL_MIN_NODES || workers < 2 {
+    if policy.use_serial(n) {
         return run_sync_with_inputs(protocol, graph, inputs, config);
     }
     if inputs.len() != n {
@@ -323,39 +344,50 @@ where
         });
     }
 
-    let chunk = n.div_ceil(workers);
+    let plan = ShardPlan::new(graph, policy.resolve_workers());
+    let mut buffers: Vec<DeliveryBuffer> = (0..plan.workers())
+        .map(|_| DeliveryBuffer::new(plan.workers()))
+        .collect();
 
     for round in 1..=config.max_rounds {
-        // Phase 1, chunked: disjoint &mut windows over states, emissions,
-        // and RNGs; shared reads of the frozen ports and counts. Each
-        // chunk runs the same `phase1` the serial engine uses.
+        // Phase 1 + 2a, one scope: disjoint &mut chunks over states,
+        // emissions, RNGs, and buffers; shared reads of the frozen ports
+        // and the graph. Each chunk runs the same `phase1` the serial
+        // engine uses, then buffers its own emissions.
         let ports_ref = &ports;
         let chunk_deltas: Vec<isize> = std::thread::scope(|scope| {
-            let handles: Vec<_> = states
-                .chunks_mut(chunk)
-                .zip(emissions.chunks_mut(chunk))
-                .zip(rngs.chunks_mut(chunk))
+            let handles: Vec<_> = plan
+                .chunks_mut(&mut states)
+                .into_iter()
+                .zip(plan.chunks_mut(&mut emissions))
+                .zip(plan.chunks_mut(&mut rngs))
+                .zip(buffers.iter_mut())
                 .enumerate()
-                .map(|(ci, ((state_c, emit_c), rng_c))| {
+                .map(|(ci, (((state_c, emit_c), rng_c), buffer))| {
+                    let base = plan.bounds()[ci];
+                    let plan = &plan;
                     scope.spawn(move || {
                         let mut obs = ObsVec::zeroed(sigma);
-                        phase1(
-                            protocol,
-                            ports_ref,
-                            ci * chunk,
-                            state_c,
-                            emit_c,
-                            rng_c,
-                            &mut obs,
-                        )
+                        let delta =
+                            phase1(protocol, ports_ref, base, state_c, emit_c, rng_c, &mut obs);
+                        buffer.clear();
+                        for (i, emission) in emit_c.iter().enumerate() {
+                            if let Some(letter) = emission {
+                                buffer.broadcast(graph, plan, (base + i) as u32, *letter);
+                            }
+                        }
+                        delta
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         undecided += chunk_deltas.iter().sum::<isize>();
+        messages_sent += buffers.iter().map(|b| b.sent).sum::<u64>();
 
-        messages_sent += phase2(graph, &mut ports, &emissions);
+        // Phase 2b: merge the buffers into the port store.
+        parbuf::merge(policy.merge, &mut ports, graph, &plan, &buffers);
+
         if undecided == 0 {
             return Ok(SyncOutcome {
                 outputs: collect_outputs(protocol, &states),

@@ -9,61 +9,24 @@
 //! arrivals into one bucket), protocols, event budgets, and bucket
 //! widths. Pinned fingerprints on gnp/tree/grid additionally guard both
 //! paths against silent drift.
+//!
+//! The protocol builders, fnv1a hash, and pinned case instances live in
+//! `stoneage-testkit` (shared with `tests/flat_engine.rs` and the
+//! `stoneage-bench` fingerprint bin); the pinned hash *constants* stay
+//! here so this suite fails on its own recorded numbers. These tests
+//! also pin the wheel drain's per-receiver coalescing: the quantized and
+//! constant adversaries collide many different senders' arrivals onto
+//! one instant at shared receivers, which is exactly the grouped-write
+//! path.
 
 use proptest::prelude::*;
-use stoneage_core::{
-    Alphabet, Letter, Synchronized, TableProtocol, TableProtocolBuilder, Transitions,
-};
+use stoneage_core::Synchronized;
 use stoneage_graph::{generators, Graph, NodeId};
 use stoneage_sim::{run_async, Adversary, AsyncConfig, AsyncOutcome, ExecError, SchedulerKind};
-
-/// Deterministic protocol: beep at step 1, then output 1 + f_b(#beeps).
-fn count_neighbors(b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep", "quiet"]);
-    let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(1));
-    let start = builder.add_state("start", Letter(0));
-    let listen = builder.add_state("listen", Letter(0));
-    builder.add_input_state(start);
-    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
-    for o in 0..=b {
-        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
-        builder.set_transition(listen, o, Transitions::det(out, None));
-        builder.set_transition_all(out, Transitions::det(out, None));
-    }
-    builder.build().unwrap()
-}
-
-/// Randomized protocol: `phases` coin-flip beeping steps, then output the
-/// truncated count heard last — exercises the per-node RNG streams, whose
-/// draw order the wheel must not perturb.
-fn random_beeper(phases: usize, b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep", "idle"]);
-    let mut builder = TableProtocolBuilder::new("rbeep", alphabet, b, Letter(1));
-    let states: Vec<_> = (0..phases)
-        .map(|i| builder.add_state(format!("r{i}"), Letter(0)))
-        .collect();
-    builder.add_input_state(states[0]);
-    for i in 0..phases {
-        if i + 1 < phases {
-            let next = states[i + 1];
-            builder.set_transition_all(
-                states[i],
-                Transitions::uniform(vec![
-                    (next, Some(Letter(0))),
-                    (next, None),
-                    (next, Some(Letter(1))),
-                ]),
-            );
-        } else {
-            for o in 0..=b {
-                let out = builder.add_output_state(format!("out{o}"), Letter(0), o as u64);
-                builder.set_transition(states[i], o, Transitions::det(out, None));
-                builder.set_transition_all(out, Transitions::det(out, None));
-            }
-        }
-    }
-    builder.build().unwrap()
-}
+use stoneage_testkit::{
+    async_fingerprint, count_neighbors_quiet as count_neighbors, random_beeper, run_async_pinned,
+    ASYNC_PINNED_CASES,
+};
 
 /// An adversary whose parameters are all multiples of one quantum: whole
 /// neighborhoods of arrivals collide onto identical instants, so the
@@ -255,54 +218,12 @@ fn event_limit_is_identical_under_the_wheel() {
     }
 }
 
-fn fnv1a(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ seed;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
-
-fn outcome_fingerprint(out: &AsyncOutcome) -> u64 {
-    fnv1a(
-        out.total_steps ^ (out.messages_sent << 16) ^ (out.deliveries << 32),
-        out.outputs.iter().copied().chain([
-            out.completion_time.to_bits(),
-            out.time_unit.to_bits(),
-            out.lost_overwrites,
-        ]),
-    )
-}
-
-fn fingerprint_case(name: &str) -> (Graph, Synchronized<TableProtocol>, u64) {
-    match name {
-        "gnp-async" => (
-            generators::gnp(90, 0.07, 19),
-            Synchronized::new(count_neighbors(2)),
-            4,
-        ),
-        "tree-async" => (
-            generators::random_tree(120, 23),
-            Synchronized::new(random_beeper(4, 2)),
-            5,
-        ),
-        "grid-async" => (
-            generators::grid(9, 11),
-            Synchronized::new(random_beeper(3, 3)),
-            6,
-        ),
-        other => panic!("unknown pinned case {other}"),
-    }
-}
-
 /// Pinned end-to-end async snapshots, recorded from the binary-heap path
 /// when the wheel scheduler landed. Both schedulers must reproduce them
 /// for every future engine change — they pin the "wheel is bit-identical
-/// to the heap" acceptance criterion. If a deliberate semantics-affecting
-/// change ever invalidates them, re-derive with
+/// to the heap" acceptance criterion (the case instances live in
+/// `stoneage-testkit`; the hashes stay here). If a deliberate
+/// semantics-affecting change ever invalidates them, re-derive with
 /// `cargo run -p stoneage-bench --bin fingerprint` and justify it in the
 /// commit message.
 const PINNED_ASYNC: [(&str, u64, u64); 3] = [
@@ -313,19 +234,16 @@ const PINNED_ASYNC: [(&str, u64, u64); 3] = [
 
 #[test]
 fn pinned_async_fingerprints_on_both_schedulers() {
+    // The hash constants pin the same (name, seed) pairs the shared case
+    // table enumerates — a drifted table would fail here immediately.
+    assert_eq!(
+        ASYNC_PINNED_CASES.map(|(name, seed)| (name, seed)),
+        PINNED_ASYNC.map(|(name, seed, _)| (name, seed)),
+    );
     let mut drift = Vec::new();
     for (name, seed, want) in PINNED_ASYNC {
-        let (g, p, adv_seed) = fingerprint_case(name);
-        let adv = stoneage_sim::adversary::UniformRandom { seed: adv_seed };
         for scheduler in [SchedulerKind::BinaryHeap, SchedulerKind::CalendarWheel] {
-            let out = run_async(
-                &p,
-                &g,
-                &adv,
-                &AsyncConfig::seeded(seed).with_scheduler(scheduler),
-            )
-            .expect("pinned cases terminate");
-            let got = outcome_fingerprint(&out);
+            let got = async_fingerprint(&run_async_pinned(name, seed, scheduler));
             if got != want {
                 drift.push(format!(
                     "(\"{name}\", {seed}, {got:#018x}) != {want:#018x} [{scheduler:?}]"

@@ -7,8 +7,15 @@
 //! [`stoneage_sim::reference`] — across graph families, protocols
 //! (deterministic and randomized), and failure modes (round-limit).
 //! A pinned snapshot additionally guards against silent drift in future
-//! engine changes, and the `parallel` feature path must match the serial
-//! engine exactly.
+//! engine changes, and the `parallel` feature path — chunked phase 1
+//! *and* the sharded-write-buffer phase 2 of `stoneage_sim::parbuf` —
+//! must match the serial engine exactly for every worker count and merge
+//! strategy.
+//!
+//! The protocol builders, fnv1a hash, and pinned case instances live in
+//! `stoneage-testkit` (shared with `tests/async_wheel.rs` and the
+//! `stoneage-bench` fingerprint bin); the pinned hash *constants* stay
+//! here so this suite fails on its own recorded numbers.
 
 use proptest::prelude::*;
 use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuilder, Transitions};
@@ -17,58 +24,7 @@ use stoneage_sim::{
     run_sync, run_sync_reference, run_sync_reference_with_inputs, run_sync_with_inputs, ExecError,
     SyncConfig, SyncOutcome,
 };
-
-/// Deterministic protocol: beep once, then output 1 + f_b(#beeps).
-fn count_neighbors(b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep"]);
-    let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(0));
-    let start = builder.add_state("start", Letter(0));
-    let listen = builder.add_state("listen", Letter(0));
-    builder.add_input_state(start);
-    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
-    for o in 0..=b {
-        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
-        builder.set_transition(listen, o, Transitions::det(out, None));
-        builder.set_transition_all(out, Transitions::det(out, None));
-    }
-    builder.build().unwrap()
-}
-
-/// Randomized protocol: for `phases` rounds each node flips a coin
-/// between beeping and staying silent (exercising the per-node RNG
-/// streams), then outputs the truncated count of beeps it heard last.
-fn random_beeper(phases: usize, b: u8) -> TableProtocol {
-    let alphabet = Alphabet::new(["beep", "idle"]);
-    let mut builder = TableProtocolBuilder::new("rbeep", alphabet, b, Letter(1));
-    let states: Vec<_> = (0..phases)
-        .map(|i| builder.add_state(format!("r{i}"), Letter(0)))
-        .collect();
-    builder.add_input_state(states[0]);
-    for i in 0..phases {
-        let next = if i + 1 < phases {
-            states[i + 1]
-        } else {
-            states[i]
-        };
-        if i + 1 < phases {
-            builder.set_transition_all(
-                states[i],
-                Transitions::uniform(vec![
-                    (next, Some(Letter(0))),
-                    (next, None),
-                    (next, Some(Letter(1))),
-                ]),
-            );
-        } else {
-            for o in 0..=b {
-                let out = builder.add_output_state(format!("out{o}"), Letter(0), o as u64);
-                builder.set_transition(states[i], o, Transitions::det(out, None));
-                builder.set_transition_all(out, Transitions::det(out, None));
-            }
-        }
-    }
-    builder.build().unwrap()
-}
+use stoneage_testkit::{count_neighbors, random_beeper, run_sync_pinned, sync_fingerprint};
 
 /// Protocol that never reaches an output state (round-limit path).
 fn spinner() -> TableProtocol {
@@ -200,37 +156,19 @@ fn flat_engine_matches_reference_with_inputs() {
     );
 }
 
-fn fnv1a(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ seed;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
-
-fn outcome_fingerprint(out: &SyncOutcome) -> u64 {
-    fnv1a(
-        out.rounds ^ (out.messages_sent << 20),
-        out.outputs.iter().copied(),
-    )
-}
-
 /// Pinned end-to-end snapshot: these fingerprints were recorded when the
 /// flat engine landed and must never change for a fixed seed — they pin
 /// the "outputs are bit-identical per seed before/after" acceptance
 /// criterion against future engine rewrites. If a deliberate
 /// semantics-affecting change ever invalidates them, re-derive the
-/// constants with the debug helper below and justify the change in the
-/// commit message.
+/// constants with `cargo run -p stoneage-bench --bin fingerprint` and
+/// justify the change in the commit message.
 #[test]
 fn pinned_outcome_fingerprints() {
     let expected: [(&str, u64, u64); 6] = PINNED;
     let mut drift = Vec::new();
     for (name, seed, want) in expected {
-        let got = fingerprint_for(name, seed);
+        let got = sync_fingerprint(&run_sync_pinned(name, seed));
         if got != want {
             drift.push(format!("(\"{name}\", {seed}, {got:#018x}) != {want:#018x}"));
         }
@@ -250,34 +188,6 @@ const PINNED: [(&str, u64, u64); 6] = [
     ("grid-rbeep", 7, 0xb6d1c231dc733bc1),
     ("grid-rbeep", 8, 0x095411f9df84d0a0),
 ];
-
-fn fingerprint_for(name: &str, seed: u64) -> u64 {
-    let out = match name {
-        "gnp-count" => run_sync(
-            &AsMulti(count_neighbors(3)),
-            &generators::gnp(120, 0.06, 9),
-            &SyncConfig::seeded(seed),
-        ),
-        "gnp-count2" => run_sync(
-            &AsMulti(count_neighbors(2)),
-            &generators::gnp(90, 0.1, 23),
-            &SyncConfig::seeded(seed),
-        ),
-        "tree-rbeep" => run_sync(
-            &AsMulti(random_beeper(5, 2)),
-            &generators::random_tree(150, 21),
-            &SyncConfig::seeded(seed),
-        ),
-        "grid-rbeep" => run_sync(
-            &AsMulti(random_beeper(4, 3)),
-            &generators::grid(10, 14),
-            &SyncConfig::seeded(seed),
-        ),
-        other => panic!("unknown pinned case {other}"),
-    }
-    .expect("pinned cases terminate");
-    outcome_fingerprint(&out)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -312,11 +222,14 @@ proptest! {
 #[cfg(feature = "parallel")]
 mod parallel {
     use super::*;
-    use stoneage_sim::run_sync_parallel;
+    use stoneage_sim::{
+        run_sync_parallel, run_sync_parallel_with_policy, MergeStrategy, ParallelPolicy,
+    };
+    use stoneage_testkit::adversarial_worker_counts as worker_counts;
 
-    /// Seed determinism of the `rayon`/`parallel` path: the chunked
-    /// phase-1 execution must be indistinguishable from the serial
-    /// engine for every seed.
+    /// Seed determinism of the auto `rayon`/`parallel` path: chunked
+    /// phase 1 plus the sharded-buffer phase 2 must be indistinguishable
+    /// from the serial engine for every seed.
     #[test]
     fn parallel_matches_serial_exactly() {
         for (name, g) in graph_family() {
@@ -338,21 +251,56 @@ mod parallel {
         }
     }
 
-    /// The parallel path also reproduces the pinned fingerprints.
+    /// Forced worker counts and both merge strategies, on graphs far below
+    /// the serial-fallback floor: every cell of the matrix must reproduce
+    /// the serial outcome bit for bit. This is the tentpole's differential
+    /// guard — `DestinationSharded` is additionally pitted against the
+    /// `BufferReplay` oracle by sharing the serial expectation.
     #[test]
-    fn parallel_reproduces_pinned_fingerprints() {
-        let out = run_sync_parallel(
-            &AsMulti(count_neighbors(3)),
-            &generators::gnp(120, 0.06, 9),
-            &SyncConfig::seeded(1),
-        )
-        .unwrap();
-        assert_eq!(outcome_fingerprint(&out), PINNED[0].2);
+    fn forced_worker_matrix_matches_serial() {
+        let p = AsMulti(random_beeper(5, 2));
+        for (name, g) in graph_family() {
+            let inputs = vec![0usize; g.node_count()];
+            for seed in 200..203 {
+                let config = SyncConfig::seeded(seed);
+                let serial = run_sync(&p, &g, &config);
+                for workers in worker_counts() {
+                    for merge in [
+                        MergeStrategy::DestinationSharded,
+                        MergeStrategy::BufferReplay,
+                    ] {
+                        let policy = ParallelPolicy::forced(workers, merge);
+                        assert_same_outcome(
+                            &format!("matrix/{name}/seed{seed}/w{workers}/{merge:?}"),
+                            run_sync_parallel_with_policy(&p, &g, &inputs, &config, &policy),
+                            serial.clone(),
+                        );
+                    }
+                }
+            }
+        }
     }
 
-    /// Above the small-graph fallback threshold (4096 nodes) the chunked
-    /// `std::thread::scope` phase 1 actually runs — and must still be
-    /// bit-identical to the serial engine.
+    /// The parallel path also reproduces the pinned fingerprints — at
+    /// every adversarial worker count, through the real buffered phase 2.
+    #[test]
+    fn parallel_reproduces_pinned_fingerprints() {
+        use stoneage_graph::generators;
+        let g = generators::gnp(120, 0.06, 9);
+        let p = AsMulti(count_neighbors(3));
+        let inputs = vec![0usize; g.node_count()];
+        for workers in worker_counts() {
+            let policy = ParallelPolicy::forced(workers, MergeStrategy::DestinationSharded);
+            let out =
+                run_sync_parallel_with_policy(&p, &g, &inputs, &SyncConfig::seeded(1), &policy)
+                    .unwrap();
+            assert_eq!(sync_fingerprint(&out), PINNED[0].2, "workers {workers}");
+        }
+    }
+
+    /// Above the small-graph fallback threshold (4096 nodes) the auto
+    /// chunked path actually runs — and must still be bit-identical to
+    /// the serial engine.
     #[test]
     fn parallel_chunked_path_matches_serial() {
         let g = generators::gnp(6000, 8.0 / 6000.0, 5);
@@ -364,6 +312,45 @@ mod parallel {
                 run_sync_parallel(&rnd, &g, &config),
                 run_sync(&rnd, &g, &config),
             );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Differential property over random instances, seeds, worker
+        /// counts, and merge strategies: the forced parallel sync engine
+        /// is bit-identical to the serial engine (fingerprint equality
+        /// covers outputs, rounds, and message counts).
+        #[test]
+        fn parallel_matches_serial_on_random_instances(
+            n in 2usize..60,
+            pr in 0.0f64..0.35,
+            gseed in 0u64..300,
+            seed in 0u64..300,
+            widx in 0usize..4,
+            sharded in 0usize..2,
+        ) {
+            let g = generators::gnp(n, pr, gseed);
+            let protocol = AsMulti(random_beeper(4, 2));
+            let config = SyncConfig::seeded(seed);
+            let workers = worker_counts()[widx % worker_counts().len()];
+            let merge = if sharded == 1 {
+                MergeStrategy::DestinationSharded
+            } else {
+                MergeStrategy::BufferReplay
+            };
+            let policy = ParallelPolicy::forced(workers, merge);
+            let inputs = vec![0usize; n];
+            let par = run_sync_parallel_with_policy(&protocol, &g, &inputs, &config, &policy);
+            let serial = run_sync(&protocol, &g, &config);
+            match (par, serial) {
+                (Ok(p), Ok(s)) => {
+                    prop_assert_eq!(sync_fingerprint(&p), sync_fingerprint(&s));
+                    prop_assert_eq!(p.outputs, s.outputs);
+                }
+                (p, s) => prop_assert!(false, "outcome kinds diverge: {:?} vs {:?}", p, s),
+            }
         }
     }
 }

@@ -1,0 +1,164 @@
+//! Differential tests for the parallel scoped (port-select) executor.
+//!
+//! The contract under test: `run_scoped_parallel` — chunked fused
+//! phase 1 + 2a over `std::thread::scope` workers, sharded-write-buffer
+//! merge per `stoneage_sim::parbuf` — produces outcomes **bit-identical
+//! per seed** to the serial `run_scoped`, including the full
+//! scoped-delivery witness transcript (order and all), across graph
+//! families, adversarial worker counts, and both merge strategies.
+//! Compiled only with the `parallel` feature.
+
+#![cfg(feature = "parallel")]
+
+use proptest::prelude::*;
+use stoneage_graph::{generators, Graph};
+use stoneage_sim::{
+    run_scoped, run_scoped_parallel, run_scoped_parallel_with_policy, ExecError, MergeStrategy,
+    ParallelPolicy, ScopedOutcome,
+};
+use stoneage_testkit::{adversarial_worker_counts as worker_counts, scoped_fingerprint, Poke};
+
+fn assert_same_outcome(
+    ctx: &str,
+    par: Result<ScopedOutcome, ExecError>,
+    serial: Result<ScopedOutcome, ExecError>,
+) {
+    match (par, serial) {
+        (Ok(p), Ok(s)) => {
+            assert_eq!(p.outputs, s.outputs, "{ctx}: outputs diverge");
+            assert_eq!(p.rounds, s.rounds, "{ctx}: rounds diverge");
+            assert_eq!(
+                p.scoped_deliveries, s.scoped_deliveries,
+                "{ctx}: delivery transcripts diverge"
+            );
+            assert_eq!(
+                scoped_fingerprint(&p),
+                scoped_fingerprint(&s),
+                "{ctx}: fingerprints diverge"
+            );
+        }
+        (Err(p), Err(s)) => assert_eq!(p, s, "{ctx}: errors diverge"),
+        (p, s) => panic!("{ctx}: outcome kinds diverge: parallel {p:?} vs serial {s:?}"),
+    }
+}
+
+fn graph_family() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp", generators::gnp(120, 0.06, 3)),
+        ("gnp-dense", generators::gnp(50, 0.3, 17)),
+        ("tree", generators::random_tree(150, 11)),
+        ("grid", generators::grid(10, 12)),
+        ("star", generators::star(40)),
+        ("complete", generators::complete(25)),
+        ("empty", Graph::empty(20)),
+    ]
+}
+
+/// The auto policy (hardware workers, serial fallback on small graphs)
+/// must be indistinguishable from the serial engine.
+#[test]
+fn auto_parallel_matches_serial() {
+    for (name, g) in graph_family() {
+        for seed in 0..4 {
+            assert_same_outcome(
+                &format!("auto/{name}/seed{seed}"),
+                run_scoped_parallel(&Poke::new(), &g, seed, 100),
+                run_scoped(&Poke::new(), &g, seed, 100),
+            );
+        }
+    }
+}
+
+/// Forced worker counts × merge strategies on every family: each cell of
+/// the matrix runs the real chunked phases and buffered merge (no serial
+/// fallback) and must reproduce the serial outcome — outputs, rounds,
+/// and the exact scoped-delivery transcript.
+#[test]
+fn forced_worker_matrix_matches_serial() {
+    for (name, g) in graph_family() {
+        for seed in 10..13 {
+            let serial = run_scoped(&Poke::new(), &g, seed, 100);
+            for workers in worker_counts() {
+                for merge in [
+                    MergeStrategy::DestinationSharded,
+                    MergeStrategy::BufferReplay,
+                ] {
+                    let policy = ParallelPolicy::forced(workers, merge);
+                    assert_same_outcome(
+                        &format!("matrix/{name}/seed{seed}/w{workers}/{merge:?}"),
+                        run_scoped_parallel_with_policy(&Poke::new(), &g, seed, 100, &policy),
+                        serial.clone(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Above the small-graph fallback floor the auto path genuinely runs the
+/// chunked machinery — and must still match the serial engine.
+#[test]
+fn chunked_path_matches_serial_on_large_graph() {
+    let g = generators::gnp(6000, 8.0 / 6000.0, 5);
+    for seed in 0..2 {
+        assert_same_outcome(
+            &format!("large/seed{seed}"),
+            run_scoped_parallel(&Poke::new(), &g, seed, 100),
+            run_scoped(&Poke::new(), &g, seed, 100),
+        );
+    }
+}
+
+/// Round-limit errors must agree too (the spinning phase of Poke cannot
+/// spin, so cap the budget below its round count on a path).
+#[test]
+fn round_limit_is_identical() {
+    let g = generators::gnp(80, 0.1, 2);
+    for max_rounds in [1u64, 2] {
+        for workers in worker_counts() {
+            let policy = ParallelPolicy::forced(workers, MergeStrategy::DestinationSharded);
+            assert_same_outcome(
+                &format!("limit{max_rounds}/w{workers}"),
+                run_scoped_parallel_with_policy(&Poke::new(), &g, 1, max_rounds, &policy),
+                run_scoped(&Poke::new(), &g, 1, max_rounds),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential property over random instances, seeds, worker
+    /// counts, and merge strategies: the forced parallel scoped executor
+    /// is bit-identical to the serial one — fingerprint equality covers
+    /// outputs, rounds, and the whole delivery transcript.
+    #[test]
+    fn parallel_matches_serial_on_random_instances(
+        n in 2usize..60,
+        pr in 0.0f64..0.4,
+        gseed in 0u64..300,
+        seed in 0u64..300,
+        widx in 0usize..4,
+        sharded in 0usize..2,
+    ) {
+        let g = generators::gnp(n, pr, gseed);
+        let workers = worker_counts()[widx % worker_counts().len()];
+        let merge = if sharded == 1 {
+            MergeStrategy::DestinationSharded
+        } else {
+            MergeStrategy::BufferReplay
+        };
+        let policy = ParallelPolicy::forced(workers, merge);
+        let par = run_scoped_parallel_with_policy(&Poke::new(), &g, seed, 100, &policy);
+        let serial = run_scoped(&Poke::new(), &g, seed, 100);
+        match (par, serial) {
+            (Ok(p), Ok(s)) => {
+                prop_assert_eq!(scoped_fingerprint(&p), scoped_fingerprint(&s));
+                prop_assert_eq!(p.outputs, s.outputs);
+                prop_assert_eq!(p.scoped_deliveries, s.scoped_deliveries);
+            }
+            (p, s) => prop_assert!(false, "outcome kinds diverge: {:?} vs {:?}", p, s),
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Shared deterministic fixtures for the engine test suites and the
+//! `stoneage-bench` `fingerprint` bin.
+//!
+//! The pinned-fingerprint panels used to be duplicated between
+//! `crates/sim/tests/flat_engine.rs`, `crates/sim/tests/async_wheel.rs`,
+//! and the fingerprint bin so the tests stayed hermetic. With three
+//! copies the panel had grown past the point where drift between copies
+//! was a bigger risk than the shared dependency, so the fixtures live
+//! here now — **one** transcription of each protocol builder, the fnv1a
+//! outcome hashes, and the pinned case *instances*. The pinned hash
+//! constants themselves stay in the test files: a test still fails on its
+//! own recorded numbers, not on values this crate could silently move.
+//!
+//! Nothing here is randomized at fixture level: every builder is a pure
+//! function of its arguments, and every case table is a fixed instance,
+//! so two processes running the same case always hash identical outcomes
+//! (the CI determinism job relies on this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stoneage_core::{
+    Alphabet, AsMulti, Letter, ObsVec, Synchronized, TableProtocol, TableProtocolBuilder,
+    Transitions,
+};
+use stoneage_graph::{generators, Graph};
+use stoneage_sim::{
+    run_async, run_sync, AsyncConfig, AsyncOutcome, SchedulerKind, ScopedEmission, ScopedMultiFsm,
+    ScopedTransitions, SyncConfig, SyncOutcome,
+};
+
+/// Deterministic single-letter protocol over `["beep"]`: every node beeps
+/// in round 1, then outputs `1 + f_b(#beeps heard)`. The synchronous
+/// suites' workhorse — its outputs encode the truncated degree profile.
+pub fn count_neighbors(b: u8) -> TableProtocol {
+    let alphabet = Alphabet::new(["beep"]);
+    let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(0));
+    let start = builder.add_state("start", Letter(0));
+    let listen = builder.add_state("listen", Letter(0));
+    builder.add_input_state(start);
+    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
+    for o in 0..=b {
+        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
+        builder.set_transition(listen, o, Transitions::det(out, None));
+        builder.set_transition_all(out, Transitions::det(out, None));
+    }
+    builder.build().unwrap()
+}
+
+/// The asynchronous suites' variant of [`count_neighbors`]: σ₀ is a
+/// distinct `"quiet"` letter, so the observed count genuinely reflects
+/// *delivered* beeps — which makes the protocol synchrony-dependent (the
+/// property the async differential tests need).
+pub fn count_neighbors_quiet(b: u8) -> TableProtocol {
+    let alphabet = Alphabet::new(["beep", "quiet"]);
+    let mut builder = TableProtocolBuilder::new("count", alphabet, b, Letter(1));
+    let start = builder.add_state("start", Letter(0));
+    let listen = builder.add_state("listen", Letter(0));
+    builder.add_input_state(start);
+    builder.set_transition_all(start, Transitions::det(listen, Some(Letter(0))));
+    for o in 0..=b {
+        let out = builder.add_output_state(format!("out{o}"), Letter(0), 1 + o as u64);
+        builder.set_transition(listen, o, Transitions::det(out, None));
+        builder.set_transition_all(out, Transitions::det(out, None));
+    }
+    builder.build().unwrap()
+}
+
+/// Randomized protocol: for `phases` rounds each node flips a three-way
+/// coin between beeping, idling loudly, and staying silent (exercising
+/// the per-node RNG streams, whose draw order no engine rewrite may
+/// perturb), then outputs the truncated count of beeps it heard last.
+pub fn random_beeper(phases: usize, b: u8) -> TableProtocol {
+    let alphabet = Alphabet::new(["beep", "idle"]);
+    let mut builder = TableProtocolBuilder::new("rbeep", alphabet, b, Letter(1));
+    let states: Vec<_> = (0..phases)
+        .map(|i| builder.add_state(format!("r{i}"), Letter(0)))
+        .collect();
+    builder.add_input_state(states[0]);
+    for i in 0..phases {
+        if i + 1 < phases {
+            let next = states[i + 1];
+            builder.set_transition_all(
+                states[i],
+                Transitions::uniform(vec![
+                    (next, Some(Letter(0))),
+                    (next, None),
+                    (next, Some(Letter(1))),
+                ]),
+            );
+        } else {
+            for o in 0..=b {
+                let out = builder.add_output_state(format!("out{o}"), Letter(0), o as u64);
+                builder.set_transition(states[i], o, Transitions::det(out, None));
+                builder.set_transition_all(out, Transitions::det(out, None));
+            }
+        }
+    }
+    builder.build().unwrap()
+}
+
+/// The adversarial worker counts of the parallel differential matrices:
+/// serial-fallback territory (1), the smallest real split (2), a count
+/// that never divides the test graphs evenly (7), and whatever this
+/// machine actually has — sorted and deduplicated.
+pub fn adversarial_worker_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut ws = vec![1, 2, 7, hw];
+    ws.sort_unstable();
+    ws.dedup();
+    ws
+}
+
+/// The fnv1a-64 word hash all outcome fingerprints build on.
+pub fn fnv1a(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Fingerprint of a synchronous outcome: rounds, message count, and the
+/// full output vector.
+pub fn sync_fingerprint(out: &SyncOutcome) -> u64 {
+    fnv1a(
+        out.rounds ^ (out.messages_sent << 20),
+        out.outputs.iter().copied(),
+    )
+}
+
+/// Fingerprint of an asynchronous outcome: every counter plus the exact
+/// bits of the completion time and time unit.
+pub fn async_fingerprint(out: &AsyncOutcome) -> u64 {
+    fnv1a(
+        out.total_steps ^ (out.messages_sent << 16) ^ (out.deliveries << 32),
+        out.outputs.iter().copied().chain([
+            out.completion_time.to_bits(),
+            out.time_unit.to_bits(),
+            out.lost_overwrites,
+        ]),
+    )
+}
+
+/// Fingerprint of a scoped outcome: rounds, outputs, and the full scoped
+/// delivery transcript (round, endpoints, letter of every port-selected
+/// send) — any reordering or drift in the witness list changes the hash.
+pub fn scoped_fingerprint(out: &stoneage_sim::ScopedOutcome) -> u64 {
+    fnv1a(
+        out.rounds ^ ((out.scoped_deliveries.len() as u64) << 24),
+        out.outputs
+            .iter()
+            .copied()
+            .chain(out.scoped_deliveries.iter().flat_map(|d| {
+                [
+                    d.round,
+                    ((d.from as u64) << 32) | d.to as u64,
+                    d.letter.0 as u64,
+                ]
+            })),
+    )
+}
+
+/// The `(case name, seed)` pairs of the pinned synchronous panel.
+pub const SYNC_PINNED_CASES: [(&str, u64); 6] = [
+    ("gnp-count", 1),
+    ("gnp-count2", 2),
+    ("tree-rbeep", 1),
+    ("tree-rbeep", 2),
+    ("grid-rbeep", 7),
+    ("grid-rbeep", 8),
+];
+
+/// Runs one case of the pinned synchronous panel. Panics on an unknown
+/// case name; the instances must never change (the recorded hashes in
+/// `crates/sim/tests/flat_engine.rs` pin their outcomes).
+pub fn run_sync_pinned(name: &str, seed: u64) -> SyncOutcome {
+    match name {
+        "gnp-count" => run_sync(
+            &AsMulti(count_neighbors(3)),
+            &generators::gnp(120, 0.06, 9),
+            &SyncConfig::seeded(seed),
+        ),
+        "gnp-count2" => run_sync(
+            &AsMulti(count_neighbors(2)),
+            &generators::gnp(90, 0.1, 23),
+            &SyncConfig::seeded(seed),
+        ),
+        "tree-rbeep" => run_sync(
+            &AsMulti(random_beeper(5, 2)),
+            &generators::random_tree(150, 21),
+            &SyncConfig::seeded(seed),
+        ),
+        "grid-rbeep" => run_sync(
+            &AsMulti(random_beeper(4, 3)),
+            &generators::grid(10, 14),
+            &SyncConfig::seeded(seed),
+        ),
+        other => panic!("unknown pinned sync case {other}"),
+    }
+    .expect("pinned cases terminate")
+}
+
+/// The `(case name, seed)` pairs of the pinned asynchronous panel.
+pub const ASYNC_PINNED_CASES: [(&str, u64); 3] = [
+    ("gnp-async", 4242),
+    ("tree-async", 77),
+    ("grid-async", 9000),
+];
+
+/// The instance behind one pinned asynchronous case: graph, synchronized
+/// protocol, and the adversary seed.
+pub fn async_pinned_case(name: &str) -> (Graph, Synchronized<TableProtocol>, u64) {
+    match name {
+        "gnp-async" => (
+            generators::gnp(90, 0.07, 19),
+            Synchronized::new(count_neighbors_quiet(2)),
+            4,
+        ),
+        "tree-async" => (
+            generators::random_tree(120, 23),
+            Synchronized::new(random_beeper(4, 2)),
+            5,
+        ),
+        "grid-async" => (
+            generators::grid(9, 11),
+            Synchronized::new(random_beeper(3, 3)),
+            6,
+        ),
+        other => panic!("unknown pinned async case {other}"),
+    }
+}
+
+/// Runs one case of the pinned asynchronous panel under the given
+/// scheduler (the heap and wheel paths must reproduce the same hash).
+pub fn run_async_pinned(name: &str, seed: u64, scheduler: SchedulerKind) -> AsyncOutcome {
+    let (g, p, adv_seed) = async_pinned_case(name);
+    let adv = stoneage_sim::adversary::UniformRandom { seed: adv_seed };
+    run_async(
+        &p,
+        &g,
+        &adv,
+        &AsyncConfig::seeded(seed).with_scheduler(scheduler),
+    )
+    .expect("pinned cases terminate")
+}
+
+/// A small id-free scoped protocol for the port-select executor tests:
+/// every node broadcasts FREE once, then sends POKE to exactly one
+/// uniformly random port still holding FREE, waits a round, and outputs
+/// `f_2(#POKE received)`. Exercises both scoped-emission kinds, the
+/// engine-level delivery witness, and the per-node RNG draws of the
+/// target selection.
+#[derive(Clone, Debug)]
+pub struct Poke {
+    alphabet: Alphabet,
+}
+
+impl Poke {
+    /// A fresh instance (the protocol is stateless beyond its alphabet).
+    pub fn new() -> Self {
+        Poke {
+            alphabet: Alphabet::new(["INIT", "FREE", "POKE"]),
+        }
+    }
+}
+
+impl Default for Poke {
+    fn default() -> Self {
+        Poke::new()
+    }
+}
+
+/// States of [`Poke`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PokeState {
+    /// About to broadcast FREE.
+    Announce,
+    /// About to poke one FREE port.
+    Poke,
+    /// Waiting one round for pokes to land.
+    Wait,
+    /// Terminal, carrying the truncated poke count.
+    Done(u64),
+}
+
+impl ScopedMultiFsm for Poke {
+    type State = PokeState;
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn bound(&self) -> u8 {
+        2
+    }
+
+    fn initial_letter(&self) -> Letter {
+        Letter(0)
+    }
+
+    fn initial_state(&self, _input: usize) -> PokeState {
+        PokeState::Announce
+    }
+
+    fn output(&self, q: &PokeState) -> Option<u64> {
+        match q {
+            PokeState::Done(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn delta(&self, q: &PokeState, obs: &ObsVec) -> ScopedTransitions<PokeState> {
+        match q {
+            PokeState::Announce => {
+                ScopedTransitions::det(PokeState::Poke, ScopedEmission::Broadcast(Letter(1)))
+            }
+            PokeState::Poke => ScopedTransitions::det(
+                PokeState::Wait,
+                ScopedEmission::ToOnePortHolding {
+                    send: Letter(2),
+                    holding: Letter(1),
+                },
+            ),
+            PokeState::Wait => ScopedTransitions::det(
+                PokeState::Done(obs.get(Letter(2)).raw() as u64),
+                ScopedEmission::Silent,
+            ),
+            PokeState::Done(v) => {
+                ScopedTransitions::det(PokeState::Done(*v), ScopedEmission::Silent)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(0, [0u64]), fnv1a(0, [0u64]));
+        assert_ne!(fnv1a(0, [1u64]), fnv1a(0, [2u64]));
+        assert_ne!(fnv1a(1, [7u64]), fnv1a(2, [7u64]));
+    }
+
+    #[test]
+    fn pinned_case_tables_are_runnable() {
+        // Every named case must construct and terminate — the hash
+        // constants live with the tests, but a broken instance would fail
+        // every consumer at once.
+        for (name, seed) in SYNC_PINNED_CASES {
+            let _ = run_sync_pinned(name, seed);
+        }
+        for (name, seed) in ASYNC_PINNED_CASES {
+            let a = run_async_pinned(name, seed, SchedulerKind::BinaryHeap);
+            let b = run_async_pinned(name, seed, SchedulerKind::CalendarWheel);
+            assert_eq!(async_fingerprint(&a), async_fingerprint(&b), "{name}");
+        }
+    }
+}
