@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stoneage_graph::generators;
 use stoneage_protocols::ColoringProtocol;
-use stoneage_sim::{run_sync, SyncConfig};
+use stoneage_sim::Simulation;
 
 fn bench_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("coloring_sync");
@@ -15,15 +15,11 @@ fn bench_coloring(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync(
-                    &ColoringProtocol::new(),
-                    g,
-                    &SyncConfig {
-                        seed,
-                        max_rounds: 10_000_000,
-                    },
-                )
-                .unwrap()
+                Simulation::sync(&ColoringProtocol::new(), g)
+                    .seed(seed)
+                    .budget(10_000_000)
+                    .run()
+                    .unwrap()
             });
         });
     }
@@ -33,15 +29,11 @@ fn bench_coloring(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync(
-                    &ColoringProtocol::new(),
-                    g,
-                    &SyncConfig {
-                        seed,
-                        max_rounds: 10_000_000,
-                    },
-                )
-                .unwrap()
+                Simulation::sync(&ColoringProtocol::new(), g)
+                    .seed(seed)
+                    .budget(10_000_000)
+                    .run()
+                    .unwrap()
             });
         });
     }

@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuilder, Transitions};
 use stoneage_graph::generators;
-use stoneage_sim::{run_sync, run_sync_reference, ExecError, SyncConfig};
+use stoneage_sim::{run_sync_reference, ExecError, Simulation, SyncConfig};
 
 const ROUNDS: u64 = 20;
 
@@ -39,7 +39,11 @@ fn bench_engine_throughput(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("flat", n), &g, |b, g| {
             b.iter(|| {
-                let err = run_sync(&p, g, &config).unwrap_err();
+                let err = Simulation::sync(&p, g)
+                    .seed(config.seed)
+                    .budget(config.max_rounds)
+                    .run()
+                    .unwrap_err();
                 assert!(matches!(err, ExecError::RoundLimit { .. }));
             });
         });

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stoneage_graph::generators;
 use stoneage_protocols::MisProtocol;
-use stoneage_sim::{run_sync, SyncConfig};
+use stoneage_sim::Simulation;
 
 fn bench_mis(c: &mut Criterion) {
     let mut group = c.benchmark_group("mis_sync");
@@ -15,7 +15,10 @@ fn bench_mis(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync(&MisProtocol::new(), g, &SyncConfig::seeded(seed)).unwrap()
+                Simulation::sync(&MisProtocol::new(), g)
+                    .seed(seed)
+                    .run()
+                    .unwrap()
             });
         });
     }
@@ -25,7 +28,10 @@ fn bench_mis(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync(&MisProtocol::new(), g, &SyncConfig::seeded(seed)).unwrap()
+                Simulation::sync(&MisProtocol::new(), g)
+                    .seed(seed)
+                    .run()
+                    .unwrap()
             });
         });
     }

@@ -10,7 +10,7 @@ use stoneage_protocols::{
     MisProtocol,
 };
 use stoneage_sim::adversary::{Lockstep, UniformRandom};
-use stoneage_sim::{run_async_with_inputs, run_sync, AsyncConfig, SyncConfig};
+use stoneage_sim::Simulation;
 
 fn bench_single_letter(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm34_single_letter");
@@ -22,7 +22,7 @@ fn bench_single_letter(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync(&p, g, &SyncConfig::seeded(seed)).unwrap()
+                Simulation::sync(&p, g).seed(seed).run().unwrap()
             });
         });
     }
@@ -40,7 +40,10 @@ fn bench_synchronizer(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_async_with_inputs(&p, g, &inputs, &Lockstep, &AsyncConfig::seeded(seed))
+                Simulation::asynchronous(&p, g, &Lockstep)
+                    .seed(seed)
+                    .inputs(&inputs)
+                    .run()
                     .unwrap()
             });
         });
@@ -48,14 +51,11 @@ fn bench_synchronizer(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_async_with_inputs(
-                    &p,
-                    g,
-                    &inputs,
-                    &UniformRandom { seed: 9 },
-                    &AsyncConfig::seeded(seed),
-                )
-                .unwrap()
+                Simulation::asynchronous(&p, g, &UniformRandom { seed: 9 })
+                    .seed(seed)
+                    .inputs(&inputs)
+                    .run()
+                    .unwrap()
             });
         });
     }

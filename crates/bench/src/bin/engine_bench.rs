@@ -40,7 +40,7 @@ use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuild
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::adversary::UniformRandom;
 use stoneage_sim::{
-    run_async, run_sync, run_sync_reference, AsyncConfig, ExecError, SchedulerKind, SyncConfig,
+    run_sync_reference, AsyncOptions, Backend, ExecError, SchedulerKind, Simulation, SyncConfig,
     SyncOutcome,
 };
 
@@ -79,11 +79,16 @@ fn measure_async(
 ) -> (f64, usize) {
     let p = blinker();
     let adv = UniformRandom { seed: 11 };
-    let config = AsyncConfig {
-        max_events,
-        ..AsyncConfig::seeded(1).with_scheduler(scheduler)
+    let run = || {
+        Simulation::asynchronous(&p, g, &adv)
+            .seed(1)
+            .budget(max_events)
+            .backend(Backend::Async(
+                AsyncOptions::new(&adv).with_scheduler(scheduler),
+            ))
+            .run()
+            .map(|o| o.into_async_outcome().expect("async backend"))
     };
-    let run = || run_async(&p, g, &adv, &config);
     // Warm-up.
     let warm = run().expect_err("blinker never terminates");
     let unfinished = match warm {
@@ -104,6 +109,10 @@ fn measure_async(
 #[cfg(feature = "parallel")]
 struct ParEntry {
     workers: usize,
+    /// The worker count the engine actually ran with, surfaced by
+    /// `Outcome::workers` — the snapshot records it instead of guessing
+    /// from `host_cpus`.
+    workers_used: usize,
     rounds_per_sec: f64,
     speedup: f64,
 }
@@ -122,7 +131,7 @@ fn parallel_sweep(
     reps: usize,
     serial_rps: f64,
 ) -> (Vec<ParEntry>, usize) {
-    use stoneage_sim::{run_sync_parallel_with_policy, MergeStrategy, ParallelPolicy};
+    use stoneage_sim::{MergeStrategy, ParallelPolicy};
     let hw = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
@@ -135,17 +144,33 @@ fn parallel_sweep(
     let mut entries = Vec::new();
     for w in worker_counts {
         let policy = ParallelPolicy::forced(w, MergeStrategy::DestinationSharded);
+        // The count the engine will actually run with — `Outcome::workers`
+        // surfaces this on completed runs; the blinker workload always
+        // ends at the round budget (an Err), so resolve it from the
+        // policy the same way the builder does.
+        let workers_used = if policy.use_serial(g.node_count()) {
+            1
+        } else {
+            policy.resolve_workers().min(g.node_count().max(1))
+        };
         let rps = measure(rounds, reps, || {
-            run_sync_parallel_with_policy(&p, g, &inputs, config, &policy)
+            Simulation::sync(&p, g)
+                .seed(config.seed)
+                .budget(config.max_rounds)
+                .inputs(&inputs)
+                .parallel(policy)
+                .run()
+                .map(|o| o.into_sync_outcome().expect("sync backend"))
         });
         let entry = ParEntry {
             workers: w,
+            workers_used,
             rounds_per_sec: rps,
             speedup: rps / serial_rps,
         };
         eprintln!(
-            "  parallel[w={}]: {:>8.1} rounds/sec ({:.2}x serial)",
-            entry.workers, entry.rounds_per_sec, entry.speedup
+            "  parallel[w={} used={}]: {:>8.1} rounds/sec ({:.2}x serial)",
+            entry.workers, entry.workers_used, entry.rounds_per_sec, entry.speedup
         );
         entries.push(entry);
     }
@@ -287,7 +312,13 @@ fn main() {
     );
     let reference = measure(rounds, reps, || run_sync_reference(&p, &g, &config));
     eprintln!("  reference: {reference:.1} rounds/sec");
-    let flat = measure(rounds, reps, || run_sync(&p, &g, &config));
+    let flat = measure(rounds, reps, || {
+        Simulation::sync(&p, &g)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    });
     eprintln!("  flat:      {flat:.1} rounds/sec");
     let speedup = flat / reference;
     eprintln!("  speedup:   {speedup:.2}x");
@@ -337,6 +368,12 @@ fn main() {
         ),
         ("merge".to_owned(), "destination_sharded".into()),
         ("workers_available".to_owned(), workers_available.into()),
+        (
+            "default_policy_workers".to_owned(),
+            stoneage_sim::ParallelPolicy::default()
+                .resolve_workers()
+                .into(),
+        ),
         ("serial_rounds_per_sec".to_owned(), flat.into()),
         (
             "entries".to_owned(),
@@ -346,6 +383,7 @@ fn main() {
                     .map(|e| {
                         Value::Object(vec![
                             ("workers".to_owned(), e.workers.into()),
+                            ("workers_used".to_owned(), e.workers_used.into()),
                             ("rounds_per_sec".to_owned(), e.rounds_per_sec.into()),
                             ("speedup".to_owned(), e.speedup.into()),
                         ])

@@ -7,7 +7,7 @@
 //! empirically; `EXPERIMENTS.md` records paper-vs-measured.
 
 use stoneage_baselines::{beeping, cole_vishkin, luby, matching as mp_matching, metivier};
-use stoneage_core::{AsMulti, Fsm, MultiFsm, SingleLetter, Synchronized};
+use stoneage_core::{AsMulti, MultiFsm, SingleLetter, Synchronized};
 use stoneage_graph::{generators, validate, Graph};
 use stoneage_lba::{machines, sweep, to_nfsm};
 use stoneage_protocols::{
@@ -17,9 +17,9 @@ use stoneage_protocols::{
     ColoringProtocol, MisProtocol,
 };
 use stoneage_sim::adversary::standard_panel;
-use stoneage_sim::{
+use stoneage_sim::{AsyncConfig, SyncConfig};
+use stoneage_testkit::harness::{
     run_async, run_async_with_inputs, run_sync, run_sync_observed, run_sync_with_inputs,
-    AsyncConfig, SyncConfig,
 };
 
 use crate::report::Table;
@@ -510,7 +510,7 @@ pub fn e07_synchronizer(scale: Scale) -> Table {
             (out.normalized_time / sync_out.rounds as f64).into(),
         ]);
     }
-    let sigma = Fsm::alphabet(&wave).len();
+    let sigma = stoneage_core::Protocol::alphabet(&wave).len();
     t.finding(format!(
         "wave overhead per simulated round: min {:.1}, max {:.1} time units — a constant governed by |Σ̂| = 3(|Σ|+1)² = {} (|Σ| = {sigma})",
         ratios.iter().copied().fold(f64::MAX, f64::min),

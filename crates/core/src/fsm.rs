@@ -64,16 +64,18 @@ impl<S> Transitions<S> {
     }
 }
 
-/// A protocol in the formal nFSM model of Section 2: every state queries a
-/// **single** letter `λ(q)` and the transition depends only on
-/// `f_b(#λ(q))`.
+/// The **representation-independent face** every protocol flavor shares:
+/// the static components of the paper's 8-tuple
+/// `Π = ⟨Q, Q_I, Q_O, Σ, σ₀, b, λ, δ⟩` that an execution environment
+/// needs *before* it knows how transitions are queried.
 ///
-/// Model requirement (M2): all nodes run the *same* protocol — an `Fsm`
-/// value is shared (by reference) across all nodes of an execution.
-/// Requirement (M4) — constant size independent of the network — is a
-/// design obligation on implementors: `State`, the alphabet and `b` must
-/// not depend on `n` or on node degrees.
-pub trait Fsm {
+/// [`Fsm`] (single-letter queries, Section 2), [`MultiFsm`]
+/// (multiple-letter queries, Section 3.2), and the simulator's scoped
+/// port-select extension are all subtraits adding only their flavor of
+/// `δ`; everything generic over "a protocol" — input-state construction,
+/// output decoding, alphabet sizing, the unified `Simulation` builder and
+/// its `Outcome` — bounds on this trait alone.
+pub trait Protocol {
     /// The state set `Q`. `Clone + Eq` so engines can store and compare
     /// per-node states; `Debug` for traces.
     type State: Clone + Eq + std::fmt::Debug;
@@ -94,7 +96,18 @@ pub trait Fsm {
     /// `Some(output)` iff `q ∈ Q_O`; the global execution is in an *output
     /// configuration* when this is `Some` at every node.
     fn output(&self, q: &Self::State) -> Option<u64>;
+}
 
+/// A protocol in the formal nFSM model of Section 2: every state queries a
+/// **single** letter `λ(q)` and the transition depends only on
+/// `f_b(#λ(q))`.
+///
+/// Model requirement (M2): all nodes run the *same* protocol — an `Fsm`
+/// value is shared (by reference) across all nodes of an execution.
+/// Requirement (M4) — constant size independent of the network — is a
+/// design obligation on implementors: `State`, the alphabet and `b` must
+/// not depend on `n` or on node degrees.
+pub trait Fsm: Protocol {
     /// The query letter `λ(q)`.
     fn query(&self, q: &Self::State) -> Letter;
 
@@ -193,25 +206,7 @@ impl ObsVec {
 /// protocol down to a plain [`Fsm`] at constant overhead, so this layer is
 /// a convenience, not extra power. The paper's own MIS and tree-coloring
 /// protocols are stated in this layer.
-pub trait MultiFsm {
-    /// The state set `Q`.
-    type State: Clone + Eq + std::fmt::Debug;
-
-    /// The communication alphabet `Σ`.
-    fn alphabet(&self) -> &Alphabet;
-
-    /// The bounding parameter `b ∈ Z>0`.
-    fn bound(&self) -> u8;
-
-    /// The initial letter `σ₀`.
-    fn initial_letter(&self) -> Letter;
-
-    /// The input state for input symbol `input`.
-    fn initial_state(&self, input: usize) -> Self::State;
-
-    /// `Some(output)` iff `q ∈ Q_O`.
-    fn output(&self, q: &Self::State) -> Option<u64>;
-
+pub trait MultiFsm: Protocol {
     /// The transition function over the full observation vector.
     fn delta(&self, q: &Self::State, obs: &ObsVec) -> Transitions<Self::State>;
 }
@@ -224,7 +219,7 @@ pub trait MultiFsm {
 #[derive(Clone, Debug)]
 pub struct AsMulti<P>(pub P);
 
-impl<P: Fsm> MultiFsm for AsMulti<P> {
+impl<P: Fsm> Protocol for AsMulti<P> {
     type State = P::State;
 
     fn alphabet(&self) -> &Alphabet {
@@ -246,7 +241,9 @@ impl<P: Fsm> MultiFsm for AsMulti<P> {
     fn output(&self, q: &Self::State) -> Option<u64> {
         self.0.output(q)
     }
+}
 
+impl<P: Fsm> MultiFsm for AsMulti<P> {
     fn delta(&self, q: &Self::State, obs: &ObsVec) -> Transitions<Self::State> {
         self.0.delta(q, obs.get(self.0.query(q)))
     }

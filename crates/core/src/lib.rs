@@ -13,8 +13,10 @@
 //!
 //! * the model vocabulary — [`Letter`], [`Alphabet`], [`BoundedCount`]
 //!   (the set `B` together with `f_b`), [`Transitions`];
-//! * the protocol abstractions — [`Fsm`] (single-letter queries, the formal
-//!   model of Section 2) and [`MultiFsm`] (the multiple-letter-query
+//! * the protocol abstractions — the representation-independent
+//!   [`Protocol`] base (states, alphabet, inputs, outputs) with its two
+//!   transition flavors [`Fsm`] (single-letter queries, the formal model
+//!   of Section 2) and [`MultiFsm`] (the multiple-letter-query
 //!   convenience layer of Section 3.2);
 //! * a concrete table-driven representation, [`TableProtocol`], with
 //!   well-formedness validation and Graphviz export (used to regenerate the
@@ -39,7 +41,7 @@ pub mod sync;
 pub mod table;
 
 pub use bounded::{fb, BoundedCount};
-pub use fsm::{AsMulti, Fsm, MultiFsm, ObsVec, Transitions};
+pub use fsm::{AsMulti, Fsm, MultiFsm, ObsVec, Protocol, Transitions};
 pub use letter::{Alphabet, Letter};
 pub use multiq::SingleLetter;
 pub use sync::Synchronized;

@@ -56,7 +56,7 @@ impl<P: MultiFsm> SingleLetter<P> {
     }
 }
 
-impl<P: MultiFsm> Fsm for SingleLetter<P> {
+impl<P: MultiFsm> crate::Protocol for SingleLetter<P> {
     type State = GatherState<P::State>;
 
     fn alphabet(&self) -> &Alphabet {
@@ -81,7 +81,9 @@ impl<P: MultiFsm> Fsm for SingleLetter<P> {
     fn output(&self, q: &Self::State) -> Option<u64> {
         self.inner.output(&q.inner)
     }
+}
 
+impl<P: MultiFsm> Fsm for SingleLetter<P> {
     fn query(&self, q: &Self::State) -> Letter {
         debug_assert!(q.counts.len() < self.inner.alphabet().len());
         Letter(q.counts.len() as u16)
@@ -122,6 +124,7 @@ impl<P: MultiFsm> Fsm for SingleLetter<P> {
 mod tests {
     use super::*;
     use crate::fb;
+    use crate::Protocol as _;
 
     /// A toy multi-letter protocol over Σ = {x, y}: from `start`, move to
     /// output 10 + #x + 10·#y (b = 2) and emit `y` iff #x > 0.
@@ -144,7 +147,7 @@ mod tests {
         Done(u64),
     }
 
-    impl MultiFsm for Toy {
+    impl crate::Protocol for Toy {
         type State = ToyState;
 
         fn alphabet(&self) -> &Alphabet {
@@ -169,7 +172,9 @@ mod tests {
                 ToyState::Done(v) => Some(*v),
             }
         }
+    }
 
+    impl MultiFsm for Toy {
         fn delta(&self, q: &ToyState, obs: &ObsVec) -> Transitions<ToyState> {
             match q {
                 ToyState::Start => {

@@ -243,7 +243,7 @@ impl<P: Fsm> Synchronized<P> {
     }
 }
 
-impl<P: Fsm> Fsm for Synchronized<P> {
+impl<P: Fsm> crate::Protocol for Synchronized<P> {
     type State = SyncState<P::State>;
 
     fn alphabet(&self) -> &Alphabet {
@@ -271,7 +271,9 @@ impl<P: Fsm> Fsm for Synchronized<P> {
     fn output(&self, q: &Self::State) -> Option<u64> {
         self.inner.output(q.inner())
     }
+}
 
+impl<P: Fsm> Fsm for Synchronized<P> {
     fn query(&self, q: &Self::State) -> Letter {
         match q {
             SyncState::Pause { trit, check, .. } => {
@@ -428,6 +430,7 @@ impl<P: Fsm> Fsm for Synchronized<P> {
 mod tests {
     use super::*;
     use crate::table::TableProtocolBuilder;
+    use crate::Protocol as _;
     use crate::{fb, TableProtocol};
 
     /// A toy 1-letter protocol: emit `a` once, then forever count `a`s and

@@ -162,7 +162,7 @@ impl TableProtocol {
     }
 }
 
-impl Fsm for TableProtocol {
+impl crate::Protocol for TableProtocol {
     type State = StateId;
 
     fn alphabet(&self) -> &Alphabet {
@@ -184,7 +184,9 @@ impl Fsm for TableProtocol {
     fn output(&self, q: &StateId) -> Option<u64> {
         self.states[*q as usize].output
     }
+}
 
+impl Fsm for TableProtocol {
     fn query(&self, q: &StateId) -> Letter {
         self.states[*q as usize].query
     }
@@ -364,6 +366,7 @@ impl TableProtocolBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Protocol as _;
 
     fn two_state() -> TableProtocolBuilder {
         let alphabet = Alphabet::new(["a", "b"]);

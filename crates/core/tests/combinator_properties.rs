@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use stoneage_core::sync::{Scan, SyncState};
 use stoneage_core::{
-    fb, Alphabet, Fsm, Letter, SingleLetter, Synchronized, TableProtocol, TableProtocolBuilder,
-    Transitions,
+    fb, Alphabet, Fsm, Letter, Protocol, SingleLetter, Synchronized, TableProtocol,
+    TableProtocolBuilder, Transitions,
 };
 
 /// A degenerate but well-formed single-letter protocol with `sigma`
@@ -106,13 +106,15 @@ proptest! {
         /// Trivial multi protocol that outputs the sum of all counts.
         #[derive(Clone, Debug)]
         struct Summer(Alphabet, u8);
-        impl MultiFsm for Summer {
+        impl stoneage_core::Protocol for Summer {
             type State = Option<u64>;
             fn alphabet(&self) -> &Alphabet { &self.0 }
             fn bound(&self) -> u8 { self.1 }
             fn initial_letter(&self) -> Letter { Letter(0) }
             fn initial_state(&self, _input: usize) -> Option<u64> { None }
             fn output(&self, q: &Option<u64>) -> Option<u64> { *q }
+        }
+        impl MultiFsm for Summer {
             fn delta(&self, q: &Option<u64>, obs: &ObsVec) -> Transitions<Option<u64>> {
                 match q {
                     None => {

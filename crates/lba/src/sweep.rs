@@ -281,7 +281,7 @@ mod tests {
     use super::*;
     use stoneage_graph::generators;
     use stoneage_protocols::{MisProtocol, MisState};
-    use stoneage_sim::{run_sync, run_sync_with_inputs, SyncConfig};
+    use stoneage_sim::Simulation;
 
     fn mis_encode(s: &MisState) -> u64 {
         *s as u64
@@ -316,7 +316,10 @@ mod tests {
             ("complete", generators::complete(8)),
         ] {
             for seed in 0..5 {
-                let native = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+                let native = Simulation::sync(&MisProtocol::new(), &g)
+                    .seed(seed)
+                    .run()
+                    .unwrap();
                 let sweep = simulate_on_tape(
                     &MisProtocol::new(),
                     &g,
@@ -328,7 +331,7 @@ mod tests {
                 )
                 .unwrap();
                 assert_eq!(sweep.outputs, native.outputs, "{gname} seed {seed}");
-                assert_eq!(sweep.rounds, native.rounds, "{gname} seed {seed}");
+                assert_eq!(Some(sweep.rounds), native.rounds(), "{gname} seed {seed}");
             }
         }
     }
@@ -359,11 +362,15 @@ mod tests {
         let g = generators::path(12);
         let inputs = wave_inputs(12, &[0]);
         let p = AsMulti(wave_protocol());
-        let native = run_sync_with_inputs(&p, &g, &inputs, &SyncConfig::seeded(4)).unwrap();
+        let native = Simulation::sync(&p, &g)
+            .seed(4)
+            .inputs(&inputs)
+            .run()
+            .unwrap();
         let sweep =
             simulate_on_tape(&p, &g, &inputs, 4, 100_000, |s| *s as u64, |c| c as u16).unwrap();
         assert_eq!(sweep.outputs, native.outputs);
-        assert_eq!(sweep.rounds, native.rounds);
+        assert_eq!(Some(sweep.rounds), native.rounds());
     }
 
     #[test]

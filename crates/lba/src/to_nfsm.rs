@@ -34,7 +34,7 @@
 
 use stoneage_core::{Alphabet, Letter, MultiFsm, ObsVec, Transitions};
 use stoneage_graph::{generators, Graph};
-use stoneage_sim::{run_sync_with_inputs, ExecError, SyncConfig};
+use stoneage_sim::{ExecError, Simulation};
 
 use crate::machine::{Lba, LbaError, Move, RunOutcome, Symbol};
 
@@ -186,7 +186,7 @@ impl LbaOnPath {
     }
 }
 
-impl MultiFsm for LbaOnPath {
+impl stoneage_core::Protocol for LbaOnPath {
     type State = PathState;
 
     fn alphabet(&self) -> &Alphabet {
@@ -223,7 +223,9 @@ impl MultiFsm for LbaOnPath {
             _ => None,
         }
     }
+}
 
+impl MultiFsm for LbaOnPath {
     fn delta(&self, q: &PathState, obs: &ObsVec) -> Transitions<PathState> {
         // Halt flooding dominates everything.
         let flood = if !obs.get(L_HALT_ACC).is_zero() {
@@ -283,7 +285,13 @@ pub fn run_on_path(
 ) -> Result<(bool, u64), ExecError> {
     let protocol = LbaOnPath::new(machine.clone());
     let (graph, inputs) = path_instance(input);
-    let out = run_sync_with_inputs(&protocol, &graph, &inputs, &SyncConfig { seed, max_rounds })?;
+    let out = Simulation::sync(&protocol, &graph)
+        .seed(seed)
+        .budget(max_rounds)
+        .inputs(&inputs)
+        .run()?
+        .into_sync_outcome()
+        .expect("sync backend");
     // All nodes flood to the same verdict.
     debug_assert!(out.outputs.windows(2).all(|w| w[0] == w[1]));
     Ok((out.outputs[0] == 1, out.rounds))
@@ -327,6 +335,7 @@ pub fn cross_check(
 mod tests {
     use super::*;
     use crate::machines::{self, encode_abc};
+    use stoneage_core::Protocol as _;
 
     #[test]
     fn handoff_letters_are_distinct() {

@@ -227,7 +227,7 @@ impl ColoringProtocol {
     }
 }
 
-impl MultiFsm for ColoringProtocol {
+impl stoneage_core::Protocol for ColoringProtocol {
     type State = ColoringState;
 
     fn alphabet(&self) -> &Alphabet {
@@ -252,7 +252,9 @@ impl MultiFsm for ColoringProtocol {
             _ => None,
         }
     }
+}
 
+impl MultiFsm for ColoringProtocol {
     fn delta(&self, q: &ColoringState, obs: &ObsVec) -> Transitions<ColoringState> {
         use ColoringState as S;
         match *q {
@@ -369,8 +371,10 @@ impl MultiFsm for ColoringProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stoneage_core::Protocol as _;
     use stoneage_graph::{generators, validate};
-    use stoneage_sim::{run_sync, ExecError, SyncConfig};
+    use stoneage_sim::{ExecError, SyncConfig};
+    use stoneage_testkit::harness::run_sync;
 
     fn obs(counts: [usize; 13]) -> ObsVec {
         ObsVec::from_counts(&counts, 3)

@@ -101,7 +101,8 @@ mod tests {
     use super::*;
     use crate::ColoringProtocol;
     use stoneage_graph::generators;
-    use stoneage_sim::{run_sync_observed, SyncConfig};
+    use stoneage_sim::SyncConfig;
+    use stoneage_testkit::harness::run_sync_observed;
 
     fn observe(n: usize, gseed: u64, seed: u64) -> ColoringObserver {
         let g = generators::random_tree(n, gseed);

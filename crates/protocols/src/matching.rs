@@ -26,7 +26,7 @@
 
 use stoneage_core::{Alphabet, Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
-use stoneage_sim::{run_scoped, ExecError, ScopedEmission, ScopedMultiFsm, ScopedTransitions};
+use stoneage_sim::{ExecError, ScopedEmission, ScopedMultiFsm, ScopedTransitions, Simulation};
 
 const L_FREE: Letter = Letter(1);
 const L_PROPOSE: Letter = Letter(2);
@@ -79,7 +79,7 @@ impl MatchingProtocol {
     }
 }
 
-impl ScopedMultiFsm for MatchingProtocol {
+impl stoneage_core::Protocol for MatchingProtocol {
     type State = MatchingState;
 
     fn alphabet(&self) -> &Alphabet {
@@ -105,7 +105,9 @@ impl ScopedMultiFsm for MatchingProtocol {
             _ => None,
         }
     }
+}
 
+impl ScopedMultiFsm for MatchingProtocol {
     fn delta(&self, q: &MatchingState, obs: &ObsVec) -> ScopedTransitions<MatchingState> {
         use MatchingState as S;
         match q {
@@ -175,7 +177,12 @@ pub fn run_matching(
     seed: u64,
     max_rounds: u64,
 ) -> Result<MatchingOutcome, ExecError> {
-    let out = run_scoped(&MatchingProtocol::new(), graph, seed, max_rounds)?;
+    let out = Simulation::scoped(&MatchingProtocol::new(), graph)
+        .seed(seed)
+        .budget(max_rounds)
+        .run()?
+        .into_scoped_outcome()
+        .expect("scoped backend");
     let matched = out
         .scoped_deliveries
         .iter()

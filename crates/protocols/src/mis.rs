@@ -151,7 +151,7 @@ impl MisProtocol {
     }
 }
 
-impl MultiFsm for MisProtocol {
+impl stoneage_core::Protocol for MisProtocol {
     type State = MisState;
 
     fn alphabet(&self) -> &Alphabet {
@@ -177,7 +177,9 @@ impl MultiFsm for MisProtocol {
             _ => None,
         }
     }
+}
 
+impl MultiFsm for MisProtocol {
     fn delta(&self, q: &MisState, obs: &ObsVec) -> Transitions<MisState> {
         let q = *q;
         // Sinks first.
@@ -226,9 +228,11 @@ impl MultiFsm for MisProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stoneage_core::Protocol as _;
     use stoneage_core::{fb, BoundedCount};
     use stoneage_graph::{generators, validate};
-    use stoneage_sim::{run_sync, SyncConfig};
+    use stoneage_sim::SyncConfig;
+    use stoneage_testkit::harness::run_sync;
 
     fn obs(counts: [usize; 7]) -> ObsVec {
         ObsVec::from_counts(&counts, 1)

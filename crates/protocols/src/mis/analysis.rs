@@ -137,7 +137,8 @@ mod tests {
     use super::*;
     use crate::MisProtocol;
     use stoneage_graph::{generators, validate};
-    use stoneage_sim::{run_sync_observed, SyncConfig};
+    use stoneage_sim::SyncConfig;
+    use stoneage_testkit::harness::run_sync_observed;
 
     fn run_observed(g: &Graph, seed: u64) -> (MisObserver, Vec<bool>) {
         let p = MisProtocol::new();

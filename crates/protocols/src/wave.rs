@@ -51,7 +51,8 @@ mod tests {
     use super::*;
     use stoneage_core::AsMulti;
     use stoneage_graph::{generators, traversal};
-    use stoneage_sim::{run_sync_with_inputs, SyncConfig};
+    use stoneage_sim::SyncConfig;
+    use stoneage_testkit::harness::run_sync_with_inputs;
 
     #[test]
     fn wave_rounds_equal_eccentricity_plus_one() {

@@ -18,7 +18,8 @@
 use stoneage_graph::io::from_edge_list;
 use stoneage_graph::{generators, validate};
 use stoneage_protocols::{decode_coloring, ColoringProtocol};
-use stoneage_sim::{run_sync, SyncConfig};
+use stoneage_sim::SyncConfig;
+use stoneage_testkit::harness::run_sync;
 
 fn assert_colors(g: &stoneage_graph::Graph, seed: u64, label: &str) {
     let out = run_sync(

@@ -66,7 +66,8 @@ use crate::engine::FlatPorts;
 use crate::schedule::CalendarQueue;
 use crate::{splitmix64, Adversary, ExecError};
 
-/// Which event queue drives [`run_async`]. See the module docs.
+/// Which event queue drives the asynchronous executor. See the module
+/// docs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// The calendar-queue / hierarchical timing wheel of
@@ -218,24 +219,21 @@ impl Ord for Event {
     }
 }
 
-/// Runs `protocol` on `graph` under `adversary` with all-zero inputs.
-pub fn run_async<P: Fsm, A: Adversary + ?Sized>(
-    protocol: &P,
-    graph: &Graph,
-    adversary: &A,
-    config: &AsyncConfig,
-) -> Result<AsyncOutcome, ExecError> {
-    let inputs = vec![0usize; graph.node_count()];
-    run_async_with_inputs(protocol, graph, &inputs, adversary, config)
-}
-
-/// Hook invoked by [`run_async_observed`] after every applied node step,
-/// with the event time and the node's post-transition state. Used by the
-/// Lemma 3.2 / (S1) validation tests to watch phase skew between
-/// neighbors without touching the engine.
+/// Hook invoked by the asynchronous executor after every applied node
+/// step, with the event time and the node's post-transition state. Used
+/// by the Lemma 3.2 / (S1) validation tests to watch phase skew between
+/// neighbors without touching the engine. Subsumed by the unified
+/// [`crate::sim::Observer`]; kept so existing observers keep compiling
+/// (adapt them with [`crate::sim::AdaptAsync`]).
 pub trait AsyncObserver<S> {
     /// Called after node `v` applied its step `t` at time `time`.
     fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S);
+}
+
+impl<S, O: AsyncObserver<S> + ?Sized> AsyncObserver<S> for &mut O {
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
+        (**self).on_step(time, v, t, state);
+    }
 }
 
 /// An observer that does nothing.
@@ -244,24 +242,6 @@ pub struct NoopAsyncObserver;
 
 impl<S> AsyncObserver<S> for NoopAsyncObserver {
     fn on_step(&mut self, _time: f64, _v: NodeId, _t: u64, _state: &S) {}
-}
-
-/// Runs `protocol` on `graph` under `adversary` with per-node inputs.
-pub fn run_async_with_inputs<P: Fsm, A: Adversary + ?Sized>(
-    protocol: &P,
-    graph: &Graph,
-    inputs: &[usize],
-    adversary: &A,
-    config: &AsyncConfig,
-) -> Result<AsyncOutcome, ExecError> {
-    run_async_observed(
-        protocol,
-        graph,
-        inputs,
-        adversary,
-        config,
-        &mut NoopAsyncObserver,
-    )
 }
 
 /// The shared execution state of both scheduler paths: everything except
@@ -430,22 +410,25 @@ impl<'a, P: Fsm> Exec<'a, P> {
         l
     }
 
-    fn outcome(self, completion_time: f64) -> AsyncOutcome {
+    fn outcome(self, completion_time: f64) -> (AsyncOutcome, Vec<P::State>) {
         let outputs = self
             .states
             .iter()
             .map(|q| self.protocol.output(q).expect("output configuration"))
             .collect();
-        AsyncOutcome {
-            outputs,
-            completion_time,
-            time_unit: self.max_param,
-            normalized_time: completion_time / self.max_param,
-            total_steps: self.total_steps,
-            messages_sent: self.messages_sent,
-            deliveries: self.deliveries,
-            lost_overwrites: self.lost_overwrites,
-        }
+        (
+            AsyncOutcome {
+                outputs,
+                completion_time,
+                time_unit: self.max_param,
+                normalized_time: completion_time / self.max_param,
+                total_steps: self.total_steps,
+                messages_sent: self.messages_sent,
+                deliveries: self.deliveries,
+                lost_overwrites: self.lost_overwrites,
+            },
+            self.states,
+        )
     }
 }
 
@@ -490,23 +473,24 @@ fn choose_bucket_width<A: Adversary + ?Sized>(
     TARGET_EVENTS_PER_TICK / rate
 }
 
-/// Runs `protocol` asynchronously, invoking `observer` after every node
-/// step.
-pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
+/// The asynchronous engine: runs `protocol` under `adversary`, invoking
+/// `observer` after every node step, and returns the final per-node
+/// state vector next to the legacy outcome. The single transcription of
+/// the event loop — the [`crate::Simulation`] builder and (through it)
+/// every legacy `run_async*` shim land here.
+///
+/// Inputs are validated by the builder; this function assumes
+/// `inputs.len() == graph.node_count()`.
+pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     protocol: &P,
     graph: &Graph,
     inputs: &[usize],
     adversary: &A,
     config: &AsyncConfig,
     observer: &mut O,
-) -> Result<AsyncOutcome, ExecError> {
+) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = graph.node_count();
-    if inputs.len() != n {
-        return Err(ExecError::InputLengthMismatch {
-            nodes: n,
-            inputs: inputs.len(),
-        });
-    }
+    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
 
     // Deliver events carry the receiver's flat CSR slot as u32; fail fast
     // rather than silently wrapping on graphs beyond that addressing limit
@@ -525,16 +509,19 @@ pub fn run_async_observed<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Sta
             .iter()
             .map(|q| protocol.output(q).expect("checked"))
             .collect();
-        return Ok(AsyncOutcome {
-            outputs,
-            completion_time: 0.0,
-            time_unit: 1.0,
-            normalized_time: 0.0,
-            total_steps: 0,
-            messages_sent: 0,
-            deliveries: 0,
-            lost_overwrites: 0,
-        });
+        return Ok((
+            AsyncOutcome {
+                outputs,
+                completion_time: 0.0,
+                time_unit: 1.0,
+                normalized_time: 0.0,
+                total_steps: 0,
+                messages_sent: 0,
+                deliveries: 0,
+                lost_overwrites: 0,
+            },
+            ex.states,
+        ));
     }
 
     match config.scheduler {
@@ -551,7 +538,7 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     adversary: &A,
     config: &AsyncConfig,
     observer: &mut O,
-) -> Result<AsyncOutcome, ExecError> {
+) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = ex.graph.node_count();
     let mut seq = 0u64;
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
@@ -639,7 +626,7 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     adversary: &A,
     config: &AsyncConfig,
     observer: &mut O,
-) -> Result<AsyncOutcome, ExecError> {
+) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = ex.graph.node_count();
     let width = choose_bucket_width(adversary, ex.graph, config.bucket_width);
     let mut wheel: CalendarQueue<WheelKind> = CalendarQueue::new(width);
@@ -830,11 +817,66 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
 mod tests {
     use super::*;
     use crate::adversary::{Exponential, Lockstep, SlowEdges, SlowNodes, UniformRandom};
-    use crate::{run_sync, SyncConfig};
+    use crate::sim::Simulation;
+    use crate::SyncConfig;
+    use stoneage_core::MultiFsm;
     use stoneage_core::{
         Alphabet, AsMulti, Synchronized, TableProtocol, TableProtocolBuilder, Transitions,
     };
     use stoneage_graph::generators;
+
+    // In-crate builder twins (testkit's harness links the other build of
+    // this crate; see the note in `sync_exec`'s tests).
+
+    /// Builder twin of the legacy `run_async`.
+    fn run_async<P: Fsm, A: Adversary + ?Sized>(
+        protocol: &P,
+        graph: &Graph,
+        adversary: &A,
+        config: &AsyncConfig,
+    ) -> Result<AsyncOutcome, ExecError> {
+        let mut options = crate::AsyncOptions::new(&adversary).with_scheduler(config.scheduler);
+        options.bucket_width = config.bucket_width;
+        Simulation::asynchronous(protocol, graph, &adversary)
+            .seed(config.seed)
+            .budget(config.max_events)
+            .backend(crate::Backend::Async(options))
+            .run()
+            .map(|o| o.into_async_outcome().expect("async backend"))
+    }
+
+    /// Builder twin of the legacy `run_async_with_inputs`.
+    fn run_async_with_inputs<P: Fsm, A: Adversary + ?Sized>(
+        protocol: &P,
+        graph: &Graph,
+        inputs: &[usize],
+        adversary: &A,
+        config: &AsyncConfig,
+    ) -> Result<AsyncOutcome, ExecError> {
+        Simulation::asynchronous(protocol, graph, &adversary)
+            .seed(config.seed)
+            .budget(config.max_events)
+            .inputs(inputs)
+            .run()
+            .map(|o| o.into_async_outcome().expect("async backend"))
+    }
+
+    /// Builder twin of the legacy `run_sync`.
+    fn run_sync<P>(
+        protocol: &P,
+        graph: &Graph,
+        config: &SyncConfig,
+    ) -> Result<crate::SyncOutcome, ExecError>
+    where
+        P: MultiFsm + Sync,
+        P::State: Send + Sync,
+    {
+        Simulation::sync(protocol, graph)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    }
 
     /// Deterministic protocol: beep at step 1, then output 1 + f_b(#beeps).
     /// σ₀ is a distinct "quiet" letter, so the count genuinely reflects

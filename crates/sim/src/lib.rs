@@ -1,15 +1,21 @@
 //! Execution engines for the nFSM model of *Stone Age Distributed
 //! Computing*.
 //!
+//! The crate's entry point is the unified [`Simulation`] builder of the
+//! [`sim`] module — one configurable front over every executor, selected
+//! by [`Backend`]. (The legacy `run_*` free functions survive as
+//! deprecated shims over it.)
+//!
 //! Two engines implement the paper's two environments:
 //!
-//! * [`run_sync`] — a **lockstep synchronous** round executor for
+//! * [`Backend::Sync`] — a **lockstep synchronous** round executor for
 //!   [`stoneage_core::MultiFsm`] protocols. It satisfies the paper's
 //!   synchronization properties (S1) and (S2) exactly, and is the
 //!   environment the paper's protocol *descriptions* (Sections 4 and 5)
-//!   assume by virtue of Theorems 3.1 and 3.4.
-//! * [`run_async`] — a fully **asynchronous** event-driven executor for
-//!   [`stoneage_core::Fsm`] protocols, implementing the adversarial
+//!   assume by virtue of Theorems 3.1 and 3.4. ([`Backend::Scoped`] is
+//!   its twin for the port-select extension of the [`scoped`] module.)
+//! * [`Backend::Async`] — a fully **asynchronous** event-driven executor
+//!   for [`stoneage_core::Fsm`] protocols, implementing the adversarial
 //!   semantics of Section 2: per-step lengths `L_{v,t}` and per-message
 //!   FIFO delivery delays `D_{v,t,u}` are chosen by an oblivious
 //!   [`Adversary`]; ports hold only the last delivered letter, so messages
@@ -75,29 +81,37 @@ pub mod parbuf;
 pub mod reference;
 pub mod schedule;
 pub mod scoped;
+mod shims;
+pub mod sim;
 mod sync_exec;
 
 pub use adversary::Adversary;
-pub use async_exec::{
-    run_async, run_async_observed, run_async_with_inputs, AsyncConfig, AsyncObserver, AsyncOutcome,
-    NoopAsyncObserver, SchedulerKind,
-};
+pub use async_exec::{AsyncConfig, AsyncObserver, AsyncOutcome, NoopAsyncObserver, SchedulerKind};
 pub use engine::FlatPorts;
 pub use parbuf::{MergeStrategy, ParallelPolicy};
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
 pub use schedule::CalendarQueue;
 pub use scoped::{
-    run_scoped, ScopedDelivery, ScopedEmission, ScopedMultiFsm, ScopedOutcome, ScopedTransitions,
+    ScopedDelivery, ScopedEmission, ScopedMultiFsm, ScopedOutcome, ScopedTransitions,
+};
+pub use sim::{
+    AdaptAsync, AdaptSync, AsyncOptions, Backend, Cost, Detail, Observer, Outcome, Simulation,
+};
+/// Re-export of the representation-independent protocol base trait the
+/// [`Simulation`] builder is generic over.
+pub use stoneage_core::Protocol;
+pub use sync_exec::{NoopObserver, SyncConfig, SyncObserver, SyncOutcome};
+
+#[allow(deprecated)]
+pub use shims::{
+    run_async, run_async_observed, run_async_with_inputs, run_scoped, run_sync, run_sync_observed,
+    run_sync_with_inputs,
 };
 #[cfg(feature = "parallel")]
-pub use scoped::{run_scoped_parallel, run_scoped_parallel_with_policy};
-pub use sync_exec::{
-    run_sync, run_sync_observed, run_sync_with_inputs, NoopObserver, SyncConfig, SyncObserver,
-    SyncOutcome,
-};
-#[cfg(feature = "parallel")]
-pub use sync_exec::{
-    run_sync_parallel, run_sync_parallel_with_inputs, run_sync_parallel_with_policy,
+#[allow(deprecated)]
+pub use shims::{
+    run_scoped_parallel, run_scoped_parallel_with_policy, run_sync_parallel,
+    run_sync_parallel_with_inputs, run_sync_parallel_with_policy,
 };
 
 /// Why an execution failed to reach an output configuration.
@@ -124,6 +138,14 @@ pub enum ExecError {
         /// Inputs supplied.
         inputs: usize,
     },
+    /// The [`Simulation`] builder was configured into an invalid state
+    /// (e.g. a backend the protocol's transition flavor cannot drive, a
+    /// parallel policy on the Async backend, or a zero budget) — reported
+    /// as an error instead of a panic.
+    Config {
+        /// Human-readable description of the invalid configuration.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -139,6 +161,9 @@ impl std::fmt::Display for ExecError {
             ),
             ExecError::InputLengthMismatch { nodes, inputs } => {
                 write!(f, "{inputs} inputs supplied for {nodes} nodes")
+            }
+            ExecError::Config { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
             }
         }
     }

@@ -23,7 +23,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use stoneage_core::{Alphabet, Letter, ObsVec};
+use stoneage_core::{Letter, ObsVec, Protocol};
 use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::FlatPorts;
@@ -73,26 +73,11 @@ impl<S> ScopedTransitions<S> {
     }
 }
 
-/// A multi-letter-query protocol under the port-select extension.
-pub trait ScopedMultiFsm {
-    /// The state set `Q`.
-    type State: Clone + Eq + std::fmt::Debug;
-
-    /// The communication alphabet `Σ`.
-    fn alphabet(&self) -> &Alphabet;
-
-    /// The bounding parameter `b`.
-    fn bound(&self) -> u8;
-
-    /// The initial letter `σ₀`.
-    fn initial_letter(&self) -> Letter;
-
-    /// The input state for input symbol `input`.
-    fn initial_state(&self, input: usize) -> Self::State;
-
-    /// `Some(output)` iff the state is an output state.
-    fn output(&self, q: &Self::State) -> Option<u64>;
-
+/// A multi-letter-query protocol under the port-select extension: the
+/// third transition flavor over the shared
+/// [`Protocol`] base (next to
+/// [`stoneage_core::Fsm`] and [`stoneage_core::MultiFsm`]).
+pub trait ScopedMultiFsm: Protocol {
     /// The transition function.
     fn delta(&self, q: &Self::State, obs: &ObsVec) -> ScopedTransitions<Self::State>;
 }
@@ -159,19 +144,33 @@ fn select_scoped_port<R: Rng>(
     unreachable!("incremental counts track every stored letter")
 }
 
-/// Runs a scoped protocol on `graph` in lockstep synchronous rounds.
-pub fn run_scoped<P: ScopedMultiFsm>(
+/// The scoped synchronous engine: runs a scoped protocol in lockstep
+/// rounds, invoking `observer` after every round, and returns the final
+/// per-node state vector next to the legacy outcome. The single
+/// transcription of the scoped round loop — the [`crate::Simulation`]
+/// builder and (through it) the legacy `run_scoped*` shims land here.
+///
+/// Inputs are validated by the builder; the legacy shims pass all zeros,
+/// which reproduces the historical `initial_state(0)` seeding exactly.
+pub(crate) fn exec_scoped<P, O>(
     protocol: &P,
     graph: &Graph,
+    inputs: &[usize],
     seed: u64,
     max_rounds: u64,
-) -> Result<ScopedOutcome, ExecError> {
+    observer: &mut O,
+) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
+where
+    P: ScopedMultiFsm,
+    O: crate::sync_exec::SyncObserver<P::State>,
+{
     let n = graph.node_count();
+    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
     let sigma = protocol.alphabet().len();
     let b = protocol.bound();
     let sigma0 = protocol.initial_letter();
 
-    let mut states: Vec<P::State> = (0..n).map(|_| protocol.initial_state(0)).collect();
+    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
     let mut ports = FlatPorts::new(graph, sigma, sigma0);
     let mut rngs: Vec<SmallRng> = (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
@@ -189,11 +188,15 @@ pub fn run_scoped<P: ScopedMultiFsm>(
         .filter(|q| protocol.output(q).is_none())
         .count();
     if undecided == 0 {
-        return Ok(ScopedOutcome {
-            outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
-            rounds: 0,
-            scoped_deliveries,
-        });
+        let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
+        return Ok((
+            ScopedOutcome {
+                outputs,
+                rounds: 0,
+                scoped_deliveries,
+            },
+            states,
+        ));
     }
 
     for round in 1..=max_rounds {
@@ -251,12 +254,17 @@ pub fn run_scoped<P: ScopedMultiFsm>(
         for &(u, slot, letter) in &writes {
             ports.deliver(u, slot, letter);
         }
+        observer.on_round_end(round, &states);
         if undecided == 0 {
-            return Ok(ScopedOutcome {
-                outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
-                rounds: round,
-                scoped_deliveries,
-            });
+            let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
+            return Ok((
+                ScopedOutcome {
+                    outputs,
+                    rounds: round,
+                    scoped_deliveries,
+                },
+                states,
+            ));
         }
     }
     Err(ExecError::RoundLimit {
@@ -265,30 +273,7 @@ pub fn run_scoped<P: ScopedMultiFsm>(
     })
 }
 
-/// Runs a scoped protocol with the default [`ParallelPolicy`] (hardware
-/// worker count, destination-sharded merge, serial fallback on small
-/// graphs). See [`run_scoped_parallel_with_policy`].
-#[cfg(feature = "parallel")]
-pub fn run_scoped_parallel<P>(
-    protocol: &P,
-    graph: &Graph,
-    seed: u64,
-    max_rounds: u64,
-) -> Result<ScopedOutcome, ExecError>
-where
-    P: ScopedMultiFsm + Sync,
-    P::State: Send + Sync,
-{
-    run_scoped_parallel_with_policy(
-        protocol,
-        graph,
-        seed,
-        max_rounds,
-        &ParallelPolicy::default(),
-    )
-}
-
-/// The parallel twin of [`run_scoped`], on the same sharded-write-buffer
+/// The parallel twin of [`exec_scoped`], on the same sharded-write-buffer
 /// schedule as the synchronous executor (see [`crate::parbuf`]): worker
 /// `i` owns a contiguous node chunk and, per round in a single
 /// `std::thread::scope` pass, applies each of its nodes' transitions and
@@ -298,7 +283,7 @@ where
 /// [`DeliveryBuffer`] plus a worker-local [`ScopedDelivery`] transcript.
 /// The buffers then merge under the policy's strategy.
 ///
-/// Bit-identical to [`run_scoped`] for every seed, worker count, and
+/// Bit-identical to [`exec_scoped`] for every seed, worker count, and
 /// merge strategy:
 ///
 /// * a node's RNG draws happen in the serial order (transition draw, then
@@ -310,27 +295,34 @@ where
 ///   exactly the serial engine's push order;
 /// * the merged port store is byte-identical by the slot-uniqueness /
 ///   commutative-counts argument of the [`crate::parbuf`] module docs.
+///
+/// `observer` fires after each round's merge — the same post-round
+/// states the serial engine reports. The [`crate::Simulation`] builder
+/// delegates to the serial engine when [`ParallelPolicy::use_serial`]
+/// says the instance is too small, so this function always runs the
+/// chunked machinery.
 #[cfg(feature = "parallel")]
-pub fn run_scoped_parallel_with_policy<P>(
+pub(crate) fn exec_scoped_parallel<P, O>(
     protocol: &P,
     graph: &Graph,
+    inputs: &[usize],
     seed: u64,
     max_rounds: u64,
     policy: &ParallelPolicy,
-) -> Result<ScopedOutcome, ExecError>
+    observer: &mut O,
+) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
     P::State: Send + Sync,
+    O: crate::sync_exec::SyncObserver<P::State>,
 {
     let n = graph.node_count();
-    if policy.use_serial(n) {
-        return run_scoped(protocol, graph, seed, max_rounds);
-    }
+    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
     let sigma = protocol.alphabet().len();
     let b = protocol.bound();
     let sigma0 = protocol.initial_letter();
 
-    let mut states: Vec<P::State> = (0..n).map(|_| protocol.initial_state(0)).collect();
+    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
     let mut ports = FlatPorts::new(graph, sigma, sigma0);
     // The identical per-node streams of the serial engine.
     let mut rngs: Vec<SmallRng> = (0..n as u64)
@@ -343,11 +335,15 @@ where
         .filter(|q| protocol.output(q).is_none())
         .count() as isize;
     if undecided == 0 {
-        return Ok(ScopedOutcome {
-            outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
-            rounds: 0,
-            scoped_deliveries,
-        });
+        let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
+        return Ok((
+            ScopedOutcome {
+                outputs,
+                rounds: 0,
+                scoped_deliveries,
+            },
+            states,
+        ));
     }
 
     let plan = ShardPlan::new(graph, policy.resolve_workers());
@@ -430,13 +426,18 @@ where
         }
 
         parbuf::merge(policy.merge, &mut ports, graph, &plan, &buffers);
+        observer.on_round_end(round, &states);
 
         if undecided == 0 {
-            return Ok(ScopedOutcome {
-                outputs: states.iter().map(|q| protocol.output(q).unwrap()).collect(),
-                rounds: round,
-                scoped_deliveries,
-            });
+            let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
+            return Ok((
+                ScopedOutcome {
+                    outputs,
+                    rounds: round,
+                    scoped_deliveries,
+                },
+                states,
+            ));
         }
     }
     Err(ExecError::RoundLimit {
@@ -448,7 +449,29 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stoneage_core::Alphabet;
     use stoneage_graph::generators;
+
+    // In-crate builder twin (testkit's harness links the other build of
+    // this crate; see the note in `sync_exec`'s tests).
+
+    /// Builder twin of the legacy `run_scoped`.
+    fn run_scoped<P>(
+        protocol: &P,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Result<ScopedOutcome, ExecError>
+    where
+        P: ScopedMultiFsm + Sync,
+        P::State: Send + Sync,
+    {
+        crate::Simulation::scoped(protocol, graph)
+            .seed(seed)
+            .budget(max_rounds)
+            .run()
+            .map(|o| o.into_scoped_outcome().expect("scoped backend"))
+    }
 
     /// Toy scoped protocol: node 0-behavior is id-free — every node beeps
     /// FREE once, then pokes exactly one FREE port with POKE, then outputs
@@ -474,7 +497,7 @@ mod tests {
         Done(u64),
     }
 
-    impl ScopedMultiFsm for Poke {
+    impl Protocol for Poke {
         type State = PokeState;
 
         fn alphabet(&self) -> &Alphabet {
@@ -499,7 +522,9 @@ mod tests {
                 _ => None,
             }
         }
+    }
 
+    impl ScopedMultiFsm for Poke {
         fn delta(&self, q: &PokeState, obs: &ObsVec) -> ScopedTransitions<PokeState> {
             match q {
                 PokeState::Announce => {

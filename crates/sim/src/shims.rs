@@ -1,0 +1,289 @@
+//! Deprecated thin shims: the legacy `run_*` free functions, re-expressed
+//! over the unified [`Simulation`] builder.
+//!
+//! Three PRs of engine growth had multiplied these to a dozen entry
+//! points (backend × inputs × observer × parallelism). They survive here
+//! so downstream code keeps compiling, but each one is a one-line
+//! delegation to the builder and carries a deprecation notice steering
+//! callers to it. No in-repo code outside this module (and the
+//! builder-parity test suite, whose whole job is comparing the two)
+//! calls them.
+//!
+//! Outcomes are bit-identical per seed to the pre-builder functions: the
+//! builder dispatches to the exact same engines, pinned by
+//! `tests/builder_parity.rs` and the unchanged fingerprint constants.
+//! Two deliberate edges of the builder carry over to the shims:
+//!
+//! * the sync/scoped shims inherit the builder's thread-shareable
+//!   bounds (`P: Sync`, `P::State: Send + Sync` — one construction
+//!   serves the serial and `parallel`-feature schedules); every
+//!   in-tree protocol qualifies, a protocol with non-`Sync` state
+//!   no longer does;
+//! * a **zero** budget (`max_rounds`/`max_events` of 0) is now
+//!   rejected up front as [`ExecError::Config`] instead of running the
+//!   engine into an immediate `RoundLimit`/`EventLimit` — a zero
+//!   budget can never reach an output configuration, so the legacy
+//!   behavior was a degenerate error spelling, not a capability.
+
+#![allow(deprecated)]
+
+use stoneage_core::{Fsm, MultiFsm};
+use stoneage_graph::Graph;
+
+#[cfg(feature = "parallel")]
+use crate::parbuf::ParallelPolicy;
+use crate::scoped::{ScopedMultiFsm, ScopedOutcome};
+use crate::sim::{AdaptAsync, AdaptSync, Simulation};
+use crate::sync_exec::{SyncConfig, SyncObserver, SyncOutcome};
+use crate::{Adversary, AsyncConfig, AsyncObserver, AsyncOutcome, ExecError};
+
+/// Runs `protocol` on `graph` synchronously with all-zero inputs.
+#[deprecated(note = "use stoneage_sim::Simulation")]
+pub fn run_sync<P>(
+    protocol: &P,
+    graph: &Graph,
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    Simulation::sync(protocol, graph)
+        .seed(config.seed)
+        .budget(config.max_rounds)
+        .run()
+        .map(|o| o.into_sync_outcome().expect("sync backend"))
+}
+
+/// Runs `protocol` on `graph` synchronously with the given per-node input
+/// symbols.
+#[deprecated(note = "use stoneage_sim::Simulation")]
+pub fn run_sync_with_inputs<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    Simulation::sync(protocol, graph)
+        .seed(config.seed)
+        .budget(config.max_rounds)
+        .inputs(inputs)
+        .run()
+        .map(|o| o.into_sync_outcome().expect("sync backend"))
+}
+
+/// Runs `protocol` synchronously, invoking `observer` after every round.
+#[deprecated(note = "use stoneage_sim::Simulation with .observe(...)")]
+pub fn run_sync_observed<P, O>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    observer: &mut O,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+    O: SyncObserver<P::State>,
+{
+    let mut adapter = AdaptSync(observer);
+    Simulation::sync(protocol, graph)
+        .seed(config.seed)
+        .budget(config.max_rounds)
+        .inputs(inputs)
+        .observe(&mut adapter)
+        .run()
+        .map(|o| o.into_sync_outcome().expect("sync backend"))
+}
+
+/// Runs `protocol` synchronously with all-zero inputs on the parallel
+/// schedule under the default [`ParallelPolicy`].
+#[cfg(feature = "parallel")]
+#[deprecated(note = "use stoneage_sim::Simulation with .parallel(...)")]
+pub fn run_sync_parallel<P>(
+    protocol: &P,
+    graph: &Graph,
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    let inputs = vec![0usize; graph.node_count()];
+    run_sync_parallel_with_inputs(protocol, graph, &inputs, config)
+}
+
+/// The parallel twin of [`run_sync_with_inputs`] under the default
+/// [`ParallelPolicy`].
+#[cfg(feature = "parallel")]
+#[deprecated(note = "use stoneage_sim::Simulation with .parallel(...)")]
+pub fn run_sync_parallel_with_inputs<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    run_sync_parallel_with_policy(protocol, graph, inputs, config, &ParallelPolicy::default())
+}
+
+/// Runs `protocol` synchronously on the parallel schedule under `policy`.
+#[cfg(feature = "parallel")]
+#[deprecated(note = "use stoneage_sim::Simulation with .parallel(...)")]
+pub fn run_sync_parallel_with_policy<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    policy: &ParallelPolicy,
+) -> Result<SyncOutcome, ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    Simulation::sync(protocol, graph)
+        .seed(config.seed)
+        .budget(config.max_rounds)
+        .inputs(inputs)
+        .parallel(*policy)
+        .run()
+        .map(|o| o.into_sync_outcome().expect("sync backend"))
+}
+
+/// Runs `protocol` on `graph` under `adversary` with all-zero inputs.
+#[deprecated(note = "use stoneage_sim::Simulation")]
+pub fn run_async<P: Fsm, A: Adversary + ?Sized>(
+    protocol: &P,
+    graph: &Graph,
+    adversary: &A,
+    config: &AsyncConfig,
+) -> Result<AsyncOutcome, ExecError> {
+    let mut options = crate::AsyncOptions::new(&adversary).with_scheduler(config.scheduler);
+    options.bucket_width = config.bucket_width;
+    Simulation::asynchronous(protocol, graph, &adversary)
+        .seed(config.seed)
+        .budget(config.max_events)
+        .backend(crate::Backend::Async(options))
+        .run()
+        .map(|o| o.into_async_outcome().expect("async backend"))
+}
+
+/// Runs `protocol` on `graph` under `adversary` with per-node inputs.
+#[deprecated(note = "use stoneage_sim::Simulation")]
+pub fn run_async_with_inputs<P: Fsm, A: Adversary + ?Sized>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    adversary: &A,
+    config: &AsyncConfig,
+) -> Result<AsyncOutcome, ExecError> {
+    let mut options = crate::AsyncOptions::new(&adversary).with_scheduler(config.scheduler);
+    options.bucket_width = config.bucket_width;
+    Simulation::asynchronous(protocol, graph, &adversary)
+        .seed(config.seed)
+        .budget(config.max_events)
+        .backend(crate::Backend::Async(options))
+        .inputs(inputs)
+        .run()
+        .map(|o| o.into_async_outcome().expect("async backend"))
+}
+
+/// Runs `protocol` asynchronously, invoking `observer` after every node
+/// step.
+#[deprecated(note = "use stoneage_sim::Simulation with .observe(...)")]
+pub fn run_async_observed<P, A, O>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    adversary: &A,
+    config: &AsyncConfig,
+    observer: &mut O,
+) -> Result<AsyncOutcome, ExecError>
+where
+    P: Fsm,
+    A: Adversary + ?Sized,
+    O: AsyncObserver<P::State>,
+{
+    let mut adapter = AdaptAsync(observer);
+    let mut options = crate::AsyncOptions::new(&adversary).with_scheduler(config.scheduler);
+    options.bucket_width = config.bucket_width;
+    Simulation::asynchronous(protocol, graph, &adversary)
+        .seed(config.seed)
+        .budget(config.max_events)
+        .backend(crate::Backend::Async(options))
+        .inputs(inputs)
+        .observe(&mut adapter)
+        .run()
+        .map(|o| o.into_async_outcome().expect("async backend"))
+}
+
+/// Runs a scoped protocol on `graph` in lockstep synchronous rounds.
+#[deprecated(note = "use stoneage_sim::Simulation")]
+pub fn run_scoped<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    Simulation::scoped(protocol, graph)
+        .seed(seed)
+        .budget(max_rounds)
+        .run()
+        .map(|o| o.into_scoped_outcome().expect("scoped backend"))
+}
+
+/// Runs a scoped protocol on the parallel schedule under the default
+/// [`ParallelPolicy`].
+#[cfg(feature = "parallel")]
+#[deprecated(note = "use stoneage_sim::Simulation with .parallel(...)")]
+pub fn run_scoped_parallel<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    run_scoped_parallel_with_policy(
+        protocol,
+        graph,
+        seed,
+        max_rounds,
+        &ParallelPolicy::default(),
+    )
+}
+
+/// Runs a scoped protocol on the parallel schedule under `policy`.
+#[cfg(feature = "parallel")]
+#[deprecated(note = "use stoneage_sim::Simulation with .parallel(...)")]
+pub fn run_scoped_parallel_with_policy<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+    policy: &ParallelPolicy,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    Simulation::scoped(protocol, graph)
+        .seed(seed)
+        .budget(max_rounds)
+        .parallel(*policy)
+        .run()
+        .map(|o| o.into_scoped_outcome().expect("scoped backend"))
+}

@@ -1,0 +1,927 @@
+//! The unified **`Simulation` builder**: one entry point over the
+//! synchronous, scoped, and asynchronous executors.
+//!
+//! Three PRs of engine work had fragmented the crate's surface into a
+//! dozen `run_*` free functions — one per (backend × inputs × observer ×
+//! parallelism) combination — three config structs, three outcome types,
+//! and two observer traits. Every new capability multiplied the function
+//! count instead of composing. This module replaces that combinatorial
+//! layer with a single builder:
+//!
+//! * **One entry point.** [`Simulation`] owns the graph, protocol, seed,
+//!   inputs, budget, observer, parallel policy, and backend selection;
+//!   [`Simulation::run`] executes whichever [`Backend`] is selected.
+//! * **One outcome.** [`Outcome`] carries the per-node outputs, the final
+//!   per-node *states* (which the legacy outcome types discarded), a
+//!   normalized [`Cost`], the worker count the run actually used, and the
+//!   backend-specific extras in [`Detail`].
+//! * **One observer.** [`Observer`] subsumes the legacy
+//!   [`SyncObserver`] / [`AsyncObserver`] pair with default no-op
+//!   hooks; existing observers keep working through the [`AdaptSync`] and
+//!   [`AdaptAsync`] adapters.
+//!
+//! The builder is a *veneer*: it dispatches to the exact engines the
+//! legacy functions ran, so outcomes are **bit-identical per seed** to
+//! every `run_*` entry point it replaces (pinned by the builder-parity
+//! suite in `tests/builder_parity.rs` and by the unchanged fingerprint
+//! constants). The legacy functions survive as deprecated shims over
+//! this builder. Future backends (adaptive-resize wheel, NUMA-sharded
+//! parallel schedules) become new [`Backend`] variants or
+//! [`AsyncOptions`] fields instead of four more free functions each.
+//!
+//! # Example
+//!
+//! ```
+//! use stoneage_core::{AsMulti, Synchronized};
+//! use stoneage_graph::generators;
+//! use stoneage_sim::adversary::UniformRandom;
+//! use stoneage_sim::{AsyncOptions, Backend, Cost, Simulation};
+//! use stoneage_testkit::count_neighbors_quiet;
+//!
+//! let graph = generators::gnp(40, 0.15, 7);
+//! let protocol = Synchronized::new(count_neighbors_quiet(2));
+//!
+//! // Asynchronous execution under an oblivious adversary.
+//! let adversary = UniformRandom { seed: 3 };
+//! let outcome = Simulation::asynchronous(&protocol, &graph, &adversary)
+//!     .seed(1)
+//!     .run()
+//!     .expect("the synchronized protocol terminates");
+//! assert_eq!(outcome.outputs.len(), graph.node_count());
+//! assert!(matches!(outcome.cost, Cost::TimeUnits(t) if t > 0.0));
+//!
+//! // The same protocol, lockstep synchronous (an Fsm runs the sync
+//! // backend through the AsMulti view), with explicit inputs.
+//! let sync_protocol = AsMulti(protocol.clone());
+//! let inputs = vec![0usize; graph.node_count()];
+//! let outcome = Simulation::sync(&sync_protocol, &graph)
+//!     .seed(1)
+//!     .inputs(&inputs)
+//!     .budget(10_000)
+//!     .run()
+//!     .unwrap();
+//! assert!(matches!(outcome.cost, Cost::Rounds(r) if r > 0));
+//! assert_eq!(outcome.states.len(), graph.node_count());
+//! ```
+
+use std::fmt;
+
+use stoneage_core::{Fsm, MultiFsm, Protocol};
+use stoneage_graph::{Graph, NodeId};
+
+#[cfg(feature = "parallel")]
+use crate::parbuf::ParallelPolicy;
+use crate::scoped::{self, ScopedDelivery, ScopedMultiFsm, ScopedOutcome};
+use crate::sync_exec::{self, NoopObserver, SyncConfig, SyncObserver, SyncOutcome};
+use crate::{
+    async_exec, Adversary, AsyncConfig, AsyncObserver, AsyncOutcome, ExecError, NoopAsyncObserver,
+    SchedulerKind,
+};
+
+/// The normalized run-time of a completed simulation, in the unit native
+/// to the backend that produced it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cost {
+    /// Lockstep rounds until the first output configuration — the paper's
+    /// run-time measure in the synchronous setting (Sync and Scoped
+    /// backends).
+    Rounds(u64),
+    /// Completion time normalized by the largest step-length/delay
+    /// parameter consumed — the paper's *time unit* measure
+    /// `T_Π(I, A, R)` (Async backend).
+    TimeUnits(f64),
+    /// Discrete engine events. Reserved for event-budgeted backends
+    /// (no current backend reports its cost this way).
+    Events(u64),
+}
+
+impl Cost {
+    /// The cost as a plain `f64`, for cross-backend tables and plots.
+    pub fn value(&self) -> f64 {
+        match *self {
+            Cost::Rounds(r) => r as f64,
+            Cost::TimeUnits(t) => t,
+            Cost::Events(e) => e as f64,
+        }
+    }
+}
+
+/// Backend-specific extras of an [`Outcome`] — everything the legacy
+/// outcome types carried beyond outputs and cost.
+#[derive(Clone, Debug)]
+pub enum Detail {
+    /// Extras of a [`Backend::Sync`] run.
+    Sync {
+        /// Total non-`ε` transmissions.
+        messages_sent: u64,
+    },
+    /// Extras of a [`Backend::Async`] run.
+    Async {
+        /// Raw (unnormalized) completion time.
+        completion_time: f64,
+        /// The largest step-length or delay parameter consumed — the
+        /// paper's **time unit**.
+        time_unit: f64,
+        /// Total node steps executed.
+        total_steps: u64,
+        /// Total non-`ε` transmissions (each fans out to all neighbors).
+        messages_sent: u64,
+        /// Total port writes.
+        deliveries: u64,
+        /// Deliveries overwritten before the receiver could observe them
+        /// — messages lost to the no-buffer port semantics.
+        lost_overwrites: u64,
+    },
+    /// Extras of a [`Backend::Scoped`] run.
+    Scoped {
+        /// Every port-selected delivery, in round order — the engine-level
+        /// witness the matching runner extracts matched edges from.
+        scoped_deliveries: Vec<ScopedDelivery>,
+    },
+}
+
+/// Result of a [`Simulation`] that reached an output configuration.
+#[derive(Clone, Debug)]
+pub struct Outcome<P: Protocol> {
+    /// Per-node outputs, decoded from the output states.
+    pub outputs: Vec<u64>,
+    /// The final per-node states (every node is in an output state).
+    pub states: Vec<P::State>,
+    /// The backend's normalized run-time.
+    pub cost: Cost,
+    /// Worker threads the run actually used: 1 on the serial path
+    /// (either because no `ParallelPolicy` was set or because the
+    /// policy's own small-instance threshold delegated to the serial
+    /// engine), otherwise the policy's resolved count clamped to the
+    /// node count (the shard plan never spawns more workers than
+    /// nodes). Bench snapshots should record this instead of guessing
+    /// from host CPUs.
+    pub workers: usize,
+    /// Backend-specific extras.
+    pub detail: Detail,
+}
+
+impl<P: Protocol> Outcome<P> {
+    /// Rounds until the first output configuration, when the backend
+    /// measures cost in rounds.
+    pub fn rounds(&self) -> Option<u64> {
+        match self.cost {
+            Cost::Rounds(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Total non-`ε` transmissions, for the backends that count them.
+    pub fn messages_sent(&self) -> Option<u64> {
+        match self.detail {
+            Detail::Sync { messages_sent } | Detail::Async { messages_sent, .. } => {
+                Some(messages_sent)
+            }
+            Detail::Scoped { .. } => None,
+        }
+    }
+
+    /// The scoped-delivery witness list of a [`Backend::Scoped`] run.
+    pub fn scoped_deliveries(&self) -> Option<&[ScopedDelivery]> {
+        match &self.detail {
+            Detail::Scoped { scoped_deliveries } => Some(scoped_deliveries),
+            _ => None,
+        }
+    }
+
+    /// This outcome as the legacy [`SyncOutcome`], if it came from
+    /// [`Backend::Sync`].
+    pub fn into_sync_outcome(self) -> Option<SyncOutcome> {
+        match (self.cost, self.detail) {
+            (Cost::Rounds(rounds), Detail::Sync { messages_sent }) => Some(SyncOutcome {
+                outputs: self.outputs,
+                rounds,
+                messages_sent,
+            }),
+            _ => None,
+        }
+    }
+
+    /// This outcome as the legacy [`AsyncOutcome`], if it came from
+    /// [`Backend::Async`].
+    pub fn into_async_outcome(self) -> Option<AsyncOutcome> {
+        match (self.cost, self.detail) {
+            (
+                Cost::TimeUnits(normalized_time),
+                Detail::Async {
+                    completion_time,
+                    time_unit,
+                    total_steps,
+                    messages_sent,
+                    deliveries,
+                    lost_overwrites,
+                },
+            ) => Some(AsyncOutcome {
+                outputs: self.outputs,
+                completion_time,
+                time_unit,
+                normalized_time,
+                total_steps,
+                messages_sent,
+                deliveries,
+                lost_overwrites,
+            }),
+            _ => None,
+        }
+    }
+
+    /// This outcome as the legacy [`ScopedOutcome`], if it came from
+    /// [`Backend::Scoped`].
+    pub fn into_scoped_outcome(self) -> Option<ScopedOutcome> {
+        match (self.cost, self.detail) {
+            (Cost::Rounds(rounds), Detail::Scoped { scoped_deliveries }) => Some(ScopedOutcome {
+                outputs: self.outputs,
+                rounds,
+                scoped_deliveries,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The unified execution observer: one trait over every backend, with
+/// default no-op hooks so an observer implements only what it watches.
+///
+/// Existing [`SyncObserver`] / [`AsyncObserver`] implementations plug in
+/// unchanged through [`AdaptSync`] / [`AdaptAsync`].
+pub trait Observer<S> {
+    /// Called by the round-based backends (Sync, Scoped) after round
+    /// `round` (1-based) has been applied to all nodes.
+    fn on_round_end(&mut self, round: u64, states: &[S]) {
+        let _ = (round, states);
+    }
+
+    /// Called by the Async backend after node `v` applied its step `t`
+    /// at time `time`.
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
+        let _ = (time, v, t, state);
+    }
+}
+
+/// Adapts any legacy [`SyncObserver`] into the
+/// unified [`Observer`] (its `on_step` hook stays a no-op).
+pub struct AdaptSync<O>(pub O);
+
+impl<S, O: SyncObserver<S>> Observer<S> for AdaptSync<O> {
+    fn on_round_end(&mut self, round: u64, states: &[S]) {
+        self.0.on_round_end(round, states);
+    }
+}
+
+/// Adapts any legacy [`AsyncObserver`] into the
+/// unified [`Observer`] (its `on_round_end` hook stays a no-op).
+pub struct AdaptAsync<O>(pub O);
+
+impl<S, O: AsyncObserver<S>> Observer<S> for AdaptAsync<O> {
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
+        self.0.on_step(time, v, t, state);
+    }
+}
+
+/// Bridges the unified observer back onto the engines' legacy hook
+/// traits, so the engines stay monomorphized over one observer shape.
+struct Bridge<'a, 'o, S>(&'a mut (dyn Observer<S> + 'o));
+
+impl<S> SyncObserver<S> for Bridge<'_, '_, S> {
+    fn on_round_end(&mut self, round: u64, states: &[S]) {
+        self.0.on_round_end(round, states);
+    }
+}
+
+impl<S> AsyncObserver<S> for Bridge<'_, '_, S> {
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
+        self.0.on_step(time, v, t, state);
+    }
+}
+
+/// Options of the asynchronous backend: the oblivious adversary plus the
+/// scheduler knobs of the legacy [`AsyncConfig`].
+#[derive(Clone, Copy)]
+pub struct AsyncOptions<'a> {
+    /// The oblivious scheduling policy choosing every step length
+    /// `L_{v,t}` and delivery delay `D_{v,t,u}`.
+    pub adversary: &'a dyn Adversary,
+    /// Event queue driving the run. Outcomes are bit-identical across
+    /// kinds; only throughput differs.
+    pub scheduler: SchedulerKind,
+    /// Explicit calendar bucket width overriding the executor's estimate
+    /// (see [`crate::schedule`]). Performance-only: cannot affect
+    /// outcomes. Ignored by the heap scheduler.
+    pub bucket_width: Option<f64>,
+}
+
+impl<'a> AsyncOptions<'a> {
+    /// Options running `adversary` under the default scheduler
+    /// (calendar wheel, auto-chosen bucket width).
+    pub fn new(adversary: &'a dyn Adversary) -> Self {
+        AsyncOptions {
+            adversary,
+            scheduler: SchedulerKind::default(),
+            bucket_width: None,
+        }
+    }
+
+    /// These options with the given scheduler kind.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// These options with an explicit calendar bucket width.
+    pub fn with_bucket_width(mut self, width: f64) -> Self {
+        self.bucket_width = Some(width);
+        self
+    }
+}
+
+impl fmt::Debug for AsyncOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncOptions")
+            .field("adversary", &self.adversary.name())
+            .field("scheduler", &self.scheduler)
+            .field("bucket_width", &self.bucket_width)
+            .finish()
+    }
+}
+
+/// Which executor a [`Simulation`] runs on.
+///
+/// The constructor that matches the protocol's transition flavor presets
+/// this ([`Simulation::sync`] → `Sync`, [`Simulation::scoped`] →
+/// `Scoped`, [`Simulation::asynchronous`] → `Async`); selecting a
+/// backend the protocol cannot drive is reported as
+/// [`ExecError::Config`] at [`Simulation::run`] time. Future executors
+/// (adaptive-resize wheel, NUMA-sharded schedules) slot in as new
+/// variants or [`AsyncOptions`] fields.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum Backend<'a> {
+    /// The lockstep synchronous round executor for
+    /// [`MultiFsm`] protocols (Theorems 3.1/3.4 make this the
+    /// environment protocol *descriptions* assume).
+    #[default]
+    Sync,
+    /// The lockstep executor for the port-select extension
+    /// ([`ScopedMultiFsm`] protocols).
+    Scoped,
+    /// The fully asynchronous adversarial executor for single-letter
+    /// [`Fsm`] protocols.
+    Async(AsyncOptions<'a>),
+}
+
+impl Backend<'_> {
+    /// Diagnostic name used in [`ExecError::Config`] messages.
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Sync => "Sync",
+            Backend::Scoped => "Scoped",
+            Backend::Async(_) => "Async",
+        }
+    }
+}
+
+/// A capability row captured (monomorphized) by the constructor matching
+/// the protocol's transition flavor; `run` dispatches through whichever
+/// row the selected backend needs and reports a mismatch as
+/// [`ExecError::Config`].
+type ObsArg<'a, P> = Option<&'a mut dyn Observer<<P as Protocol>::State>>;
+
+type SyncFn<P> = fn(
+    &P,
+    &Graph,
+    &[usize],
+    &SyncConfig,
+    ObsArg<'_, P>,
+) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
+
+type AsyncFn<P> = fn(
+    &P,
+    &Graph,
+    &[usize],
+    &dyn Adversary,
+    &AsyncConfig,
+    ObsArg<'_, P>,
+) -> Result<(AsyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
+
+type ScopedFn<P> = fn(
+    &P,
+    &Graph,
+    &[usize],
+    u64,
+    u64,
+    ObsArg<'_, P>,
+) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
+
+#[cfg(feature = "parallel")]
+type SyncParFn<P> = fn(
+    &P,
+    &Graph,
+    &[usize],
+    &SyncConfig,
+    &ParallelPolicy,
+    ObsArg<'_, P>,
+) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
+
+#[cfg(feature = "parallel")]
+type ScopedParFn<P> = fn(
+    &P,
+    &Graph,
+    &[usize],
+    u64,
+    u64,
+    &ParallelPolicy,
+    ObsArg<'_, P>,
+) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
+
+struct Caps<P: Protocol> {
+    sync: Option<SyncFn<P>>,
+    async_run: Option<AsyncFn<P>>,
+    scoped: Option<ScopedFn<P>>,
+    #[cfg(feature = "parallel")]
+    sync_par: Option<SyncParFn<P>>,
+    #[cfg(feature = "parallel")]
+    scoped_par: Option<ScopedParFn<P>>,
+}
+
+impl<P: Protocol> Caps<P> {
+    fn none() -> Self {
+        Caps {
+            sync: None,
+            async_run: None,
+            scoped: None,
+            #[cfg(feature = "parallel")]
+            sync_par: None,
+            #[cfg(feature = "parallel")]
+            scoped_par: None,
+        }
+    }
+}
+
+fn cap_sync<P: MultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    observer: ObsArg<'_, P>,
+) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
+    match observer {
+        Some(o) => sync_exec::exec_sync(protocol, graph, inputs, config, &mut Bridge(o)),
+        None => sync_exec::exec_sync(protocol, graph, inputs, config, &mut NoopObserver),
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn cap_sync_par<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    policy: &ParallelPolicy,
+    observer: ObsArg<'_, P>,
+) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    match observer {
+        Some(o) => {
+            sync_exec::exec_sync_parallel(protocol, graph, inputs, config, policy, &mut Bridge(o))
+        }
+        None => sync_exec::exec_sync_parallel(
+            protocol,
+            graph,
+            inputs,
+            config,
+            policy,
+            &mut NoopObserver,
+        ),
+    }
+}
+
+fn cap_async<P: Fsm>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    adversary: &dyn Adversary,
+    config: &AsyncConfig,
+    observer: ObsArg<'_, P>,
+) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
+    match observer {
+        Some(o) => {
+            async_exec::exec_async(protocol, graph, inputs, adversary, config, &mut Bridge(o))
+        }
+        None => async_exec::exec_async(
+            protocol,
+            graph,
+            inputs,
+            adversary,
+            config,
+            &mut NoopAsyncObserver,
+        ),
+    }
+}
+
+fn cap_scoped<P: ScopedMultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    max_rounds: u64,
+    observer: ObsArg<'_, P>,
+) -> Result<(ScopedOutcome, Vec<P::State>), ExecError> {
+    match observer {
+        Some(o) => scoped::exec_scoped(protocol, graph, inputs, seed, max_rounds, &mut Bridge(o)),
+        None => scoped::exec_scoped(protocol, graph, inputs, seed, max_rounds, &mut NoopObserver),
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn cap_scoped_par<P>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    max_rounds: u64,
+    policy: &ParallelPolicy,
+    observer: ObsArg<'_, P>,
+) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    match observer {
+        Some(o) => scoped::exec_scoped_parallel(
+            protocol,
+            graph,
+            inputs,
+            seed,
+            max_rounds,
+            policy,
+            &mut Bridge(o),
+        ),
+        None => scoped::exec_scoped_parallel(
+            protocol,
+            graph,
+            inputs,
+            seed,
+            max_rounds,
+            policy,
+            &mut NoopObserver,
+        ),
+    }
+}
+
+/// The unified simulation builder. See the [module docs](self) for the
+/// design and an end-to-end example.
+///
+/// Construct with the method matching the protocol's transition flavor —
+/// [`Simulation::sync`] ([`MultiFsm`]), [`Simulation::asynchronous`]
+/// ([`Fsm`] under an [`Adversary`]), or [`Simulation::scoped`]
+/// ([`ScopedMultiFsm`]) — then chain configuration and [`run`](Self::run).
+/// Setters are independent: the order they are chained in never affects
+/// the outcome.
+///
+/// The `sync` and `scoped` constructors require the protocol and its
+/// states to be thread-shareable (`Sync`/`Send`) so one construction
+/// serves both the serial and the `parallel`-feature schedules; every
+/// protocol in the workspace qualifies (they are plain data shared by
+/// reference across all nodes, per model requirement (M2)).
+pub struct Simulation<'g, P: Protocol> {
+    protocol: &'g P,
+    graph: &'g Graph,
+    seed: u64,
+    inputs: Option<&'g [usize]>,
+    budget: Option<u64>,
+    backend: Backend<'g>,
+    observer: Option<&'g mut (dyn Observer<P::State> + 'g)>,
+    #[cfg(feature = "parallel")]
+    policy: Option<ParallelPolicy>,
+    caps: Caps<P>,
+}
+
+impl<'g, P> Simulation<'g, P>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    /// A simulation of a multi-letter protocol on the lockstep
+    /// synchronous backend ([`Backend::Sync`] preset). Run single-letter
+    /// [`Fsm`] protocols here through [`stoneage_core::AsMulti`].
+    pub fn sync(protocol: &'g P, graph: &'g Graph) -> Self {
+        let mut caps = Caps::none();
+        caps.sync = Some(cap_sync::<P>);
+        #[cfg(feature = "parallel")]
+        {
+            caps.sync_par = Some(cap_sync_par::<P>);
+        }
+        Simulation::with_caps(protocol, graph, Backend::Sync, caps)
+    }
+}
+
+impl<'g, P: Fsm> Simulation<'g, P> {
+    /// A simulation of a single-letter protocol on the fully
+    /// asynchronous backend, scheduled by `adversary`
+    /// ([`Backend::Async`] preset with default [`AsyncOptions`]; replace
+    /// via [`backend`](Self::backend) to pick a scheduler or bucket
+    /// width).
+    pub fn asynchronous(protocol: &'g P, graph: &'g Graph, adversary: &'g dyn Adversary) -> Self {
+        let mut caps = Caps::none();
+        caps.async_run = Some(cap_async::<P>);
+        Simulation::with_caps(
+            protocol,
+            graph,
+            Backend::Async(AsyncOptions::new(adversary)),
+            caps,
+        )
+    }
+}
+
+impl<'g, P> Simulation<'g, P>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    /// A simulation of a port-select-extension protocol on the scoped
+    /// lockstep backend ([`Backend::Scoped`] preset).
+    pub fn scoped(protocol: &'g P, graph: &'g Graph) -> Self {
+        let mut caps = Caps::none();
+        caps.scoped = Some(cap_scoped::<P>);
+        #[cfg(feature = "parallel")]
+        {
+            caps.scoped_par = Some(cap_scoped_par::<P>);
+        }
+        Simulation::with_caps(protocol, graph, Backend::Scoped, caps)
+    }
+}
+
+impl<'g, P: Protocol> Simulation<'g, P> {
+    fn with_caps(protocol: &'g P, graph: &'g Graph, backend: Backend<'g>, caps: Caps<P>) -> Self {
+        Simulation {
+            protocol,
+            graph,
+            seed: 0,
+            inputs: None,
+            budget: None,
+            backend,
+            observer: None,
+            #[cfg(feature = "parallel")]
+            policy: None,
+            caps,
+        }
+    }
+
+    /// Master seed of the per-node protocol RNG streams (default 0). The
+    /// streams are pure functions of `(seed, node id)`, identical across
+    /// backends' serial and parallel schedules.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-node input symbols (default: all zeros). Length must equal the
+    /// node count — the builder is the single place this is validated,
+    /// for every backend ([`ExecError::InputLengthMismatch`]).
+    pub fn inputs(mut self, inputs: &'g [usize]) -> Self {
+        self.inputs = Some(inputs);
+        self
+    }
+
+    /// Execution budget: rounds for the Sync/Scoped backends, events for
+    /// Async. Exceeding it aborts with [`ExecError::RoundLimit`] /
+    /// [`ExecError::EventLimit`]; zero is rejected as
+    /// [`ExecError::Config`]. Defaults: 1 000 000 rounds / 200 000 000
+    /// events (the legacy config defaults).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Selects the backend explicitly, overriding the constructor's
+    /// preset — e.g. to pick the binary-heap scheduler through
+    /// [`AsyncOptions`]. Selecting a backend the protocol's transition
+    /// flavor cannot drive is reported as [`ExecError::Config`] by
+    /// [`run`](Self::run).
+    pub fn backend(mut self, backend: Backend<'g>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Attaches the unified [`Observer`]. Round-based backends fire
+    /// `on_round_end`; the Async backend fires `on_step`. Wrap legacy
+    /// observers in [`AdaptSync`] / [`AdaptAsync`].
+    pub fn observe(mut self, observer: &'g mut (dyn Observer<P::State> + 'g)) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs the Sync or Scoped backend on the parallel schedule under
+    /// `policy` (chunked phase 1 + sharded-write-buffer phase 2 — see
+    /// [`crate::parbuf`]). Bit-identical to the serial schedule for
+    /// every seed, worker count, and merge strategy; the policy's
+    /// small-instance threshold may still delegate to the serial engine
+    /// (reported via [`Outcome::workers`]). Only exists on `parallel`
+    /// builds, so a policy can never be configured on a build that
+    /// cannot honor it; combining it with [`Backend::Async`] is an
+    /// [`ExecError::Config`].
+    #[cfg(feature = "parallel")]
+    pub fn parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Executes the selected backend and returns the unified outcome.
+    ///
+    /// Dispatches to the exact engine the corresponding legacy `run_*`
+    /// function ran — outcomes are bit-identical per seed to every shim
+    /// this builder replaces.
+    pub fn run(mut self) -> Result<Outcome<P>, ExecError> {
+        let n = self.graph.node_count();
+        if self.budget == Some(0) {
+            return Err(ExecError::Config {
+                reason: "budget must be positive: a zero budget can never reach an output \
+                         configuration"
+                    .into(),
+            });
+        }
+        if let Some(inputs) = self.inputs {
+            if inputs.len() != n {
+                return Err(ExecError::InputLengthMismatch {
+                    nodes: n,
+                    inputs: inputs.len(),
+                });
+            }
+        }
+        let zeros;
+        let inputs: &[usize] = match self.inputs {
+            Some(inputs) => inputs,
+            None => {
+                zeros = vec![0usize; n];
+                &zeros
+            }
+        };
+        let observer = self.observer.take();
+
+        fn mismatch(backend: &Backend<'_>, constructor: &str) -> ExecError {
+            ExecError::Config {
+                reason: format!(
+                    "the {} backend needs a protocol with the matching transition flavor: \
+                     construct the builder with Simulation::{}",
+                    backend.name(),
+                    constructor
+                ),
+            }
+        }
+
+        match self.backend {
+            Backend::Sync => {
+                let config = SyncConfig {
+                    seed: self.seed,
+                    max_rounds: self.budget.unwrap_or(SyncConfig::default().max_rounds),
+                };
+                #[cfg(feature = "parallel")]
+                if let Some(policy) = self.policy {
+                    let run = self
+                        .caps
+                        .sync_par
+                        .ok_or_else(|| mismatch(&self.backend, "sync"))?;
+                    if !policy.use_serial(n) {
+                        // The shard plan clamps to the node count — report
+                        // what actually runs, not the raw policy value.
+                        let workers = policy.resolve_workers().min(n.max(1));
+                        let (out, states) = run(
+                            self.protocol,
+                            self.graph,
+                            inputs,
+                            &config,
+                            &policy,
+                            observer,
+                        )?;
+                        return Ok(sync_outcome(out, states, workers));
+                    }
+                }
+                let run = self
+                    .caps
+                    .sync
+                    .ok_or_else(|| mismatch(&self.backend, "sync"))?;
+                let (out, states) = run(self.protocol, self.graph, inputs, &config, observer)?;
+                Ok(sync_outcome(out, states, 1))
+            }
+            Backend::Scoped => {
+                let max_rounds = self.budget.unwrap_or(SyncConfig::default().max_rounds);
+                #[cfg(feature = "parallel")]
+                if let Some(policy) = self.policy {
+                    let run = self
+                        .caps
+                        .scoped_par
+                        .ok_or_else(|| mismatch(&self.backend, "scoped"))?;
+                    if !policy.use_serial(n) {
+                        // The shard plan clamps to the node count — report
+                        // what actually runs, not the raw policy value.
+                        let workers = policy.resolve_workers().min(n.max(1));
+                        let (out, states) = run(
+                            self.protocol,
+                            self.graph,
+                            inputs,
+                            self.seed,
+                            max_rounds,
+                            &policy,
+                            observer,
+                        )?;
+                        return Ok(scoped_outcome(out, states, workers));
+                    }
+                }
+                let run = self
+                    .caps
+                    .scoped
+                    .ok_or_else(|| mismatch(&self.backend, "scoped"))?;
+                let (out, states) = run(
+                    self.protocol,
+                    self.graph,
+                    inputs,
+                    self.seed,
+                    max_rounds,
+                    observer,
+                )?;
+                Ok(scoped_outcome(out, states, 1))
+            }
+            Backend::Async(options) => {
+                #[cfg(feature = "parallel")]
+                if self.policy.is_some() {
+                    return Err(ExecError::Config {
+                        reason: "the Async backend has no parallel schedule: remove the \
+                                 ParallelPolicy or select a lockstep backend"
+                            .into(),
+                    });
+                }
+                let run = self
+                    .caps
+                    .async_run
+                    .ok_or_else(|| mismatch(&self.backend, "asynchronous"))?;
+                let config = AsyncConfig {
+                    seed: self.seed,
+                    max_events: self.budget.unwrap_or(AsyncConfig::default().max_events),
+                    scheduler: options.scheduler,
+                    bucket_width: options.bucket_width,
+                };
+                let (out, states) = run(
+                    self.protocol,
+                    self.graph,
+                    inputs,
+                    options.adversary,
+                    &config,
+                    observer,
+                )?;
+                Ok(Outcome {
+                    outputs: out.outputs,
+                    states,
+                    cost: Cost::TimeUnits(out.normalized_time),
+                    workers: 1,
+                    detail: Detail::Async {
+                        completion_time: out.completion_time,
+                        time_unit: out.time_unit,
+                        total_steps: out.total_steps,
+                        messages_sent: out.messages_sent,
+                        deliveries: out.deliveries,
+                        lost_overwrites: out.lost_overwrites,
+                    },
+                })
+            }
+        }
+    }
+}
+
+fn sync_outcome<P: Protocol>(
+    out: SyncOutcome,
+    states: Vec<P::State>,
+    workers: usize,
+) -> Outcome<P> {
+    Outcome {
+        outputs: out.outputs,
+        states,
+        cost: Cost::Rounds(out.rounds),
+        workers,
+        detail: Detail::Sync {
+            messages_sent: out.messages_sent,
+        },
+    }
+}
+
+fn scoped_outcome<P: Protocol>(
+    out: ScopedOutcome,
+    states: Vec<P::State>,
+    workers: usize,
+) -> Outcome<P> {
+    Outcome {
+        outputs: out.outputs,
+        states,
+        cost: Cost::Rounds(out.rounds),
+        workers,
+        detail: Detail::Scoped {
+            scoped_deliveries: out.scoped_deliveries,
+        },
+    }
+}

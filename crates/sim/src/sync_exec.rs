@@ -74,12 +74,21 @@ pub struct SyncOutcome {
     pub messages_sent: u64,
 }
 
-/// Hook invoked by [`run_sync_observed`] at the end of every round, with
-/// the full post-round state vector. Used by the analysis experiments
-/// (tournament lengths, edge decay) to instrument protocols from outside.
+/// Hook invoked by the synchronous executor at the end of every round,
+/// with the full post-round state vector. Used by the analysis
+/// experiments (tournament lengths, edge decay) to instrument protocols
+/// from outside. Subsumed by the unified [`crate::sim::Observer`]; kept
+/// so existing observers keep compiling (adapt them with
+/// [`crate::sim::AdaptSync`]).
 pub trait SyncObserver<S> {
     /// Called after round `round` (1-based) has been applied to all nodes.
     fn on_round_end(&mut self, round: u64, states: &[S]);
+}
+
+impl<S, O: SyncObserver<S> + ?Sized> SyncObserver<S> for &mut O {
+    fn on_round_end(&mut self, round: u64, states: &[S]) {
+        (**self).on_round_end(round, states);
+    }
 }
 
 /// An observer that does nothing.
@@ -88,27 +97,6 @@ pub struct NoopObserver;
 
 impl<S> SyncObserver<S> for NoopObserver {
     fn on_round_end(&mut self, _round: u64, _states: &[S]) {}
-}
-
-/// Runs `protocol` on `graph` synchronously with all-zero inputs.
-pub fn run_sync<P: MultiFsm>(
-    protocol: &P,
-    graph: &Graph,
-    config: &SyncConfig,
-) -> Result<SyncOutcome, ExecError> {
-    let inputs = vec![0usize; graph.node_count()];
-    run_sync_with_inputs(protocol, graph, &inputs, config)
-}
-
-/// Runs `protocol` on `graph` synchronously with the given per-node input
-/// symbols.
-pub fn run_sync_with_inputs<P: MultiFsm>(
-    protocol: &P,
-    graph: &Graph,
-    inputs: &[usize],
-    config: &SyncConfig,
-) -> Result<SyncOutcome, ExecError> {
-    run_sync_observed(protocol, graph, inputs, config, &mut NoopObserver)
 }
 
 /// The per-node RNG streams: a pure function of `(seed, node id)`, shared
@@ -172,21 +160,23 @@ fn phase2(graph: &Graph, ports: &mut FlatPorts, emissions: &[Option<Letter>]) ->
     sent
 }
 
-/// Runs `protocol` synchronously, invoking `observer` after every round.
-pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
+/// The serial synchronous engine: runs `protocol` in lockstep rounds,
+/// invoking `observer` after every round, and returns the final per-node
+/// state vector next to the legacy outcome. The single transcription of
+/// the round loop — the [`crate::Simulation`] builder and (through it)
+/// every legacy `run_sync*` shim land here.
+///
+/// Inputs are validated by the builder; this function assumes
+/// `inputs.len() == graph.node_count()`.
+pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
     protocol: &P,
     graph: &Graph,
     inputs: &[usize],
     config: &SyncConfig,
     observer: &mut O,
-) -> Result<SyncOutcome, ExecError> {
+) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
     let n = graph.node_count();
-    if inputs.len() != n {
-        return Err(ExecError::InputLengthMismatch {
-            nodes: n,
-            inputs: inputs.len(),
-        });
-    }
+    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
     let sigma = protocol.alphabet().len();
     let sigma0 = protocol.initial_letter();
 
@@ -206,11 +196,15 @@ pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
         .count() as isize;
 
     if undecided == 0 {
-        return Ok(SyncOutcome {
-            outputs: collect_outputs(protocol, &states),
-            rounds: 0,
-            messages_sent,
-        });
+        let outputs = collect_outputs(protocol, &states);
+        return Ok((
+            SyncOutcome {
+                outputs,
+                rounds: 0,
+                messages_sent,
+            },
+            states,
+        ));
     }
 
     for round in 1..=config.max_rounds {
@@ -226,55 +220,21 @@ pub fn run_sync_observed<P: MultiFsm, O: SyncObserver<P::State>>(
         messages_sent += phase2(graph, &mut ports, &emissions);
         observer.on_round_end(round, &states);
         if undecided == 0 {
-            return Ok(SyncOutcome {
-                outputs: collect_outputs(protocol, &states),
-                rounds: round,
-                messages_sent,
-            });
+            let outputs = collect_outputs(protocol, &states);
+            return Ok((
+                SyncOutcome {
+                    outputs,
+                    rounds: round,
+                    messages_sent,
+                },
+                states,
+            ));
         }
     }
     Err(ExecError::RoundLimit {
         limit: config.max_rounds,
         unfinished: undecided as usize,
     })
-}
-
-/// Runs `protocol` synchronously with all-zero inputs, parallelizing
-/// both round phases across nodes. See [`run_sync_parallel_with_inputs`].
-#[cfg(feature = "parallel")]
-pub fn run_sync_parallel<P>(
-    protocol: &P,
-    graph: &Graph,
-    config: &SyncConfig,
-) -> Result<SyncOutcome, ExecError>
-where
-    P: MultiFsm + Sync,
-    P::State: Send + Sync,
-{
-    let inputs = vec![0usize; graph.node_count()];
-    run_sync_parallel_with_inputs(protocol, graph, &inputs, config)
-}
-
-/// The parallel twin of [`run_sync_with_inputs`] under the default
-/// [`ParallelPolicy`]: hardware worker count, destination-sharded phase-2
-/// merge, serial fallback below [`crate::parbuf::PARALLEL_MIN_NODES`]
-/// nodes.
-///
-/// (The `rayon` crate is not vendored in this offline build; the `rayon`
-/// cargo feature is an alias of `parallel` and selects this same
-/// `std::thread`-based implementation.)
-#[cfg(feature = "parallel")]
-pub fn run_sync_parallel_with_inputs<P>(
-    protocol: &P,
-    graph: &Graph,
-    inputs: &[usize],
-    config: &SyncConfig,
-) -> Result<SyncOutcome, ExecError>
-where
-    P: MultiFsm + Sync,
-    P::State: Send + Sync,
-{
-    run_sync_parallel_with_policy(protocol, graph, inputs, config, &ParallelPolicy::default())
 }
 
 /// The fully parallel synchronous executor: **both** round phases are
@@ -296,32 +256,33 @@ where
 /// frozen ports, and every flat slot is written at most once per round
 /// (see the [`crate::parbuf`] module docs for the full argument),
 /// outputs, rounds, and message counts are **bit-identical** to
-/// [`run_sync_with_inputs`] for every seed, policy, worker count, and
-/// merge strategy. When [`ParallelPolicy::use_serial`] says the instance
-/// is too small (and no explicit worker count forces the machinery),
-/// this delegates to the serial engine outright.
+/// [`exec_sync`] for every seed, policy, worker count, and merge
+/// strategy. The [`crate::Simulation`] builder delegates to the serial
+/// engine outright when [`ParallelPolicy::use_serial`] says the instance
+/// is too small, so this function always runs the chunked machinery.
+///
+/// `observer` fires after each round's merge — the same post-round
+/// states the serial engine reports.
+///
+/// (The `rayon` crate is not vendored in this offline build; the `rayon`
+/// cargo feature is an alias of `parallel` and selects this same
+/// `std::thread`-based implementation.)
 #[cfg(feature = "parallel")]
-pub fn run_sync_parallel_with_policy<P>(
+pub(crate) fn exec_sync_parallel<P, O>(
     protocol: &P,
     graph: &Graph,
     inputs: &[usize],
     config: &SyncConfig,
     policy: &ParallelPolicy,
-) -> Result<SyncOutcome, ExecError>
+    observer: &mut O,
+) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
     P::State: Send + Sync,
+    O: SyncObserver<P::State>,
 {
     let n = graph.node_count();
-    if policy.use_serial(n) {
-        return run_sync_with_inputs(protocol, graph, inputs, config);
-    }
-    if inputs.len() != n {
-        return Err(ExecError::InputLengthMismatch {
-            nodes: n,
-            inputs: inputs.len(),
-        });
-    }
+    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
     let sigma = protocol.alphabet().len();
     let sigma0 = protocol.initial_letter();
 
@@ -337,11 +298,15 @@ where
         .count() as isize;
 
     if undecided == 0 {
-        return Ok(SyncOutcome {
-            outputs: collect_outputs(protocol, &states),
-            rounds: 0,
-            messages_sent,
-        });
+        let outputs = collect_outputs(protocol, &states);
+        return Ok((
+            SyncOutcome {
+                outputs,
+                rounds: 0,
+                messages_sent,
+            },
+            states,
+        ));
     }
 
     let plan = ShardPlan::new(graph, policy.resolve_workers());
@@ -387,13 +352,18 @@ where
 
         // Phase 2b: merge the buffers into the port store.
         parbuf::merge(policy.merge, &mut ports, graph, &plan, &buffers);
+        observer.on_round_end(round, &states);
 
         if undecided == 0 {
-            return Ok(SyncOutcome {
-                outputs: collect_outputs(protocol, &states),
-                rounds: round,
-                messages_sent,
-            });
+            let outputs = collect_outputs(protocol, &states);
+            return Ok((
+                SyncOutcome {
+                    outputs,
+                    rounds: round,
+                    messages_sent,
+                },
+                states,
+            ));
         }
     }
     Err(ExecError::RoundLimit {
@@ -405,8 +375,73 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::{AdaptSync, Simulation};
     use stoneage_core::{Alphabet, AsMulti, TableProtocol, TableProtocolBuilder, Transitions};
     use stoneage_graph::generators;
+
+    // These in-crate unit tests cannot use `stoneage_testkit::harness`
+    // (the dev-dependency cycle links testkit against the *other* build
+    // of this crate, so its types don't unify with `crate::` under
+    // cfg(test)) — so the builder-backed twins live here.
+
+    /// Builder twin of the legacy `run_sync`.
+    fn run_sync<P>(
+        protocol: &P,
+        graph: &Graph,
+        config: &SyncConfig,
+    ) -> Result<SyncOutcome, ExecError>
+    where
+        P: MultiFsm + Sync,
+        P::State: Send + Sync,
+    {
+        Simulation::sync(protocol, graph)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    }
+
+    /// Builder twin of the legacy `run_sync_with_inputs`.
+    fn run_sync_with_inputs<P>(
+        protocol: &P,
+        graph: &Graph,
+        inputs: &[usize],
+        config: &SyncConfig,
+    ) -> Result<SyncOutcome, ExecError>
+    where
+        P: MultiFsm + Sync,
+        P::State: Send + Sync,
+    {
+        Simulation::sync(protocol, graph)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .inputs(inputs)
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    }
+
+    /// Builder twin of the legacy `run_sync_observed`.
+    fn run_sync_observed<P, O>(
+        protocol: &P,
+        graph: &Graph,
+        inputs: &[usize],
+        config: &SyncConfig,
+        observer: &mut O,
+    ) -> Result<SyncOutcome, ExecError>
+    where
+        P: MultiFsm + Sync,
+        P::State: Send + Sync,
+        O: SyncObserver<P::State>,
+    {
+        let mut adapter = AdaptSync(observer);
+        Simulation::sync(protocol, graph)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .inputs(inputs)
+            .observe(&mut adapter)
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    }
 
     /// Single-letter protocol: round 1 every node beeps; from round 2 a
     /// node outputs 1 + f₂(#beeps heard).

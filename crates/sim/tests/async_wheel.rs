@@ -22,7 +22,8 @@
 use proptest::prelude::*;
 use stoneage_core::Synchronized;
 use stoneage_graph::{generators, Graph, NodeId};
-use stoneage_sim::{run_async, Adversary, AsyncConfig, AsyncOutcome, ExecError, SchedulerKind};
+use stoneage_sim::{Adversary, AsyncConfig, AsyncOutcome, ExecError, SchedulerKind};
+use stoneage_testkit::harness::run_async;
 use stoneage_testkit::{
     async_fingerprint, count_neighbors_quiet as count_neighbors, random_beeper, run_async_pinned,
     ASYNC_PINNED_CASES,

@@ -1,0 +1,410 @@
+//! Builder-parity suite: `Simulation::run()` is **bit-identical** to
+//! every legacy `run_*` free function it replaces.
+//!
+//! The legacy functions are deprecated shims *over* the builder, so this
+//! suite is deliberately the one place outside the shim module that
+//! still calls them (`#[allow(deprecated)]`): each test pins a shim
+//! against an independently configured builder run, per backend, across
+//! the gnp / tree / grid fixture families and several seeds, down to the
+//! fingerprint. A property test additionally pins that the *order* the
+//! builder's setters are chained in can never affect the outcome, and
+//! the `ExecError::Config` tests pin the builder's invalid-state
+//! reporting (mismatched backend, zero budget, parallel policy on the
+//! Async backend) — errors, not panics.
+
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use stoneage_core::{AsMulti, Synchronized};
+use stoneage_graph::{generators, Graph};
+use stoneage_sim::adversary::{standard_panel, UniformRandom};
+use stoneage_sim::{
+    run_async, run_async_with_inputs, run_scoped, run_sync, run_sync_observed,
+    run_sync_with_inputs, AsyncConfig, AsyncOptions, Backend, Cost, ExecError, SchedulerKind,
+    Simulation, SyncConfig, SyncObserver,
+};
+use stoneage_testkit::{
+    async_fingerprint, count_neighbors, count_neighbors_quiet, random_beeper, scoped_fingerprint,
+    sync_fingerprint, Poke,
+};
+
+fn graph_family() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp", generators::gnp(90, 0.07, 5)),
+        ("tree", generators::random_tree(120, 9)),
+        ("grid", generators::grid(9, 11)),
+    ]
+}
+
+#[test]
+fn sync_builder_matches_every_legacy_sync_entry_point() {
+    for protocol in [count_neighbors(3), random_beeper(5, 2)] {
+        let p = AsMulti(protocol);
+        for (name, g) in graph_family() {
+            let inputs = vec![0usize; g.node_count()];
+            for seed in 0..4 {
+                let config = SyncConfig::seeded(seed);
+                let legacy = run_sync(&p, &g, &config).unwrap();
+                let legacy_inputs = run_sync_with_inputs(&p, &g, &inputs, &config).unwrap();
+
+                let built = Simulation::sync(&p, &g)
+                    .seed(seed)
+                    .run()
+                    .unwrap()
+                    .into_sync_outcome()
+                    .unwrap();
+
+                assert_eq!(
+                    sync_fingerprint(&legacy),
+                    sync_fingerprint(&built),
+                    "{name}/seed{seed}"
+                );
+                assert_eq!(legacy.outputs, built.outputs, "{name}/seed{seed}");
+                assert_eq!(legacy.rounds, built.rounds, "{name}/seed{seed}");
+                assert_eq!(
+                    legacy.messages_sent, built.messages_sent,
+                    "{name}/seed{seed}"
+                );
+                assert_eq!(
+                    sync_fingerprint(&legacy_inputs),
+                    sync_fingerprint(&built),
+                    "{name}/seed{seed} (inputs)"
+                );
+            }
+        }
+    }
+}
+
+/// A counting observer shared by the legacy and builder runs.
+struct LastRound(u64);
+
+impl<S> SyncObserver<S> for LastRound {
+    fn on_round_end(&mut self, round: u64, _states: &[S]) {
+        self.0 = round;
+    }
+}
+
+#[test]
+fn observed_runs_agree_and_fire_identically() {
+    let p = AsMulti(count_neighbors(2));
+    let g = generators::gnp(60, 0.1, 3);
+    let inputs = vec![0usize; g.node_count()];
+    let config = SyncConfig::seeded(11);
+
+    let mut legacy_obs = LastRound(0);
+    let legacy = run_sync_observed(&p, &g, &inputs, &config, &mut legacy_obs).unwrap();
+
+    let mut built_obs = stoneage_sim::AdaptSync(LastRound(0));
+    let built = Simulation::sync(&p, &g)
+        .seed(11)
+        .inputs(&inputs)
+        .observe(&mut built_obs)
+        .run()
+        .unwrap()
+        .into_sync_outcome()
+        .unwrap();
+
+    assert_eq!(sync_fingerprint(&legacy), sync_fingerprint(&built));
+    assert_eq!(legacy_obs.0, built_obs.0 .0);
+    assert_eq!(legacy_obs.0, legacy.rounds);
+}
+
+#[test]
+fn async_builder_matches_legacy_on_both_schedulers() {
+    let p = Synchronized::new(count_neighbors_quiet(2));
+    for (name, g) in graph_family() {
+        for (i, adv) in standard_panel(19).iter().enumerate() {
+            let seed = 400 + i as u64;
+            for scheduler in [SchedulerKind::CalendarWheel, SchedulerKind::BinaryHeap] {
+                let legacy = run_async(
+                    &p,
+                    &g,
+                    adv,
+                    &AsyncConfig::seeded(seed).with_scheduler(scheduler),
+                )
+                .unwrap();
+                let built = Simulation::asynchronous(&p, &g, adv)
+                    .seed(seed)
+                    .backend(Backend::Async(
+                        AsyncOptions::new(adv).with_scheduler(scheduler),
+                    ))
+                    .run()
+                    .unwrap()
+                    .into_async_outcome()
+                    .unwrap();
+                assert_eq!(
+                    async_fingerprint(&legacy),
+                    async_fingerprint(&built),
+                    "{name}/{}/{scheduler:?}",
+                    adv.name()
+                );
+                assert_eq!(
+                    legacy.completion_time.to_bits(),
+                    built.completion_time.to_bits(),
+                    "{name}/{}/{scheduler:?}",
+                    adv.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn async_builder_matches_legacy_with_inputs() {
+    let p = Synchronized::new(count_neighbors_quiet(2));
+    let g = generators::gnp(50, 0.12, 7);
+    let inputs = vec![0usize; g.node_count()];
+    let adv = UniformRandom { seed: 9 };
+    let legacy = run_async_with_inputs(&p, &g, &inputs, &adv, &AsyncConfig::seeded(3)).unwrap();
+    let built = Simulation::asynchronous(&p, &g, &adv)
+        .seed(3)
+        .inputs(&inputs)
+        .run()
+        .unwrap()
+        .into_async_outcome()
+        .unwrap();
+    assert_eq!(async_fingerprint(&legacy), async_fingerprint(&built));
+}
+
+#[test]
+fn scoped_builder_matches_legacy_including_the_witness_transcript() {
+    for (name, g) in graph_family() {
+        for seed in 0..4 {
+            let legacy = run_scoped(&Poke::new(), &g, seed, 100).unwrap();
+            let built = Simulation::scoped(&Poke::new(), &g)
+                .seed(seed)
+                .budget(100)
+                .run()
+                .unwrap()
+                .into_scoped_outcome()
+                .unwrap();
+            assert_eq!(
+                scoped_fingerprint(&legacy),
+                scoped_fingerprint(&built),
+                "{name}/seed{seed}"
+            );
+            assert_eq!(
+                legacy.scoped_deliveries, built.scoped_deliveries,
+                "{name}/seed{seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unified_outcome_carries_states_cost_and_workers() {
+    let p = AsMulti(count_neighbors(2));
+    let g = generators::gnp(40, 0.15, 2);
+    let out = Simulation::sync(&p, &g).seed(1).run().unwrap();
+    assert_eq!(out.states.len(), g.node_count());
+    assert_eq!(out.workers, 1, "serial path reports one worker");
+    // Final states decode to exactly the reported outputs.
+    use stoneage_core::Protocol;
+    let decoded: Vec<u64> = out.states.iter().map(|s| p.output(s).unwrap()).collect();
+    assert_eq!(decoded, out.outputs);
+    assert!(matches!(out.cost, Cost::Rounds(r) if r == out.rounds().unwrap()));
+}
+
+#[test]
+fn builder_validates_inputs_for_every_backend() {
+    let bad = vec![0usize; 3];
+    let g = generators::path(5);
+
+    let p = AsMulti(count_neighbors(1));
+    let err = Simulation::sync(&p, &g).inputs(&bad).run().unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::InputLengthMismatch {
+            nodes: 5,
+            inputs: 3
+        }
+    );
+
+    let pf = count_neighbors_quiet(1);
+    let adv = UniformRandom { seed: 1 };
+    let err = Simulation::asynchronous(&pf, &g, &adv)
+        .inputs(&bad)
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::InputLengthMismatch {
+            nodes: 5,
+            inputs: 3
+        }
+    );
+
+    let err = Simulation::scoped(&Poke::new(), &g)
+        .inputs(&bad)
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::InputLengthMismatch {
+            nodes: 5,
+            inputs: 3
+        }
+    );
+}
+
+#[test]
+fn invalid_builder_states_are_config_errors_not_panics() {
+    let g = generators::path(4);
+    let p = AsMulti(count_neighbors(1));
+
+    // Zero budget.
+    let err = Simulation::sync(&p, &g).budget(0).run().unwrap_err();
+    assert!(matches!(err, ExecError::Config { .. }), "{err}");
+
+    // Backend the protocol's transition flavor cannot drive.
+    let err = Simulation::sync(&p, &g)
+        .backend(Backend::Scoped)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Config { .. }), "{err}");
+
+    let pf = count_neighbors_quiet(1);
+    let adv = UniformRandom { seed: 2 };
+    let err = Simulation::asynchronous(&pf, &g, &adv)
+        .backend(Backend::Sync)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Config { .. }), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Builder setters are order-independent: any permutation of the
+    /// configuration chain yields the bit-identical outcome.
+    #[test]
+    fn builder_field_order_does_not_affect_outcomes(
+        n in 2usize..50,
+        pr in 0.0f64..0.3,
+        gseed in 0u64..200,
+        seed in 0u64..200,
+        budget in 50u64..5000,
+        perm in 0usize..6,
+    ) {
+        let g = generators::gnp(n, pr, gseed);
+        let p = AsMulti(random_beeper(4, 2));
+        let inputs = vec![0usize; n];
+
+        // Reference order: seed, budget, inputs.
+        let reference = Simulation::sync(&p, &g)
+            .seed(seed)
+            .budget(budget)
+            .inputs(&inputs)
+            .run();
+
+        // One of the five other permutations of the same three setters.
+        let permuted = match perm {
+            0 => Simulation::sync(&p, &g).seed(seed).inputs(&inputs).budget(budget).run(),
+            1 => Simulation::sync(&p, &g).budget(budget).seed(seed).inputs(&inputs).run(),
+            2 => Simulation::sync(&p, &g).budget(budget).inputs(&inputs).seed(seed).run(),
+            3 => Simulation::sync(&p, &g).inputs(&inputs).seed(seed).budget(budget).run(),
+            4 => Simulation::sync(&p, &g).inputs(&inputs).budget(budget).seed(seed).run(),
+            _ => Simulation::sync(&p, &g).seed(seed).budget(budget).inputs(&inputs).run(),
+        };
+
+        match (reference, permuted) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.outputs, &b.outputs);
+                prop_assert_eq!(
+                    sync_fingerprint(&a.into_sync_outcome().unwrap()),
+                    sync_fingerprint(&b.into_sync_outcome().unwrap())
+                );
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "outcome kinds diverge: {:?} vs {:?}", a, b),
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::*;
+    use stoneage_sim::{
+        run_scoped_parallel_with_policy, run_sync_parallel_with_policy, MergeStrategy,
+        ParallelPolicy,
+    };
+    use stoneage_testkit::adversarial_worker_counts;
+
+    #[test]
+    fn parallel_builder_matches_legacy_parallel_entry_points() {
+        let p = AsMulti(random_beeper(5, 2));
+        for (name, g) in graph_family() {
+            let inputs = vec![0usize; g.node_count()];
+            for workers in adversarial_worker_counts() {
+                let policy = ParallelPolicy::forced(workers, MergeStrategy::DestinationSharded);
+                let config = SyncConfig::seeded(7);
+                let legacy =
+                    run_sync_parallel_with_policy(&p, &g, &inputs, &config, &policy).unwrap();
+                let built = Simulation::sync(&p, &g)
+                    .seed(7)
+                    .parallel(policy)
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    built.workers,
+                    workers.min(g.node_count()),
+                    "{name}/w{workers}: Outcome::workers must surface the count the \
+                     shard plan actually runs"
+                );
+                assert_eq!(
+                    sync_fingerprint(&legacy),
+                    sync_fingerprint(&built.into_sync_outcome().unwrap()),
+                    "{name}/w{workers}"
+                );
+
+                let legacy =
+                    run_scoped_parallel_with_policy(&Poke::new(), &g, 7, 100, &policy).unwrap();
+                let built = Simulation::scoped(&Poke::new(), &g)
+                    .seed(7)
+                    .budget(100)
+                    .parallel(policy)
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    built.workers,
+                    workers.min(g.node_count()),
+                    "{name}/w{workers} (scoped)"
+                );
+                assert_eq!(
+                    scoped_fingerprint(&legacy),
+                    scoped_fingerprint(&built.into_scoped_outcome().unwrap()),
+                    "{name}/w{workers} (scoped)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_policy_clamps_workers_to_available_parallelism() {
+        let hw = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let resolved = ParallelPolicy::default().resolve_workers();
+        assert_eq!(resolved, hw.max(1), "documented floor of 1, clamp to hw");
+        // The small-instance fallback reports the serial path.
+        let p = AsMulti(count_neighbors(2));
+        let g = generators::gnp(30, 0.2, 1);
+        let out = Simulation::sync(&p, &g)
+            .parallel(ParallelPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.workers, 1, "small instance delegates to serial");
+    }
+
+    #[test]
+    fn parallel_policy_on_async_backend_is_a_config_error() {
+        let p = count_neighbors_quiet(1);
+        let g = generators::path(4);
+        let adv = UniformRandom { seed: 1 };
+        let err = Simulation::asynchronous(&p, &g, &adv)
+            .parallel(ParallelPolicy::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Config { .. }), "{err}");
+    }
+}

@@ -21,9 +21,9 @@ use proptest::prelude::*;
 use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuilder, Transitions};
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::{
-    run_sync, run_sync_reference, run_sync_reference_with_inputs, run_sync_with_inputs, ExecError,
-    SyncConfig, SyncOutcome,
+    run_sync_reference, run_sync_reference_with_inputs, ExecError, SyncConfig, SyncOutcome,
 };
+use stoneage_testkit::harness::{run_sync, run_sync_with_inputs};
 use stoneage_testkit::{count_neighbors, random_beeper, run_sync_pinned, sync_fingerprint};
 
 /// Protocol that never reaches an output state (round-limit path).
@@ -222,10 +222,48 @@ proptest! {
 #[cfg(feature = "parallel")]
 mod parallel {
     use super::*;
-    use stoneage_sim::{
-        run_sync_parallel, run_sync_parallel_with_policy, MergeStrategy, ParallelPolicy,
-    };
+    use stoneage_core::MultiFsm;
+    use stoneage_sim::{MergeStrategy, ParallelPolicy, Simulation};
     use stoneage_testkit::adversarial_worker_counts as worker_counts;
+
+    /// Builder twin of the legacy `run_sync_parallel` (default policy).
+    fn run_sync_parallel<P>(
+        protocol: &P,
+        graph: &Graph,
+        config: &SyncConfig,
+    ) -> Result<SyncOutcome, ExecError>
+    where
+        P: MultiFsm + Sync,
+        P::State: Send + Sync,
+    {
+        Simulation::sync(protocol, graph)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .parallel(ParallelPolicy::default())
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    }
+
+    /// Builder twin of the legacy `run_sync_parallel_with_policy`.
+    fn run_sync_parallel_with_policy<P>(
+        protocol: &P,
+        graph: &Graph,
+        inputs: &[usize],
+        config: &SyncConfig,
+        policy: &ParallelPolicy,
+    ) -> Result<SyncOutcome, ExecError>
+    where
+        P: MultiFsm + Sync,
+        P::State: Send + Sync,
+    {
+        Simulation::sync(protocol, graph)
+            .seed(config.seed)
+            .budget(config.max_rounds)
+            .inputs(inputs)
+            .parallel(*policy)
+            .run()
+            .map(|o| o.into_sync_outcome().expect("sync backend"))
+    }
 
     /// Seed determinism of the auto `rayon`/`parallel` path: chunked
     /// phase 1 plus the sharded-buffer phase 2 must be indistinguishable

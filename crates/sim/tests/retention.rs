@@ -13,7 +13,8 @@ use stoneage_core::{
 };
 use stoneage_graph::generators;
 use stoneage_sim::adversary::{standard_panel, Lockstep};
-use stoneage_sim::{run_async, run_sync, AsyncConfig, SyncConfig};
+use stoneage_sim::{AsyncConfig, SyncConfig};
+use stoneage_testkit::harness::{run_async, run_sync};
 
 /// Every node beeps exactly once (at step 1) and then stays silent; after
 /// `delay` further silent steps it outputs `10 + f₁(#BEEP)`. Only port

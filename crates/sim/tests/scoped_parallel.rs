@@ -13,10 +13,51 @@
 use proptest::prelude::*;
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::{
-    run_scoped, run_scoped_parallel, run_scoped_parallel_with_policy, ExecError, MergeStrategy,
-    ParallelPolicy, ScopedOutcome,
+    ExecError, MergeStrategy, ParallelPolicy, ScopedMultiFsm, ScopedOutcome, Simulation,
 };
+use stoneage_testkit::harness::run_scoped;
 use stoneage_testkit::{adversarial_worker_counts as worker_counts, scoped_fingerprint, Poke};
+
+/// Builder-backed twin of the legacy `run_scoped_parallel` (default
+/// policy).
+fn run_scoped_parallel<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    run_scoped_parallel_with_policy(
+        protocol,
+        graph,
+        seed,
+        max_rounds,
+        &ParallelPolicy::default(),
+    )
+}
+
+/// Builder-backed twin of the legacy `run_scoped_parallel_with_policy`.
+fn run_scoped_parallel_with_policy<P>(
+    protocol: &P,
+    graph: &Graph,
+    seed: u64,
+    max_rounds: u64,
+    policy: &ParallelPolicy,
+) -> Result<ScopedOutcome, ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    Simulation::scoped(protocol, graph)
+        .seed(seed)
+        .budget(max_rounds)
+        .parallel(*policy)
+        .run()
+        .map(|o| o.into_scoped_outcome().expect("scoped backend"))
+}
 
 fn assert_same_outcome(
     ctx: &str,

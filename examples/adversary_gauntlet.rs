@@ -14,7 +14,7 @@ use stoneage::core::{SingleLetter, Synchronized};
 use stoneage::graph::{generators, validate};
 use stoneage::protocols::{decode_mis, MisProtocol};
 use stoneage::sim::adversary::standard_panel;
-use stoneage::sim::{run_async, run_sync, AsyncConfig, SyncConfig};
+use stoneage::sim::Simulation;
 
 fn main() {
     let n = 32;
@@ -24,9 +24,12 @@ fn main() {
         g.edge_count()
     );
 
-    let sync_rounds = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(3))
+    let sync_rounds = Simulation::sync(&MisProtocol::new(), &g)
+        .seed(3)
+        .run()
         .unwrap()
-        .rounds;
+        .rounds()
+        .unwrap();
     println!("synchronous reference: {sync_rounds} rounds\n");
 
     let pipeline = Synchronized::new(SingleLetter::new(MisProtocol::new()));
@@ -40,8 +43,12 @@ fn main() {
         "adversary", "time units", "steps", "deliveries", "lost"
     );
     for adv in standard_panel(17) {
-        let out = run_async(&pipeline, &g, &adv, &AsyncConfig::seeded(9))
-            .expect("Theorem 3.1: terminates under every policy");
+        let out = Simulation::asynchronous(&pipeline, &g, &adv)
+            .seed(9)
+            .run()
+            .expect("Theorem 3.1: terminates under every policy")
+            .into_async_outcome()
+            .expect("async backend");
         let mis = decode_mis(&out.outputs);
         let ok = validate::is_maximal_independent_set(&g, &mis);
         println!(

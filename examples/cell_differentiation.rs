@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 
 use stoneage::graph::{generators, validate};
 use stoneage::protocols::{decode_mis, MisProtocol};
-use stoneage::sim::{run_sync, SyncConfig};
+use stoneage::sim::Simulation;
 
 fn main() {
     let cells = 400;
@@ -35,7 +35,9 @@ fn main() {
         g.max_degree()
     );
 
-    let out = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(11))
+    let out = Simulation::sync(&MisProtocol::new(), &g)
+        .seed(11)
+        .run()
         .expect("differentiation terminates");
     let sop = decode_mis(&out.outputs);
     assert!(validate::is_maximal_independent_set(&g, &sop));
@@ -43,7 +45,7 @@ fn main() {
     println!(
         "{chosen} cells differentiated (SOP) in {} signalling rounds — \
          every cell is a SOP or touches one, and no two SOPs touch ✓",
-        out.rounds
+        out.rounds().unwrap()
     );
 
     // ASCII rendering of the tissue: '●' differentiated, '·' inhibited.

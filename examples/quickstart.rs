@@ -7,7 +7,7 @@
 
 use stoneage::graph::{generators, validate};
 use stoneage::protocols::{decode_mis, mis::analysis::MisObserver, MisProtocol};
-use stoneage::sim::{run_sync_observed, SyncConfig};
+use stoneage::sim::{AdaptSync, Simulation};
 
 fn main() {
     let n = 500;
@@ -19,18 +19,16 @@ fn main() {
     );
 
     // Run the seven-state, b = 1 MIS machine of the paper's Figure 1 on
-    // the synchronous engine, with an observer recording tournaments.
+    // the synchronous backend, with an observer recording tournaments
+    // (legacy observers plug into the unified builder via AdaptSync).
     let protocol = MisProtocol::new();
-    let mut observer = MisObserver::new(n);
-    let inputs = vec![0usize; n];
-    let out = run_sync_observed(
-        &protocol,
-        &g,
-        &inputs,
-        &SyncConfig::seeded(7),
-        &mut observer,
-    )
-    .expect("the MIS protocol terminates with probability 1");
+    let mut observer = AdaptSync(MisObserver::new(n));
+    let out = Simulation::sync(&protocol, &g)
+        .seed(7)
+        .observe(&mut observer)
+        .run()
+        .expect("the MIS protocol terminates with probability 1");
+    let observer = observer.0;
 
     let mis = decode_mis(&out.outputs);
     let size = mis.iter().filter(|&&x| x).count();
@@ -38,13 +36,14 @@ fn main() {
         validate::is_maximal_independent_set(&g, &mis),
         "every output configuration must be an MIS (paper, Section 2)"
     );
+    let rounds = out.rounds().unwrap();
     println!(
-        "MIS of {size} nodes in {} rounds ({} messages) — valid ✓",
-        out.rounds, out.messages_sent
+        "MIS of {size} nodes in {rounds} rounds ({} messages) — valid ✓",
+        out.messages_sent().unwrap()
     );
     println!(
         "rounds / log²n = {:.2}  (Theorem 4.5: O(log² n))",
-        out.rounds as f64 / (n as f64).log2().powi(2)
+        rounds as f64 / (n as f64).log2().powi(2)
     );
 
     // Tournament telemetry: lengths are Geom(1/2) + 2 distributed.

@@ -9,20 +9,16 @@
 use stoneage::baselines::cole_vishkin;
 use stoneage::graph::{generators, validate};
 use stoneage::protocols::{decode_coloring, ColoringProtocol};
-use stoneage::sim::{run_sync, SyncConfig};
+use stoneage::sim::Simulation;
 
 fn main() {
     for n in [256usize, 4096, 65536] {
         let g = generators::random_tree(n, 5);
-        let out = run_sync(
-            &ColoringProtocol::new(),
-            &g,
-            &SyncConfig {
-                seed: 3,
-                max_rounds: 10_000_000,
-            },
-        )
-        .expect("Theorem 5.4: terminates with probability 1");
+        let out = Simulation::sync(&ColoringProtocol::new(), &g)
+            .seed(3)
+            .budget(10_000_000)
+            .run()
+            .expect("Theorem 5.4: terminates with probability 1");
         let colors = decode_coloring(&out.outputs);
         assert!(validate::is_proper_k_coloring(&g, &colors, 3));
 
@@ -34,7 +30,7 @@ fn main() {
             .collect::<Vec<_>>();
         println!(
             "n = {n:>6}: stone-age {:>4} rounds (O(log n)) | Cole–Vishkin {:>2} rounds (O(log* n)) | colors used {histogram:?}",
-            out.rounds, cv.rounds,
+            out.rounds().unwrap(), cv.rounds,
         );
     }
     println!();
@@ -44,11 +40,14 @@ fn main() {
 
     // A small tree, drawn with its colors.
     let g = generators::kary_tree(15, 2);
-    let out = run_sync(&ColoringProtocol::new(), &g, &SyncConfig::seeded(1)).unwrap();
+    let out = Simulation::sync(&ColoringProtocol::new(), &g)
+        .seed(1)
+        .run()
+        .unwrap();
     let colors = decode_coloring(&out.outputs);
     println!(
         "\ncomplete binary tree on 15 nodes, colored in {} rounds:",
-        out.rounds
+        out.rounds().unwrap()
     );
     let mut level_start = 0usize;
     let mut width = 1usize;

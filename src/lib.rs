@@ -16,19 +16,24 @@
 //!
 //! ```
 //! use stoneage::protocols::{decode_mis, MisProtocol};
-//! use stoneage::sim::{run_sync, SyncConfig};
+//! use stoneage::sim::Simulation;
 //! use stoneage::graph::{generators, validate};
 //!
 //! let g = generators::gnp(200, 0.05, 42);
-//! let out = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(7)).unwrap();
+//! let out = Simulation::sync(&MisProtocol::new(), &g).seed(7).run().unwrap();
 //! let mis = decode_mis(&out.outputs);
 //! assert!(validate::is_maximal_independent_set(&g, &mis));
-//! println!("MIS of {} nodes in {} rounds", mis.iter().filter(|&&x| x).count(), out.rounds);
+//! println!(
+//!     "MIS of {} nodes in {} rounds",
+//!     mis.iter().filter(|&&x| x).count(),
+//!     out.rounds().unwrap()
+//! );
 //! ```
 //!
 //! For the full asynchronous pipeline (the paper's actual model), compile
 //! a protocol through [`core::SingleLetter`] and [`core::Synchronized`]
-//! and run it with [`sim::run_async`] under any [`sim::adversary`] policy.
+//! and run it with [`sim::Simulation::asynchronous`] under any
+//! [`sim::adversary`] policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

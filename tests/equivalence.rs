@@ -5,13 +5,16 @@ use stoneage::graph::generators;
 use stoneage::lba::machines::{self, encode_abc};
 use stoneage::lba::{sweep, to_nfsm};
 use stoneage::protocols::{ColoringProtocol, MisProtocol, MisState};
-use stoneage::sim::{run_sync, SyncConfig};
+use stoneage::sim::Simulation;
 
 #[test]
 fn lemma_61_sweep_equals_native_for_mis() {
     for seed in 0..4 {
         let g = generators::gnp(30, 0.12, seed);
-        let native = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+        let native = Simulation::sync(&MisProtocol::new(), &g)
+            .seed(seed)
+            .run()
+            .unwrap();
         let sweep = sweep::simulate_on_tape(
             &MisProtocol::new(),
             &g,
@@ -23,7 +26,7 @@ fn lemma_61_sweep_equals_native_for_mis() {
         )
         .unwrap();
         assert_eq!(sweep.outputs, native.outputs);
-        assert_eq!(sweep.rounds, native.rounds);
+        assert_eq!(Some(sweep.rounds), native.rounds());
         assert_eq!(sweep.tape_cells, 3 * g.node_count() + 4 * g.edge_count());
     }
 }
@@ -43,13 +46,16 @@ fn lemma_61_handles_structured_state_protocols() {
     ] {
         let inputs = wave_inputs(g.node_count(), &[src]);
         let p = AsMulti(wave_protocol());
-        let native =
-            stoneage::sim::run_sync_with_inputs(&p, &g, &inputs, &SyncConfig::seeded(2)).unwrap();
+        let native = Simulation::sync(&p, &g)
+            .seed(2)
+            .inputs(&inputs)
+            .run()
+            .unwrap();
         let sweep =
             sweep::simulate_on_tape(&p, &g, &inputs, 2, 100_000, |s| *s as u64, |c| c as u16)
                 .unwrap();
         assert_eq!(sweep.outputs, native.outputs);
-        assert_eq!(sweep.rounds, native.rounds);
+        assert_eq!(Some(sweep.rounds), native.rounds());
     }
 }
 
@@ -93,23 +99,19 @@ fn coloring_protocol_survives_large_instances() {
     // A bigger end-to-end check than the unit tests: 20k-node trees.
     for seed in 0..2 {
         let g = generators::random_tree(20_000, seed);
-        let out = run_sync(
-            &ColoringProtocol::new(),
-            &g,
-            &SyncConfig {
-                seed,
-                max_rounds: 1_000_000,
-            },
-        )
-        .unwrap();
+        let out = Simulation::sync(&ColoringProtocol::new(), &g)
+            .seed(seed)
+            .budget(1_000_000)
+            .run()
+            .unwrap();
         let colors = stoneage::protocols::decode_coloring(&out.outputs);
         assert!(stoneage::graph::validate::is_proper_k_coloring(
             &g, &colors, 3
         ));
+        let rounds = out.rounds().unwrap();
         assert!(
-            out.rounds < 60 * 15,
-            "O(log n): got {} rounds for n = 20000",
-            out.rounds
+            rounds < 60 * 15,
+            "O(log n): got {rounds} rounds for n = 20000"
         );
     }
 }

@@ -10,16 +10,16 @@ use stoneage::protocols::{
     MisProtocol,
 };
 use stoneage::sim::adversary::{standard_panel, Exponential, UniformRandom};
-use stoneage::sim::{
-    run_async, run_async_with_inputs, run_sync, run_sync_with_inputs, AsyncConfig, SyncConfig,
-};
+use stoneage::sim::Simulation;
 
 #[test]
 fn mis_full_pipeline_is_correct_under_all_adversaries() {
     let g = generators::gnp(24, 0.12, 3);
     let pipeline = Synchronized::new(SingleLetter::new(MisProtocol::new()));
     for (i, adv) in standard_panel(5).iter().enumerate() {
-        let out = run_async(&pipeline, &g, adv, &AsyncConfig::seeded(40 + i as u64))
+        let out = Simulation::asynchronous(&pipeline, &g, adv)
+            .seed(40 + i as u64)
+            .run()
             .unwrap_or_else(|e| panic!("{}: {e}", adv.name()));
         assert!(
             validate::is_maximal_independent_set(&g, &decode_mis(&out.outputs)),
@@ -40,7 +40,9 @@ fn mis_pipeline_on_structured_graphs() {
         ("complete", generators::complete(8)),
         ("tree", generators::random_tree(18, 2)),
     ] {
-        let out = run_async(&pipeline, &g, &adv, &AsyncConfig::seeded(1))
+        let out = Simulation::asynchronous(&pipeline, &g, &adv)
+            .seed(1)
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             validate::is_maximal_independent_set(&g, &decode_mis(&out.outputs)),
@@ -54,15 +56,20 @@ fn single_letter_compilation_is_exact_on_mis() {
     // Theorem 3.4 at integration level: identical outputs, ×|Σ| rounds.
     for seed in 0..6 {
         let g = generators::gnp(40, 0.1, seed);
-        let direct = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
-        let compiled = run_sync(
-            &AsMulti(SingleLetter::new(MisProtocol::new())),
-            &g,
-            &SyncConfig::seeded(seed),
-        )
-        .unwrap();
+        let direct = Simulation::sync(&MisProtocol::new(), &g)
+            .seed(seed)
+            .run()
+            .unwrap();
+        let compiled = Simulation::sync(&AsMulti(SingleLetter::new(MisProtocol::new())), &g)
+            .seed(seed)
+            .run()
+            .unwrap();
         assert_eq!(direct.outputs, compiled.outputs, "seed {seed}");
-        assert_eq!(compiled.rounds, direct.rounds * 7, "seed {seed}");
+        assert_eq!(
+            compiled.rounds().unwrap(),
+            direct.rounds().unwrap() * 7,
+            "seed {seed}"
+        );
     }
 }
 
@@ -78,10 +85,13 @@ fn synchronized_wave_covers_every_connected_graph() {
         assert!(traversal::is_connected(&g));
         let inputs = wave_inputs(g.node_count(), &[src]);
         let adv = Exponential { seed: 4, mean: 0.4 };
-        let out = run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(6)).unwrap();
+        let out = Simulation::asynchronous(&wave, &g, &adv)
+            .seed(6)
+            .inputs(&inputs)
+            .run()
+            .unwrap();
         assert!(out.outputs.iter().all(|&o| o == 1));
-        assert!(out.normalized_time > 0.0);
-        assert!(out.time_unit > 0.0);
+        assert!(out.cost.value() > 0.0);
     }
 }
 
@@ -95,15 +105,16 @@ fn synchronizer_overhead_is_constant_per_round() {
     for n in [16usize, 32, 64, 128] {
         let g = generators::path(n);
         let inputs = wave_inputs(n, &[0]);
-        let sync = run_sync_with_inputs(
-            &AsMulti(wave_protocol()),
-            &g,
-            &inputs,
-            &SyncConfig::seeded(0),
-        )
-        .unwrap();
-        let asy = run_async_with_inputs(&wave, &g, &inputs, &adv, &AsyncConfig::seeded(2)).unwrap();
-        per_round.push(asy.normalized_time / sync.rounds as f64);
+        let sync = Simulation::sync(&AsMulti(wave_protocol()), &g)
+            .inputs(&inputs)
+            .run()
+            .unwrap();
+        let asy = Simulation::asynchronous(&wave, &g, &adv)
+            .seed(2)
+            .inputs(&inputs)
+            .run()
+            .unwrap();
+        per_round.push(asy.cost.value() / sync.rounds().unwrap() as f64);
     }
     let min = per_round.iter().copied().fold(f64::MAX, f64::min);
     let max = per_round.iter().copied().fold(0.0f64, f64::max);
@@ -117,12 +128,10 @@ fn synchronizer_overhead_is_constant_per_round() {
 fn facade_reexports_compose() {
     // The README quickstart, as a test.
     let g = stoneage::graph::generators::gnp(200, 0.05, 42);
-    let out = stoneage::sim::run_sync(
-        &stoneage::protocols::MisProtocol::new(),
-        &g,
-        &stoneage::sim::SyncConfig::seeded(7),
-    )
-    .unwrap();
+    let out = stoneage::sim::Simulation::sync(&stoneage::protocols::MisProtocol::new(), &g)
+        .seed(7)
+        .run()
+        .unwrap();
     let mis = stoneage::protocols::decode_mis(&out.outputs);
     assert!(stoneage::graph::validate::is_maximal_independent_set(
         &g, &mis

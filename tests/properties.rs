@@ -7,7 +7,7 @@ use stoneage::graph::{generators, validate};
 use stoneage::protocols::{
     decode_coloring, decode_mis, run_matching, ColoringProtocol, MisProtocol,
 };
-use stoneage::sim::{run_sync, SyncConfig};
+use stoneage::sim::Simulation;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -22,7 +22,10 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let g = generators::gnp(n, p, gseed);
-        let out = run_sync(&MisProtocol::new(), &g, &SyncConfig { seed, max_rounds: 1_000_000 })
+        let out = Simulation::sync(&MisProtocol::new(), &g)
+            .seed(seed)
+            .budget(1_000_000)
+            .run()
             .expect("MIS terminates");
         prop_assert!(validate::is_maximal_independent_set(&g, &decode_mis(&out.outputs)));
     }
@@ -35,11 +38,11 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let g = generators::random_tree(n, gseed);
-        let out = run_sync(
-            &ColoringProtocol::new(),
-            &g,
-            &SyncConfig { seed, max_rounds: 1_000_000 },
-        ).expect("coloring terminates");
+        let out = Simulation::sync(&ColoringProtocol::new(), &g)
+            .seed(seed)
+            .budget(1_000_000)
+            .run()
+            .expect("coloring terminates");
         prop_assert!(validate::is_proper_k_coloring(&g, &decode_coloring(&out.outputs), 3));
     }
 
@@ -73,10 +76,10 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let g = generators::gnp(n, 0.15, gseed);
-        let a = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
-        let b = run_sync(&MisProtocol::new(), &g, &SyncConfig::seeded(seed)).unwrap();
+        let a = Simulation::sync(&MisProtocol::new(), &g).seed(seed).run().unwrap();
+        let b = Simulation::sync(&MisProtocol::new(), &g).seed(seed).run().unwrap();
         prop_assert_eq!(a.outputs, b.outputs);
-        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.rounds(), b.rounds());
     }
 
     /// Graph substrate invariant feeding everything else: uniformly random

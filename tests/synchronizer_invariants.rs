@@ -3,11 +3,11 @@
 //! engine's per-edge FIFO guarantee.
 
 use stoneage::core::sync::SyncState;
-use stoneage::core::{Fsm, SingleLetter, Synchronized};
+use stoneage::core::{Protocol, SingleLetter, Synchronized};
 use stoneage::graph::{generators, Graph, NodeId};
 use stoneage::protocols::MisProtocol;
 use stoneage::sim::adversary::{Exponential, SlowNodes, UniformRandom};
-use stoneage::sim::{run_async_observed, Adversary, AsyncConfig, AsyncObserver};
+use stoneage::sim::{AdaptAsync, Adversary, AsyncObserver, Simulation};
 
 /// Tracks, per node, the number of *completed simulation phases* (a phase
 /// completes exactly when the node's state returns to `Pause { check: 0 }`
@@ -60,18 +60,15 @@ impl<S: Clone + Eq + std::fmt::Debug> AsyncObserver<SyncState<S>> for SkewWatch<
 fn check_s1<A: Adversary>(g: &Graph, adv: &A, seed: u64) {
     let pipeline = Synchronized::new(SingleLetter::new(MisProtocol::new()));
     let inputs = vec![0usize; g.node_count()];
-    let mut watch = SkewWatch::new(g);
-    run_async_observed(
-        &pipeline,
-        g,
-        &inputs,
-        adv,
-        &AsyncConfig::seeded(seed),
-        &mut watch,
-    )
-    .expect("pipeline terminates");
+    let mut watch = AdaptAsync(SkewWatch::new(g));
+    Simulation::asynchronous(&pipeline, g, adv)
+        .seed(seed)
+        .inputs(&inputs)
+        .observe(&mut watch)
+        .run()
+        .expect("pipeline terminates");
     // The watch must actually have seen progress.
-    assert!(watch.phases.iter().any(|&p| p > 2), "no phases observed");
+    assert!(watch.0.phases.iter().any(|&p| p > 2), "no phases observed");
 }
 
 #[test]
@@ -106,7 +103,6 @@ fn property_s1_holds_with_stragglers() {
 #[test]
 fn fifo_clamp_prevents_overtaking() {
     use stoneage::core::{Alphabet, Letter, TableProtocolBuilder, Transitions};
-    use stoneage::sim::run_async_with_inputs;
 
     // Sender emits A, B, C on its first three steps, then sleeps forever
     // in an output state; receiver waits long, then records f₁(#C): with
@@ -167,14 +163,10 @@ fn fifo_clamp_prevents_overtaking() {
     }
 
     let g = generators::path(2);
-    let out = run_async_with_inputs(
-        &protocol,
-        &g,
-        &[0, 1],
-        &ShrinkingDelays,
-        &AsyncConfig::seeded(0),
-    )
-    .unwrap();
+    let out = Simulation::asynchronous(&protocol, &g, &ShrinkingDelays)
+        .inputs(&[0, 1])
+        .run()
+        .unwrap();
     // Receiver (node 1) must have seen C as the final port value.
     assert_eq!(out.outputs[1], 101, "FIFO order was violated");
 }
@@ -189,5 +181,5 @@ fn compiled_protocol_size_is_network_independent() {
     // Nothing about these depends on any graph; spot-check the values.
     assert_eq!(alpha, 3 * 8 * 8);
     assert!(per_state > 0);
-    assert_eq!(Fsm::alphabet(&p).len(), alpha);
+    assert_eq!(Protocol::alphabet(&p).len(), alpha);
 }
