@@ -8,7 +8,12 @@
 //! * **parallel sweep** (`--features parallel` builds) — rounds/sec of
 //!   the serial flat engine vs the fully parallel engine (chunked
 //!   phase 1 + sharded-write-buffer phase 2) at several worker counts on
-//!   the same gnp instance.
+//!   the same gnp instance;
+//! * **round-pipeline sweep** (`--features parallel` builds) — the
+//!   two-join `RoundMode::Joined` schedule vs the one-join
+//!   `RoundMode::Fused` schedule (phase 2b deferred onto per-worker
+//!   plane shards) at worker counts {2, 4, available} on gnp / tree /
+//!   grid instances.
 //!
 //! ```text
 //! engine_bench                          # writes BENCH_engine.json in the cwd
@@ -21,6 +26,10 @@
 //!                                       # 4+ workers falls below that ratio
 //!                                       # (skipped with a warning when the
 //!                                       # host has fewer than 4 CPUs)
+//! engine_bench --min-fused-speedup 1.0  # exit(1) if the fused pipeline at
+//!                                       # 4+ workers falls below that ratio
+//!                                       # of the joined pipeline (same
+//!                                       # self-skip below 4 CPUs)
 //! ```
 //!
 //! The sync workload is the same blinker protocol as `benches/engine.rs`:
@@ -177,6 +186,92 @@ fn parallel_sweep(
     (entries, hw)
 }
 
+/// One joined-vs-fused measurement of the parallel round pipeline.
+#[cfg(feature = "parallel")]
+struct RoundPipelineEntry {
+    family: &'static str,
+    n: usize,
+    workers: usize,
+    workers_used: usize,
+    joined_rounds_per_sec: f64,
+    fused_rounds_per_sec: f64,
+    /// fused / joined.
+    speedup: f64,
+}
+
+/// Measures the two round-pipeline schedules — `RoundMode::Joined` (two
+/// scope joins per round) vs `RoundMode::Fused` (one) — on the same
+/// instances and worker counts, per graph family. Worker counts beyond
+/// the host's CPUs are still recorded for cross-host comparability; the
+/// gate in `main` only enforces counts the hardware can genuinely run.
+#[cfg(feature = "parallel")]
+fn round_pipeline_sweep(quick: bool, rounds: u64, reps: usize) -> (Vec<RoundPipelineEntry>, usize) {
+    use stoneage_sim::{MergeStrategy, ParallelPolicy, RoundMode};
+    let n: usize = if quick { 5_000 } else { 50_000 };
+    let side = (n as f64).sqrt().ceil() as usize;
+    let graphs: [(&'static str, Graph); 3] = [
+        ("gnp", generators::gnp(n, 8.0 / n as f64, 7)),
+        ("tree", generators::random_tree(n, 13)),
+        ("grid", generators::grid(side, side)),
+    ];
+    let hw = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![2usize, 4, hw];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    worker_counts.retain(|&w| w >= 2);
+    let p = AsMulti(blinker());
+    let config = SyncConfig {
+        seed: 1,
+        max_rounds: rounds,
+    };
+    let mut entries = Vec::new();
+    for (family, g) in &graphs {
+        let nodes = g.node_count();
+        eprintln!(
+            "engine_bench[round_pipeline]: {family}(n = {nodes}), joined vs fused, \
+             {rounds} rounds x {reps} reps"
+        );
+        let inputs = vec![0usize; nodes];
+        for &w in &worker_counts {
+            let rps = |round: RoundMode| {
+                let policy =
+                    ParallelPolicy::forced(w, MergeStrategy::DestinationSharded).with_round(round);
+                measure(rounds, reps, || {
+                    Simulation::sync(&p, g)
+                        .seed(config.seed)
+                        .budget(config.max_rounds)
+                        .inputs(&inputs)
+                        .parallel(policy)
+                        .run()
+                        .map(|o| o.into_sync_outcome().expect("sync backend"))
+                })
+            };
+            let joined = rps(RoundMode::Joined);
+            let fused = rps(RoundMode::Fused);
+            let entry = RoundPipelineEntry {
+                family,
+                n: nodes,
+                workers: w,
+                workers_used: w.min(nodes.max(1)),
+                joined_rounds_per_sec: joined,
+                fused_rounds_per_sec: fused,
+                speedup: fused / joined,
+            };
+            eprintln!(
+                "  {family}[w={}]: joined {:>8.1} r/s, fused {:>8.1} r/s ({:.2}x)",
+                entry.workers,
+                entry.joined_rounds_per_sec,
+                entry.fused_rounds_per_sec,
+                entry.speedup
+            );
+            entries.push(entry);
+        }
+    }
+    (entries, hw)
+}
+
 struct AsyncEntry {
     family: &'static str,
     n: usize,
@@ -249,6 +344,7 @@ fn main() {
     let mut quick = false;
     let mut min_async_speedup: Option<f64> = None;
     let mut min_parallel_speedup: Option<f64> = None;
+    let mut min_fused_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -285,10 +381,27 @@ fn main() {
                 }
                 min_parallel_speedup = Some(v);
             }
+            "--min-fused-speedup" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--min-fused-speedup needs a ratio")
+                    .parse::<f64>()
+                    .expect("--min-fused-speedup needs a number");
+                if cfg!(not(feature = "parallel")) {
+                    eprintln!(
+                        "--min-fused-speedup requires a `--features parallel` build \
+                         of stoneage-bench"
+                    );
+                    std::process::exit(2);
+                }
+                min_fused_speedup = Some(v);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
-                     [--min-async-speedup ratio] [--min-parallel-speedup ratio]"
+                     [--min-async-speedup ratio] [--min-parallel-speedup ratio] \
+                     [--min-fused-speedup ratio]"
                 );
                 std::process::exit(2);
             }
@@ -328,6 +441,9 @@ fn main() {
         eprintln!("engine_bench[parallel]: serial vs parallel flat engine, same instance");
         parallel_sweep(&g, &config, rounds, reps, flat)
     };
+
+    #[cfg(feature = "parallel")]
+    let (pipeline_entries, _) = round_pipeline_sweep(quick, rounds, if quick { 3 } else { reps });
 
     let (async_entries, async_events) = async_sweep(quick, if quick { 3 } else { reps });
 
@@ -401,6 +517,57 @@ fn main() {
         ),
     ]);
 
+    #[cfg(feature = "parallel")]
+    let round_pipeline_json = Value::Object(vec![
+        (
+            "workload".to_owned(),
+            "blinker broadcast; joined = two scope joins per round, fused = phase 2b deferred \
+             onto per-worker plane shards (one join)"
+                .into(),
+        ),
+        ("merge".to_owned(), "destination_sharded".into()),
+        (
+            "workers_available".to_owned(),
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+                .into(),
+        ),
+        (
+            "entries".to_owned(),
+            Value::Array(
+                pipeline_entries
+                    .iter()
+                    .map(|e| {
+                        Value::Object(vec![
+                            ("family".to_owned(), e.family.into()),
+                            ("n".to_owned(), e.n.into()),
+                            ("workers".to_owned(), e.workers.into()),
+                            ("workers_used".to_owned(), e.workers_used.into()),
+                            (
+                                "joined_rounds_per_sec".to_owned(),
+                                e.joined_rounds_per_sec.into(),
+                            ),
+                            (
+                                "fused_rounds_per_sec".to_owned(),
+                                e.fused_rounds_per_sec.into(),
+                            ),
+                            ("speedup".to_owned(), e.speedup.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    #[cfg(not(feature = "parallel"))]
+    let round_pipeline_json = Value::Object(vec![
+        ("enabled".to_owned(), Value::Bool(false)),
+        (
+            "note".to_owned(),
+            "build stoneage-bench with --features parallel to record the sweep".into(),
+        ),
+    ]);
+
     let json = Value::Object(vec![
         ("bench".to_owned(), "engine_throughput".into()),
         // Absolute throughputs are host-dependent; recording the CPU
@@ -436,6 +603,7 @@ fn main() {
         ("flat_rounds_per_sec".to_owned(), flat.into()),
         ("speedup".to_owned(), speedup.into()),
         ("parallel_sweep".to_owned(), parallel_json),
+        ("round_pipeline".to_owned(), round_pipeline_json),
         ("async_sweep".to_owned(), async_json),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
@@ -494,6 +662,42 @@ fn main() {
             );
         }
     }
+    // The fused gate mirrors the parallel gate: fused must hold its own
+    // against joined only at worker counts with genuine hardware behind
+    // them (a time-sliced "4 workers" on a 1-CPU host measures the OS
+    // scheduler, not the dropped scope join).
+    #[cfg(feature = "parallel")]
+    if let Some(min) = min_fused_speedup {
+        let hw = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let gated: Vec<&RoundPipelineEntry> = pipeline_entries
+            .iter()
+            .filter(|e| e.workers >= 4 && e.workers <= hw)
+            .collect();
+        if gated.is_empty() {
+            eprintln!(
+                "fused gate skipped: host has {hw} CPUs, need >= 4 workers to enforce >= \
+                 {min:.2}x"
+            );
+        } else {
+            let mut failed = false;
+            for e in gated {
+                if e.speedup < min {
+                    eprintln!(
+                        "REGRESSION: fused pipeline at {:.2}x of joined on {} with {} workers \
+                         (required >= {min:.2}x)",
+                        e.speedup, e.family, e.workers
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!("fused pipeline within budget: all gated entries >= {min:.2}x of joined");
+        }
+    }
     #[cfg(not(feature = "parallel"))]
-    let _ = min_parallel_speedup;
+    let _ = (min_parallel_speedup, min_fused_speedup);
 }

@@ -51,7 +51,46 @@
 //! hand out one safe `&mut` view per shard ([`PortShard`]) with plain
 //! `split_at_mut`, no locks and no unsafe. A shard accepts exactly the
 //! deliveries whose *receiver* falls in its node range; slots and count
-//! rows of different shards never alias.
+//! rows of different shards never alias. A shard also serves the *read*
+//! side of the engine — [`PortShard::refill_obs`], [`PortShard::count`],
+//! [`PortShard::ports_of`] — because a node's observation touches only
+//! its own count row and its own CSR slots, both of which live inside
+//! the shard that owns the node.
+//!
+//! # Port planes: the epoch-split store
+//!
+//! [`PortPlanes`] is the double-buffered face of the store that the
+//! round pipeline ([`crate::pipeline`]) executes on. Logically there are
+//! two planes per round *r*:
+//!
+//! * the **read plane** — the port state at the end of round *r − 1*,
+//!   frozen for the whole of round *r*; every phase-1 observation and
+//!   every scoped target draw of round *r* reads it;
+//! * the **write plane** — where the phase-2 deliveries of round *r*
+//!   land; at the round boundary it *becomes* round *r + 1*'s read
+//!   plane.
+//!
+//! The two planes share one backing [`FlatPorts`]: because every flat
+//! slot is written **at most once per round** (a sender emits at most
+//! once, and slot `csr_offset(u) + ψ_u(v)` is private to the edge
+//! `v → u`), and because the per-letter count updates are commutative
+//! integer sums over a canonical representation, the write plane of
+//! round *r* differs from the read plane only in slots no round-*r*
+//! reader observes *after* their delivery lands. The plane swap
+//! ([`PortPlanes::advance`]) is therefore a pure epoch flip — no letter
+//! is copied, and the incrementally maintained counts are handed to the
+//! next epoch as-is.
+//!
+//! Concretely the split is enforced in *time*, per shard:
+//! [`PortPlanes::epoch_shards`] hands each pipeline worker a
+//! [`PlaneShard`] that starts in the **write-plane** state (only
+//! [`PlaneShard::land`] is allowed — the deferred deliveries of the
+//! previous round are merged here), then flips to the **read-plane**
+//! state via [`PlaneShard::freeze`] (only observations are allowed; a
+//! debug assertion rejects any further write). Each worker lands and
+//! reads only its own shard, so the fused pipeline needs no second
+//! letter array and no cross-worker synchronization beyond the one
+//! scope join per round.
 
 use stoneage_core::{Letter, ObsVec};
 use stoneage_graph::{Graph, NodeId};
@@ -469,6 +508,202 @@ impl PortShard<'_> {
             ShardCounts::Sparse(maps) => sparse_swap(&mut maps[node - self.node_base], old, letter),
         }
     }
+
+    /// The exact count of `letter` over `v`'s ports — the shard-local
+    /// twin of [`FlatPorts::count`]. `v` must fall in this shard's node
+    /// range.
+    #[inline]
+    pub fn count(&self, v: usize, letter: Letter) -> u32 {
+        let local = v - self.node_base;
+        match &self.counts {
+            ShardCounts::Dense(counts) => counts[local * self.sigma + letter.index()],
+            ShardCounts::Sparse(maps) => maps[local]
+                .binary_search_by_key(&letter.0, |e| e.0)
+                .map(|i| maps[local][i].1)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Refills `obs` with `f_b` of node `v`'s exact per-letter counts —
+    /// the shard-local twin of [`FlatPorts::refill_obs`].
+    #[inline]
+    pub fn refill_obs(&self, v: usize, obs: &mut ObsVec, b: u8) {
+        let local = v - self.node_base;
+        match &self.counts {
+            ShardCounts::Dense(counts) => {
+                obs.refill_from_counts(&counts[local * self.sigma..(local + 1) * self.sigma], b)
+            }
+            ShardCounts::Sparse(maps) => obs.refill_from_sparse(self.sigma, &maps[local], b),
+        }
+    }
+
+    /// Node `v`'s ports as a slice — the shard-local twin of
+    /// [`FlatPorts::ports_of`]. `v` must fall in this shard's node range.
+    #[inline]
+    pub fn ports_of(&self, graph: &Graph, v: NodeId) -> &[Letter] {
+        let base = graph.csr_offset(v) - self.slot_base;
+        &self.letters[base..base + graph.degree(v)]
+    }
+}
+
+/// The epoch-split (double-buffered) face of the port store: one backing
+/// [`FlatPorts`] multiplexed into a frozen *read plane* and a *write
+/// plane* per round. See the module docs for why a single backing array
+/// suffices (per-round slot uniqueness + commutative counts make the
+/// plane swap a pure epoch flip with an incremental count handoff — no
+/// copy).
+///
+/// The round pipeline ([`crate::pipeline`]) is the intended driver:
+/// serial rounds observe through [`PortPlanes::read`] and commit their
+/// buffered writes with [`PortPlanes::land_serial`]; the fused parallel
+/// schedule takes per-worker [`PlaneShard`] views via
+/// [`PortPlanes::epoch_shards`]. Either way, [`PortPlanes::advance`]
+/// flips the epoch at the round boundary.
+#[derive(Clone, Debug)]
+pub struct PortPlanes {
+    ports: FlatPorts,
+    epoch: u64,
+}
+
+impl PortPlanes {
+    /// A fresh store at epoch 0, all ports holding `σ₀` — see
+    /// [`FlatPorts::new`] for the count-layout gate.
+    pub fn new(graph: &Graph, sigma: usize, sigma0: Letter) -> Self {
+        PortPlanes {
+            ports: FlatPorts::new(graph, sigma, sigma0),
+            epoch: 0,
+        }
+    }
+
+    /// The alphabet size this store was built for.
+    pub fn sigma(&self) -> usize {
+        self.ports.sigma()
+    }
+
+    /// Rounds committed so far: the number of [`PortPlanes::advance`]
+    /// calls (each phase-2 commit ends one epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen read plane of the current epoch — the port state at
+    /// the end of the last committed round. Phase-1 observations and
+    /// scoped target draws read here.
+    #[inline]
+    pub fn read(&self) -> &FlatPorts {
+        &self.ports
+    }
+
+    /// The raw write plane of the current epoch, for merge strategies
+    /// that need the whole store at once (the joined pipeline's
+    /// [`crate::parbuf::merge`]). Callers must only land deliveries
+    /// resolved against this epoch's read plane, then
+    /// [`PortPlanes::advance`].
+    #[inline]
+    pub fn write(&mut self) -> &mut FlatPorts {
+        &mut self.ports
+    }
+
+    /// Serial phase-2b: lands one round's buffered `(receiver, slot,
+    /// letter)` writes on the write plane and flips it into the next
+    /// epoch's read plane.
+    pub fn land_serial(&mut self, writes: &[(u32, u32, Letter)]) {
+        for &(node, slot, letter) in writes {
+            self.ports.deliver(node as usize, slot as usize, letter);
+        }
+        self.advance();
+    }
+
+    /// Splits the write plane into one [`PlaneShard`] per entry of the
+    /// contiguous node partition `node_bounds` (the fused pipeline hands
+    /// one to each worker). Every shard starts in the write-plane state;
+    /// the caller flips it to the read plane with [`PlaneShard::freeze`]
+    /// once the previous round's deferred deliveries have landed.
+    pub fn epoch_shards<'a>(
+        &'a mut self,
+        graph: &Graph,
+        node_bounds: &[usize],
+    ) -> Vec<PlaneShard<'a>> {
+        self.ports
+            .shards_mut(graph, node_bounds)
+            .into_iter()
+            .map(|shard| PlaneShard {
+                shard,
+                frozen: false,
+            })
+            .collect()
+    }
+
+    /// Ends the current epoch: the write plane (now holding this round's
+    /// deliveries) becomes the next round's read plane. A pointer flip in
+    /// spirit — nothing is copied, the incremental counts carry over
+    /// as-is.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Consumes the planes, returning the backing store (tests compare
+    /// it against serially driven [`FlatPorts`]).
+    pub fn into_ports(self) -> FlatPorts {
+        self.ports
+    }
+}
+
+/// One worker's view of both planes of its shard during one epoch of the
+/// fused round pipeline: first the **write plane** (only
+/// [`PlaneShard::land`] — the previous round's deferred deliveries merge
+/// here), then, after [`PlaneShard::freeze`], the **read plane** (only
+/// observations — a debug assertion rejects any later write). Produced
+/// by [`PortPlanes::epoch_shards`].
+pub struct PlaneShard<'a> {
+    shard: PortShard<'a>,
+    frozen: bool,
+}
+
+impl PlaneShard<'_> {
+    /// Write-plane delivery: lands one deferred `(receiver, slot,
+    /// letter)` write from the previous round on this shard.
+    ///
+    /// # Panics
+    /// Debug-asserts the shard has not been frozen yet.
+    #[inline]
+    pub fn land(&mut self, node: usize, slot: usize, letter: Letter) {
+        debug_assert!(
+            !self.frozen,
+            "cannot land deliveries on a frozen read plane"
+        );
+        self.shard.deliver(node, slot, letter);
+    }
+
+    /// Flips this shard from the write plane to the frozen read plane:
+    /// all deferred deliveries have landed, observations may begin.
+    #[inline]
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Read-plane observation: refills `obs` with `f_b` of node `v`'s
+    /// exact per-letter counts.
+    #[inline]
+    pub fn refill_obs(&self, v: usize, obs: &mut ObsVec, b: u8) {
+        debug_assert!(self.frozen, "observations require the frozen read plane");
+        self.shard.refill_obs(v, obs, b);
+    }
+
+    /// Read-plane count of `letter` over `v`'s ports.
+    #[inline]
+    pub fn count(&self, v: usize, letter: Letter) -> u32 {
+        debug_assert!(self.frozen, "observations require the frozen read plane");
+        self.shard.count(v, letter)
+    }
+
+    /// Read-plane view of node `v`'s ports.
+    #[inline]
+    pub fn ports_of(&self, graph: &Graph, v: NodeId) -> &[Letter] {
+        debug_assert!(self.frozen, "observations require the frozen read plane");
+        self.shard.ports_of(graph, v)
+    }
 }
 
 #[cfg(test)]
@@ -636,6 +871,114 @@ mod tests {
         let g = generators::path(4);
         let mut ports = FlatPorts::new(&g, 2, Letter(0));
         let _ = ports.shards_mut(&g, &[0, 2]);
+    }
+
+    #[test]
+    fn shard_reads_match_whole_store_reads() {
+        use stoneage_core::ObsVec;
+        let g = generators::gnp(40, 0.2, 11);
+        for layout in [CountLayout::Dense, CountLayout::Sparse] {
+            let mut ports = FlatPorts::with_layout(&g, 5, Letter(0), layout);
+            for v in (0..40u32).step_by(3) {
+                ports.broadcast(&g, v, Letter(1 + (v % 4) as u16));
+            }
+            let frozen = ports.clone();
+            let bounds = [0usize, 13, 27, 40];
+            let shards = ports.shards_mut(&g, &bounds);
+            let mut a = ObsVec::zeroed(5);
+            let mut b = ObsVec::zeroed(5);
+            for (s, shard) in shards.iter().enumerate() {
+                for v in bounds[s]..bounds[s + 1] {
+                    frozen.refill_obs(v, &mut a, 3);
+                    shard.refill_obs(v, &mut b, 3);
+                    assert_eq!(a, b, "{layout:?}/node {v}");
+                    for l in 0..5u16 {
+                        assert_eq!(
+                            frozen.count(v, Letter(l)),
+                            shard.count(v, Letter(l)),
+                            "{layout:?}/node {v}/letter {l}"
+                        );
+                    }
+                    assert_eq!(
+                        frozen.ports_of(&g, v as NodeId),
+                        shard.ports_of(&g, v as NodeId),
+                        "{layout:?}/node {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_shards_land_then_read_like_the_serial_round() {
+        // One simulated fused epoch: deferred deliveries land on each
+        // worker's plane shard, the shards freeze, and every read must
+        // match a serially driven store after the same writes.
+        let g = generators::cycle(9);
+        let mut serial = FlatPorts::new(&g, 3, Letter(0));
+        let mut planes = PortPlanes::new(&g, 3, Letter(0));
+        assert_eq!(planes.epoch(), 0);
+        let writes: Vec<(usize, usize, Letter)> = (0..9usize)
+            .map(|v| {
+                (
+                    v,
+                    g.csr_offset(v as NodeId) + v % 2,
+                    Letter(1 + (v % 2) as u16),
+                )
+            })
+            .collect();
+        for &(v, slot, letter) in &writes {
+            serial.deliver(v, slot, letter);
+        }
+        let bounds = [0usize, 4, 9];
+        {
+            let mut shards = planes.epoch_shards(&g, &bounds);
+            for &(v, slot, letter) in &writes {
+                let s = bounds[1..].partition_point(|&b| b <= v);
+                shards[s].land(v, slot, letter);
+            }
+            let mut a = stoneage_core::ObsVec::zeroed(3);
+            let mut b = stoneage_core::ObsVec::zeroed(3);
+            for (s, shard) in shards.iter_mut().enumerate() {
+                shard.freeze();
+                for v in bounds[s]..bounds[s + 1] {
+                    serial.refill_obs(v, &mut a, 2);
+                    shard.refill_obs(v, &mut b, 2);
+                    assert_eq!(a, b, "node {v}");
+                    assert_eq!(
+                        serial.ports_of(&g, v as NodeId),
+                        shard.ports_of(&g, v as NodeId)
+                    );
+                }
+            }
+        }
+        planes.advance();
+        assert_eq!(planes.epoch(), 1);
+        assert_eq!(
+            planes.into_ports().dense_counts(&g),
+            serial.dense_counts(&g)
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "frozen read plane")]
+    fn landing_on_a_frozen_plane_shard_panics() {
+        let g = generators::path(3);
+        let mut planes = PortPlanes::new(&g, 2, Letter(0));
+        let mut shards = planes.epoch_shards(&g, &[0, 3]);
+        shards[0].freeze();
+        shards[0].land(1, g.csr_offset(1), Letter(1));
+    }
+
+    #[test]
+    fn serial_landing_advances_the_epoch() {
+        let g = generators::path(3);
+        let mut planes = PortPlanes::new(&g, 2, Letter(0));
+        planes.land_serial(&[(1u32, g.csr_offset(1) as u32, Letter(1))]);
+        assert_eq!(planes.epoch(), 1);
+        assert_eq!(planes.read().count(1, Letter(1)), 1);
+        assert_eq!(planes.sigma(), 2);
     }
 
     proptest! {

@@ -60,16 +60,26 @@
 //! pre-flat executor, which survives as [`reference::run_sync_reference`]
 //! for differential testing and benchmarking.
 //!
+//! Both lockstep backends execute on the shared round pipeline of the
+//! [`pipeline`] module, over the epoch-split [`engine::PortPlanes`]
+//! store: phase 1 of round *r* observes a frozen read plane, phase-2
+//! deliveries land on the write plane, and the plane swap at the round
+//! boundary is a pure epoch flip (no copy).
+//!
 //! With the `parallel` cargo feature (alias: `rayon`; implemented with
 //! `std::thread` because this build environment vendors no external
-//! crates), `run_sync_parallel` and `run_scoped_parallel` chunk **both**
-//! round phases across worker threads: phase 1 (observation + transition)
-//! over disjoint node chunks, and phase 2 (delivery) through the
-//! per-worker sharded write buffers of the [`parbuf`] module, merged
+//! crates), `.parallel(ParallelPolicy)` chunks **both** round phases
+//! across worker threads: phase 1 (observation + transition) over
+//! disjoint node chunks, and phase 2 (delivery) through the per-worker
+//! sharded write buffers of the [`parbuf`] module, merged
 //! destination-sharded so workers never contend on a node's CSR slots.
-//! Outcomes stay bit-identical to the serial engines for every seed,
-//! worker count, and merge strategy — see the [`parbuf`] docs for the
-//! determinism argument.
+//! The policy's [`RoundMode`] picks the schedule: `Joined` (the
+//! historical two-join round, kept as the differential oracle) or
+//! `Fused` (phase 2b of round *r* lands inside the worker scope of
+//! round *r + 1* on per-worker plane shards — exactly one scope join
+//! per round). Outcomes stay bit-identical to the serial engines for
+//! every seed, worker count, merge strategy, and round mode — see the
+//! [`parbuf`] and [`pipeline`] docs for the determinism argument.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +88,7 @@ pub mod adversary;
 mod async_exec;
 pub mod engine;
 pub mod parbuf;
+pub mod pipeline;
 pub mod reference;
 pub mod schedule;
 pub mod scoped;
@@ -87,8 +98,8 @@ mod sync_exec;
 
 pub use adversary::Adversary;
 pub use async_exec::{AsyncConfig, AsyncObserver, AsyncOutcome, NoopAsyncObserver, SchedulerKind};
-pub use engine::FlatPorts;
-pub use parbuf::{MergeStrategy, ParallelPolicy};
+pub use engine::{FlatPorts, PortPlanes};
+pub use parbuf::{MergeStrategy, ParallelPolicy, RoundMode, ROUND_MODE_ENV};
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
 pub use schedule::CalendarQueue;
 pub use scoped::{

@@ -54,6 +54,21 @@
 //! property tests in `tests/flat_engine.rs` and
 //! `tests/scoped_parallel.rs` assert outcome equality across worker
 //! counts, merge strategies, and the serial engines.
+//!
+//! # When the merge runs: [`RoundMode`]
+//!
+//! The three facts above say nothing about *when* a buffered delivery
+//! must land — only that it must land before any observation of the next
+//! round reads its slot or count row. The round pipeline
+//! (`crate::pipeline`) exploits that freedom: under the default
+//! [`RoundMode::Joined`] the merge runs as its own step between rounds
+//! (two scope joins per round, the historical schedule), while under
+//! [`RoundMode::Fused`] phase 2b of round *r* is deferred into the
+//! worker scope of round *r + 1* — each worker lands the buckets
+//! destined to its own [`crate::engine::PlaneShard`] and then observes
+//! through the same shard, dropping one scope join per round. Both
+//! modes replay buckets in fixed worker order and are bit-identical for
+//! every seed; `Joined` is kept as the differential oracle.
 
 use stoneage_core::Letter;
 use stoneage_graph::{Graph, NodeId};
@@ -80,6 +95,35 @@ pub enum MergeStrategy {
     BufferReplay,
 }
 
+/// How the parallel round pipeline schedules phase 2b against the next
+/// round's phase 1 (see `crate::pipeline`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoundMode {
+    /// Two joins per round: one worker scope runs phase 1 + 2a, joins,
+    /// then the policy's [`MergeStrategy`] lands the buffers (the
+    /// destination-sharded merge spawns a second scope). The historical
+    /// schedule and the differential oracle for [`RoundMode::Fused`];
+    /// the default.
+    #[default]
+    Joined,
+    /// One join per round: phase 2b of round *r* is fused into phase 1
+    /// of round *r + 1* — each worker first lands the previous round's
+    /// deliveries on its own [`crate::engine::PlaneShard`] (the write
+    /// plane), freezes it into the read plane, and runs phase 1 + 2a of
+    /// the new round against it, all inside a single scope. Bit-identical
+    /// to `Joined` for every seed, worker count, and merge strategy
+    /// (in fused rounds the merge is destination-sharded by
+    /// construction, so the [`MergeStrategy`] knob selects the *joined*
+    /// oracle's behavior only).
+    Fused,
+}
+
+/// Environment variable overriding every [`ParallelPolicy::round`] at
+/// run time (`joined` / `fused`, case-insensitive): lets CI force the
+/// whole test suite through the fused pipeline without a second test
+/// matrix in code. Unset or unrecognized values defer to the policy.
+pub const ROUND_MODE_ENV: &str = "STONEAGE_ROUND_MODE";
+
 /// Tuning knobs of the parallel executors. The defaults reproduce the
 /// auto behavior: hardware worker count, destination-sharded merge, and
 /// the [`PARALLEL_MIN_NODES`] serial fallback.
@@ -96,6 +140,11 @@ pub struct ParallelPolicy {
     /// engine. `None` means [`PARALLEL_MIN_NODES`]; tests force the
     /// parallel machinery on small graphs with `Some(0)`.
     pub min_nodes: Option<usize>,
+    /// Round-pipeline schedule: the historical two-join [`RoundMode::Joined`]
+    /// (default, the differential oracle) or the one-join
+    /// [`RoundMode::Fused`]. Overridable at run time via
+    /// [`ROUND_MODE_ENV`].
+    pub round: RoundMode,
 }
 
 impl ParallelPolicy {
@@ -106,6 +155,24 @@ impl ParallelPolicy {
             workers: Some(workers.max(1)),
             merge,
             min_nodes: Some(0),
+            round: RoundMode::default(),
+        }
+    }
+
+    /// This policy with the given round-pipeline schedule.
+    pub fn with_round(mut self, round: RoundMode) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Resolves the effective [`RoundMode`]: the [`ROUND_MODE_ENV`]
+    /// environment variable when set to a recognized value, the policy's
+    /// own `round` field otherwise.
+    pub fn resolve_round(&self) -> RoundMode {
+        match std::env::var(ROUND_MODE_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("fused") => RoundMode::Fused,
+            Ok(v) if v.eq_ignore_ascii_case("joined") => RoundMode::Joined,
+            _ => self.round,
         }
     }
 
@@ -413,7 +480,31 @@ mod tests {
         let p = ParallelPolicy::forced(7, MergeStrategy::BufferReplay);
         assert!(!p.use_serial(1));
         assert_eq!(p.resolve_workers(), 7);
+        assert_eq!(p.round, RoundMode::Joined, "forced defaults to the oracle");
         let auto = ParallelPolicy::default();
         assert!(auto.use_serial(PARALLEL_MIN_NODES - 1));
+    }
+
+    #[test]
+    fn round_mode_resolution_honors_policy_and_env() {
+        let joined = ParallelPolicy::default();
+        let fused = ParallelPolicy::default().with_round(RoundMode::Fused);
+        assert_eq!(joined.round, RoundMode::Joined, "Joined is the default");
+        // The suite may itself be running under a forced round mode (the
+        // CI fused job); assert against whatever the environment says.
+        match std::env::var(ROUND_MODE_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("fused") => {
+                assert_eq!(joined.resolve_round(), RoundMode::Fused);
+                assert_eq!(fused.resolve_round(), RoundMode::Fused);
+            }
+            Ok(v) if v.eq_ignore_ascii_case("joined") => {
+                assert_eq!(joined.resolve_round(), RoundMode::Joined);
+                assert_eq!(fused.resolve_round(), RoundMode::Joined);
+            }
+            _ => {
+                assert_eq!(joined.resolve_round(), RoundMode::Joined);
+                assert_eq!(fused.resolve_round(), RoundMode::Fused);
+            }
+        }
     }
 }

@@ -1,0 +1,547 @@
+//! The shared **round pipeline** of the lockstep executors.
+//!
+//! Before this module, the synchronous and scoped executors each carried
+//! two hand-rolled transcriptions of the same round loop (serial and
+//! parallel — four loops total), and every scheduling improvement had to
+//! be made four times. The pipeline extracts the loop once, parameterized
+//! over the two things that actually differ:
+//!
+//! * **the per-node step** — how a node transitions and how its emission
+//!   resolves into deliveries (a broadcast for `MultiFsm`, the
+//!   port-select draw plus witness record for
+//!   [`crate::scoped::ScopedMultiFsm`]); and
+//! * **the delivery strategy** — where resolved writes land: a serial
+//!   replay buffer, or the per-worker destination-sharded
+//!   [`crate::parbuf::DeliveryBuffer`]s merged under the policy's
+//!   [`crate::parbuf::MergeStrategy`].
+//!
+//! Every path executes on the epoch-split [`PortPlanes`] store: phase 1
+//! of round *r* observes the frozen read plane, phase-2 deliveries land
+//! on the write plane, and the plane swap at the round boundary is a
+//! pure epoch flip (see the [`crate::engine`] docs for the no-copy
+//! argument).
+//!
+//! # One join per round: the fused schedule
+//!
+//! The parallel pipeline runs in one of two modes
+//! ([`crate::parbuf::RoundMode`]):
+//!
+//! * **Joined** — the historical schedule: one worker scope for
+//!   phase 1 + 2a, a join, then the phase-2b merge (itself a second
+//!   scope under the destination-sharded strategy). Two joins per round.
+//! * **Fused** — phase 2b of round *r* is deferred into the worker scope
+//!   of round *r + 1*: each worker takes the
+//!   [`crate::engine::PlaneShard`] for its own node range, first lands
+//!   every buffer's bucket destined to that shard (the write plane of
+//!   the previous epoch), freezes the shard into the read plane, and
+//!   runs phase 1 + 2a of the new round against it. **Exactly one scope
+//!   join per round.**
+//!
+//! Fused is bit-identical to Joined (and hence to the serial engines)
+//! because nothing observable moves:
+//!
+//! * a node's observation reads only its own count row and CSR slots,
+//!   both inside the worker's own shard — which that worker brought up
+//!   to date before its first read, so every phase-1 observation of
+//!   round *r* sees exactly the end-of-round-*r − 1* store;
+//! * scoped target draws read only the sender's own ports (same shard)
+//!   and consume the sender's private RNG stream in the same
+//!   transition-then-target order;
+//! * the deferred buckets replay in fixed worker order per shard, the
+//!   same order the joined merge uses, and per-round slot uniqueness +
+//!   commutative counts make the landed bytes order-independent anyway
+//!   (the [`crate::parbuf`] argument);
+//! * rounds end on the same undecided-counter zero crossing, and a
+//!   terminal round's unlanded buffers are discarded in both modes
+//!   (the store is dead once outputs are collected).
+//!
+//! The differential matrices in `tests/flat_engine.rs` and
+//! `tests/scoped_parallel.rs` pin `Fused ≡ Joined ≡ serial` across
+//! worker counts, merge strategies, and graph families, and the pinned
+//! fingerprint constants are unchanged from their pre-pipeline values.
+//!
+//! # Scratch reuse
+//!
+//! All per-round scratch lives for the whole run and is cleared, not
+//! reallocated: the serial write buffer, the per-worker
+//! [`crate::parbuf::DeliveryBuffer`]s, the per-worker [`ObsVec`]s
+//! (previously rebuilt every round inside the worker closures), and the
+//! per-worker witness vectors (drained into the run-level witness each
+//! round).
+
+use rand::rngs::SmallRng;
+use stoneage_core::{Letter, ObsVec};
+use stoneage_graph::{Graph, NodeId};
+
+use crate::engine::{FlatPorts, PlaneShard, PortPlanes};
+#[cfg(feature = "parallel")]
+use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
+use crate::sync_exec::SyncObserver;
+
+/// Read access to a frozen plane: the observation surface phase 1 and
+/// the scoped target draws run against. Implemented by the whole-store
+/// read plane ([`FlatPorts`]) and by a worker's own frozen
+/// [`PlaneShard`].
+pub(crate) trait PortRead {
+    /// Refills `obs` with `f_b` of node `v`'s exact per-letter counts.
+    fn refill_obs(&self, v: usize, obs: &mut ObsVec, b: u8);
+    /// The exact count of `letter` over `v`'s ports.
+    fn count(&self, v: usize, letter: Letter) -> u32;
+    /// Node `v`'s ports as a slice.
+    fn ports_of(&self, graph: &Graph, v: NodeId) -> &[Letter];
+}
+
+impl PortRead for FlatPorts {
+    #[inline]
+    fn refill_obs(&self, v: usize, obs: &mut ObsVec, b: u8) {
+        FlatPorts::refill_obs(self, v, obs, b)
+    }
+    #[inline]
+    fn count(&self, v: usize, letter: Letter) -> u32 {
+        FlatPorts::count(self, v, letter)
+    }
+    #[inline]
+    fn ports_of(&self, graph: &Graph, v: NodeId) -> &[Letter] {
+        FlatPorts::ports_of(self, graph, v)
+    }
+}
+
+impl PortRead for PlaneShard<'_> {
+    #[inline]
+    fn refill_obs(&self, v: usize, obs: &mut ObsVec, b: u8) {
+        PlaneShard::refill_obs(self, v, obs, b)
+    }
+    #[inline]
+    fn count(&self, v: usize, letter: Letter) -> u32 {
+        PlaneShard::count(self, v, letter)
+    }
+    #[inline]
+    fn ports_of(&self, graph: &Graph, v: NodeId) -> &[Letter] {
+        PlaneShard::ports_of(self, graph, v)
+    }
+}
+
+/// Where phase-2a resolution lands its writes. Deliveries must never
+/// touch the port store directly — they are applied (or merged) only
+/// after every node of the round has observed and resolved against the
+/// frozen read plane.
+pub(crate) trait DeliverySink {
+    /// Buffers the full broadcast of `letter` from `v` through the
+    /// reverse-port map, counting one non-`ε` transmission.
+    fn broadcast(&mut self, graph: &Graph, v: NodeId, letter: Letter);
+    /// Buffers a single delivery to `u` at absolute flat `slot`.
+    fn send_one(&mut self, u: NodeId, slot: usize, letter: Letter);
+}
+
+/// The serial delivery strategy: one flat `(receiver, slot, letter)`
+/// buffer replayed onto the write plane at the end of the round
+/// ([`PortPlanes::land_serial`]). Cleared and reused across rounds.
+#[derive(Default)]
+pub(crate) struct SerialWrites {
+    writes: Vec<(u32, u32, Letter)>,
+    sent: u64,
+}
+
+impl SerialWrites {
+    fn begin_round(&mut self) {
+        self.writes.clear();
+        self.sent = 0;
+    }
+}
+
+impl DeliverySink for SerialWrites {
+    #[inline]
+    fn broadcast(&mut self, graph: &Graph, v: NodeId, letter: Letter) {
+        self.sent += 1;
+        let nbrs = graph.neighbors(v);
+        let rev = graph.reverse_ports(v);
+        for (&u, &rp) in nbrs.iter().zip(rev) {
+            self.writes
+                .push((u, (graph.csr_offset(u) + rp as usize) as u32, letter));
+        }
+    }
+    #[inline]
+    fn send_one(&mut self, u: NodeId, slot: usize, letter: Letter) {
+        self.writes.push((u, slot as u32, letter));
+    }
+}
+
+/// The parallel delivery strategy: a worker-private [`DeliveryBuffer`]
+/// bucketed by destination shard.
+#[cfg(feature = "parallel")]
+pub(crate) struct ShardedSink<'a> {
+    buffer: &'a mut DeliveryBuffer,
+    plan: &'a ShardPlan,
+}
+
+#[cfg(feature = "parallel")]
+impl DeliverySink for ShardedSink<'_> {
+    #[inline]
+    fn broadcast(&mut self, graph: &Graph, v: NodeId, letter: Letter) {
+        self.buffer.broadcast(graph, self.plan, v, letter);
+    }
+    #[inline]
+    fn send_one(&mut self, u: NodeId, slot: usize, letter: Letter) {
+        self.buffer.push(self.plan, u, slot, letter);
+    }
+}
+
+/// The per-protocol half of the pipeline: how one node transitions and
+/// how its emission resolves into deliveries. One implementation per
+/// lockstep transition flavor (`MultiFsm` in `sync_exec`,
+/// `ScopedMultiFsm` in `scoped`); the pipeline supplies the loop, the
+/// scheduling, and the undecided-counter bookkeeping around it.
+pub(crate) trait RoundStep {
+    /// Per-node protocol state.
+    type State: Clone;
+    /// What phase 1 records for phase-2a resolution.
+    type Emission: Copy;
+    /// Run-level extra output accumulated in sender order (the scoped
+    /// delivery transcript; `()` for plain sync).
+    type Witness: Default;
+
+    /// The observation bound `b` of the protocol.
+    fn bound(&self) -> u8;
+    /// Whether `q` is an output state (drives the undecided counter).
+    fn decided(&self, q: &Self::State) -> bool;
+    /// Phase 1 of one node: transition from the frozen observation,
+    /// consuming the node's RNG stream exactly as the legacy engines
+    /// did.
+    fn transition(
+        &self,
+        q: &Self::State,
+        obs: &ObsVec,
+        rng: &mut SmallRng,
+    ) -> (Self::State, Self::Emission);
+    /// Phase 2a of one node: resolve the emission against the frozen
+    /// plane into `sink` (and `witness`), consuming any target draws
+    /// from the node's own RNG stream.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve<Pr: PortRead, Sk: DeliverySink>(
+        &self,
+        round: u64,
+        v: NodeId,
+        emission: Self::Emission,
+        graph: &Graph,
+        ports: &Pr,
+        rng: &mut SmallRng,
+        sink: &mut Sk,
+        witness: &mut Self::Witness,
+    );
+    /// Drains `from` (one worker's per-round witness) into `into` — the
+    /// round-major, worker-order concatenation that reproduces the
+    /// serial witness order. (Only the parallel schedules split the
+    /// witness per worker; the serial pipeline writes into the run-level
+    /// witness directly.)
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    fn absorb(into: &mut Self::Witness, from: &mut Self::Witness);
+}
+
+/// Why a pipeline run ended.
+pub(crate) enum RoundEnd {
+    /// Every node reached an output state after `rounds` rounds.
+    Done {
+        /// Rounds until the first output configuration.
+        rounds: u64,
+        /// Total non-`ε` transmissions.
+        sent: u64,
+    },
+    /// The round budget ran out with `unfinished` nodes undecided.
+    Limit {
+        /// The configured budget.
+        limit: u64,
+        /// Nodes not yet in an output state.
+        unfinished: usize,
+    },
+}
+
+/// Phase 1 + 2a of one node against a frozen plane; returns the
+/// undecided-counter delta. The single transcription of the per-node
+/// round semantics — every schedule (serial, joined, fused) runs this.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn node_round<St: RoundStep, Pr: PortRead, Sk: DeliverySink>(
+    step: &St,
+    graph: &Graph,
+    ports: &Pr,
+    round: u64,
+    v: usize,
+    state: &mut St::State,
+    rng: &mut SmallRng,
+    obs: &mut ObsVec,
+    sink: &mut Sk,
+    witness: &mut St::Witness,
+) -> isize {
+    ports.refill_obs(v, obs, step.bound());
+    let (next, emission) = step.transition(state, obs, rng);
+    let delta = match (step.decided(state), step.decided(&next)) {
+        (false, true) => -1,
+        (true, false) => 1,
+        _ => 0,
+    };
+    *state = next;
+    step.resolve(
+        round,
+        v as NodeId,
+        emission,
+        graph,
+        ports,
+        rng,
+        sink,
+        witness,
+    );
+    delta
+}
+
+/// The serial round pipeline: one pass per round over all nodes
+/// (phase 1 + 2a fused per node — bit-identical to the legacy two-pass
+/// loops because every port read hits the frozen read plane and each
+/// node's RNG stream is private), then the buffered writes land on the
+/// write plane and the epoch flips.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_serial<St, O>(
+    step: &St,
+    graph: &Graph,
+    planes: &mut PortPlanes,
+    states: &mut [St::State],
+    rngs: &mut [SmallRng],
+    max_rounds: u64,
+    observer: &mut O,
+    witness: &mut St::Witness,
+) -> RoundEnd
+where
+    St: RoundStep,
+    O: SyncObserver<St::State>,
+{
+    let n = states.len();
+    let mut undecided = states.iter().filter(|q| !step.decided(q)).count() as isize;
+    let mut sent = 0u64;
+    if undecided == 0 {
+        return RoundEnd::Done { rounds: 0, sent };
+    }
+    let mut obs = ObsVec::zeroed(planes.sigma());
+    let mut sink = SerialWrites::default();
+    for round in 1..=max_rounds {
+        sink.begin_round();
+        {
+            let ports = planes.read();
+            for v in 0..n {
+                undecided += node_round(
+                    step,
+                    graph,
+                    ports,
+                    round,
+                    v,
+                    &mut states[v],
+                    &mut rngs[v],
+                    &mut obs,
+                    &mut sink,
+                    witness,
+                );
+            }
+        }
+        sent += sink.sent;
+        planes.land_serial(&sink.writes);
+        observer.on_round_end(round, states);
+        if undecided == 0 {
+            return RoundEnd::Done {
+                rounds: round,
+                sent,
+            };
+        }
+    }
+    RoundEnd::Limit {
+        limit: max_rounds,
+        unfinished: undecided as usize,
+    }
+}
+
+/// The parallel round pipeline, scheduled per the policy's resolved
+/// [`RoundMode`]: `Joined` (phase 1 + 2a scope, join, phase-2b merge —
+/// two joins per round) or `Fused` (previous round's phase 2b landed on
+/// per-worker plane shards inside the next round's scope — one join per
+/// round). Bit-identical to [`run_serial`] for every seed, worker
+/// count, merge strategy, and round mode.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_parallel<St, O>(
+    step: &St,
+    graph: &Graph,
+    planes: &mut PortPlanes,
+    states: &mut [St::State],
+    rngs: &mut [SmallRng],
+    policy: &ParallelPolicy,
+    max_rounds: u64,
+    observer: &mut O,
+    witness: &mut St::Witness,
+) -> RoundEnd
+where
+    St: RoundStep + Sync,
+    St::State: Send + Sync,
+    St::Witness: Send,
+    O: SyncObserver<St::State>,
+{
+    let mut undecided = states.iter().filter(|q| !step.decided(q)).count() as isize;
+    let mut sent = 0u64;
+    if undecided == 0 {
+        return RoundEnd::Done { rounds: 0, sent };
+    }
+    let sigma = planes.sigma();
+    let plan = ShardPlan::new(graph, policy.resolve_workers());
+    let workers = plan.workers();
+    // Per-worker scratch, hoisted out of the round loop: cleared and
+    // reused across rounds instead of reallocated.
+    let mut buffers: Vec<DeliveryBuffer> =
+        (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
+    let mut obs: Vec<ObsVec> = (0..workers).map(|_| ObsVec::zeroed(sigma)).collect();
+    let mut witnesses: Vec<St::Witness> = (0..workers).map(|_| St::Witness::default()).collect();
+
+    match policy.resolve_round() {
+        RoundMode::Joined => {
+            for round in 1..=max_rounds {
+                // Phase 1 + 2a, one scope: disjoint &mut chunks over
+                // states, RNGs, buffers, and scratch; shared reads of
+                // the frozen read plane and the graph.
+                let ports = planes.read();
+                let deltas: Vec<isize> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = plan
+                        .chunks_mut(&mut *states)
+                        .into_iter()
+                        .zip(plan.chunks_mut(&mut *rngs))
+                        .zip(buffers.iter_mut())
+                        .zip(obs.iter_mut())
+                        .zip(witnesses.iter_mut())
+                        .enumerate()
+                        .map(|(ci, ((((state_c, rng_c), buffer), obs), wit))| {
+                            let base = plan.bounds()[ci];
+                            let plan = &plan;
+                            scope.spawn(move || {
+                                buffer.clear();
+                                let mut sink = ShardedSink { buffer, plan };
+                                let mut delta = 0isize;
+                                for i in 0..state_c.len() {
+                                    delta += node_round(
+                                        step,
+                                        graph,
+                                        ports,
+                                        round,
+                                        base + i,
+                                        &mut state_c[i],
+                                        &mut rng_c[i],
+                                        obs,
+                                        &mut sink,
+                                        wit,
+                                    );
+                                }
+                                delta
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                undecided += deltas.iter().sum::<isize>();
+                sent += buffers.iter().map(|b| b.sent).sum::<u64>();
+                for w in witnesses.iter_mut() {
+                    St::absorb(witness, w);
+                }
+                // Phase 2b: merge the buffers into the write plane (the
+                // second join of the round under the sharded strategy).
+                parbuf::merge(policy.merge, planes.write(), graph, &plan, &buffers);
+                planes.advance();
+                observer.on_round_end(round, states);
+                if undecided == 0 {
+                    return RoundEnd::Done {
+                        rounds: round,
+                        sent,
+                    };
+                }
+            }
+        }
+        RoundMode::Fused => {
+            // Double-buffered delivery generations: `landing` holds the
+            // previous round's buffers (read by every worker during the
+            // deferred phase 2b), `filling` receives this round's.
+            let mut landing = buffers;
+            let mut filling: Vec<DeliveryBuffer> =
+                (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
+            for round in 1..=max_rounds {
+                let shards = planes.epoch_shards(graph, plan.bounds());
+                let landing_ref = &landing;
+                let deltas: Vec<isize> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .into_iter()
+                        .zip(plan.chunks_mut(&mut *states))
+                        .zip(plan.chunks_mut(&mut *rngs))
+                        .zip(filling.iter_mut())
+                        .zip(obs.iter_mut())
+                        .zip(witnesses.iter_mut())
+                        .enumerate()
+                        .map(
+                            |(ci, (((((mut shard, state_c), rng_c), buffer), obs), wit))| {
+                                let base = plan.bounds()[ci];
+                                let plan = &plan;
+                                scope.spawn(move || {
+                                    // Deferred phase 2b of the previous
+                                    // round: land every buffer's bucket for
+                                    // this worker's shard on the write
+                                    // plane, in fixed worker order.
+                                    for prev in landing_ref {
+                                        for w in prev.bucket(ci) {
+                                            shard.land(w.node as usize, w.slot as usize, w.letter);
+                                        }
+                                    }
+                                    // The shard is now this round's frozen
+                                    // read plane.
+                                    shard.freeze();
+                                    buffer.clear();
+                                    let mut sink = ShardedSink { buffer, plan };
+                                    let mut delta = 0isize;
+                                    for i in 0..state_c.len() {
+                                        delta += node_round(
+                                            step,
+                                            graph,
+                                            &shard,
+                                            round,
+                                            base + i,
+                                            &mut state_c[i],
+                                            &mut rng_c[i],
+                                            obs,
+                                            &mut sink,
+                                            wit,
+                                        );
+                                    }
+                                    delta
+                                })
+                            },
+                        )
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                // The single join of the round is behind us; flip the
+                // epoch and swap the buffer generations.
+                planes.advance();
+                std::mem::swap(&mut landing, &mut filling);
+                undecided += deltas.iter().sum::<isize>();
+                sent += landing.iter().map(|b| b.sent).sum::<u64>();
+                for w in witnesses.iter_mut() {
+                    St::absorb(witness, w);
+                }
+                observer.on_round_end(round, states);
+                if undecided == 0 {
+                    // The terminal round's buffers are never landed: the
+                    // store is dead once outputs are collected, so the
+                    // bytes the joined schedule's terminal merge writes
+                    // are unobservable.
+                    return RoundEnd::Done {
+                        rounds: round,
+                        sent,
+                    };
+                }
+            }
+        }
+    }
+    RoundEnd::Limit {
+        limit: max_rounds,
+        unfinished: undecided as usize,
+    }
+}

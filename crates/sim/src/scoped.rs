@@ -26,9 +26,10 @@ use rand::{Rng, SeedableRng};
 use stoneage_core::{Letter, ObsVec, Protocol};
 use stoneage_graph::{Graph, NodeId};
 
-use crate::engine::FlatPorts;
+use crate::engine::PortPlanes;
 #[cfg(feature = "parallel")]
-use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, ShardPlan};
+use crate::parbuf::ParallelPolicy;
+use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
 use crate::{splitmix64, ExecError};
 
 /// An emission under the port-select extension.
@@ -120,9 +121,9 @@ pub struct ScopedOutcome {
 /// implementation made (`count` equals the candidate-list length), so
 /// per-node RNG streams and therefore outcomes are unchanged.
 #[inline]
-fn select_scoped_port<R: Rng>(
+fn select_scoped_port<Pr: PortRead, R: Rng>(
     graph: &Graph,
-    ports: &FlatPorts,
+    ports: &Pr,
     v: NodeId,
     holding: Letter,
     rng: &mut R,
@@ -144,11 +145,112 @@ fn select_scoped_port<R: Rng>(
     unreachable!("incremental counts track every stored letter")
 }
 
-/// The scoped synchronous engine: runs a scoped protocol in lockstep
-/// rounds, invoking `observer` after every round, and returns the final
-/// per-node state vector next to the legacy outcome. The single
-/// transcription of the scoped round loop — the [`crate::Simulation`]
-/// builder and (through it) the legacy `run_scoped*` shims land here.
+/// The [`RoundStep`] of the port-select extension: draw the transition
+/// uniformly, then resolve the emission — broadcasts through the
+/// reverse-port map, port-selected sends via the early-exit count-draw
+/// of [`select_scoped_port`] (consuming the sender's own RNG stream) —
+/// and record every scoped delivery in the witness transcript.
+struct ScopedStep<'p, P>(&'p P);
+
+impl<P: ScopedMultiFsm> RoundStep for ScopedStep<'_, P> {
+    type State = P::State;
+    type Emission = ScopedEmission;
+    type Witness = Vec<ScopedDelivery>;
+
+    fn bound(&self) -> u8 {
+        self.0.bound()
+    }
+
+    fn decided(&self, q: &P::State) -> bool {
+        self.0.output(q).is_some()
+    }
+
+    fn transition(
+        &self,
+        q: &P::State,
+        obs: &ObsVec,
+        rng: &mut SmallRng,
+    ) -> (P::State, ScopedEmission) {
+        let t = self.0.delta(q, obs);
+        let idx = if t.choices.len() == 1 {
+            0
+        } else {
+            rng.gen_range(0..t.choices.len())
+        };
+        (t.choices[idx].0.clone(), t.choices[idx].1)
+    }
+
+    fn resolve<Pr: PortRead, Sk: DeliverySink>(
+        &self,
+        round: u64,
+        v: NodeId,
+        emission: ScopedEmission,
+        graph: &Graph,
+        ports: &Pr,
+        rng: &mut SmallRng,
+        sink: &mut Sk,
+        witness: &mut Vec<ScopedDelivery>,
+    ) {
+        match emission {
+            ScopedEmission::Silent => {}
+            ScopedEmission::Broadcast(letter) => sink.broadcast(graph, v, letter),
+            ScopedEmission::ToOnePortHolding { send, holding } => {
+                if let Some(k) = select_scoped_port(graph, ports, v, holding, rng) {
+                    let u = graph.neighbors(v)[k];
+                    let rp = graph.reverse_ports(v)[k] as usize;
+                    sink.send_one(u, graph.csr_offset(u) + rp, send);
+                    witness.push(ScopedDelivery {
+                        round,
+                        from: v,
+                        to: u,
+                        letter: send,
+                    });
+                }
+            }
+        }
+    }
+
+    fn absorb(into: &mut Vec<ScopedDelivery>, from: &mut Vec<ScopedDelivery>) {
+        into.append(from);
+    }
+}
+
+/// The per-node RNG streams of the scoped engines: a pure function of
+/// `(seed, node id)` with a salt distinguishing them from the plain sync
+/// streams, shared by the serial and parallel schedules.
+fn scoped_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
+    (0..n as u64)
+        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
+        .collect()
+}
+
+fn scoped_end<P: ScopedMultiFsm>(
+    protocol: &P,
+    states: Vec<P::State>,
+    scoped_deliveries: Vec<ScopedDelivery>,
+    end: RoundEnd,
+) -> Result<(ScopedOutcome, Vec<P::State>), ExecError> {
+    match end {
+        RoundEnd::Done { rounds, .. } => {
+            let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
+            Ok((
+                ScopedOutcome {
+                    outputs,
+                    rounds,
+                    scoped_deliveries,
+                },
+                states,
+            ))
+        }
+        RoundEnd::Limit { limit, unfinished } => Err(ExecError::RoundLimit { limit, unfinished }),
+    }
+}
+
+/// The scoped synchronous engine: the shared [`crate::pipeline`] round
+/// loop over an epoch-split [`PortPlanes`] store, invoking `observer`
+/// after every round, returning the final per-node state vector next to
+/// the legacy outcome. The [`crate::Simulation`] builder and (through
+/// it) the legacy `run_scoped*` shims land here.
 ///
 /// Inputs are validated by the builder; the legacy shims pass all zeros,
 /// which reproduces the historical `initial_state(0)` seeding exactly.
@@ -166,141 +268,54 @@ where
 {
     let n = graph.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let sigma = protocol.alphabet().len();
-    let b = protocol.bound();
-    let sigma0 = protocol.initial_letter();
-
     let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut ports = FlatPorts::new(graph, sigma, sigma0);
-    let mut rngs: Vec<SmallRng> = (0..n as u64)
-        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
-        .collect();
-
+    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
+    let mut rngs = scoped_rngs(n, seed);
     let mut scoped_deliveries = Vec::new();
-    let mut obs = ObsVec::zeroed(sigma);
-    let mut emissions: Vec<ScopedEmission> = vec![ScopedEmission::Silent; n];
-    // Round-loop scratch buffer, reused across rounds.
-    let mut writes: Vec<(usize, usize, Letter)> = Vec::new(); // (node, flat slot, letter)
-
-    // Undecided-node counter, maintained on state transitions.
-    let mut undecided = states
-        .iter()
-        .filter(|q| protocol.output(q).is_none())
-        .count();
-    if undecided == 0 {
-        let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
-        return Ok((
-            ScopedOutcome {
-                outputs,
-                rounds: 0,
-                scoped_deliveries,
-            },
-            states,
-        ));
-    }
-
-    for round in 1..=max_rounds {
-        // Phase 1: transitions from the old ports, observed through the
-        // incremental per-letter counts.
-        for v in 0..n {
-            ports.refill_obs(v, &mut obs, b);
-            let t = protocol.delta(&states[v], &obs);
-            let idx = if t.choices.len() == 1 {
-                0
-            } else {
-                rngs[v].gen_range(0..t.choices.len())
-            };
-            let was_output = protocol.output(&states[v]).is_some();
-            let is_output = protocol.output(&t.choices[idx].0).is_some();
-            match (was_output, is_output) {
-                (false, true) => undecided -= 1,
-                (true, false) => undecided += 1,
-                _ => {}
-            }
-            states[v] = t.choices[idx].0.clone();
-            emissions[v] = t.choices[idx].1;
-        }
-        // Phase 2: resolve and apply emissions against the old ports.
-        // Scoped target selection must use the ports as the sender
-        // observed them, so compute all targets before writing.
-        writes.clear();
-        for v in 0..n {
-            match emissions[v] {
-                ScopedEmission::Silent => {}
-                ScopedEmission::Broadcast(letter) => {
-                    let nbrs = graph.neighbors(v as NodeId);
-                    let rev = graph.reverse_ports(v as NodeId);
-                    for (&u, &rp) in nbrs.iter().zip(rev) {
-                        writes.push((u as usize, graph.csr_offset(u) + rp as usize, letter));
-                    }
-                }
-                ScopedEmission::ToOnePortHolding { send, holding } => {
-                    if let Some(k) =
-                        select_scoped_port(graph, &ports, v as NodeId, holding, &mut rngs[v])
-                    {
-                        let u = graph.neighbors(v as NodeId)[k];
-                        let rp = graph.reverse_ports(v as NodeId)[k] as usize;
-                        writes.push((u as usize, graph.csr_offset(u) + rp, send));
-                        scoped_deliveries.push(ScopedDelivery {
-                            round,
-                            from: v as NodeId,
-                            to: u,
-                            letter: send,
-                        });
-                    }
-                }
-            }
-        }
-        for &(u, slot, letter) in &writes {
-            ports.deliver(u, slot, letter);
-        }
-        observer.on_round_end(round, &states);
-        if undecided == 0 {
-            let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
-            return Ok((
-                ScopedOutcome {
-                    outputs,
-                    rounds: round,
-                    scoped_deliveries,
-                },
-                states,
-            ));
-        }
-    }
-    Err(ExecError::RoundLimit {
-        limit: max_rounds,
-        unfinished: undecided,
-    })
+    let end = pipeline::run_serial(
+        &ScopedStep(protocol),
+        graph,
+        &mut planes,
+        &mut states,
+        &mut rngs,
+        max_rounds,
+        observer,
+        &mut scoped_deliveries,
+    );
+    scoped_end(protocol, states, scoped_deliveries, end)
 }
 
-/// The parallel twin of [`exec_scoped`], on the same sharded-write-buffer
-/// schedule as the synchronous executor (see [`crate::parbuf`]): worker
-/// `i` owns a contiguous node chunk and, per round in a single
-/// `std::thread::scope` pass, applies each of its nodes' transitions and
+/// The parallel twin of [`exec_scoped`], on the shared
+/// [`crate::pipeline`] parallel round loop: worker `i` owns a contiguous
+/// node chunk and, per round, applies each of its nodes' transitions and
 /// immediately resolves the node's emission — broadcasts through the
 /// reverse-port map, port-selected sends via the same early-exit
 /// count-draw the serial engine uses — into a private
-/// [`DeliveryBuffer`] plus a worker-local [`ScopedDelivery`] transcript.
-/// The buffers then merge under the policy's strategy.
+/// [`crate::parbuf::DeliveryBuffer`] plus a worker-local
+/// [`ScopedDelivery`] transcript. Phase 2b runs per the policy's
+/// [`crate::parbuf::RoundMode`]: merged between rounds (`Joined`) or
+/// deferred into the next round's worker scope over per-worker
+/// [`crate::engine::PlaneShard`]s (`Fused`, one join per round).
 ///
-/// Bit-identical to [`exec_scoped`] for every seed, worker count, and
-/// merge strategy:
+/// Bit-identical to [`exec_scoped`] for every seed, worker count, merge
+/// strategy, and round mode:
 ///
 /// * a node's RNG draws happen in the serial order (transition draw, then
 ///   target draw) because both phases of a node run back to back on its
-///   own stream, and target selection reads only the frozen
-///   previous-round ports — which no worker mutates until the merge;
-/// * the scoped-delivery witness list is the concatenation of the
-///   worker transcripts in worker order, i.e. ascending sender order —
-///   exactly the serial engine's push order;
-/// * the merged port store is byte-identical by the slot-uniqueness /
+///   own stream, and target selection reads only the frozen read plane —
+///   which no worker mutates while any observation of the round can see
+///   it;
+/// * the scoped-delivery witness list is the round-major concatenation
+///   of the worker transcripts in worker order, i.e. ascending sender
+///   order — exactly the serial engine's push order;
+/// * the landed port store is byte-identical by the slot-uniqueness /
 ///   commutative-counts argument of the [`crate::parbuf`] module docs.
 ///
-/// `observer` fires after each round's merge — the same post-round
-/// states the serial engine reports. The [`crate::Simulation`] builder
-/// delegates to the serial engine when [`ParallelPolicy::use_serial`]
-/// says the instance is too small, so this function always runs the
-/// chunked machinery.
+/// `observer` fires after each round's states are complete — the same
+/// post-round states the serial engine reports. The
+/// [`crate::Simulation`] builder delegates to the serial engine when
+/// [`ParallelPolicy::use_serial`] says the instance is too small, so
+/// this function always runs the chunked machinery.
 #[cfg(feature = "parallel")]
 pub(crate) fn exec_scoped_parallel<P, O>(
     protocol: &P,
@@ -318,132 +333,23 @@ where
 {
     let n = graph.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let sigma = protocol.alphabet().len();
-    let b = protocol.bound();
-    let sigma0 = protocol.initial_letter();
-
     let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
     // The identical per-node streams of the serial engine.
-    let mut rngs: Vec<SmallRng> = (0..n as u64)
-        .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
-        .collect();
-
+    let mut rngs = scoped_rngs(n, seed);
     let mut scoped_deliveries = Vec::new();
-    let mut undecided = states
-        .iter()
-        .filter(|q| protocol.output(q).is_none())
-        .count() as isize;
-    if undecided == 0 {
-        let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
-        return Ok((
-            ScopedOutcome {
-                outputs,
-                rounds: 0,
-                scoped_deliveries,
-            },
-            states,
-        ));
-    }
-
-    let plan = ShardPlan::new(graph, policy.resolve_workers());
-    let mut buffers: Vec<DeliveryBuffer> = (0..plan.workers())
-        .map(|_| DeliveryBuffer::new(plan.workers()))
-        .collect();
-    let mut transcripts: Vec<Vec<ScopedDelivery>> = vec![Vec::new(); plan.workers()];
-
-    for round in 1..=max_rounds {
-        let ports_ref = &ports;
-        let chunk_deltas: Vec<isize> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .chunks_mut(&mut states)
-                .into_iter()
-                .zip(plan.chunks_mut(&mut rngs))
-                .zip(buffers.iter_mut())
-                .zip(transcripts.iter_mut())
-                .enumerate()
-                .map(|(ci, (((state_c, rng_c), buffer), transcript))| {
-                    let base = plan.bounds()[ci];
-                    let plan = &plan;
-                    scope.spawn(move || {
-                        let mut obs = ObsVec::zeroed(sigma);
-                        let mut delta = 0isize;
-                        buffer.clear();
-                        transcript.clear();
-                        for i in 0..state_c.len() {
-                            let v = (base + i) as NodeId;
-                            ports_ref.refill_obs(base + i, &mut obs, b);
-                            let t = protocol.delta(&state_c[i], &obs);
-                            let idx = if t.choices.len() == 1 {
-                                0
-                            } else {
-                                rng_c[i].gen_range(0..t.choices.len())
-                            };
-                            let was_output = protocol.output(&state_c[i]).is_some();
-                            let is_output = protocol.output(&t.choices[idx].0).is_some();
-                            match (was_output, is_output) {
-                                (false, true) => delta -= 1,
-                                (true, false) => delta += 1,
-                                _ => {}
-                            }
-                            state_c[i] = t.choices[idx].0.clone();
-                            match t.choices[idx].1 {
-                                ScopedEmission::Silent => {}
-                                ScopedEmission::Broadcast(letter) => {
-                                    buffer.broadcast(graph, plan, v, letter);
-                                }
-                                ScopedEmission::ToOnePortHolding { send, holding } => {
-                                    if let Some(k) = select_scoped_port(
-                                        graph,
-                                        ports_ref,
-                                        v,
-                                        holding,
-                                        &mut rng_c[i],
-                                    ) {
-                                        let u = graph.neighbors(v)[k];
-                                        let rp = graph.reverse_ports(v)[k] as usize;
-                                        buffer.push(plan, u, graph.csr_offset(u) + rp, send);
-                                        transcript.push(ScopedDelivery {
-                                            round,
-                                            from: v,
-                                            to: u,
-                                            letter: send,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                        delta
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        undecided += chunk_deltas.iter().sum::<isize>();
-        // Worker order = ascending sender order: the serial witness list.
-        for transcript in &transcripts {
-            scoped_deliveries.extend_from_slice(transcript);
-        }
-
-        parbuf::merge(policy.merge, &mut ports, graph, &plan, &buffers);
-        observer.on_round_end(round, &states);
-
-        if undecided == 0 {
-            let outputs = states.iter().map(|q| protocol.output(q).unwrap()).collect();
-            return Ok((
-                ScopedOutcome {
-                    outputs,
-                    rounds: round,
-                    scoped_deliveries,
-                },
-                states,
-            ));
-        }
-    }
-    Err(ExecError::RoundLimit {
-        limit: max_rounds,
-        unfinished: undecided as usize,
-    })
+    let end = pipeline::run_parallel(
+        &ScopedStep(protocol),
+        graph,
+        &mut planes,
+        &mut states,
+        &mut rngs,
+        policy,
+        max_rounds,
+        observer,
+        &mut scoped_deliveries,
+    );
+    scoped_end(protocol, states, scoped_deliveries, end)
 }
 
 #[cfg(test)]

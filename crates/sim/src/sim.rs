@@ -720,12 +720,16 @@ impl<'g, P: Protocol> Simulation<'g, P> {
 
     /// Runs the Sync or Scoped backend on the parallel schedule under
     /// `policy` (chunked phase 1 + sharded-write-buffer phase 2 — see
-    /// [`crate::parbuf`]). Bit-identical to the serial schedule for
-    /// every seed, worker count, and merge strategy; the policy's
-    /// small-instance threshold may still delegate to the serial engine
-    /// (reported via [`Outcome::workers`]). Only exists on `parallel`
-    /// builds, so a policy can never be configured on a build that
-    /// cannot honor it; combining it with [`Backend::Async`] is an
+    /// [`crate::parbuf`]). The policy's [`crate::parbuf::RoundMode`]
+    /// picks the round schedule: the two-join `Joined` oracle (default)
+    /// or the one-join `Fused` pipeline that defers phase 2b of each
+    /// round into the next round's worker scope (see
+    /// [`crate::pipeline`]). Bit-identical to the serial schedule for
+    /// every seed, worker count, merge strategy, and round mode; the
+    /// policy's small-instance threshold may still delegate to the
+    /// serial engine (reported via [`Outcome::workers`]). Only exists on
+    /// `parallel` builds, so a policy can never be configured on a build
+    /// that cannot honor it; combining it with [`Backend::Async`] is an
     /// [`ExecError::Config`].
     #[cfg(feature = "parallel")]
     pub fn parallel(mut self, policy: ParallelPolicy) -> Self {

@@ -9,12 +9,14 @@
 //! transmitted by `v` in round `t` (or the last message transmitted prior
 //! to round `t` — `ε` emissions do not overwrite ports).
 //!
-//! The round loop allocates nothing: ports live in a flat CSR-indexed
-//! store with incremental per-letter counts ([`crate::engine::FlatPorts`]),
-//! observations refill a scratch [`ObsVec`], deliveries use the graph's
-//! precomputed reverse-port map, and termination is detected by an
-//! undecided-node counter updated on state transitions. Outputs are
-//! bit-identical per seed to the naive reference executor
+//! The round loop is the shared [`crate::pipeline`] over the epoch-split
+//! [`crate::engine::PortPlanes`] store and allocates nothing per round:
+//! ports live in a flat CSR-indexed store with incremental per-letter
+//! counts ([`crate::engine::FlatPorts`]), observations refill a scratch
+//! [`ObsVec`], deliveries resolve through the graph's precomputed
+//! reverse-port map into a reused write buffer, and termination is
+//! detected by an undecided-node counter updated on state transitions.
+//! Outputs are bit-identical per seed to the naive reference executor
 //! ([`crate::reference::run_sync_reference`]), which is kept as a
 //! differential-testing oracle.
 //!
@@ -27,11 +29,12 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use stoneage_core::{Letter, MultiFsm, ObsVec};
-use stoneage_graph::Graph;
+use stoneage_graph::{Graph, NodeId};
 
-use crate::engine::FlatPorts;
+use crate::engine::PortPlanes;
 #[cfg(feature = "parallel")]
-use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, ShardPlan};
+use crate::parbuf::ParallelPolicy;
+use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
 use crate::{splitmix64, ExecError};
 
 /// Configuration of a synchronous execution.
@@ -114,57 +117,80 @@ fn collect_outputs<P: MultiFsm>(protocol: &P, states: &[P::State]) -> Vec<u64> {
         .collect()
 }
 
-/// Phase 1 over the node window `base..base + states.len()`: observe the
-/// frozen ports through the incremental counts and apply δ. Returns the
-/// change to the undecided-node counter. This is the single transcription
-/// of the phase-1 semantics — the serial executor runs it over the whole
-/// node range, the parallel executor over disjoint chunks.
-fn phase1<P: MultiFsm>(
-    protocol: &P,
-    ports: &FlatPorts,
-    base: usize,
-    states: &mut [P::State],
-    emissions: &mut [Option<Letter>],
-    rngs: &mut [SmallRng],
-    obs: &mut ObsVec,
-) -> isize {
-    let b = protocol.bound();
-    let mut undecided_delta = 0isize;
-    for i in 0..states.len() {
-        ports.refill_obs(base + i, obs, b);
-        let transitions = protocol.delta(&states[i], obs);
-        let (next, emission) = transitions.sample(&mut rngs[i]);
-        let was_output = protocol.output(&states[i]).is_some();
-        let is_output = protocol.output(next).is_some();
-        match (was_output, is_output) {
-            (false, true) => undecided_delta -= 1,
-            (true, false) => undecided_delta += 1,
-            _ => {}
-        }
-        states[i] = next.clone();
-        emissions[i] = *emission;
-    }
-    undecided_delta
-}
+/// The [`RoundStep`] of plain `MultiFsm` protocols: sample δ, then
+/// resolve any non-`ε` emission as a full broadcast (which consumes no
+/// randomness and reads no ports — the simplest pipeline step).
+struct SyncStep<'p, P>(&'p P);
 
-/// Phase 2: deliver all emissions through the reverse-port map (`ε`
-/// leaves ports untouched). Returns the number of non-`ε` transmissions.
-fn phase2(graph: &Graph, ports: &mut FlatPorts, emissions: &[Option<Letter>]) -> u64 {
-    let mut sent = 0u64;
-    for (v, emission) in emissions.iter().enumerate() {
+impl<P: MultiFsm> RoundStep for SyncStep<'_, P> {
+    type State = P::State;
+    type Emission = Option<Letter>;
+    type Witness = ();
+
+    fn bound(&self) -> u8 {
+        self.0.bound()
+    }
+
+    fn decided(&self, q: &P::State) -> bool {
+        self.0.output(q).is_some()
+    }
+
+    fn transition(
+        &self,
+        q: &P::State,
+        obs: &ObsVec,
+        rng: &mut SmallRng,
+    ) -> (P::State, Option<Letter>) {
+        let transitions = self.0.delta(q, obs);
+        let (next, emission) = transitions.sample(rng);
+        (next.clone(), *emission)
+    }
+
+    fn resolve<Pr: PortRead, Sk: DeliverySink>(
+        &self,
+        _round: u64,
+        v: NodeId,
+        emission: Option<Letter>,
+        graph: &Graph,
+        _ports: &Pr,
+        _rng: &mut SmallRng,
+        sink: &mut Sk,
+        _witness: &mut (),
+    ) {
         if let Some(letter) = emission {
-            sent += 1;
-            ports.broadcast(graph, v as u32, *letter);
+            sink.broadcast(graph, v, letter);
         }
     }
-    sent
+
+    fn absorb(_into: &mut (), _from: &mut ()) {}
 }
 
-/// The serial synchronous engine: runs `protocol` in lockstep rounds,
-/// invoking `observer` after every round, and returns the final per-node
-/// state vector next to the legacy outcome. The single transcription of
-/// the round loop — the [`crate::Simulation`] builder and (through it)
-/// every legacy `run_sync*` shim land here.
+fn sync_end<P: MultiFsm>(
+    protocol: &P,
+    states: Vec<P::State>,
+    end: RoundEnd,
+) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
+    match end {
+        RoundEnd::Done { rounds, sent } => {
+            let outputs = collect_outputs(protocol, &states);
+            Ok((
+                SyncOutcome {
+                    outputs,
+                    rounds,
+                    messages_sent: sent,
+                },
+                states,
+            ))
+        }
+        RoundEnd::Limit { limit, unfinished } => Err(ExecError::RoundLimit { limit, unfinished }),
+    }
+}
+
+/// The serial synchronous engine: the shared [`crate::pipeline`] round
+/// loop over an epoch-split [`PortPlanes`] store, invoking `observer`
+/// after every round, returning the final per-node state vector next to
+/// the legacy outcome. The [`crate::Simulation`] builder and (through
+/// it) every legacy `run_sync*` shim land here.
 ///
 /// Inputs are validated by the builder; this function assumes
 /// `inputs.len() == graph.node_count()`.
@@ -177,92 +203,42 @@ pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
     let n = graph.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let sigma = protocol.alphabet().len();
-    let sigma0 = protocol.initial_letter();
-
     let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
     let mut rngs = seed_rngs(n, config.seed);
-
-    let mut messages_sent = 0u64;
-    let mut obs = ObsVec::zeroed(sigma);
-    let mut emissions: Vec<Option<Letter>> = vec![None; n];
-
-    // Termination detection: count of nodes not yet in an output state,
-    // maintained on every state transition instead of scanned per round.
-    let mut undecided = states
-        .iter()
-        .filter(|q| protocol.output(q).is_none())
-        .count() as isize;
-
-    if undecided == 0 {
-        let outputs = collect_outputs(protocol, &states);
-        return Ok((
-            SyncOutcome {
-                outputs,
-                rounds: 0,
-                messages_sent,
-            },
-            states,
-        ));
-    }
-
-    for round in 1..=config.max_rounds {
-        undecided += phase1(
-            protocol,
-            &ports,
-            0,
-            &mut states,
-            &mut emissions,
-            &mut rngs,
-            &mut obs,
-        );
-        messages_sent += phase2(graph, &mut ports, &emissions);
-        observer.on_round_end(round, &states);
-        if undecided == 0 {
-            let outputs = collect_outputs(protocol, &states);
-            return Ok((
-                SyncOutcome {
-                    outputs,
-                    rounds: round,
-                    messages_sent,
-                },
-                states,
-            ));
-        }
-    }
-    Err(ExecError::RoundLimit {
-        limit: config.max_rounds,
-        unfinished: undecided as usize,
-    })
+    let end = pipeline::run_serial(
+        &SyncStep(protocol),
+        graph,
+        &mut planes,
+        &mut states,
+        &mut rngs,
+        config.max_rounds,
+        observer,
+        &mut (),
+    );
+    sync_end(protocol, states, end)
 }
 
-/// The fully parallel synchronous executor: **both** round phases are
-/// data-parallel over `std::thread::scope` workers on the shared
-/// [`ShardPlan`] node partition.
-///
-/// * **Phase 1 + 2a (one scope):** worker `i` runs the same [`phase1`]
-///   the serial engine runs over its node chunk, then immediately
-///   resolves its own chunk's emissions into a private
-///   [`DeliveryBuffer`] — reading only the frozen previous-round ports,
-///   writing only worker-private state.
-/// * **Phase 2b (second scope):** the buffers merge into [`FlatPorts`]
-///   under the policy's [`crate::parbuf::MergeStrategy`] —
-///   destination-sharded by default (disjoint
-///   [`crate::engine::PortShard`] views, no contention), or the serial
-///   buffer-replay oracle.
+/// The fully parallel synchronous executor: the shared
+/// [`crate::pipeline`] parallel round loop, scheduled per the policy's
+/// [`crate::parbuf::RoundMode`] — `Joined` (phase 1 + 2a scope, join,
+/// phase-2b merge under the policy's
+/// [`crate::parbuf::MergeStrategy`]) or `Fused` (the previous round's
+/// phase 2b landed on per-worker [`crate::engine::PlaneShard`]s inside
+/// the next round's scope; one join per round).
 ///
 /// Because every node owns an independent seeded RNG, phase 1 reads only
-/// frozen ports, and every flat slot is written at most once per round
-/// (see the [`crate::parbuf`] module docs for the full argument),
-/// outputs, rounds, and message counts are **bit-identical** to
-/// [`exec_sync`] for every seed, policy, worker count, and merge
-/// strategy. The [`crate::Simulation`] builder delegates to the serial
-/// engine outright when [`ParallelPolicy::use_serial`] says the instance
-/// is too small, so this function always runs the chunked machinery.
+/// the frozen read plane, and every flat slot is written at most once
+/// per round (see the [`crate::parbuf`] and [`crate::pipeline`] module
+/// docs for the full argument), outputs, rounds, and message counts are
+/// **bit-identical** to [`exec_sync`] for every seed, policy, worker
+/// count, merge strategy, and round mode. The [`crate::Simulation`]
+/// builder delegates to the serial engine outright when
+/// [`ParallelPolicy::use_serial`] says the instance is too small, so
+/// this function always runs the chunked machinery.
 ///
-/// `observer` fires after each round's merge — the same post-round
-/// states the serial engine reports.
+/// `observer` fires after each round's states are complete — the same
+/// post-round states the serial engine reports.
 ///
 /// (The `rayon` crate is not vendored in this offline build; the `rayon`
 /// cargo feature is an alias of `parallel` and selects this same
@@ -283,93 +259,21 @@ where
 {
     let n = graph.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let sigma = protocol.alphabet().len();
-    let sigma0 = protocol.initial_letter();
-
     let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut ports = FlatPorts::new(graph, sigma, sigma0);
+    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
     let mut rngs = seed_rngs(n, config.seed);
-
-    let mut messages_sent = 0u64;
-    let mut emissions: Vec<Option<Letter>> = vec![None; n];
-    let mut undecided = states
-        .iter()
-        .filter(|q| protocol.output(q).is_none())
-        .count() as isize;
-
-    if undecided == 0 {
-        let outputs = collect_outputs(protocol, &states);
-        return Ok((
-            SyncOutcome {
-                outputs,
-                rounds: 0,
-                messages_sent,
-            },
-            states,
-        ));
-    }
-
-    let plan = ShardPlan::new(graph, policy.resolve_workers());
-    let mut buffers: Vec<DeliveryBuffer> = (0..plan.workers())
-        .map(|_| DeliveryBuffer::new(plan.workers()))
-        .collect();
-
-    for round in 1..=config.max_rounds {
-        // Phase 1 + 2a, one scope: disjoint &mut chunks over states,
-        // emissions, RNGs, and buffers; shared reads of the frozen ports
-        // and the graph. Each chunk runs the same `phase1` the serial
-        // engine uses, then buffers its own emissions.
-        let ports_ref = &ports;
-        let chunk_deltas: Vec<isize> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .chunks_mut(&mut states)
-                .into_iter()
-                .zip(plan.chunks_mut(&mut emissions))
-                .zip(plan.chunks_mut(&mut rngs))
-                .zip(buffers.iter_mut())
-                .enumerate()
-                .map(|(ci, (((state_c, emit_c), rng_c), buffer))| {
-                    let base = plan.bounds()[ci];
-                    let plan = &plan;
-                    scope.spawn(move || {
-                        let mut obs = ObsVec::zeroed(sigma);
-                        let delta =
-                            phase1(protocol, ports_ref, base, state_c, emit_c, rng_c, &mut obs);
-                        buffer.clear();
-                        for (i, emission) in emit_c.iter().enumerate() {
-                            if let Some(letter) = emission {
-                                buffer.broadcast(graph, plan, (base + i) as u32, *letter);
-                            }
-                        }
-                        delta
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        undecided += chunk_deltas.iter().sum::<isize>();
-        messages_sent += buffers.iter().map(|b| b.sent).sum::<u64>();
-
-        // Phase 2b: merge the buffers into the port store.
-        parbuf::merge(policy.merge, &mut ports, graph, &plan, &buffers);
-        observer.on_round_end(round, &states);
-
-        if undecided == 0 {
-            let outputs = collect_outputs(protocol, &states);
-            return Ok((
-                SyncOutcome {
-                    outputs,
-                    rounds: round,
-                    messages_sent,
-                },
-                states,
-            ));
-        }
-    }
-    Err(ExecError::RoundLimit {
-        limit: config.max_rounds,
-        unfinished: undecided as usize,
-    })
+    let end = pipeline::run_parallel(
+        &SyncStep(protocol),
+        graph,
+        &mut planes,
+        &mut states,
+        &mut rngs,
+        policy,
+        config.max_rounds,
+        observer,
+        &mut (),
+    );
+    sync_end(protocol, states, end)
 }
 
 #[cfg(test)]

@@ -13,10 +13,12 @@
 use proptest::prelude::*;
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::{
-    ExecError, MergeStrategy, ParallelPolicy, ScopedMultiFsm, ScopedOutcome, Simulation,
+    ExecError, MergeStrategy, ParallelPolicy, RoundMode, ScopedMultiFsm, ScopedOutcome, Simulation,
 };
 use stoneage_testkit::harness::run_scoped;
-use stoneage_testkit::{adversarial_worker_counts as worker_counts, scoped_fingerprint, Poke};
+use stoneage_testkit::{
+    adversarial_worker_counts as worker_counts, round_modes, scoped_fingerprint, Poke,
+};
 
 /// Builder-backed twin of the legacy `run_scoped_parallel` (default
 /// policy).
@@ -110,10 +112,13 @@ fn auto_parallel_matches_serial() {
     }
 }
 
-/// Forced worker counts × merge strategies on every family: each cell of
-/// the matrix runs the real chunked phases and buffered merge (no serial
-/// fallback) and must reproduce the serial outcome — outputs, rounds,
-/// and the exact scoped-delivery transcript.
+/// Forced worker counts × merge strategies × round modes on every
+/// family: each cell of the matrix runs the real chunked phases and
+/// buffered merge (no serial fallback) and must reproduce the serial
+/// outcome — outputs, rounds, and the exact scoped-delivery transcript.
+/// The one-join `Fused` pipeline (deferred phase 2b on per-worker plane
+/// shards) is pitted against the two-join `Joined` oracle by sharing
+/// the serial expectation.
 #[test]
 fn forced_worker_matrix_matches_serial() {
     for (name, g) in graph_family() {
@@ -124,12 +129,14 @@ fn forced_worker_matrix_matches_serial() {
                     MergeStrategy::DestinationSharded,
                     MergeStrategy::BufferReplay,
                 ] {
-                    let policy = ParallelPolicy::forced(workers, merge);
-                    assert_same_outcome(
-                        &format!("matrix/{name}/seed{seed}/w{workers}/{merge:?}"),
-                        run_scoped_parallel_with_policy(&Poke::new(), &g, seed, 100, &policy),
-                        serial.clone(),
-                    );
+                    for round in round_modes() {
+                        let policy = ParallelPolicy::forced(workers, merge).with_round(round);
+                        assert_same_outcome(
+                            &format!("matrix/{name}/seed{seed}/w{workers}/{merge:?}/{round:?}"),
+                            run_scoped_parallel_with_policy(&Poke::new(), &g, seed, 100, &policy),
+                            serial.clone(),
+                        );
+                    }
                 }
             }
         }
@@ -137,7 +144,8 @@ fn forced_worker_matrix_matches_serial() {
 }
 
 /// Above the small-graph fallback floor the auto path genuinely runs the
-/// chunked machinery — and must still match the serial engine.
+/// chunked machinery — and must still match the serial engine, in both
+/// round modes.
 #[test]
 fn chunked_path_matches_serial_on_large_graph() {
     let g = generators::gnp(6000, 8.0 / 6000.0, 5);
@@ -145,6 +153,12 @@ fn chunked_path_matches_serial_on_large_graph() {
         assert_same_outcome(
             &format!("large/seed{seed}"),
             run_scoped_parallel(&Poke::new(), &g, seed, 100),
+            run_scoped(&Poke::new(), &g, seed, 100),
+        );
+        let fused = ParallelPolicy::default().with_round(RoundMode::Fused);
+        assert_same_outcome(
+            &format!("large-fused/seed{seed}"),
+            run_scoped_parallel_with_policy(&Poke::new(), &g, seed, 100, &fused),
             run_scoped(&Poke::new(), &g, seed, 100),
         );
     }
@@ -157,12 +171,15 @@ fn round_limit_is_identical() {
     let g = generators::gnp(80, 0.1, 2);
     for max_rounds in [1u64, 2] {
         for workers in worker_counts() {
-            let policy = ParallelPolicy::forced(workers, MergeStrategy::DestinationSharded);
-            assert_same_outcome(
-                &format!("limit{max_rounds}/w{workers}"),
-                run_scoped_parallel_with_policy(&Poke::new(), &g, 1, max_rounds, &policy),
-                run_scoped(&Poke::new(), &g, 1, max_rounds),
-            );
+            for round in round_modes() {
+                let policy = ParallelPolicy::forced(workers, MergeStrategy::DestinationSharded)
+                    .with_round(round);
+                assert_same_outcome(
+                    &format!("limit{max_rounds}/w{workers}/{round:?}"),
+                    run_scoped_parallel_with_policy(&Poke::new(), &g, 1, max_rounds, &policy),
+                    run_scoped(&Poke::new(), &g, 1, max_rounds),
+                );
+            }
         }
     }
 }
@@ -171,9 +188,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Differential property over random instances, seeds, worker
-    /// counts, and merge strategies: the forced parallel scoped executor
-    /// is bit-identical to the serial one — fingerprint equality covers
-    /// outputs, rounds, and the whole delivery transcript.
+    /// counts, merge strategies, and round modes: the forced parallel
+    /// scoped executor is bit-identical to the serial one — fingerprint
+    /// equality covers outputs, rounds, and the whole delivery
+    /// transcript.
     #[test]
     fn parallel_matches_serial_on_random_instances(
         n in 2usize..60,
@@ -182,6 +200,7 @@ proptest! {
         seed in 0u64..300,
         widx in 0usize..4,
         sharded in 0usize..2,
+        fused in 0usize..2,
     ) {
         let g = generators::gnp(n, pr, gseed);
         let workers = worker_counts()[widx % worker_counts().len()];
@@ -190,7 +209,8 @@ proptest! {
         } else {
             MergeStrategy::BufferReplay
         };
-        let policy = ParallelPolicy::forced(workers, merge);
+        let round = if fused == 1 { RoundMode::Fused } else { RoundMode::Joined };
+        let policy = ParallelPolicy::forced(workers, merge).with_round(round);
         let par = run_scoped_parallel_with_policy(&Poke::new(), &g, seed, 100, &policy);
         let serial = run_scoped(&Poke::new(), &g, seed, 100);
         match (par, serial) {

@@ -248,6 +248,16 @@ pub fn adversarial_worker_counts() -> Vec<usize> {
     ws
 }
 
+/// Both round-pipeline schedules, for the `Fused ≡ Joined ≡ serial`
+/// differential matrices: the historical two-join round (the oracle) and
+/// the one-join fused round.
+pub fn round_modes() -> [stoneage_sim::RoundMode; 2] {
+    [
+        stoneage_sim::RoundMode::Joined,
+        stoneage_sim::RoundMode::Fused,
+    ]
+}
+
 /// The fnv1a-64 word hash all outcome fingerprints build on.
 pub fn fnv1a(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
     let mut h = 0xcbf29ce484222325u64 ^ seed;
