@@ -13,7 +13,11 @@
 //!   two-join `RoundMode::Joined` schedule vs the one-join
 //!   `RoundMode::Fused` schedule (phase 2b deferred onto per-worker
 //!   plane shards) at worker counts {2, 4, available} on gnp / tree /
-//!   grid instances.
+//!   grid instances;
+//! * **churn sweep** — rounds/sec of the incrementally patched engine vs
+//!   the `ChurnOracle` full-rebuild reference under a dense fault
+//!   schedule, plus per-event re-stabilization rounds of MIS / coloring
+//!   / matching recorded by a `StabilizationObserver`.
 //!
 //! ```text
 //! engine_bench                          # writes BENCH_engine.json in the cwd
@@ -30,6 +34,11 @@
 //!                                       # 4+ workers falls below that ratio
 //!                                       # of the joined pipeline (same
 //!                                       # self-skip below 4 CPUs)
+//! engine_bench --min-churn-patch-speedup 1.5
+//!                                       # exit(1) if incremental churn
+//!                                       # patching falls below that ratio of
+//!                                       # the full rebuild (self-skips on
+//!                                       # instances under 20k nodes)
 //! ```
 //!
 //! The sync workload is the same blinker protocol as `benches/engine.rs`:
@@ -46,11 +55,11 @@ use std::time::Instant;
 
 use stoneage_bench::json::Value;
 use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuilder, Transitions};
-use stoneage_graph::{generators, Graph};
+use stoneage_graph::{generators, Graph, TopologyEvent};
 use stoneage_sim::adversary::UniformRandom;
 use stoneage_sim::{
-    run_sync_reference, AsyncOptions, Backend, ExecError, SchedulerKind, Simulation, SyncConfig,
-    SyncOutcome,
+    run_sync_reference, AsyncOptions, Backend, ChurnPlan, ExecError, PatchMode, SchedulerKind,
+    Simulation, StabilizationObserver, SyncConfig, SyncOutcome,
 };
 
 fn blinker() -> TableProtocol {
@@ -272,6 +281,238 @@ fn round_pipeline_sweep(quick: bool, rounds: u64, reps: usize) -> (Vec<RoundPipe
     (entries, hw)
 }
 
+/// One incremental-vs-rebuild measurement of the churn patch path.
+struct ChurnEntry {
+    family: &'static str,
+    n: usize,
+    edges: usize,
+    /// Scheduled topology events per run.
+    events: usize,
+    incremental_rounds_per_sec: f64,
+    rebuild_rounds_per_sec: f64,
+    /// incremental / rebuild.
+    patch_speedup: f64,
+}
+
+/// A dense fault schedule for the churn sweep: every round toggles a
+/// fixed set of edges (delete on odd rounds, re-insert on even) and
+/// flips node 0 between crashed and restarted, so both the slot
+/// retire/revive path and the lifecycle path run every boundary.
+fn churn_sweep_plan(g: &Graph, rounds: u64) -> ChurnPlan {
+    let toggled: Vec<(u32, u32)> = g.edges().take(8).collect();
+    let mut plan = ChurnPlan::new();
+    for r in 1..rounds {
+        for &(u, v) in &toggled {
+            let ev = if r % 2 == 1 {
+                TopologyEvent::EdgeDelete(u, v)
+            } else {
+                TopologyEvent::EdgeInsert(u, v)
+            };
+            plan = plan.at(r, ev);
+        }
+        let life = if r % 2 == 1 {
+            TopologyEvent::Crash(0)
+        } else {
+            TopologyEvent::Restart(0)
+        };
+        plan = plan.at(r, life);
+    }
+    plan
+}
+
+/// Measures incremental port-map patching against the `ChurnOracle`
+/// full-rebuild reference on the same dense fault schedule, per graph
+/// family. Both paths are bit-identical (pinned by the churn
+/// differential suite); only the boundary cost differs — incremental
+/// touches O(deg) slots per event, the rebuild reconstructs the whole
+/// O(|E|) port store.
+fn churn_sweep(quick: bool, rounds: u64, reps: usize) -> Vec<ChurnEntry> {
+    let n: usize = if quick { 5_000 } else { 50_000 };
+    let side = (n as f64).sqrt().ceil() as usize;
+    let graphs: [(&'static str, Graph); 3] = [
+        ("gnp", generators::gnp(n, 8.0 / n as f64, 7)),
+        ("tree", generators::random_tree(n, 13)),
+        ("grid", generators::grid(side, side)),
+    ];
+    let p = AsMulti(blinker());
+    let mut entries = Vec::new();
+    for (family, g) in &graphs {
+        let nodes = g.node_count();
+        let plan = churn_sweep_plan(g, rounds);
+        let events = plan.events().len();
+        eprintln!(
+            "engine_bench[churn]: {family}(n = {nodes}), {events} events over {rounds} rounds \
+             x {reps} reps, incremental vs rebuild"
+        );
+        let rps = |mode: PatchMode| {
+            let moded = plan.clone().with_mode(mode);
+            measure(rounds, reps, || {
+                Simulation::sync(&p, g)
+                    .seed(1)
+                    .budget(rounds)
+                    .with_churn(&moded)
+                    .run()
+                    .map(|o| o.into_sync_outcome().expect("sync backend"))
+            })
+        };
+        let incremental = rps(PatchMode::Incremental);
+        let rebuild = rps(PatchMode::Rebuild);
+        let entry = ChurnEntry {
+            family,
+            n: nodes,
+            edges: g.edge_count(),
+            events,
+            incremental_rounds_per_sec: incremental,
+            rebuild_rounds_per_sec: rebuild,
+            patch_speedup: incremental / rebuild,
+        };
+        eprintln!(
+            "  {family}: incremental {:>8.1} r/s, rebuild {:>8.1} r/s ({:.2}x)",
+            entry.incremental_rounds_per_sec, entry.rebuild_rounds_per_sec, entry.patch_speedup
+        );
+        entries.push(entry);
+    }
+    entries
+}
+
+fn topology_event_json(ev: &TopologyEvent) -> Value {
+    let (kind, a, b) = match *ev {
+        TopologyEvent::Crash(v) => ("crash", v as u64, None),
+        TopologyEvent::Restart(v) => ("restart", v as u64, None),
+        TopologyEvent::EdgeInsert(u, v) => ("edge_insert", u as u64, Some(v as u64)),
+        TopologyEvent::EdgeDelete(u, v) => ("edge_delete", u as u64, Some(v as u64)),
+    };
+    let mut fields = vec![
+        ("kind".to_owned(), kind.into()),
+        ("node".to_owned(), a.into()),
+    ];
+    if let Some(b) = b {
+        fields.push(("other".to_owned(), b.into()));
+    }
+    Value::Object(fields)
+}
+
+fn stabilization_records_json(records: &[stoneage_sim::StabilizationRecord], rounds: u64) -> Value {
+    Value::Object(vec![
+        ("rounds_to_terminate".to_owned(), rounds.into()),
+        (
+            "records".to_owned(),
+            Value::Array(
+                records
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("at_round".to_owned(), r.at_round.into()),
+                            ("event".to_owned(), topology_event_json(&r.event)),
+                            (
+                                "restabilized_after".to_owned(),
+                                match r.restabilized_after {
+                                    Some(d) => d.into(),
+                                    None => Value::Null,
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Re-stabilization measurements: each of the paper's protocols runs
+/// under a small crash / edge-churn schedule with a
+/// [`StabilizationObserver`] watching its correctness predicate over
+/// the live subgraph; the records give rounds-to-re-stabilize per event.
+/// Fixed small instances — this is an experiment record, not a
+/// throughput measurement.
+///
+/// Event choice matters: the paper's lockstep protocols are *not*
+/// self-stabilizing, and a restarted node whose decided neighbors have
+/// halted re-reads their ports as the initial letter σ₀ forever — MIS
+/// wedges in `UP0` (delayed by a phantom `DOWN1`) and the tree coloring
+/// can decide a conflicting color. Crashes and edge churn are absorbed
+/// (letter retirement only *clears* delay conditions), so MIS and
+/// coloring get crash/edge schedules; the request/response-shaped
+/// matching protocol genuinely recovers from a post-stabilization
+/// restart, so its schedule demonstrates one.
+fn stabilization_section() -> Value {
+    use stoneage_protocols::{stabilization, ColoringProtocol, MatchingProtocol, MisProtocol};
+
+    // MIS on a gnp instance: crash two nodes mid-tournament; the
+    // survivors re-run the affected neighborhoods.
+    let mis_json = {
+        let g = generators::gnp(400, 8.0 / 400.0, 7);
+        let plan = ChurnPlan::new()
+            .at(3, TopologyEvent::Crash(5))
+            .at(20, TopologyEvent::Crash(11));
+        let p = MisProtocol::new();
+        let mut obs = StabilizationObserver::new(&g, &plan, stabilization::mis_stabilized)
+            .expect("valid plan");
+        let outcome = Simulation::sync(&p, &g)
+            .seed(2)
+            .with_churn(&plan)
+            .observe(&mut obs)
+            .run()
+            .expect("MIS terminates under churn");
+        stabilization_records_json(obs.records(), outcome.rounds().unwrap())
+    };
+
+    // Tree 3-coloring: crash a node mid-run, then delete and re-insert a
+    // tree edge after natural stabilization (~round 68) — the engine
+    // keeps stepping until the last scheduled event has been applied.
+    let coloring_json = {
+        let g = generators::random_tree(300, 13);
+        let (u, v) = g.edges().next().expect("tree has edges");
+        let plan = ChurnPlan::new()
+            .at(6, TopologyEvent::Crash(7))
+            .at(72, TopologyEvent::EdgeDelete(u, v))
+            .at(80, TopologyEvent::EdgeInsert(u, v));
+        let p = ColoringProtocol::new();
+        let mut obs = StabilizationObserver::new(&g, &plan, stabilization::coloring_stabilized)
+            .expect("valid plan");
+        let outcome = Simulation::sync(&p, &g)
+            .seed(3)
+            .with_churn(&plan)
+            .observe(&mut obs)
+            .run()
+            .expect("coloring terminates under churn");
+        stabilization_records_json(obs.records(), outcome.rounds().unwrap())
+    };
+
+    // Maximal matching on the scoped backend: crash a node after the
+    // matching stabilizes (~round 34), then restart it — the restarted
+    // node re-runs its proposal handshake against live neighbors and the
+    // predicate is re-satisfied within a few rounds.
+    let matching_json = {
+        let g = generators::gnp(300, 8.0 / 300.0, 9);
+        let plan = ChurnPlan::new()
+            .at(40, TopologyEvent::Crash(4))
+            .at(46, TopologyEvent::Restart(4));
+        let p = MatchingProtocol::new();
+        let mut obs = StabilizationObserver::new(&g, &plan, stabilization::matching_stabilized)
+            .expect("valid plan");
+        let outcome = Simulation::scoped(&p, &g)
+            .seed(4)
+            .with_churn(&plan)
+            .observe(&mut obs)
+            .run()
+            .expect("matching terminates under churn");
+        stabilization_records_json(obs.records(), outcome.rounds().unwrap())
+    };
+
+    Value::Object(vec![
+        (
+            "note".to_owned(),
+            "rounds to re-satisfy the protocol's live-subgraph correctness predicate after \
+             each topology event (null = never re-stabilized before termination)"
+                .into(),
+        ),
+        ("mis".to_owned(), mis_json),
+        ("coloring".to_owned(), coloring_json),
+        ("matching".to_owned(), matching_json),
+    ])
+}
+
 struct AsyncEntry {
     family: &'static str,
     n: usize,
@@ -345,6 +586,7 @@ fn main() {
     let mut min_async_speedup: Option<f64> = None;
     let mut min_parallel_speedup: Option<f64> = None;
     let mut min_fused_speedup: Option<f64> = None;
+    let mut min_churn_patch_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -397,11 +639,20 @@ fn main() {
                 }
                 min_fused_speedup = Some(v);
             }
+            "--min-churn-patch-speedup" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--min-churn-patch-speedup needs a ratio")
+                    .parse::<f64>()
+                    .expect("--min-churn-patch-speedup needs a number");
+                min_churn_patch_speedup = Some(v);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
                      [--min-async-speedup ratio] [--min-parallel-speedup ratio] \
-                     [--min-fused-speedup ratio]"
+                     [--min-fused-speedup ratio] [--min-churn-patch-speedup ratio]"
                 );
                 std::process::exit(2);
             }
@@ -446,6 +697,10 @@ fn main() {
     let (pipeline_entries, _) = round_pipeline_sweep(quick, rounds, if quick { 3 } else { reps });
 
     let (async_entries, async_events) = async_sweep(quick, if quick { 3 } else { reps });
+
+    let churn_entries = churn_sweep(quick, rounds, if quick { 3 } else { reps });
+    eprintln!("engine_bench[stabilization]: recording re-stabilization rounds per event");
+    let stabilization_json = stabilization_section();
 
     let async_json = Value::Object(vec![
         (
@@ -605,6 +860,44 @@ fn main() {
         ("parallel_sweep".to_owned(), parallel_json),
         ("round_pipeline".to_owned(), round_pipeline_json),
         ("async_sweep".to_owned(), async_json),
+        (
+            "churn_sweep".to_owned(),
+            Value::Object(vec![
+                (
+                    "workload".to_owned(),
+                    "blinker broadcast under a dense fault schedule (8 edge toggles + 1 \
+                     crash/restart per round); incremental slot patching vs ChurnOracle \
+                     full rebuild, bit-identical outcomes"
+                        .into(),
+                ),
+                (
+                    "entries".to_owned(),
+                    Value::Array(
+                        churn_entries
+                            .iter()
+                            .map(|e| {
+                                Value::Object(vec![
+                                    ("family".to_owned(), e.family.into()),
+                                    ("n".to_owned(), e.n.into()),
+                                    ("edges".to_owned(), e.edges.into()),
+                                    ("events".to_owned(), e.events.into()),
+                                    (
+                                        "incremental_rounds_per_sec".to_owned(),
+                                        e.incremental_rounds_per_sec.into(),
+                                    ),
+                                    (
+                                        "rebuild_rounds_per_sec".to_owned(),
+                                        e.rebuild_rounds_per_sec.into(),
+                                    ),
+                                    ("patch_speedup".to_owned(), e.patch_speedup.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("stabilization".to_owned(), stabilization_json),
+            ]),
+        ),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{}", json.to_string_pretty()).unwrap();
@@ -696,6 +989,34 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("fused pipeline within budget: all gated entries >= {min:.2}x of joined");
+        }
+    }
+    // The churn gate self-skips on tiny instances: below ~20k nodes the
+    // whole-store rebuild is cheap enough that the ratio mostly measures
+    // allocator noise, not the patch path.
+    if let Some(min) = min_churn_patch_speedup {
+        let gated: Vec<&ChurnEntry> = churn_entries.iter().filter(|e| e.n >= 20_000).collect();
+        if gated.is_empty() {
+            eprintln!(
+                "churn patch gate skipped: instances are below 20k nodes (use a full run, \
+                 not --quick, to enforce >= {min:.2}x)"
+            );
+        } else {
+            let mut failed = false;
+            for e in gated {
+                if e.patch_speedup < min {
+                    eprintln!(
+                        "REGRESSION: incremental churn patching at {:.2}x of rebuild on {} \
+                         (required >= {min:.2}x)",
+                        e.patch_speedup, e.family
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!("churn patching within budget: all families >= {min:.2}x of rebuild");
         }
     }
     #[cfg(not(feature = "parallel"))]

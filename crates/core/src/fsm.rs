@@ -96,6 +96,16 @@ pub trait Protocol {
     /// `Some(output)` iff `q ∈ Q_O`; the global execution is in an *output
     /// configuration* when this is `Some` at every node.
     fn output(&self, q: &Self::State) -> Option<u64>;
+
+    /// The state a node is reborn into when a fault-injection layer
+    /// restarts it after a crash. The paper's nFSMs are uniform and
+    /// anonymous, so a restarted node is indistinguishable from a fresh
+    /// one and the default simply re-enters [`Self::initial_state`];
+    /// protocols that model warm restarts
+    /// can override it.
+    fn restart_state(&self, input: usize) -> Self::State {
+        self.initial_state(input)
+    }
 }
 
 /// A protocol in the formal nFSM model of Section 2: every state queries a

@@ -1,5 +1,6 @@
 //! Mutable edge-list builder producing immutable [`Graph`]s.
 
+use crate::dynamic::TopologyError;
 use crate::{Graph, NodeId};
 
 /// Accumulates edges and produces a [`Graph`].
@@ -33,6 +34,9 @@ impl GraphBuilder {
     ///
     /// # Panics
     /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    /// Untrusted input (parsers, churn plans) should go through
+    /// [`GraphBuilder::try_add_edge`] instead, which reports the same
+    /// conditions as typed [`TopologyError`]s.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         assert_ne!(u, v, "self-loops are not allowed in the nFSM model");
         assert!(
@@ -41,6 +45,26 @@ impl GraphBuilder {
             self.n
         );
         self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Adds the undirected edge `{u, v}`, reporting malformed input as a
+    /// typed [`TopologyError`] instead of panicking — the entry point for
+    /// edges that come from outside the program (graph files, churn
+    /// plans) and are surfaced through `ExecError::Config`-style errors.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), TopologyError> {
+        if u == v {
+            return Err(TopologyError::SelfLoop { node: u });
+        }
+        for node in [u, v] {
+            if node as usize >= self.n {
+                return Err(TopologyError::NodeOutOfRange {
+                    node,
+                    nodes: self.n,
+                });
+            }
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
     }
 
     /// Adds `{u, v}` unless it is already present. O(len) scan; prefer
@@ -120,6 +144,21 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_errors() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.try_add_edge(1, 1),
+            Err(TopologyError::SelfLoop { node: 1 })
+        );
+        assert_eq!(
+            b.try_add_edge(0, 2),
+            Err(TopologyError::NodeOutOfRange { node: 2, nodes: 2 })
+        );
+        assert_eq!(b.try_add_edge(0, 1), Ok(()));
+        assert_eq!(b.build().edge_count(), 1);
     }
 
     #[test]

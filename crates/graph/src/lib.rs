@@ -26,6 +26,7 @@
 mod builder;
 mod graph;
 
+pub mod dynamic;
 pub mod generators;
 pub mod greedy;
 pub mod io;
@@ -34,4 +35,5 @@ pub mod traversal;
 pub mod validate;
 
 pub use builder::GraphBuilder;
+pub use dynamic::{DynamicGraph, SlotOp, SlotPatch, TopologyError, TopologyEvent};
 pub use graph::{Graph, NodeId};

@@ -6,39 +6,91 @@
 //! terminal configuration is re-checked by the plain sequential predicates
 //! in this module.
 
+use crate::dynamic::TopologyError;
 use crate::{Graph, NodeId};
+
+fn check_len<T>(g: &Graph, what: &'static str, xs: &[T]) -> Result<(), TopologyError> {
+    if xs.len() == g.node_count() {
+        Ok(())
+    } else {
+        Err(TopologyError::LengthMismatch {
+            what,
+            expected: g.node_count(),
+            actual: xs.len(),
+        })
+    }
+}
 
 /// Whether `in_set` (indexed by node) is an independent set: no edge has
 /// both endpoints selected.
+///
+/// # Panics
+/// Panics when `in_set` is not node-count sized; untrusted input goes
+/// through [`try_is_independent_set`].
 pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
-    assert_eq!(in_set.len(), g.node_count());
-    g.edges()
-        .all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+    try_is_independent_set(g, in_set).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`is_independent_set`] with malformed input reported as a typed
+/// [`TopologyError`] instead of a panic.
+pub fn try_is_independent_set(g: &Graph, in_set: &[bool]) -> Result<bool, TopologyError> {
+    check_len(g, "in_set", in_set)?;
+    Ok(g.edges()
+        .all(|(u, v)| !(in_set[u as usize] && in_set[v as usize])))
 }
 
 /// Whether `in_set` is a *maximal* independent set: independent, and every
 /// unselected node has a selected neighbor (no node can be added).
+///
+/// # Panics
+/// Panics when `in_set` is not node-count sized; untrusted input goes
+/// through [`try_is_maximal_independent_set`].
 pub fn is_maximal_independent_set(g: &Graph, in_set: &[bool]) -> bool {
-    assert_eq!(in_set.len(), g.node_count());
-    if !is_independent_set(g, in_set) {
-        return false;
+    try_is_maximal_independent_set(g, in_set).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`is_maximal_independent_set`] with malformed input reported as a
+/// typed [`TopologyError`] instead of a panic.
+pub fn try_is_maximal_independent_set(g: &Graph, in_set: &[bool]) -> Result<bool, TopologyError> {
+    if !try_is_independent_set(g, in_set)? {
+        return Ok(false);
     }
-    g.nodes()
-        .all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
+    Ok(g.nodes()
+        .all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize])))
 }
 
 /// Whether `colors` (indexed by node) is a proper coloring: adjacent nodes
 /// differ.
+///
+/// # Panics
+/// Panics when `colors` is not node-count sized; untrusted input goes
+/// through [`try_is_proper_coloring`].
 pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
-    assert_eq!(colors.len(), g.node_count());
-    g.edges()
-        .all(|(u, v)| colors[u as usize] != colors[v as usize])
+    try_is_proper_coloring(g, colors).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`is_proper_coloring`] with malformed input reported as a typed
+/// [`TopologyError`] instead of a panic.
+pub fn try_is_proper_coloring(g: &Graph, colors: &[u32]) -> Result<bool, TopologyError> {
+    check_len(g, "colors", colors)?;
+    Ok(g.edges()
+        .all(|(u, v)| colors[u as usize] != colors[v as usize]))
 }
 
 /// Whether `colors` is a proper coloring using at most `k` distinct values
 /// drawn from `0..k`.
+///
+/// # Panics
+/// Panics when `colors` is not node-count sized; untrusted input goes
+/// through [`try_is_proper_k_coloring`].
 pub fn is_proper_k_coloring(g: &Graph, colors: &[u32], k: u32) -> bool {
-    colors.iter().all(|&c| c < k) && is_proper_coloring(g, colors)
+    try_is_proper_k_coloring(g, colors, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`is_proper_k_coloring`] with malformed input reported as a typed
+/// [`TopologyError`] instead of a panic.
+pub fn try_is_proper_k_coloring(g: &Graph, colors: &[u32], k: u32) -> Result<bool, TopologyError> {
+    Ok(colors.iter().all(|&c| c < k) && try_is_proper_coloring(g, colors)?)
 }
 
 /// Whether `matched` is a matching: a set of edges no two of which share an
@@ -176,6 +228,31 @@ mod tests {
         assert!(is_matching(&g, &[]));
         assert!(!is_maximal_matching(&g, &[]));
         assert!(is_maximal_matching(&crate::Graph::empty(3), &[]));
+    }
+
+    #[test]
+    fn length_mismatch_is_a_typed_error() {
+        let g = generators::path(4);
+        assert_eq!(
+            try_is_independent_set(&g, &[true, false]),
+            Err(TopologyError::LengthMismatch {
+                what: "in_set",
+                expected: 4,
+                actual: 2,
+            })
+        );
+        assert!(try_is_maximal_independent_set(&g, &[true; 3]).is_err());
+        assert!(try_is_proper_coloring(&g, &[0, 1]).is_err());
+        assert!(try_is_proper_k_coloring(&g, &[0, 1], 2).is_err());
+        // The panicking fronts still agree with the Ok path.
+        assert!(try_is_independent_set(&g, &[true, false, true, false]).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn legacy_validator_still_panics_on_bad_length() {
+        let g = generators::path(3);
+        is_proper_coloring(&g, &[0, 1]);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod coloring;
 pub mod matching;
 pub mod mis;
+pub mod stabilization;
 pub mod wave;
 
 pub use coloring::{ColoringProtocol, ColoringState};

@@ -1,0 +1,225 @@
+//! Stabilization predicates for the paper's protocols under churn.
+//!
+//! Each predicate decides whether the current execution configuration
+//! satisfies the protocol's correctness property *restricted to the live
+//! part of the topology* — exactly the shape
+//! [`stoneage_sim::StabilizationObserver`] expects, so re-stabilization
+//! times after a [`stoneage_sim::ChurnPlan`] event can be measured as
+//!
+//! ```
+//! use stoneage_graph::{generators, TopologyEvent};
+//! use stoneage_protocols::{mis::MisProtocol, stabilization};
+//! use stoneage_sim::{ChurnPlan, Simulation, StabilizationObserver};
+//!
+//! let graph = generators::gnp(24, 0.2, 5);
+//! let protocol = MisProtocol::new();
+//! let plan = ChurnPlan::new().at(4, TopologyEvent::Crash(0));
+//! let mut obs = StabilizationObserver::new(&graph, &plan, stabilization::mis_stabilized)
+//!     .expect("plan is valid for this graph");
+//! let outcome = Simulation::sync(&protocol, &graph)
+//!     .seed(9)
+//!     .with_churn(&plan)
+//!     .observe(&mut obs)
+//!     .run()
+//!     .expect("MIS terminates");
+//! assert!(outcome.churn().is_some());
+//! // One record per effective event; `restabilized_after` is the number
+//! // of rounds until the predicate held again (None if it never did).
+//! assert_eq!(obs.records().len(), 1);
+//! ```
+//!
+//! All three predicates ignore dead nodes entirely and consider only
+//! edges that are currently enabled between two live endpoints: a crash
+//! can therefore *unsatisfy* the property (e.g. the crashed node was the
+//! MIS dominator of its neighborhood) and the rounds until the survivors
+//! repair it is precisely the re-stabilization measure. Note that output
+//! states are irrevocable in the nFSM model, so some events can never be
+//! repaired without a restart — e.g. inserting an edge between two
+//! decided `WIN` nodes; the observer reports `None` for such events.
+
+use stoneage_graph::{DynamicGraph, Graph};
+
+use crate::coloring::ColoringState;
+use crate::matching::MatchingState;
+use crate::mis::MisState;
+
+/// Does `(u, v)` currently connect two live nodes?
+fn live_edge(overlay: &DynamicGraph, graph: &Graph, u: u32, v: u32) -> bool {
+    overlay.is_live(u) && overlay.is_live(v) && overlay.edge_enabled(graph, u, v)
+}
+
+/// The maximal-independent-set property over the live subgraph: every
+/// live node has decided (`WIN` or `LOSE`), no enabled live edge joins
+/// two `WIN`s (independence), and every live `LOSE` node has a live
+/// `WIN` neighbor dominating it (maximality).
+pub fn mis_stabilized(graph: &Graph, overlay: &DynamicGraph, states: &[MisState]) -> bool {
+    let n = graph.node_count();
+    for v in 0..n as u32 {
+        if !overlay.is_live(v) {
+            continue;
+        }
+        match states[v as usize] {
+            MisState::Win | MisState::Lose => {}
+            _ => return false,
+        }
+    }
+    for (u, v) in graph.edges() {
+        if !live_edge(overlay, graph, u, v) {
+            continue;
+        }
+        if states[u as usize] == MisState::Win && states[v as usize] == MisState::Win {
+            return false;
+        }
+    }
+    for v in 0..n as u32 {
+        if !overlay.is_live(v) || states[v as usize] != MisState::Lose {
+            continue;
+        }
+        let dominated = graph
+            .neighbors(v)
+            .iter()
+            .any(|&u| live_edge(overlay, graph, v, u) && states[u as usize] == MisState::Win);
+        if !dominated {
+            return false;
+        }
+    }
+    true
+}
+
+/// The proper-3-coloring property over the live subgraph: every live
+/// node has decided a color and no enabled live edge joins two equal
+/// colors.
+pub fn coloring_stabilized(
+    graph: &Graph,
+    overlay: &DynamicGraph,
+    states: &[ColoringState],
+) -> bool {
+    let n = graph.node_count();
+    let color = |v: u32| match states[v as usize] {
+        ColoringState::Colored { color } => Some(color),
+        _ => None,
+    };
+    for v in 0..n as u32 {
+        if overlay.is_live(v) && color(v).is_none() {
+            return false;
+        }
+    }
+    for (u, v) in graph.edges() {
+        if !live_edge(overlay, graph, u, v) {
+            continue;
+        }
+        if color(u) == color(v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The maximal-matching property over the live subgraph, as far as it is
+/// visible from states alone: every live node has decided, and no
+/// enabled live edge joins two `DoneUnmatched` nodes (such an edge could
+/// still be added to the matching, contradicting maximality). Matched
+/// *pairs* are witnessed by the scoped-delivery log, not the states, so
+/// consistency of the pairing is checked by the matching runner instead.
+pub fn matching_stabilized(
+    graph: &Graph,
+    overlay: &DynamicGraph,
+    states: &[MatchingState],
+) -> bool {
+    let n = graph.node_count();
+    for v in 0..n as u32 {
+        if !overlay.is_live(v) {
+            continue;
+        }
+        match states[v as usize] {
+            MatchingState::DoneMatched | MatchingState::DoneUnmatched => {}
+            _ => return false,
+        }
+    }
+    for (u, v) in graph.edges() {
+        if !live_edge(overlay, graph, u, v) {
+            continue;
+        }
+        if states[u as usize] == MatchingState::DoneUnmatched
+            && states[v as usize] == MatchingState::DoneUnmatched
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoneage_graph::{generators, TopologyEvent};
+
+    fn overlay(graph: &Graph) -> DynamicGraph {
+        DynamicGraph::new(graph)
+    }
+
+    #[test]
+    fn mis_predicate_on_a_path() {
+        let g = generators::path(3);
+        let ov = overlay(&g);
+        use MisState::*;
+        assert!(mis_stabilized(&g, &ov, &[Win, Lose, Win]));
+        // Independence violated.
+        assert!(!mis_stabilized(&g, &ov, &[Win, Win, Lose]));
+        // Maximality violated: node 2 loses with no WIN neighbor.
+        assert!(!mis_stabilized(&g, &ov, &[Win, Lose, Lose]));
+        // Undecided live node.
+        assert!(!mis_stabilized(&g, &ov, &[Win, Lose, Up0]));
+    }
+
+    #[test]
+    fn dead_nodes_and_disabled_edges_are_ignored() {
+        let g = generators::path(3);
+        let mut ov = overlay(&g);
+        use MisState::*;
+        // Crash the middle node: both endpoints may be WIN, and its own
+        // state no longer matters.
+        let mut patches = Vec::new();
+        ov.apply(&g, TopologyEvent::Crash(1), &mut patches).unwrap();
+        assert!(mis_stabilized(&g, &ov, &[Win, Up1, Win]));
+        // But a live LOSE node whose only dominator died is unsatisfied.
+        assert!(!mis_stabilized(&g, &ov, &[Lose, Win, Win]));
+    }
+
+    #[test]
+    fn coloring_predicate_on_a_path() {
+        let g = generators::path(3);
+        let ov = overlay(&g);
+        let c = |color| ColoringState::Colored { color };
+        assert!(coloring_stabilized(&g, &ov, &[c(1), c(2), c(1)]));
+        assert!(!coloring_stabilized(&g, &ov, &[c(1), c(1), c(2)]));
+        assert!(!coloring_stabilized(
+            &g,
+            &ov,
+            &[c(1), ColoringState::A1, c(2)]
+        ));
+    }
+
+    #[test]
+    fn matching_predicate_on_a_path() {
+        let g = generators::path(3);
+        let ov = overlay(&g);
+        use MatchingState::*;
+        assert!(matching_stabilized(
+            &g,
+            &ov,
+            &[DoneMatched, DoneMatched, DoneUnmatched]
+        ));
+        // Edge (1, 2) joins two unmatched nodes: not maximal.
+        assert!(!matching_stabilized(
+            &g,
+            &ov,
+            &[DoneMatched, DoneUnmatched, DoneUnmatched]
+        ));
+        assert!(!matching_stabilized(
+            &g,
+            &ov,
+            &[DoneMatched, DoneMatched, F1]
+        ));
+    }
+}

@@ -388,7 +388,11 @@ impl<'a, P: Fsm> Exec<'a, P> {
         adversary.fill_delays(v, t, nbrs, arrivals);
         for (k, a) in arrivals.iter_mut().enumerate() {
             let d = *a;
-            debug_assert!(d > 0.0 && d.is_finite());
+            debug_assert!(
+                d.is_finite() && d >= 0.0,
+                "adversary delay must be finite and non-negative, got {d} for \
+                 step {t} of node {v} toward port {k}"
+            );
             self.max_param = self.max_param.max(d);
             // FIFO: never deliver before an earlier transmission on the
             // same directed edge.
@@ -405,7 +409,11 @@ impl<'a, P: Fsm> Exec<'a, P> {
     #[inline]
     fn step_length<A: Adversary + ?Sized>(&mut self, adversary: &A, v: NodeId, t: u64) -> f64 {
         let l = adversary.step_length(v, t);
-        debug_assert!(l > 0.0 && l.is_finite());
+        debug_assert!(
+            l.is_finite() && l > 0.0,
+            "adversary step length must be finite and positive, got {l} for \
+             step {t} of node {v}"
+        );
         self.max_param = self.max_param.max(l);
         l
     }
@@ -813,6 +821,283 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     Ok(ex.outcome(completion_time))
 }
 
+/// Events of the churn-aware heap loop: like [`HeapKind`], plus the
+/// receiver/stepper **incarnation** the event was enqueued under. A crash
+/// bumps its node's incarnation, so every in-flight letter addressed to
+/// the pre-crash node and every pending step of it goes stale and is
+/// dropped on pop — exactly the "crash drops in-flight letters" semantics
+/// — without purging the queue.
+#[derive(Clone, Copy, Debug)]
+enum ChurnKind {
+    /// Node applies its next transition (if its incarnation still matches).
+    Step(NodeId, u32),
+    /// A letter lands at `slot` of `node` (if the incarnation matches and
+    /// the slot is alive).
+    Deliver {
+        node: NodeId,
+        slot: u32,
+        letter: Letter,
+        inc: u32,
+    },
+}
+
+/// The asynchronous engine under a churn plan. Boundaries are expressed
+/// in **absolute time**: the event stamped with round `r` applies at time
+/// `t = r`, before any queue event with time ≥ `t` is processed (and
+/// between same-instant events deterministically — the boundary always
+/// wins the tie). Always drives a binary-heap loop regardless of
+/// [`AsyncConfig::scheduler`]: the calendar wheel's batched
+/// `DeliverRun` events resolve receiver slots lazily against a port map
+/// assumed static for the run, an assumption churn breaks; the heap pays
+/// `O(log m)` but needs no such invariant. In-flight letters crossing an
+/// edge-delete boundary bounce off the tombstoned slot; letters in
+/// flight across a delete + re-insert window do land (the channel was
+/// re-established before arrival).
+pub(crate) fn exec_async_churn<P, A, O>(
+    protocol: &P,
+    base: &Graph,
+    inputs: &[usize],
+    adversary: &A,
+    config: &AsyncConfig,
+    plan: &crate::churn::ChurnPlan,
+    observer: &mut O,
+) -> Result<(AsyncOutcome, Vec<P::State>, crate::churn::ChurnSummary), ExecError>
+where
+    P: Fsm,
+    A: Adversary + ?Sized,
+    O: AsyncObserver<P::State>,
+{
+    use crate::churn::{ChurnCtl, DEAD_OUTPUT};
+    use crate::engine::TOMBSTONE;
+
+    let universe = plan.universe(base).map_err(|e| ExecError::Config {
+        reason: format!("churn plan: {e}"),
+    })?;
+    let n = universe.node_count();
+    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
+    assert!(
+        u32::try_from(universe.port_slot_count()).is_ok(),
+        "universe graph has {} directed port slots, exceeding the async engine's u32 slot addressing",
+        universe.port_slot_count()
+    );
+
+    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
+    let mut ex = Exec::new(protocol, &universe, inputs, config.seed);
+    ctl.setup(&mut ex.ports);
+    let mut incarnation: Vec<u32> = vec![0; n];
+
+    let mut seq = 0u64;
+    let mut heap: BinaryHeap<Reverse<Event2>> = BinaryHeap::new();
+    for v in 0..n as NodeId {
+        let l = ex.step_length(adversary, v, 1);
+        heap.push(Reverse(Event2 {
+            time: l,
+            seq,
+            kind: ChurnKind::Step(v, 0),
+        }));
+        seq += 1;
+    }
+
+    let mut arrivals: Vec<f64> = Vec::new();
+    let mut events = 0u64;
+    let mut now = 0.0f64;
+    let completion_time;
+    'run: loop {
+        let head = heap.pop();
+        let horizon = head.as_ref().map_or(f64::INFINITY, |Reverse(e)| e.time);
+        // Apply every boundary due at or before the next queue event
+        // (or, with a drained queue, the next boundary outright — all
+        // live nodes may be gone while a restart is still scheduled).
+        while ctl.peek_round().is_some_and(|r| (r as f64) <= horizon) {
+            let tb = ctl.peek_round().unwrap() as f64;
+            now = now.max(tb);
+            let (ev, effective) = ctl.apply_next(&universe);
+            if !effective {
+                continue;
+            }
+            match ev {
+                stoneage_graph::TopologyEvent::Crash(v) => {
+                    let vi = v as usize;
+                    incarnation[vi] += 1;
+                    if protocol.output(&ex.states[vi]).is_none() {
+                        ex.unfinished -= 1;
+                    }
+                }
+                stoneage_graph::TopologyEvent::Restart(v) => {
+                    let vi = v as usize;
+                    incarnation[vi] += 1;
+                    ex.states[vi] = protocol.restart_state(inputs[vi]);
+                    if protocol.output(&ex.states[vi]).is_none() {
+                        ex.unfinished += 1;
+                    }
+                    let t = ex.step_counts[vi];
+                    let l = ex.step_length(adversary, v, t);
+                    heap.push(Reverse(Event2 {
+                        time: tb + l,
+                        seq,
+                        kind: ChurnKind::Step(v, incarnation[vi]),
+                    }));
+                    seq += 1;
+                }
+                _ => {}
+            }
+            // A patched slot never carries a stale pending mark: retired
+            // slots have no observable letter, revived ones hold σ₀ as a
+            // fresh registration would.
+            for p in ctl.patches() {
+                ex.pending[p.slot as usize] = false;
+            }
+            ctl.patch_ports(&universe, &mut ex.ports);
+            if ex.unfinished == 0 && ctl.exhausted() {
+                completion_time = tb;
+                break 'run;
+            }
+        }
+        let Some(Reverse(event)) = head else {
+            unreachable!(
+                "the queue cannot drain while the run is incomplete: every \
+                 live node always has a pending step event and pending \
+                 boundaries are applied on a drained queue"
+            );
+        };
+        now = event.time;
+        events += 1;
+        if events > config.max_events {
+            return Err(ExecError::EventLimit {
+                limit: config.max_events,
+                unfinished: ex.unfinished,
+            });
+        }
+        match event.kind {
+            ChurnKind::Deliver {
+                node,
+                slot,
+                letter,
+                inc,
+            } => {
+                // Stale incarnation: the letter was in flight toward a
+                // node that crashed; tombstoned slot: the edge (or the
+                // receiver) is currently down. Either way the letter is
+                // dropped without delivery accounting.
+                if inc == incarnation[node as usize]
+                    && ex.ports.letter_at(slot as usize) != TOMBSTONE
+                {
+                    ex.deliver(node, slot as usize, letter);
+                }
+            }
+            ChurnKind::Step(v, inc) => {
+                let vi = v as usize;
+                if inc != incarnation[vi] {
+                    // A pre-crash step of a crashed (possibly since
+                    // restarted) node: dropped, not rescheduled — the
+                    // restart boundary scheduled the fresh incarnation's
+                    // first step.
+                    continue;
+                }
+                let (t, emission) = ex.apply_step(v);
+
+                if let Some(letter) = emission {
+                    ex.messages_sent += 1;
+                    ex.compute_arrivals(adversary, v, t, event.time, &mut arrivals);
+                    let nbrs = ex.graph.neighbors(v);
+                    let rev = ex.graph.reverse_ports(v);
+                    for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
+                        let slot = (ex.graph.csr_offset(u) + rp as usize) as u32;
+                        heap.push(Reverse(Event2 {
+                            time: arrivals[k],
+                            seq,
+                            kind: ChurnKind::Deliver {
+                                node: u,
+                                slot,
+                                letter,
+                                inc: incarnation[u as usize],
+                            },
+                        }));
+                        seq += 1;
+                    }
+                }
+
+                observer.on_step(event.time, v, t, &ex.states[vi]);
+
+                if ex.unfinished == 0 && ctl.exhausted() {
+                    completion_time = event.time;
+                    break 'run;
+                }
+
+                ex.step_counts[vi] = t + 1;
+                let l = ex.step_length(adversary, v, t + 1);
+                heap.push(Reverse(Event2 {
+                    time: event.time + l,
+                    seq,
+                    kind: ChurnKind::Step(v, inc),
+                }));
+                seq += 1;
+            }
+        }
+    }
+
+    let summary = ctl.finish();
+    let outputs = ex
+        .states
+        .iter()
+        .zip(&summary.live_nodes)
+        .map(|(q, &live)| {
+            if live {
+                protocol.output(q).expect("live nodes are decided")
+            } else {
+                protocol.output(q).unwrap_or(DEAD_OUTPUT)
+            }
+        })
+        .collect();
+    let time_unit = if ex.max_param > 0.0 {
+        ex.max_param
+    } else {
+        1.0
+    };
+    let outcome = AsyncOutcome {
+        outputs,
+        completion_time,
+        time_unit,
+        normalized_time: completion_time / time_unit,
+        total_steps: ex.total_steps,
+        messages_sent: ex.messages_sent,
+        deliveries: ex.deliveries,
+        lost_overwrites: ex.lost_overwrites,
+    };
+    Ok((outcome, ex.states, summary))
+}
+
+/// The event record of the churn heap loop — [`Event`] with the
+/// incarnation-stamped [`ChurnKind`].
+#[derive(Clone, Copy, Debug)]
+struct Event2 {
+    time: f64,
+    seq: u64,
+    kind: ChurnKind,
+}
+
+impl PartialEq for Event2 {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event2 {}
+
+impl PartialOrd for Event2 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event2 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1089,6 +1374,74 @@ mod tests {
         let err =
             run_async_with_inputs(&p, &g, &[0], &Lockstep, &AsyncConfig::default()).unwrap_err();
         assert!(matches!(err, ExecError::InputLengthMismatch { .. }));
+    }
+
+    /// An adversary that violates the model contract with a NaN delay.
+    #[derive(Clone, Copy)]
+    struct NanDelay;
+    impl Adversary for NanDelay {
+        fn step_length(&self, _v: NodeId, _t: u64) -> f64 {
+            1.0
+        }
+        fn delay(&self, _v: NodeId, _t: u64, _u: NodeId) -> f64 {
+            f64::NAN
+        }
+        fn name(&self) -> &'static str {
+            "nan-delay"
+        }
+    }
+
+    /// An adversary that violates the model contract with a zero step
+    /// length (which would wedge simulated time).
+    #[derive(Clone, Copy)]
+    struct ZeroStep;
+    impl Adversary for ZeroStep {
+        fn step_length(&self, _v: NodeId, _t: u64) -> f64 {
+            0.0
+        }
+        fn delay(&self, _v: NodeId, _t: u64, _u: NodeId) -> f64 {
+            1.0
+        }
+        fn name(&self) -> &'static str {
+            "zero-step"
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn misbehaving_adversary_delay_is_caught_on_heap() {
+        let g = generators::path(2);
+        let p = Synchronized::new(count_neighbors(1));
+        let _ = run_async(
+            &p,
+            &g,
+            &NanDelay,
+            &AsyncConfig::seeded(0).with_scheduler(SchedulerKind::BinaryHeap),
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn misbehaving_adversary_delay_is_caught_on_wheel() {
+        let g = generators::path(2);
+        let p = Synchronized::new(count_neighbors(1));
+        let _ = run_async(
+            &p,
+            &g,
+            &NanDelay,
+            &AsyncConfig::seeded(0).with_scheduler(SchedulerKind::CalendarWheel),
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn misbehaving_adversary_step_length_is_caught() {
+        let g = generators::path(2);
+        let p = Synchronized::new(count_neighbors(1));
+        let _ = run_async(&p, &g, &ZeroStep, &AsyncConfig::seeded(0));
     }
 
     #[test]

@@ -103,6 +103,18 @@ use stoneage_graph::{Graph, NodeId};
 /// alphabets stay dense.
 pub const SPARSE_SIGMA_THRESHOLD: usize = 48;
 
+/// The letter value marking a **dead** (retired) port slot under churn
+/// fault injection — `u16::MAX`, far outside any real alphabet (alphabet
+/// indices are bounded by the table builders well below it).
+///
+/// A tombstoned slot holds no letter: it is excluded from the per-node
+/// letter counts, and every delivery path ([`FlatPorts::deliver`],
+/// [`FlatPorts::deliver_run`], [`PortShard::deliver`]) drops writes to it
+/// on the floor. Churn-free runs never contain a tombstone, so the guard
+/// is a single predictable compare on the hot path and all churn-free
+/// outcomes are byte-identical to builds without it.
+pub const TOMBSTONE: Letter = Letter(u16::MAX);
+
 /// Which per-node count representation a [`FlatPorts`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CountLayout {
@@ -244,9 +256,13 @@ impl FlatPorts {
     }
 
     /// Overwrites the port at flat `slot` (belonging to node `node`) with
-    /// `letter`, maintaining the incremental counts.
+    /// `letter`, maintaining the incremental counts. Writes to a
+    /// [`TOMBSTONE`]d (dead) slot are dropped.
     #[inline]
     pub fn deliver(&mut self, node: usize, slot: usize, letter: Letter) {
+        if self.letters[slot] == TOMBSTONE {
+            return;
+        }
         let old = std::mem::replace(&mut self.letters[slot], letter);
         if old == letter {
             return;
@@ -288,6 +304,9 @@ impl FlatPorts {
         }
         deltas.clear();
         for &(slot, letter) in writes {
+            if self.letters[slot as usize] == TOMBSTONE {
+                continue;
+            }
             let old = std::mem::replace(&mut self.letters[slot as usize], letter);
             if old == letter {
                 continue;
@@ -327,16 +346,116 @@ impl FlatPorts {
         }
     }
 
+    /// Kills the port at flat `slot` (belonging to node `node`): the
+    /// letter it held is dropped, its count decremented, and the slot
+    /// left holding [`TOMBSTONE`] so subsequent deliveries bounce off.
+    /// Idempotent. Only the churn layer calls this, at round boundaries.
+    pub fn retire_slot(&mut self, node: usize, slot: usize) {
+        let old = std::mem::replace(&mut self.letters[slot], TOMBSTONE);
+        if old == TOMBSTONE {
+            return;
+        }
+        match &mut self.counts {
+            Counts::Dense(counts) => counts[node * self.sigma + old.index()] -= 1,
+            Counts::Sparse(maps) => sparse_apply_delta(&mut maps[node], old.0, -1),
+        }
+    }
+
+    /// Revives a [`TOMBSTONE`]d port at flat `slot` (belonging to node
+    /// `node`) to the initial letter `σ₀` — the re-registration half of a
+    /// churn restart/edge-insert. The slot must currently be dead.
+    pub fn revive_slot(&mut self, node: usize, slot: usize, sigma0: Letter) {
+        let old = std::mem::replace(&mut self.letters[slot], sigma0);
+        debug_assert_eq!(old, TOMBSTONE, "revive_slot requires a retired slot");
+        match &mut self.counts {
+            Counts::Dense(counts) => counts[node * self.sigma + sigma0.index()] += 1,
+            Counts::Sparse(maps) => sparse_apply_delta(&mut maps[node], sigma0.0, 1),
+        }
+    }
+
+    /// The full-rebuild reference of the churn differential oracle: a
+    /// store reconstructed from scratch in which slot `(v, k)` holds
+    /// [`TOMBSTONE`] when `live(v, k)` is false, `σ₀` where this store
+    /// holds a tombstone (a revived slot re-registers), and this store's
+    /// letter otherwise — with all counts recomputed by scanning, in the
+    /// same layout. Incremental [`FlatPorts::retire_slot`] /
+    /// [`FlatPorts::revive_slot`] patching must reproduce this
+    /// bit-for-bit (both representations are canonical), which is exactly
+    /// what the churn differential matrix pins.
+    pub fn rebuilt_for_churn(
+        &self,
+        graph: &Graph,
+        sigma0: Letter,
+        live: impl Fn(NodeId, usize) -> bool,
+    ) -> FlatPorts {
+        let n = graph.node_count();
+        let mut letters = vec![TOMBSTONE; graph.port_slot_count()];
+        for v in 0..n {
+            let base = graph.csr_offset(v as NodeId);
+            for k in 0..graph.degree(v as NodeId) {
+                if live(v as NodeId, k) {
+                    let old = self.letters[base + k];
+                    letters[base + k] = if old == TOMBSTONE { sigma0 } else { old };
+                }
+            }
+        }
+        let counts = match self.layout() {
+            CountLayout::Dense => {
+                let mut counts = vec![0u32; n * self.sigma];
+                for v in 0..n {
+                    let base = graph.csr_offset(v as NodeId);
+                    for k in 0..graph.degree(v as NodeId) {
+                        let l = letters[base + k];
+                        if l != TOMBSTONE {
+                            counts[v * self.sigma + l.index()] += 1;
+                        }
+                    }
+                }
+                Counts::Dense(counts)
+            }
+            CountLayout::Sparse => Counts::Sparse(
+                (0..n)
+                    .map(|v| {
+                        let base = graph.csr_offset(v as NodeId);
+                        let mut ls: Vec<u16> = letters[base..base + graph.degree(v as NodeId)]
+                            .iter()
+                            .filter(|&&l| l != TOMBSTONE)
+                            .map(|l| l.0)
+                            .collect();
+                        ls.sort_unstable();
+                        let mut m: Vec<(u16, u32)> = Vec::new();
+                        for l in ls {
+                            match m.last_mut() {
+                                Some(e) if e.0 == l => e.1 += 1,
+                                _ => m.push((l, 1)),
+                            }
+                        }
+                        m
+                    })
+                    .collect(),
+            ),
+        };
+        FlatPorts {
+            sigma: self.sigma,
+            letters,
+            counts,
+        }
+    }
+
     /// Recomputes all per-node letter counts from scratch by scanning the
-    /// port store, in dense layout. Used by property tests to validate
-    /// the incremental maintenance; executors never call this.
+    /// port store, in dense layout ([`TOMBSTONE`]d slots count nothing).
+    /// Used by property tests to validate the incremental maintenance;
+    /// executors never call this.
     pub fn recount(&self, graph: &Graph) -> Vec<u32> {
         let n = graph.node_count();
         let mut counts = vec![0u32; n * self.sigma];
         for v in 0..n {
             let base = graph.csr_offset(v as NodeId);
             for k in 0..graph.degree(v as NodeId) {
-                counts[v * self.sigma + self.letters[base + k].index()] += 1;
+                let l = self.letters[base + k];
+                if l != TOMBSTONE {
+                    counts[v * self.sigma + l.index()] += 1;
+                }
             }
         }
         counts
@@ -495,6 +614,9 @@ impl PortShard<'_> {
     /// [`FlatPorts::deliver`].
     #[inline]
     pub fn deliver(&mut self, node: usize, slot: usize, letter: Letter) {
+        if self.letters[slot - self.slot_base] == TOMBSTONE {
+            return;
+        }
         let old = std::mem::replace(&mut self.letters[slot - self.slot_base], letter);
         if old == letter {
             return;

@@ -86,6 +86,7 @@
 
 pub mod adversary;
 mod async_exec;
+pub mod churn;
 pub mod engine;
 pub mod parbuf;
 pub mod pipeline;
@@ -98,6 +99,9 @@ mod sync_exec;
 
 pub use adversary::Adversary;
 pub use async_exec::{AsyncConfig, AsyncObserver, AsyncOutcome, NoopAsyncObserver, SchedulerKind};
+pub use churn::{
+    ChurnOracle, ChurnPlan, ChurnSummary, PatchMode, StabilizationObserver, StabilizationRecord,
+};
 pub use engine::{FlatPorts, PortPlanes};
 pub use parbuf::{MergeStrategy, ParallelPolicy, RoundMode, ROUND_MODE_ENV};
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};

@@ -138,12 +138,12 @@ pub(crate) trait DeliverySink {
 /// ([`PortPlanes::land_serial`]). Cleared and reused across rounds.
 #[derive(Default)]
 pub(crate) struct SerialWrites {
-    writes: Vec<(u32, u32, Letter)>,
-    sent: u64,
+    pub(crate) writes: Vec<(u32, u32, Letter)>,
+    pub(crate) sent: u64,
 }
 
 impl SerialWrites {
-    fn begin_round(&mut self) {
+    pub(crate) fn begin_round(&mut self) {
         self.writes.clear();
         self.sent = 0;
     }
@@ -170,8 +170,8 @@ impl DeliverySink for SerialWrites {
 /// bucketed by destination shard.
 #[cfg(feature = "parallel")]
 pub(crate) struct ShardedSink<'a> {
-    buffer: &'a mut DeliveryBuffer,
-    plan: &'a ShardPlan,
+    pub(crate) buffer: &'a mut DeliveryBuffer,
+    pub(crate) plan: &'a ShardPlan,
 }
 
 #[cfg(feature = "parallel")]
@@ -204,6 +204,10 @@ pub(crate) trait RoundStep {
     fn bound(&self) -> u8;
     /// Whether `q` is an output state (drives the undecided counter).
     fn decided(&self, q: &Self::State) -> bool;
+    /// The state a crashed node is reborn into when a churn plan
+    /// restarts it (delegates to `Protocol::restart_state`; only the
+    /// churn drivers call this).
+    fn restart_state(&self, input: usize) -> Self::State;
     /// Phase 1 of one node: transition from the frozen observation,
     /// consuming the node's RNG stream exactly as the legacy engines
     /// did.
@@ -260,7 +264,7 @@ pub(crate) enum RoundEnd {
 /// round semantics — every schedule (serial, joined, fused) runs this.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn node_round<St: RoundStep, Pr: PortRead, Sk: DeliverySink>(
+pub(crate) fn node_round<St: RoundStep, Pr: PortRead, Sk: DeliverySink>(
     step: &St,
     graph: &Graph,
     ports: &Pr,

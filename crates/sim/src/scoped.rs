@@ -150,7 +150,7 @@ fn select_scoped_port<Pr: PortRead, R: Rng>(
 /// reverse-port map, port-selected sends via the early-exit count-draw
 /// of [`select_scoped_port`] (consuming the sender's own RNG stream) —
 /// and record every scoped delivery in the witness transcript.
-struct ScopedStep<'p, P>(&'p P);
+pub(crate) struct ScopedStep<'p, P>(pub(crate) &'p P);
 
 impl<P: ScopedMultiFsm> RoundStep for ScopedStep<'_, P> {
     type State = P::State;
@@ -163,6 +163,10 @@ impl<P: ScopedMultiFsm> RoundStep for ScopedStep<'_, P> {
 
     fn decided(&self, q: &P::State) -> bool {
         self.0.output(q).is_some()
+    }
+
+    fn restart_state(&self, input: usize) -> P::State {
+        self.0.restart_state(input)
     }
 
     fn transition(
@@ -218,7 +222,7 @@ impl<P: ScopedMultiFsm> RoundStep for ScopedStep<'_, P> {
 /// The per-node RNG streams of the scoped engines: a pure function of
 /// `(seed, node id)` with a salt distinguishing them from the plain sync
 /// streams, shared by the serial and parallel schedules.
-fn scoped_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
+pub(crate) fn scoped_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
     (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
         .collect()

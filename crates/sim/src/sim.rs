@@ -69,6 +69,7 @@ use std::fmt;
 use stoneage_core::{Fsm, MultiFsm, Protocol};
 use stoneage_graph::{Graph, NodeId};
 
+use crate::churn::{self, ChurnPlan, ChurnSummary};
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::scoped::{self, ScopedDelivery, ScopedMultiFsm, ScopedOutcome};
@@ -114,6 +115,10 @@ pub enum Detail {
     Sync {
         /// Total non-`ε` transmissions.
         messages_sent: u64,
+        /// What a [`Simulation::with_churn`] plan did to the topology:
+        /// effective crash/restart/edge-event counts and the final
+        /// live-node set. `None` on churn-free runs.
+        churn: Option<ChurnSummary>,
     },
     /// Extras of a [`Backend::Async`] run.
     Async {
@@ -131,13 +136,31 @@ pub enum Detail {
         /// Deliveries overwritten before the receiver could observe them
         /// — messages lost to the no-buffer port semantics.
         lost_overwrites: u64,
+        /// What a [`Simulation::with_churn`] plan did to the topology.
+        /// `None` on churn-free runs.
+        churn: Option<ChurnSummary>,
     },
     /// Extras of a [`Backend::Scoped`] run.
     Scoped {
         /// Every port-selected delivery, in round order — the engine-level
         /// witness the matching runner extracts matched edges from.
         scoped_deliveries: Vec<ScopedDelivery>,
+        /// What a [`Simulation::with_churn`] plan did to the topology.
+        /// `None` on churn-free runs.
+        churn: Option<ChurnSummary>,
     },
+}
+
+impl Detail {
+    /// The churn summary of this run, if it ran under a
+    /// [`Simulation::with_churn`] plan.
+    pub fn churn(&self) -> Option<&ChurnSummary> {
+        match self {
+            Detail::Sync { churn, .. }
+            | Detail::Async { churn, .. }
+            | Detail::Scoped { churn, .. } => churn.as_ref(),
+        }
+    }
 }
 
 /// Result of a [`Simulation`] that reached an output configuration.
@@ -174,17 +197,25 @@ impl<P: Protocol> Outcome<P> {
     /// Total non-`ε` transmissions, for the backends that count them.
     pub fn messages_sent(&self) -> Option<u64> {
         match self.detail {
-            Detail::Sync { messages_sent } | Detail::Async { messages_sent, .. } => {
+            Detail::Sync { messages_sent, .. } | Detail::Async { messages_sent, .. } => {
                 Some(messages_sent)
             }
             Detail::Scoped { .. } => None,
         }
     }
 
+    /// The churn summary, if this run executed under a
+    /// [`Simulation::with_churn`] plan.
+    pub fn churn(&self) -> Option<&ChurnSummary> {
+        self.detail.churn()
+    }
+
     /// The scoped-delivery witness list of a [`Backend::Scoped`] run.
     pub fn scoped_deliveries(&self) -> Option<&[ScopedDelivery]> {
         match &self.detail {
-            Detail::Scoped { scoped_deliveries } => Some(scoped_deliveries),
+            Detail::Scoped {
+                scoped_deliveries, ..
+            } => Some(scoped_deliveries),
             _ => None,
         }
     }
@@ -193,7 +224,7 @@ impl<P: Protocol> Outcome<P> {
     /// [`Backend::Sync`].
     pub fn into_sync_outcome(self) -> Option<SyncOutcome> {
         match (self.cost, self.detail) {
-            (Cost::Rounds(rounds), Detail::Sync { messages_sent }) => Some(SyncOutcome {
+            (Cost::Rounds(rounds), Detail::Sync { messages_sent, .. }) => Some(SyncOutcome {
                 outputs: self.outputs,
                 rounds,
                 messages_sent,
@@ -215,6 +246,7 @@ impl<P: Protocol> Outcome<P> {
                     messages_sent,
                     deliveries,
                     lost_overwrites,
+                    ..
                 },
             ) => Some(AsyncOutcome {
                 outputs: self.outputs,
@@ -234,7 +266,12 @@ impl<P: Protocol> Outcome<P> {
     /// [`Backend::Scoped`].
     pub fn into_scoped_outcome(self) -> Option<ScopedOutcome> {
         match (self.cost, self.detail) {
-            (Cost::Rounds(rounds), Detail::Scoped { scoped_deliveries }) => Some(ScopedOutcome {
+            (
+                Cost::Rounds(rounds),
+                Detail::Scoped {
+                    scoped_deliveries, ..
+                },
+            ) => Some(ScopedOutcome {
                 outputs: self.outputs,
                 rounds,
                 scoped_deliveries,
@@ -437,14 +474,78 @@ type ScopedParFn<P> = fn(
     ObsArg<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
+type SyncChurnFn<P> =
+    fn(
+        &P,
+        &Graph,
+        &[usize],
+        &SyncConfig,
+        &ChurnPlan,
+        ObsArg<'_, P>,
+    ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
+
+type AsyncChurnFn<P> =
+    fn(
+        &P,
+        &Graph,
+        &[usize],
+        &dyn Adversary,
+        &AsyncConfig,
+        &ChurnPlan,
+        ObsArg<'_, P>,
+    ) -> Result<(AsyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
+
+type ScopedChurnFn<P> =
+    fn(
+        &P,
+        &Graph,
+        &[usize],
+        u64,
+        u64,
+        &ChurnPlan,
+        ObsArg<'_, P>,
+    ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
+
+#[cfg(feature = "parallel")]
+type SyncChurnParFn<P> =
+    fn(
+        &P,
+        &Graph,
+        &[usize],
+        &SyncConfig,
+        &ChurnPlan,
+        &ParallelPolicy,
+        ObsArg<'_, P>,
+    ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
+
+#[cfg(feature = "parallel")]
+type ScopedChurnParFn<P> =
+    fn(
+        &P,
+        &Graph,
+        &[usize],
+        u64,
+        u64,
+        &ChurnPlan,
+        &ParallelPolicy,
+        ObsArg<'_, P>,
+    ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
+
 struct Caps<P: Protocol> {
     sync: Option<SyncFn<P>>,
     async_run: Option<AsyncFn<P>>,
     scoped: Option<ScopedFn<P>>,
+    sync_churn: Option<SyncChurnFn<P>>,
+    async_churn: Option<AsyncChurnFn<P>>,
+    scoped_churn: Option<ScopedChurnFn<P>>,
     #[cfg(feature = "parallel")]
     sync_par: Option<SyncParFn<P>>,
     #[cfg(feature = "parallel")]
     scoped_par: Option<ScopedParFn<P>>,
+    #[cfg(feature = "parallel")]
+    sync_churn_par: Option<SyncChurnParFn<P>>,
+    #[cfg(feature = "parallel")]
+    scoped_churn_par: Option<ScopedChurnParFn<P>>,
 }
 
 impl<P: Protocol> Caps<P> {
@@ -453,10 +554,17 @@ impl<P: Protocol> Caps<P> {
             sync: None,
             async_run: None,
             scoped: None,
+            sync_churn: None,
+            async_churn: None,
+            scoped_churn: None,
             #[cfg(feature = "parallel")]
             sync_par: None,
             #[cfg(feature = "parallel")]
             scoped_par: None,
+            #[cfg(feature = "parallel")]
+            sync_churn_par: None,
+            #[cfg(feature = "parallel")]
+            scoped_churn_par: None,
         }
     }
 }
@@ -575,6 +683,158 @@ where
     }
 }
 
+fn cap_sync_churn<P: MultiFsm>(
+    protocol: &P,
+    base: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    plan: &ChurnPlan,
+    observer: ObsArg<'_, P>,
+) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError> {
+    match observer {
+        Some(o) => churn::exec_sync_churn(protocol, base, inputs, config, plan, &mut Bridge(o)),
+        None => churn::exec_sync_churn(protocol, base, inputs, config, plan, &mut NoopObserver),
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn cap_sync_churn_par<P>(
+    protocol: &P,
+    base: &Graph,
+    inputs: &[usize],
+    config: &SyncConfig,
+    plan: &ChurnPlan,
+    policy: &ParallelPolicy,
+    observer: ObsArg<'_, P>,
+) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
+where
+    P: MultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    match observer {
+        Some(o) => churn::exec_sync_churn_parallel(
+            protocol,
+            base,
+            inputs,
+            config,
+            plan,
+            policy,
+            &mut Bridge(o),
+        ),
+        None => churn::exec_sync_churn_parallel(
+            protocol,
+            base,
+            inputs,
+            config,
+            plan,
+            policy,
+            &mut NoopObserver,
+        ),
+    }
+}
+
+fn cap_async_churn<P: Fsm>(
+    protocol: &P,
+    base: &Graph,
+    inputs: &[usize],
+    adversary: &dyn Adversary,
+    config: &AsyncConfig,
+    plan: &ChurnPlan,
+    observer: ObsArg<'_, P>,
+) -> Result<(AsyncOutcome, Vec<P::State>, ChurnSummary), ExecError> {
+    match observer {
+        Some(o) => async_exec::exec_async_churn(
+            protocol,
+            base,
+            inputs,
+            adversary,
+            config,
+            plan,
+            &mut Bridge(o),
+        ),
+        None => async_exec::exec_async_churn(
+            protocol,
+            base,
+            inputs,
+            adversary,
+            config,
+            plan,
+            &mut NoopAsyncObserver,
+        ),
+    }
+}
+
+fn cap_scoped_churn<P: ScopedMultiFsm>(
+    protocol: &P,
+    base: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    max_rounds: u64,
+    plan: &ChurnPlan,
+    observer: ObsArg<'_, P>,
+) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError> {
+    match observer {
+        Some(o) => churn::exec_scoped_churn(
+            protocol,
+            base,
+            inputs,
+            seed,
+            max_rounds,
+            plan,
+            &mut Bridge(o),
+        ),
+        None => churn::exec_scoped_churn(
+            protocol,
+            base,
+            inputs,
+            seed,
+            max_rounds,
+            plan,
+            &mut NoopObserver,
+        ),
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn cap_scoped_churn_par<P>(
+    protocol: &P,
+    base: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    max_rounds: u64,
+    plan: &ChurnPlan,
+    policy: &ParallelPolicy,
+    observer: ObsArg<'_, P>,
+) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
+where
+    P: ScopedMultiFsm + Sync,
+    P::State: Send + Sync,
+{
+    match observer {
+        Some(o) => churn::exec_scoped_churn_parallel(
+            protocol,
+            base,
+            inputs,
+            seed,
+            max_rounds,
+            plan,
+            policy,
+            &mut Bridge(o),
+        ),
+        None => churn::exec_scoped_churn_parallel(
+            protocol,
+            base,
+            inputs,
+            seed,
+            max_rounds,
+            plan,
+            policy,
+            &mut NoopObserver,
+        ),
+    }
+}
+
 /// The unified simulation builder. See the [module docs](self) for the
 /// design and an end-to-end example.
 ///
@@ -598,6 +858,7 @@ pub struct Simulation<'g, P: Protocol> {
     budget: Option<u64>,
     backend: Backend<'g>,
     observer: Option<&'g mut (dyn Observer<P::State> + 'g)>,
+    churn: Option<&'g ChurnPlan>,
     #[cfg(feature = "parallel")]
     policy: Option<ParallelPolicy>,
     caps: Caps<P>,
@@ -614,9 +875,11 @@ where
     pub fn sync(protocol: &'g P, graph: &'g Graph) -> Self {
         let mut caps = Caps::none();
         caps.sync = Some(cap_sync::<P>);
+        caps.sync_churn = Some(cap_sync_churn::<P>);
         #[cfg(feature = "parallel")]
         {
             caps.sync_par = Some(cap_sync_par::<P>);
+            caps.sync_churn_par = Some(cap_sync_churn_par::<P>);
         }
         Simulation::with_caps(protocol, graph, Backend::Sync, caps)
     }
@@ -631,6 +894,7 @@ impl<'g, P: Fsm> Simulation<'g, P> {
     pub fn asynchronous(protocol: &'g P, graph: &'g Graph, adversary: &'g dyn Adversary) -> Self {
         let mut caps = Caps::none();
         caps.async_run = Some(cap_async::<P>);
+        caps.async_churn = Some(cap_async_churn::<P>);
         Simulation::with_caps(
             protocol,
             graph,
@@ -650,9 +914,11 @@ where
     pub fn scoped(protocol: &'g P, graph: &'g Graph) -> Self {
         let mut caps = Caps::none();
         caps.scoped = Some(cap_scoped::<P>);
+        caps.scoped_churn = Some(cap_scoped_churn::<P>);
         #[cfg(feature = "parallel")]
         {
             caps.scoped_par = Some(cap_scoped_par::<P>);
+            caps.scoped_churn_par = Some(cap_scoped_churn_par::<P>);
         }
         Simulation::with_caps(protocol, graph, Backend::Scoped, caps)
     }
@@ -668,6 +934,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             budget: None,
             backend,
             observer: None,
+            churn: None,
             #[cfg(feature = "parallel")]
             policy: None,
             caps,
@@ -715,6 +982,21 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     /// observers in [`AdaptSync`] / [`AdaptAsync`].
     pub fn observe(mut self, observer: &'g mut (dyn Observer<P::State> + 'g)) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Runs the simulation under a deterministic topology fault-injection
+    /// schedule (see [`crate::churn`]). The plan's events — crashes,
+    /// restarts, edge insertions and deletions — are applied only at
+    /// round/epoch boundaries, so lockstep outcomes stay bit-identical
+    /// across the serial and parallel schedules, every worker count, and
+    /// both round modes; the empty plan is bit-identical to the churn-free
+    /// engine. The effective event counts and final live-node set are
+    /// reported through [`Outcome::churn`]. Nodes dead at termination
+    /// report the output they had decided before crashing, or
+    /// [`crate::churn::DEAD_OUTPUT`] if they never decided.
+    pub fn with_churn(mut self, plan: &'g ChurnPlan) -> Self {
+        self.churn = Some(plan);
         self
     }
 
@@ -786,6 +1068,35 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     seed: self.seed,
                     max_rounds: self.budget.unwrap_or(SyncConfig::default().max_rounds),
                 };
+                if let Some(plan) = self.churn {
+                    #[cfg(feature = "parallel")]
+                    if let Some(policy) = self.policy {
+                        let run = self
+                            .caps
+                            .sync_churn_par
+                            .ok_or_else(|| mismatch(&self.backend, "sync"))?;
+                        if !policy.use_serial(n) {
+                            let workers = policy.resolve_workers().min(n.max(1));
+                            let (out, states, summary) = run(
+                                self.protocol,
+                                self.graph,
+                                inputs,
+                                &config,
+                                plan,
+                                &policy,
+                                observer,
+                            )?;
+                            return Ok(sync_outcome(out, states, workers, Some(summary)));
+                        }
+                    }
+                    let run = self
+                        .caps
+                        .sync_churn
+                        .ok_or_else(|| mismatch(&self.backend, "sync"))?;
+                    let (out, states, summary) =
+                        run(self.protocol, self.graph, inputs, &config, plan, observer)?;
+                    return Ok(sync_outcome(out, states, 1, Some(summary)));
+                }
                 #[cfg(feature = "parallel")]
                 if let Some(policy) = self.policy {
                     let run = self
@@ -804,7 +1115,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &policy,
                             observer,
                         )?;
-                        return Ok(sync_outcome(out, states, workers));
+                        return Ok(sync_outcome(out, states, workers, None));
                     }
                 }
                 let run = self
@@ -812,10 +1123,47 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     .sync
                     .ok_or_else(|| mismatch(&self.backend, "sync"))?;
                 let (out, states) = run(self.protocol, self.graph, inputs, &config, observer)?;
-                Ok(sync_outcome(out, states, 1))
+                Ok(sync_outcome(out, states, 1, None))
             }
             Backend::Scoped => {
                 let max_rounds = self.budget.unwrap_or(SyncConfig::default().max_rounds);
+                if let Some(plan) = self.churn {
+                    #[cfg(feature = "parallel")]
+                    if let Some(policy) = self.policy {
+                        let run = self
+                            .caps
+                            .scoped_churn_par
+                            .ok_or_else(|| mismatch(&self.backend, "scoped"))?;
+                        if !policy.use_serial(n) {
+                            let workers = policy.resolve_workers().min(n.max(1));
+                            let (out, states, summary) = run(
+                                self.protocol,
+                                self.graph,
+                                inputs,
+                                self.seed,
+                                max_rounds,
+                                plan,
+                                &policy,
+                                observer,
+                            )?;
+                            return Ok(scoped_outcome(out, states, workers, Some(summary)));
+                        }
+                    }
+                    let run = self
+                        .caps
+                        .scoped_churn
+                        .ok_or_else(|| mismatch(&self.backend, "scoped"))?;
+                    let (out, states, summary) = run(
+                        self.protocol,
+                        self.graph,
+                        inputs,
+                        self.seed,
+                        max_rounds,
+                        plan,
+                        observer,
+                    )?;
+                    return Ok(scoped_outcome(out, states, 1, Some(summary)));
+                }
                 #[cfg(feature = "parallel")]
                 if let Some(policy) = self.policy {
                     let run = self
@@ -835,7 +1183,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &policy,
                             observer,
                         )?;
-                        return Ok(scoped_outcome(out, states, workers));
+                        return Ok(scoped_outcome(out, states, workers, None));
                     }
                 }
                 let run = self
@@ -850,7 +1198,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     max_rounds,
                     observer,
                 )?;
-                Ok(scoped_outcome(out, states, 1))
+                Ok(scoped_outcome(out, states, 1, None))
             }
             Backend::Async(options) => {
                 #[cfg(feature = "parallel")]
@@ -861,24 +1209,45 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             .into(),
                     });
                 }
-                let run = self
-                    .caps
-                    .async_run
-                    .ok_or_else(|| mismatch(&self.backend, "asynchronous"))?;
                 let config = AsyncConfig {
                     seed: self.seed,
                     max_events: self.budget.unwrap_or(AsyncConfig::default().max_events),
                     scheduler: options.scheduler,
                     bucket_width: options.bucket_width,
                 };
-                let (out, states) = run(
-                    self.protocol,
-                    self.graph,
-                    inputs,
-                    options.adversary,
-                    &config,
-                    observer,
-                )?;
+                let (out, states, summary) = match self.churn {
+                    Some(plan) => {
+                        let run = self
+                            .caps
+                            .async_churn
+                            .ok_or_else(|| mismatch(&self.backend, "asynchronous"))?;
+                        let (out, states, summary) = run(
+                            self.protocol,
+                            self.graph,
+                            inputs,
+                            options.adversary,
+                            &config,
+                            plan,
+                            observer,
+                        )?;
+                        (out, states, Some(summary))
+                    }
+                    None => {
+                        let run = self
+                            .caps
+                            .async_run
+                            .ok_or_else(|| mismatch(&self.backend, "asynchronous"))?;
+                        let (out, states) = run(
+                            self.protocol,
+                            self.graph,
+                            inputs,
+                            options.adversary,
+                            &config,
+                            observer,
+                        )?;
+                        (out, states, None)
+                    }
+                };
                 Ok(Outcome {
                     outputs: out.outputs,
                     states,
@@ -891,6 +1260,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         messages_sent: out.messages_sent,
                         deliveries: out.deliveries,
                         lost_overwrites: out.lost_overwrites,
+                        churn: summary,
                     },
                 })
             }
@@ -902,6 +1272,7 @@ fn sync_outcome<P: Protocol>(
     out: SyncOutcome,
     states: Vec<P::State>,
     workers: usize,
+    churn: Option<ChurnSummary>,
 ) -> Outcome<P> {
     Outcome {
         outputs: out.outputs,
@@ -910,6 +1281,7 @@ fn sync_outcome<P: Protocol>(
         workers,
         detail: Detail::Sync {
             messages_sent: out.messages_sent,
+            churn,
         },
     }
 }
@@ -918,6 +1290,7 @@ fn scoped_outcome<P: Protocol>(
     out: ScopedOutcome,
     states: Vec<P::State>,
     workers: usize,
+    churn: Option<ChurnSummary>,
 ) -> Outcome<P> {
     Outcome {
         outputs: out.outputs,
@@ -926,6 +1299,7 @@ fn scoped_outcome<P: Protocol>(
         workers,
         detail: Detail::Scoped {
             scoped_deliveries: out.scoped_deliveries,
+            churn,
         },
     }
 }

@@ -104,7 +104,7 @@ impl<S> SyncObserver<S> for NoopObserver {
 
 /// The per-node RNG streams: a pure function of `(seed, node id)`, shared
 /// by the serial and parallel executors so their draws are identical.
-fn seed_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
+pub(crate) fn seed_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
     (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v))))
         .collect()
@@ -120,7 +120,7 @@ fn collect_outputs<P: MultiFsm>(protocol: &P, states: &[P::State]) -> Vec<u64> {
 /// The [`RoundStep`] of plain `MultiFsm` protocols: sample δ, then
 /// resolve any non-`ε` emission as a full broadcast (which consumes no
 /// randomness and reads no ports — the simplest pipeline step).
-struct SyncStep<'p, P>(&'p P);
+pub(crate) struct SyncStep<'p, P>(pub(crate) &'p P);
 
 impl<P: MultiFsm> RoundStep for SyncStep<'_, P> {
     type State = P::State;
@@ -133,6 +133,10 @@ impl<P: MultiFsm> RoundStep for SyncStep<'_, P> {
 
     fn decided(&self, q: &P::State) -> bool {
         self.0.output(q).is_some()
+    }
+
+    fn restart_state(&self, input: usize) -> P::State {
+        self.0.restart_state(input)
     }
 
     fn transition(

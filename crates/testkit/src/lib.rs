@@ -25,8 +25,8 @@ use stoneage_core::{
 };
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::{
-    AsyncOptions, AsyncOutcome, Backend, SchedulerKind, ScopedEmission, ScopedMultiFsm,
-    ScopedTransitions, Simulation, SyncOutcome,
+    AsyncOptions, AsyncOutcome, Backend, ChurnPlan, ChurnSummary, SchedulerKind, ScopedEmission,
+    ScopedMultiFsm, ScopedTransitions, Simulation, SyncOutcome,
 };
 
 /// Builder-backed twins of the legacy `run_*` free functions, with the
@@ -347,6 +347,73 @@ pub fn run_sync_pinned(name: &str, seed: u64) -> SyncOutcome {
     }
 }
 
+/// Fingerprint of a synchronous outcome *plus* its churn summary: the
+/// sync fingerprint words followed by the effective event counts and the
+/// final live-node set. Any drift in outputs, cost, applied events, or
+/// liveness changes the hash.
+pub fn churn_fingerprint(out: &SyncOutcome, summary: &ChurnSummary) -> u64 {
+    fnv1a(
+        out.rounds
+            ^ (out.messages_sent << 18)
+            ^ (summary.crashes << 40)
+            ^ (summary.restarts << 44)
+            ^ (summary.edge_inserts << 48)
+            ^ (summary.edge_deletes << 52),
+        out.outputs
+            .iter()
+            .copied()
+            .chain(summary.live_nodes.iter().map(|&l| l as u64)),
+    )
+}
+
+/// The `(case name, seed)` pairs of the pinned churn panel.
+pub const CHURN_PINNED_CASES: [(&str, u64); 4] = [
+    ("gnp-churn", 1),
+    ("tree-churn", 3),
+    ("tree-churn", 4),
+    ("grid-churn", 5),
+];
+
+/// The instance behind one pinned churn case: base graph, protocol, and
+/// the seeded fault schedule (a pure function of the case name — the
+/// plan seed is fixed per case so the schedule never depends on the
+/// protocol seed being varied).
+pub fn churn_pinned_case(name: &str) -> (Graph, TableProtocol, ChurnPlan) {
+    match name {
+        "gnp-churn" => {
+            let g = generators::gnp(120, 0.06, 9);
+            let plan = ChurnPlan::random(&g, 31, 10, 8);
+            (g, count_neighbors(3), plan)
+        }
+        "tree-churn" => {
+            let g = generators::random_tree(150, 21);
+            let plan = ChurnPlan::random(&g, 47, 8, 7);
+            (g, random_beeper(5, 2), plan)
+        }
+        "grid-churn" => {
+            let g = generators::grid(10, 14);
+            let plan = ChurnPlan::random(&g, 59, 12, 6);
+            (g, random_beeper(4, 3), plan)
+        }
+        other => panic!("unknown pinned churn case {other}"),
+    }
+}
+
+/// Runs one case of the pinned churn panel through the unified builder
+/// on the serial synchronous backend, returning the legacy outcome and
+/// the churn summary the fingerprint hashes.
+pub fn run_churn_pinned(name: &str, seed: u64) -> (SyncOutcome, ChurnSummary) {
+    let (g, p, plan) = churn_pinned_case(name);
+    let outcome = Simulation::sync(&AsMulti(p), &g)
+        .seed(seed)
+        .with_churn(&plan)
+        .run()
+        .expect("pinned churn cases terminate");
+    let summary = outcome.churn().expect("churn plan was set").clone();
+    let out = outcome.into_sync_outcome().expect("sync backend");
+    (out, summary)
+}
+
 /// The `(case name, seed)` pairs of the pinned asynchronous panel.
 pub const ASYNC_PINNED_CASES: [(&str, u64); 3] = [
     ("gnp-async", 4242),
@@ -501,6 +568,16 @@ mod tests {
         // every consumer at once.
         for (name, seed) in SYNC_PINNED_CASES {
             let _ = run_sync_pinned(name, seed);
+        }
+        for (name, seed) in CHURN_PINNED_CASES {
+            let (_, summary) = run_churn_pinned(name, seed);
+            // The random plans must actually inject faults — a plan that
+            // degenerated to a no-op would pin a meaningless hash.
+            assert!(
+                summary.crashes + summary.restarts + summary.edge_inserts + summary.edge_deletes
+                    > 0,
+                "{name} plan is a no-op"
+            );
         }
         for (name, seed) in ASYNC_PINNED_CASES {
             let a = run_async_pinned(name, seed, SchedulerKind::BinaryHeap);
