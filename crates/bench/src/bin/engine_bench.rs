@@ -17,7 +17,12 @@
 //! * **churn sweep** — rounds/sec of the incrementally patched engine vs
 //!   the `ChurnOracle` full-rebuild reference under a dense fault
 //!   schedule, plus per-event re-stabilization rounds of MIS / coloring
-//!   / matching recorded by a `StabilizationObserver`.
+//!   / matching recorded by a `StabilizationObserver`;
+//! * **snapshot sweep** — the checkpoint/resume layer's cost vs graph
+//!   size: rounds/sec with an every-round `checkpoint_every(1)` cadence
+//!   vs the plain engine (the overhead the `--max-snapshot-overhead`
+//!   gate bounds), `Snapshot::to_bytes` / `from_bytes` frame throughput,
+//!   and rounds/sec of the resumed remainder of a mid-run frame.
 //!
 //! ```text
 //! engine_bench                          # writes BENCH_engine.json in the cwd
@@ -39,6 +44,11 @@
 //!                                       # patching falls below that ratio of
 //!                                       # the full rebuild (self-skips on
 //!                                       # instances under 20k nodes)
+//! engine_bench --max-snapshot-overhead 2.0
+//!                                       # exit(1) if the every-round
+//!                                       # checkpoint cadence slows the sync
+//!                                       # engine by more than that factor on
+//!                                       # any family
 //! ```
 //!
 //! The sync workload is the same blinker protocol as `benches/engine.rs`:
@@ -375,6 +385,150 @@ fn churn_sweep(quick: bool, rounds: u64, reps: usize) -> Vec<ChurnEntry> {
     entries
 }
 
+/// One checkpoint/resume cost measurement of the snapshot layer.
+struct SnapshotEntry {
+    family: &'static str,
+    n: usize,
+    edges: usize,
+    /// Serialized size of one mid-run frame.
+    frame_bytes: usize,
+    plain_rounds_per_sec: f64,
+    /// With `checkpoint_every(1)` — a full frame captured every round,
+    /// the worst-case cadence.
+    checkpointed_rounds_per_sec: f64,
+    /// plain / checkpointed; what `--max-snapshot-overhead` bounds.
+    overhead: f64,
+    /// `Snapshot::to_bytes` frames/sec over the captured frames.
+    write_frames_per_sec: f64,
+    /// `Snapshot::from_bytes` frames/sec over the serialized frames.
+    restore_frames_per_sec: f64,
+    /// Rounds/sec of the remainder when resuming a mid-run frame.
+    resume_rounds_per_sec: f64,
+}
+
+/// Collects checkpoint frames off a benchmark run.
+#[derive(Default)]
+struct KeepFrames {
+    snaps: Vec<stoneage_sim::Snapshot>,
+}
+
+impl<S> stoneage_sim::Observer<S> for KeepFrames {
+    fn on_checkpoint(&mut self, snapshot: &stoneage_sim::Snapshot) {
+        self.snaps.push(snapshot.clone());
+    }
+}
+
+/// Measures the checkpoint/resume layer against graph size: the
+/// slowdown of an every-round checkpoint cadence over the plain sync
+/// engine, the byte-level frame write/restore throughput, and the
+/// throughput of a resumed remainder. Checkpointed and plain runs are
+/// bit-identical (pinned by `crates/sim/tests/snapshot_resume.rs`);
+/// only the capture cost differs.
+fn snapshot_sweep(quick: bool, rounds: u64, reps: usize) -> Vec<SnapshotEntry> {
+    let n: usize = if quick { 5_000 } else { 50_000 };
+    let side = (n as f64).sqrt().ceil() as usize;
+    let graphs: [(&'static str, Graph); 3] = [
+        ("gnp", generators::gnp(n, 8.0 / n as f64, 7)),
+        ("tree", generators::random_tree(n, 13)),
+        ("grid", generators::grid(side, side)),
+    ];
+    let p = AsMulti(blinker());
+    let mut entries = Vec::new();
+    for (family, g) in &graphs {
+        let nodes = g.node_count();
+        eprintln!(
+            "engine_bench[snapshot]: {family}(n = {nodes}), checkpoint_every(1) over \
+             {rounds} rounds x {reps} reps"
+        );
+        let plain = measure(rounds, reps, || {
+            Simulation::sync(&p, g)
+                .seed(1)
+                .budget(rounds)
+                .run()
+                .map(|o| o.into_sync_outcome().expect("sync backend"))
+        });
+        let checkpointed = measure(rounds, reps, || {
+            let mut obs = KeepFrames::default();
+            Simulation::sync(&p, g)
+                .seed(1)
+                .budget(rounds)
+                .checkpoint_every(1)
+                .observe(&mut obs)
+                .run()
+                .map(|o| o.into_sync_outcome().expect("sync backend"))
+        });
+
+        // One capture pass to get real frames for the byte-level and
+        // resume measurements.
+        let mut obs = KeepFrames::default();
+        let _ = Simulation::sync(&p, g)
+            .seed(1)
+            .budget(rounds)
+            .checkpoint_every(1)
+            .observe(&mut obs)
+            .run();
+        let frames = obs.snaps;
+        assert!(!frames.is_empty(), "cadence 1 must capture frames");
+
+        let mut best_write = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for f in &frames {
+                std::hint::black_box(f.to_bytes());
+            }
+            best_write = best_write.min(start.elapsed().as_secs_f64());
+        }
+        let serialized: Vec<Vec<u8>> = frames.iter().map(|f| f.to_bytes()).collect();
+        let mut best_restore = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for b in &serialized {
+                std::hint::black_box(
+                    stoneage_sim::Snapshot::from_bytes(b).expect("round-trip parses"),
+                );
+            }
+            best_restore = best_restore.min(start.elapsed().as_secs_f64());
+        }
+
+        let snap = &frames[frames.len() / 2];
+        let remaining = rounds - snap.boundary();
+        let resume = measure(remaining, reps, || {
+            Simulation::sync(&p, g)
+                .seed(1)
+                .budget(rounds)
+                .resume_from(snap)
+                .run()
+                .map(|o| o.into_sync_outcome().expect("sync backend"))
+        });
+
+        let entry = SnapshotEntry {
+            family,
+            n: nodes,
+            edges: g.edge_count(),
+            frame_bytes: snap.to_bytes().len(),
+            plain_rounds_per_sec: plain,
+            checkpointed_rounds_per_sec: checkpointed,
+            overhead: plain / checkpointed,
+            write_frames_per_sec: frames.len() as f64 / best_write,
+            restore_frames_per_sec: serialized.len() as f64 / best_restore,
+            resume_rounds_per_sec: resume,
+        };
+        eprintln!(
+            "  {family}: plain {:>8.1} r/s, checkpointed {:>8.1} r/s ({:.2}x overhead), \
+             frame {} B, write {:.0} f/s, restore {:.0} f/s, resume {:>8.1} r/s",
+            entry.plain_rounds_per_sec,
+            entry.checkpointed_rounds_per_sec,
+            entry.overhead,
+            entry.frame_bytes,
+            entry.write_frames_per_sec,
+            entry.restore_frames_per_sec,
+            entry.resume_rounds_per_sec
+        );
+        entries.push(entry);
+    }
+    entries
+}
+
 fn topology_event_json(ev: &TopologyEvent) -> Value {
     let (kind, a, b) = match *ev {
         TopologyEvent::Crash(v) => ("crash", v as u64, None),
@@ -587,6 +741,7 @@ fn main() {
     let mut min_parallel_speedup: Option<f64> = None;
     let mut min_fused_speedup: Option<f64> = None;
     let mut min_churn_patch_speedup: Option<f64> = None;
+    let mut max_snapshot_overhead: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -648,11 +803,21 @@ fn main() {
                     .expect("--min-churn-patch-speedup needs a number");
                 min_churn_patch_speedup = Some(v);
             }
+            "--max-snapshot-overhead" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--max-snapshot-overhead needs a ratio")
+                    .parse::<f64>()
+                    .expect("--max-snapshot-overhead needs a number");
+                max_snapshot_overhead = Some(v);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
                      [--min-async-speedup ratio] [--min-parallel-speedup ratio] \
-                     [--min-fused-speedup ratio] [--min-churn-patch-speedup ratio]"
+                     [--min-fused-speedup ratio] [--min-churn-patch-speedup ratio] \
+                     [--max-snapshot-overhead ratio]"
                 );
                 std::process::exit(2);
             }
@@ -699,6 +864,7 @@ fn main() {
     let (async_entries, async_events) = async_sweep(quick, if quick { 3 } else { reps });
 
     let churn_entries = churn_sweep(quick, rounds, if quick { 3 } else { reps });
+    let snapshot_entries = snapshot_sweep(quick, rounds, if quick { 3 } else { reps });
     eprintln!("engine_bench[stabilization]: recording re-stabilization rounds per event");
     let stabilization_json = stabilization_section();
 
@@ -898,6 +1064,57 @@ fn main() {
                 ("stabilization".to_owned(), stabilization_json),
             ]),
         ),
+        (
+            "snapshot_sweep".to_owned(),
+            Value::Object(vec![
+                (
+                    "workload".to_owned(),
+                    "blinker broadcast; checkpointed = a full Snapshot frame captured every \
+                     round (checkpoint_every(1), the worst-case cadence), bit-identical to \
+                     the plain run; write/restore = Snapshot::to_bytes / from_bytes over the \
+                     captured frames; resume = throughput of the remainder after resume_from \
+                     on a mid-run frame"
+                        .into(),
+                ),
+                (
+                    "entries".to_owned(),
+                    Value::Array(
+                        snapshot_entries
+                            .iter()
+                            .map(|e| {
+                                Value::Object(vec![
+                                    ("family".to_owned(), e.family.into()),
+                                    ("n".to_owned(), e.n.into()),
+                                    ("edges".to_owned(), e.edges.into()),
+                                    ("frame_bytes".to_owned(), e.frame_bytes.into()),
+                                    (
+                                        "plain_rounds_per_sec".to_owned(),
+                                        e.plain_rounds_per_sec.into(),
+                                    ),
+                                    (
+                                        "checkpointed_rounds_per_sec".to_owned(),
+                                        e.checkpointed_rounds_per_sec.into(),
+                                    ),
+                                    ("overhead".to_owned(), e.overhead.into()),
+                                    (
+                                        "write_frames_per_sec".to_owned(),
+                                        e.write_frames_per_sec.into(),
+                                    ),
+                                    (
+                                        "restore_frames_per_sec".to_owned(),
+                                        e.restore_frames_per_sec.into(),
+                                    ),
+                                    (
+                                        "resume_rounds_per_sec".to_owned(),
+                                        e.resume_rounds_per_sec.into(),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{}", json.to_string_pretty()).unwrap();
@@ -1018,6 +1235,28 @@ fn main() {
             }
             eprintln!("churn patching within budget: all families >= {min:.2}x of rebuild");
         }
+    }
+    // The snapshot gate bounds the worst-case capture cost: an
+    // every-round full-frame cadence may not slow the sync engine past
+    // the given factor on any family. Real deployments checkpoint far
+    // less often, so their overhead is a fraction of what this gate
+    // enforces.
+    if let Some(max) = max_snapshot_overhead {
+        let mut failed = false;
+        for e in &snapshot_entries {
+            if e.overhead > max {
+                eprintln!(
+                    "REGRESSION: checkpoint_every(1) costs {:.2}x over the plain engine on {} \
+                     (required <= {max:.2}x)",
+                    e.overhead, e.family
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("snapshot capture within budget: all families <= {max:.2}x overhead");
     }
     #[cfg(not(feature = "parallel"))]
     let _ = (min_parallel_speedup, min_fused_speedup);

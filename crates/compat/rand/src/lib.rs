@@ -5,7 +5,10 @@
 //! surface the workspace needs — [`rngs::SmallRng`] (xoshiro256++ seeded
 //! via SplitMix64, matching `rand` 0.8's choice on 64-bit targets), the
 //! [`Rng`]/[`RngCore`]/[`SeedableRng`] traits with `gen`, `gen_range`,
-//! `gen_bool`, and [`seq::SliceRandom`] with `shuffle`/`choose`.
+//! `gen_bool`, and [`seq::SliceRandom`] with `shuffle`/`choose` — plus a
+//! [`rngs::SeedState`] capture/restore API (not part of upstream `rand`)
+//! so simulation checkpoints can serialize a stream mid-run and resume it
+//! bit-identically.
 //!
 //! Distribution details (e.g. how `gen_range` maps raw words into a
 //! range) are *not* guaranteed to be bit-compatible with upstream `rand`;
@@ -201,6 +204,20 @@ mod tests {
             let x: f64 = rng.gen();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn seed_state_round_trip_resumes_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(1234);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let state = rng.state();
+        let mut resumed = SmallRng::from_state(state);
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
+        assert_eq!(SmallRng::from_state(state).state(), state);
     }
 
     #[test]

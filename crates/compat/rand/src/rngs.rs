@@ -2,11 +2,35 @@
 
 use crate::{splitmix64, RngCore, SeedableRng};
 
+/// The full internal state of a [`SmallRng`] stream, captured mid-run.
+///
+/// Restoring via [`SmallRng::from_state`] yields a generator whose
+/// future output is bit-identical to the captured one's — the hook the
+/// simulation snapshot layer uses to checkpoint and resume RNG streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedState {
+    /// The four xoshiro256++ state words.
+    pub words: [u64; 4],
+}
+
 /// The xoshiro256++ generator — the algorithm `rand` 0.8 uses for
 /// `SmallRng` on 64-bit targets. Not cryptographically secure.
 #[derive(Clone, Debug)]
 pub struct SmallRng {
     s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Captures the generator's full internal state.
+    pub fn state(&self) -> SeedState {
+        SeedState { words: self.s }
+    }
+
+    /// Rebuilds a generator from a captured [`SeedState`]; its stream
+    /// continues bit-identically from the capture point.
+    pub fn from_state(state: SeedState) -> Self {
+        SmallRng { s: state.words }
+    }
 }
 
 impl SeedableRng for SmallRng {

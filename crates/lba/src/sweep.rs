@@ -121,7 +121,8 @@ pub struct SweepOutcome {
 
 /// Simulates `protocol` on `graph` for up to `max_rounds` rounds on an
 /// adjacency-list tape, using the same per-node randomness as
-/// `stoneage_sim::run_sync` with the same `seed` — outputs are identical.
+/// the `stoneage_sim` sync backend with the same `seed` — outputs are
+/// identical.
 ///
 /// `encode`/`decode` translate protocol states to tape words (the sweep
 /// simulator's analogue of the proof's "hard-wired" state table).
@@ -178,7 +179,7 @@ where
         }
     }
 
-    // Identical RNG streams to stoneage_sim::run_sync.
+    // Identical RNG streams to the stoneage_sim sync backend.
     let mut rngs: Vec<SmallRng> = (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v))))
         .collect();

@@ -8,7 +8,8 @@ use super::ColoringState;
 
 /// Per-phase telemetry of a synchronous coloring run.
 ///
-/// Plug into [`stoneage_sim::run_sync_observed`]; phases are the
+/// Plug into a [`stoneage_sim::Simulation`] run via
+/// [`stoneage_sim::AdaptSync`]; phases are the
 /// protocol's four-round blocks, sampled at each round `r ≡ 1 (mod 4)`
 /// (the start of a phase, after round-`r` transitions — i.e. the
 /// population that transmitted `I am ACTIVE`).

@@ -10,7 +10,8 @@ use super::MisState;
 
 /// Per-node tournament telemetry collected during a synchronous MIS run.
 ///
-/// Plug into [`stoneage_sim::run_sync_observed`]; afterwards query
+/// Plug into a [`stoneage_sim::Simulation`] run via
+/// [`stoneage_sim::AdaptSync`]; afterwards query
 /// [`MisObserver::tournament_turns`], [`MisObserver::edge_counts`], etc.
 #[derive(Clone, Debug)]
 pub struct MisObserver {

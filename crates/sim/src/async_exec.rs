@@ -64,6 +64,9 @@ use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::FlatPorts;
 use crate::schedule::CalendarQueue;
+use crate::snapshot::{
+    self, AsyncCapture, BacklogEvent, BacklogKind, SnapArgs, Snapshot, SnapshotError,
+};
 use crate::{splitmix64, Adversary, ExecError};
 
 /// Which event queue drives the asynchronous executor. See the module
@@ -228,11 +231,20 @@ impl Ord for Event {
 pub trait AsyncObserver<S> {
     /// Called after node `v` applied its step `t` at time `time`.
     fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S);
+
+    /// Called with each checkpoint snapshot the executor captures (only
+    /// when [`crate::Simulation::checkpoint_every`] is set). The default
+    /// does nothing.
+    fn on_checkpoint(&mut self, _snapshot: &Snapshot) {}
 }
 
 impl<S, O: AsyncObserver<S> + ?Sized> AsyncObserver<S> for &mut O {
     fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
         (**self).on_step(time, v, t, state);
+    }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        (**self).on_checkpoint(snapshot);
     }
 }
 
@@ -300,6 +312,72 @@ impl<'a, P: Fsm> Exec<'a, P> {
             deliveries: 0,
             lost_overwrites: 0,
         }
+    }
+
+    /// Splices a decoded snapshot into a fresh engine: every field the
+    /// capture serialized, with the port counts recomputed canonically
+    /// from the letter array.
+    fn from_resume(
+        protocol: &'a P,
+        graph: &'a Graph,
+        res: snapshot::AsyncResume<P::State>,
+    ) -> Self {
+        Exec {
+            protocol,
+            graph,
+            b: protocol.bound(),
+            states: res.states,
+            ports: FlatPorts::from_letters(graph, protocol.alphabet().len(), res.letters),
+            pending: res.pending,
+            last_arrival: res.last_arrival,
+            rngs: res.rngs,
+            step_counts: res.step_counts,
+            unfinished: res.unfinished as usize,
+            max_param: res.max_param,
+            total_steps: res.total_steps,
+            messages_sent: res.messages_sent,
+            deliveries: res.deliveries,
+            lost_overwrites: res.lost_overwrites,
+        }
+    }
+
+    /// Serializes a step boundary into a [`Snapshot`]: the shared state
+    /// plus the loop counters and the caller-collected event backlog.
+    fn checkpoint<S2>(
+        &self,
+        snap: &SnapArgs<'_, P::State>,
+        events: u64,
+        seq: u64,
+        churn: Option<(&[u32], u64)>,
+        backlog: Vec<BacklogEvent>,
+        observer: &mut S2,
+    ) where
+        S2: AsyncObserver<P::State> + ?Sized,
+    {
+        let codec = snap.codec();
+        let s = snapshot::encode_async(
+            snap.meta,
+            &codec,
+            AsyncCapture {
+                total_steps: self.total_steps,
+                events,
+                seq,
+                messages_sent: self.messages_sent,
+                deliveries: self.deliveries,
+                lost_overwrites: self.lost_overwrites,
+                max_param: self.max_param,
+                unfinished: self.unfinished as u64,
+                states: &self.states,
+                letters: self.ports.letters(),
+                pending: &self.pending,
+                last_arrival: &self.last_arrival,
+                step_counts: &self.step_counts,
+                rngs: &self.rngs,
+                churn,
+                backlog,
+            },
+        );
+        observer.on_checkpoint(&s);
     }
 
     /// One port write with overwrite-loss accounting.
@@ -496,6 +574,7 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
     adversary: &A,
     config: &AsyncConfig,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = graph.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
@@ -509,9 +588,25 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
         graph.port_slot_count()
     );
 
-    let ex = Exec::new(protocol, graph, inputs, config.seed);
+    let (ex, seed) = match snap.resume {
+        Some(s) => {
+            let mut res = snapshot::decode_async(s, &snap.codec(), n, graph.port_slot_count())?;
+            if res.churn.is_some() {
+                return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                    field: "snapshot body kind",
+                }));
+            }
+            let seed = AsyncSeed {
+                backlog: std::mem::take(&mut res.backlog),
+                events: res.events,
+                seq: res.seq,
+            };
+            (Exec::from_resume(protocol, graph, res), Some(seed))
+        }
+        None => (Exec::new(protocol, graph, inputs, config.seed), None),
+    };
 
-    if ex.unfinished == 0 {
+    if seed.is_none() && ex.unfinished == 0 {
         let outputs = ex
             .states
             .iter()
@@ -533,9 +628,18 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
     }
 
     match config.scheduler {
-        SchedulerKind::BinaryHeap => run_heap_loop(ex, adversary, config, observer),
-        SchedulerKind::CalendarWheel => run_wheel_loop(ex, adversary, config, observer),
+        SchedulerKind::BinaryHeap => run_heap_loop(ex, adversary, config, observer, snap, seed),
+        SchedulerKind::CalendarWheel => run_wheel_loop(ex, adversary, config, observer, snap, seed),
     }
+}
+
+/// The queue-side remainder of a decoded async snapshot: the serialized
+/// event backlog and the loop-owned global counters. The loops seed their
+/// queue from the backlog *instead of* the per-node initial step events.
+struct AsyncSeed {
+    backlog: Vec<BacklogEvent>,
+    events: u64,
+    seq: u64,
 }
 
 /// The preserved binary-heap event loop: one heap entry per delivery,
@@ -546,9 +650,12 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     adversary: &A,
     config: &AsyncConfig,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
+    resume: Option<AsyncSeed>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = ex.graph.node_count();
     let mut seq = 0u64;
+    let mut events = 0u64;
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind| {
         heap.push(Reverse(Event {
@@ -559,13 +666,32 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
         *seq += 1;
     };
 
-    for v in 0..n as NodeId {
-        let l = ex.step_length(adversary, v, 1);
-        push(&mut heap, &mut seq, l, HeapKind::Step(v));
+    match resume {
+        Some(seed) => {
+            for e in seed.backlog {
+                heap.push(Reverse(Event {
+                    time: e.time,
+                    seq: e.seq,
+                    kind: match e.kind {
+                        BacklogKind::Step { node, .. } => HeapKind::Step(node),
+                        BacklogKind::Deliver {
+                            node, slot, letter, ..
+                        } => HeapKind::Deliver { node, slot, letter },
+                    },
+                }));
+            }
+            events = seed.events;
+            seq = seed.seq;
+        }
+        None => {
+            for v in 0..n as NodeId {
+                let l = ex.step_length(adversary, v, 1);
+                push(&mut heap, &mut seq, l, HeapKind::Step(v));
+            }
+        }
     }
 
     let mut arrivals: Vec<f64> = Vec::new();
-    let mut events = 0u64;
     let mut completion_time = None;
     while let Some(Reverse(event)) = heap.pop() {
         events += 1;
@@ -615,6 +741,26 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
                 ex.step_counts[vi] = t + 1;
                 let l = ex.step_length(adversary, v, t + 1);
                 push(&mut heap, &mut seq, event.time + l, HeapKind::Step(v));
+
+                if snap.every > 0 && ex.total_steps.is_multiple_of(snap.every) {
+                    let backlog = heap
+                        .iter()
+                        .map(|Reverse(e)| BacklogEvent {
+                            time: e.time,
+                            seq: e.seq,
+                            kind: match e.kind {
+                                HeapKind::Step(node) => BacklogKind::Step { node, inc: 0 },
+                                HeapKind::Deliver { node, slot, letter } => BacklogKind::Deliver {
+                                    node,
+                                    slot,
+                                    letter,
+                                    inc: 0,
+                                },
+                            },
+                        })
+                        .collect();
+                    ex.checkpoint(snap, events, seq, None, backlog, observer);
+                }
             }
         }
     }
@@ -634,20 +780,43 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     adversary: &A,
     config: &AsyncConfig,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
+    resume: Option<AsyncSeed>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = ex.graph.node_count();
     let width = choose_bucket_width(adversary, ex.graph, config.bucket_width);
     let mut wheel: CalendarQueue<WheelKind> = CalendarQueue::new(width);
     let mut seq = 0u64;
+    let mut events = 0u64;
 
-    for v in 0..n as NodeId {
-        let l = ex.step_length(adversary, v, 1);
-        wheel.push(l, seq, WheelKind::Step(v));
-        seq += 1;
+    match resume {
+        Some(seed) => {
+            // The snapshot backlog carries each delivery individually with
+            // its exact `(time, seq)`, so re-pushing them (no runs) drains
+            // in the same order — a run's grouped drain and its expanded
+            // per-letter events gather into the identical batch.
+            for e in seed.backlog {
+                let kind = match e.kind {
+                    BacklogKind::Step { node, .. } => WheelKind::Step(node),
+                    BacklogKind::Deliver {
+                        node, slot, letter, ..
+                    } => WheelKind::Deliver { node, slot, letter },
+                };
+                wheel.push(e.time, e.seq, kind);
+            }
+            events = seed.events;
+            seq = seed.seq;
+        }
+        None => {
+            for v in 0..n as NodeId {
+                let l = ex.step_length(adversary, v, 1);
+                wheel.push(l, seq, WheelKind::Step(v));
+                seq += 1;
+            }
+        }
     }
 
     let mut arrivals: Vec<f64> = Vec::new();
-    let mut events = 0u64;
     let mut completion_time = None;
     // Per-receiver coalescing scratch: `batch` gathers the maximal run of
     // consecutive same-instant delivery events (across senders), `held`
@@ -810,6 +979,62 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
                 let l = ex.step_length(adversary, v, t + 1);
                 wheel.push(time + l, seq, WheelKind::Step(v));
                 seq += 1;
+
+                if snap.every > 0 && ex.total_steps.is_multiple_of(snap.every) {
+                    // `held` is provably `None` here: it is taken at the
+                    // loop head and only re-set inside the delivery-batch
+                    // arm, so the wheel holds the complete backlog. Runs
+                    // are expanded into per-letter deliveries with their
+                    // exact consecutive seqs — the snapshot bytes are
+                    // identical to the heap scheduler's.
+                    debug_assert!(held.is_none());
+                    let mut backlog = Vec::new();
+                    for (time, seq, kind) in wheel.entries() {
+                        match *kind {
+                            WheelKind::Step(node) => backlog.push(BacklogEvent {
+                                time,
+                                seq,
+                                kind: BacklogKind::Step { node, inc: 0 },
+                            }),
+                            WheelKind::Deliver { node, slot, letter } => {
+                                backlog.push(BacklogEvent {
+                                    time,
+                                    seq,
+                                    kind: BacklogKind::Deliver {
+                                        node,
+                                        slot,
+                                        letter,
+                                        inc: 0,
+                                    },
+                                })
+                            }
+                            WheelKind::DeliverRun {
+                                v,
+                                from,
+                                len,
+                                letter,
+                            } => {
+                                let nbrs = ex.graph.neighbors(v);
+                                let rev = ex.graph.reverse_ports(v);
+                                for (i, k) in (from as usize..(from + len) as usize).enumerate() {
+                                    let u = nbrs[k];
+                                    let slot = (ex.graph.csr_offset(u) + rev[k] as usize) as u32;
+                                    backlog.push(BacklogEvent {
+                                        time,
+                                        seq: seq + i as u64,
+                                        kind: BacklogKind::Deliver {
+                                            node: u,
+                                            slot,
+                                            letter,
+                                            inc: 0,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    ex.checkpoint(snap, events, seq, None, backlog, observer);
+                }
             }
         }
     }
@@ -853,6 +1078,7 @@ enum ChurnKind {
 /// edge-delete boundary bounce off the tombstoned slot; letters in
 /// flight across a delete + re-insert window do land (the channel was
 /// re-established before arrival).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_async_churn<P, A, O>(
     protocol: &P,
     base: &Graph,
@@ -861,6 +1087,7 @@ pub(crate) fn exec_async_churn<P, A, O>(
     config: &AsyncConfig,
     plan: &crate::churn::ChurnPlan,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(AsyncOutcome, Vec<P::State>, crate::churn::ChurnSummary), ExecError>
 where
     P: Fsm,
@@ -882,24 +1109,63 @@ where
     );
 
     let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    let mut ex = Exec::new(protocol, &universe, inputs, config.seed);
-    ctl.setup(&mut ex.ports);
-    let mut incarnation: Vec<u32> = vec![0; n];
-
     let mut seq = 0u64;
+    let mut events = 0u64;
     let mut heap: BinaryHeap<Reverse<Event2>> = BinaryHeap::new();
-    for v in 0..n as NodeId {
-        let l = ex.step_length(adversary, v, 1);
-        heap.push(Reverse(Event2 {
-            time: l,
-            seq,
-            kind: ChurnKind::Step(v, 0),
-        }));
-        seq += 1;
-    }
+    let (mut ex, mut incarnation) = match snap.resume {
+        Some(s) => {
+            let mut res = snapshot::decode_async(s, &snap.codec(), n, universe.port_slot_count())?;
+            let Some((incarnation, cursor)) = res.churn.take() else {
+                return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                    field: "snapshot body kind",
+                }));
+            };
+            // The restored store already reflects the setup patches and
+            // every boundary up to the cursor; only the overlay replica,
+            // effectiveness counters, and cursor need rebuilding.
+            ctl.fast_forward(&universe, cursor)?;
+            for e in std::mem::take(&mut res.backlog) {
+                let kind = match e.kind {
+                    BacklogKind::Step { node, inc } => ChurnKind::Step(node, inc),
+                    BacklogKind::Deliver {
+                        node,
+                        slot,
+                        letter,
+                        inc,
+                    } => ChurnKind::Deliver {
+                        node,
+                        slot,
+                        letter,
+                        inc,
+                    },
+                };
+                heap.push(Reverse(Event2 {
+                    time: e.time,
+                    seq: e.seq,
+                    kind,
+                }));
+            }
+            events = res.events;
+            seq = res.seq;
+            (Exec::from_resume(protocol, &universe, res), incarnation)
+        }
+        None => {
+            let mut ex = Exec::new(protocol, &universe, inputs, config.seed);
+            ctl.setup(&mut ex.ports);
+            for v in 0..n as NodeId {
+                let l = ex.step_length(adversary, v, 1);
+                heap.push(Reverse(Event2 {
+                    time: l,
+                    seq,
+                    kind: ChurnKind::Step(v, 0),
+                }));
+                seq += 1;
+            }
+            (ex, vec![0u32; n])
+        }
+    };
 
     let mut arrivals: Vec<f64> = Vec::new();
-    let mut events = 0u64;
     let mut now = 0.0f64;
     let completion_time;
     'run: loop {
@@ -1032,6 +1298,38 @@ where
                     kind: ChurnKind::Step(v, inc),
                 }));
                 seq += 1;
+
+                if snap.every > 0 && ex.total_steps.is_multiple_of(snap.every) {
+                    let backlog = heap
+                        .iter()
+                        .map(|Reverse(e)| BacklogEvent {
+                            time: e.time,
+                            seq: e.seq,
+                            kind: match e.kind {
+                                ChurnKind::Step(node, inc) => BacklogKind::Step { node, inc },
+                                ChurnKind::Deliver {
+                                    node,
+                                    slot,
+                                    letter,
+                                    inc,
+                                } => BacklogKind::Deliver {
+                                    node,
+                                    slot,
+                                    letter,
+                                    inc,
+                                },
+                            },
+                        })
+                        .collect();
+                    ex.checkpoint(
+                        snap,
+                        events,
+                        seq,
+                        Some((&incarnation, ctl.cursor())),
+                        backlog,
+                        observer,
+                    );
+                }
             }
         }
     }

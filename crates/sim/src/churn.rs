@@ -114,9 +114,10 @@ use crate::engine::{FlatPorts, PortPlanes};
 use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
 #[cfg(feature = "parallel")]
 use crate::pipeline::ShardedSink;
-use crate::pipeline::{node_round, RoundEnd, RoundStep, SerialWrites};
+use crate::pipeline::{boundary_checkpoint, node_round, RoundEnd, RoundStep, SerialWrites};
 use crate::scoped::{scoped_rngs, ScopedDelivery, ScopedMultiFsm, ScopedOutcome, ScopedStep};
 use crate::sim::Observer;
+use crate::snapshot::{self, SnapArgs, SnapPlumb, SnapshotError};
 use crate::sync_exec::{seed_rngs, SyncConfig, SyncObserver, SyncOutcome, SyncStep};
 use crate::{splitmix64, ExecError};
 
@@ -553,6 +554,33 @@ impl<'p> ChurnCtl<'p> {
         }
     }
 
+    /// The schedule cursor: how many events [`ChurnCtl::apply_next`] has
+    /// consumed. Captured into snapshots so a resumed run can
+    /// [`ChurnCtl::fast_forward`] to the same position.
+    pub(crate) fn cursor(&self) -> u64 {
+        self.next as u64
+    }
+
+    /// Replays the first `k` events against the liveness overlay without
+    /// touching any engine state — the snapshot's port store, protocol
+    /// states, and undecided counter already reflect them. Rebuilds
+    /// exactly the overlay, effectiveness counters, and cursor the
+    /// checkpointing run had at its boundary, so the eventual
+    /// [`ChurnCtl::finish`] summary is bit-identical. Fails if `k` walks
+    /// past the end of the schedule (a snapshot from a different plan).
+    pub(crate) fn fast_forward(&mut self, universe: &Graph, k: u64) -> Result<(), ExecError> {
+        if k > self.events.len() as u64 {
+            return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                field: "churn cursor",
+            }));
+        }
+        for _ in 0..k {
+            let _ = self.apply_next(universe);
+        }
+        self.patches.clear();
+        Ok(())
+    }
+
     /// The run's churn summary.
     pub(crate) fn finish(&self) -> ChurnSummary {
         ChurnSummary {
@@ -581,30 +609,42 @@ fn run_serial_churn<St, O>(
     max_rounds: u64,
     observer: &mut O,
     witness: &mut St::Witness,
+    plumb: &SnapPlumb<St::State>,
 ) -> RoundEnd
 where
     St: RoundStep,
     O: SyncObserver<St::State>,
 {
     let n = states.len();
-    let mut undecided = states.iter().filter(|q| !step.decided(q)).count() as isize;
-    let mut sent = 0u64;
-    // Round-0 events apply before the first observation.
-    ctl.boundary(
-        universe,
-        0,
-        step,
-        inputs,
-        states,
-        &mut undecided,
-        planes.write(),
-    );
-    if undecided == 0 && ctl.exhausted() {
-        return RoundEnd::Done { rounds: 0, sent };
+    let (start, mut sent, mut undecided) = match &plumb.resume {
+        Some(r) => (r.round, r.sent, r.undecided as isize),
+        None => (
+            0,
+            0,
+            states.iter().filter(|q| !step.decided(q)).count() as isize,
+        ),
+    };
+    if plumb.resume.is_none() {
+        // Round-0 events apply before the first observation. A resumed
+        // run skips this: the snapshot store already includes every
+        // boundary up to its round, and fast-forward replayed the
+        // schedule cursor.
+        ctl.boundary(
+            universe,
+            0,
+            step,
+            inputs,
+            states,
+            &mut undecided,
+            planes.write(),
+        );
+        if undecided == 0 && ctl.exhausted() {
+            return RoundEnd::Done { rounds: 0, sent };
+        }
     }
     let mut obs = ObsVec::zeroed(planes.sigma());
     let mut sink = SerialWrites::default();
-    for round in 1..=max_rounds {
+    for round in start + 1..=max_rounds {
         sink.begin_round();
         {
             let ports = planes.read();
@@ -645,6 +685,18 @@ where
                 sent,
             };
         }
+        boundary_checkpoint::<St, _>(
+            plumb,
+            round,
+            sent,
+            undecided,
+            planes,
+            states,
+            rngs,
+            witness,
+            Some(ctl.cursor()),
+            observer,
+        );
     }
     RoundEnd::Limit {
         limit: max_rounds,
@@ -671,6 +723,7 @@ fn run_parallel_churn<St, O>(
     max_rounds: u64,
     observer: &mut O,
     witness: &mut St::Witness,
+    plumb: &SnapPlumb<St::State>,
 ) -> RoundEnd
 where
     St: RoundStep + Sync,
@@ -678,19 +731,27 @@ where
     St::Witness: Send,
     O: SyncObserver<St::State>,
 {
-    let mut undecided = states.iter().filter(|q| !step.decided(q)).count() as isize;
-    let mut sent = 0u64;
-    ctl.boundary(
-        universe,
-        0,
-        step,
-        inputs,
-        states,
-        &mut undecided,
-        planes.write(),
-    );
-    if undecided == 0 && ctl.exhausted() {
-        return RoundEnd::Done { rounds: 0, sent };
+    let (start, mut sent, mut undecided) = match &plumb.resume {
+        Some(r) => (r.round, r.sent, r.undecided as isize),
+        None => (
+            0,
+            0,
+            states.iter().filter(|q| !step.decided(q)).count() as isize,
+        ),
+    };
+    if plumb.resume.is_none() {
+        ctl.boundary(
+            universe,
+            0,
+            step,
+            inputs,
+            states,
+            &mut undecided,
+            planes.write(),
+        );
+        if undecided == 0 && ctl.exhausted() {
+            return RoundEnd::Done { rounds: 0, sent };
+        }
     }
     let sigma = planes.sigma();
     let plan = ShardPlan::new(universe, policy.resolve_workers());
@@ -702,7 +763,7 @@ where
 
     match policy.resolve_round() {
         RoundMode::Joined => {
-            for round in 1..=max_rounds {
+            for round in start + 1..=max_rounds {
                 let ports = planes.read();
                 let live = ctl.live();
                 let deltas: Vec<isize> = std::thread::scope(|scope| {
@@ -767,13 +828,25 @@ where
                         sent,
                     };
                 }
+                boundary_checkpoint::<St, _>(
+                    plumb,
+                    round,
+                    sent,
+                    undecided,
+                    planes,
+                    states,
+                    rngs,
+                    witness,
+                    Some(ctl.cursor()),
+                    observer,
+                );
             }
         }
         RoundMode::Fused => {
             let mut landing = buffers;
             let mut filling: Vec<DeliveryBuffer> =
                 (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
-            for round in 1..=max_rounds {
+            for round in start + 1..=max_rounds {
                 let shards = planes.epoch_shards(universe, plan.bounds());
                 let landing_ref = &landing;
                 let live = ctl.live();
@@ -856,6 +929,37 @@ where
                         sent,
                     };
                 }
+                if plumb.every > 0 && round % plumb.every == 0 {
+                    // Commit the deferred phase 2b before capturing, the
+                    // same flush-and-clear a churn boundary performs (a
+                    // no-op if one just did): the snapshot must hold the
+                    // complete end-of-round store.
+                    {
+                        let ports = planes.write();
+                        for ci in 0..workers {
+                            for prev in &landing {
+                                for w in prev.bucket(ci) {
+                                    ports.deliver(w.node as usize, w.slot as usize, w.letter);
+                                }
+                            }
+                        }
+                    }
+                    for b in landing.iter_mut() {
+                        b.clear();
+                    }
+                    boundary_checkpoint::<St, _>(
+                        plumb,
+                        round,
+                        sent,
+                        undecided,
+                        planes,
+                        states,
+                        rngs,
+                        witness,
+                        Some(ctl.cursor()),
+                        observer,
+                    );
+                }
             }
         }
     }
@@ -887,6 +991,75 @@ fn churn_outputs<S>(
         .collect()
 }
 
+/// Shared start-or-resume path of the four churn executors: fresh
+/// engine state (with the extra-edge setup patches applied) on a plain
+/// start, or the snapshot splice — store, states, RNG streams, witness
+/// transcript, churn cursor — on resume. On resume [`ChurnCtl::setup`]
+/// is skipped (the restored store already reflects the setup patches and
+/// every boundary up to the snapshot round) and the controller is
+/// fast-forwarded to the snapshot's cursor instead. A snapshot without a
+/// churn cursor, or with the wrong witness kind for the backend, is
+/// rejected as a body-kind mismatch.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn churn_start<S>(
+    universe: &Graph,
+    sigma: usize,
+    sigma0: Letter,
+    initial: impl FnOnce() -> Vec<S>,
+    seed: impl FnOnce(usize) -> Vec<SmallRng>,
+    ctl: &mut ChurnCtl<'_>,
+    snap: &SnapArgs<'_, S>,
+    scoped: bool,
+) -> Result<
+    (
+        Vec<S>,
+        PortPlanes,
+        Vec<SmallRng>,
+        Vec<ScopedDelivery>,
+        SnapPlumb<S>,
+    ),
+    ExecError,
+> {
+    match snap.resume {
+        Some(s) => {
+            let splice = snapshot::resume_lockstep(s, &snap.codec(), universe, sigma)?;
+            let Some(cursor) = splice.churn_next else {
+                return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                    field: "snapshot body kind",
+                }));
+            };
+            let witness = match (scoped, splice.witness) {
+                (true, Some(w)) => w,
+                (false, None) => Vec::new(),
+                _ => {
+                    return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                        field: "snapshot body kind",
+                    }))
+                }
+            };
+            ctl.fast_forward(universe, cursor)?;
+            Ok((
+                splice.states,
+                splice.planes,
+                splice.rngs,
+                witness,
+                SnapPlumb::from_args(snap, Some(splice.point)),
+            ))
+        }
+        None => {
+            let mut planes = PortPlanes::new(universe, sigma, sigma0);
+            ctl.setup(planes.write());
+            Ok((
+                initial(),
+                planes,
+                seed(universe.node_count()),
+                Vec::new(),
+                SnapPlumb::from_args(snap, None),
+            ))
+        }
+    }
+}
+
 /// The serial sync engine under a churn plan: the exact
 /// [`crate::sync_exec::exec_sync`] pipeline with the churn controller
 /// spliced into the round boundaries.
@@ -897,6 +1070,7 @@ pub(crate) fn exec_sync_churn<P, O>(
     config: &SyncConfig,
     plan: &ChurnPlan,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm,
@@ -905,15 +1079,17 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(
+    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
+    let (mut states, mut planes, mut rngs, _, plumb) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
-    );
-    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    ctl.setup(planes.write());
-    let mut rngs = seed_rngs(n, config.seed);
+        || inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
+        |n| seed_rngs(n, config.seed),
+        &mut ctl,
+        snap,
+        false,
+    )?;
     let end = run_serial_churn(
         &SyncStep(protocol),
         &universe,
@@ -925,6 +1101,7 @@ where
         config.max_rounds,
         observer,
         &mut (),
+        &plumb,
     );
     sync_churn_end(protocol, states, end, ctl.finish())
 }
@@ -941,6 +1118,7 @@ pub(crate) fn exec_sync_churn_parallel<P, O>(
     plan: &ChurnPlan,
     policy: &ParallelPolicy,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm + Sync,
@@ -950,15 +1128,17 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(
+    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
+    let (mut states, mut planes, mut rngs, _, plumb) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
-    );
-    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    ctl.setup(planes.write());
-    let mut rngs = seed_rngs(n, config.seed);
+        || inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
+        |n| seed_rngs(n, config.seed),
+        &mut ctl,
+        snap,
+        false,
+    )?;
     let end = run_parallel_churn(
         &SyncStep(protocol),
         &universe,
@@ -971,11 +1151,13 @@ where
         config.max_rounds,
         observer,
         &mut (),
+        &plumb,
     );
     sync_churn_end(protocol, states, end, ctl.finish())
 }
 
 /// The serial scoped engine under a churn plan.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_scoped_churn<P, O>(
     protocol: &P,
     base: &Graph,
@@ -984,6 +1166,7 @@ pub(crate) fn exec_scoped_churn<P, O>(
     max_rounds: u64,
     plan: &ChurnPlan,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm,
@@ -992,16 +1175,17 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(
+    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
-    );
-    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    ctl.setup(planes.write());
-    let mut rngs = scoped_rngs(n, seed);
-    let mut scoped_deliveries = Vec::new();
+        || inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
+        |n| scoped_rngs(n, seed),
+        &mut ctl,
+        snap,
+        true,
+    )?;
     let end = run_serial_churn(
         &ScopedStep(protocol),
         &universe,
@@ -1013,6 +1197,7 @@ where
         max_rounds,
         observer,
         &mut scoped_deliveries,
+        &plumb,
     );
     scoped_churn_end(protocol, states, scoped_deliveries, end, ctl.finish())
 }
@@ -1029,6 +1214,7 @@ pub(crate) fn exec_scoped_churn_parallel<P, O>(
     plan: &ChurnPlan,
     policy: &ParallelPolicy,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -1038,16 +1224,17 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(
+    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
-    );
-    let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    ctl.setup(planes.write());
-    let mut rngs = scoped_rngs(n, seed);
-    let mut scoped_deliveries = Vec::new();
+        || inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
+        |n| scoped_rngs(n, seed),
+        &mut ctl,
+        snap,
+        true,
+    )?;
     let end = run_parallel_churn(
         &ScopedStep(protocol),
         &universe,
@@ -1060,6 +1247,7 @@ where
         max_rounds,
         observer,
         &mut scoped_deliveries,
+        &plumb,
     );
     scoped_churn_end(protocol, states, scoped_deliveries, end, ctl.finish())
 }

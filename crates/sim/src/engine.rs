@@ -189,9 +189,74 @@ impl FlatPorts {
         }
     }
 
+    /// Rebuilds a store from a serialized letter array — the restore half
+    /// of the snapshot layer. Picks the same count layout as
+    /// [`FlatPorts::new`] would for `sigma` and recomputes all counts
+    /// canonically by scanning ([`TOMBSTONE`]d slots count nothing), so a
+    /// capture → restore round trip is byte-identical to the live store:
+    /// the incremental count maintenance keeps exactly the canonical
+    /// representation this scan produces.
+    ///
+    /// # Panics
+    /// Panics if `letters.len()` differs from the graph's port slot count.
+    pub fn from_letters(graph: &Graph, sigma: usize, letters: Vec<Letter>) -> Self {
+        assert_eq!(
+            letters.len(),
+            graph.port_slot_count(),
+            "letter array does not match the graph's port slot count"
+        );
+        let n = graph.node_count();
+        let counts = if sigma > SPARSE_SIGMA_THRESHOLD {
+            Counts::Sparse(
+                (0..n)
+                    .map(|v| {
+                        let base = graph.csr_offset(v as NodeId);
+                        let mut ls: Vec<u16> = letters[base..base + graph.degree(v as NodeId)]
+                            .iter()
+                            .filter(|&&l| l != TOMBSTONE)
+                            .map(|l| l.0)
+                            .collect();
+                        ls.sort_unstable();
+                        let mut m: Vec<(u16, u32)> = Vec::new();
+                        for l in ls {
+                            match m.last_mut() {
+                                Some(e) if e.0 == l => e.1 += 1,
+                                _ => m.push((l, 1)),
+                            }
+                        }
+                        m
+                    })
+                    .collect(),
+            )
+        } else {
+            let mut counts = vec![0u32; n * sigma];
+            for v in 0..n {
+                let base = graph.csr_offset(v as NodeId);
+                for k in 0..graph.degree(v as NodeId) {
+                    let l = letters[base + k];
+                    if l != TOMBSTONE {
+                        counts[v * sigma + l.index()] += 1;
+                    }
+                }
+            }
+            Counts::Dense(counts)
+        };
+        FlatPorts {
+            sigma,
+            letters,
+            counts,
+        }
+    }
+
     /// The alphabet size this store was built for.
     pub fn sigma(&self) -> usize {
         self.sigma
+    }
+
+    /// The full flat letter array, CSR-indexed — the capture half of the
+    /// snapshot layer ([`FlatPorts::from_letters`] restores it).
+    pub fn letters(&self) -> &[Letter] {
+        &self.letters
     }
 
     /// The count representation in use.
@@ -695,6 +760,14 @@ impl PortPlanes {
             ports: FlatPorts::new(graph, sigma, sigma0),
             epoch: 0,
         }
+    }
+
+    /// Reassembles planes from a restored backing store and epoch — the
+    /// restore half of the snapshot layer ([`PortPlanes::read`] and
+    /// [`PortPlanes::epoch`] capture). Only meaningful at a round
+    /// boundary, where all planes coincide in the single backing array.
+    pub fn from_parts(ports: FlatPorts, epoch: u64) -> Self {
+        PortPlanes { ports, epoch }
     }
 
     /// The alphabet size this store was built for.

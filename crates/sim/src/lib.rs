@@ -3,8 +3,12 @@
 //!
 //! The crate's entry point is the unified [`Simulation`] builder of the
 //! [`sim`] module — one configurable front over every executor, selected
-//! by [`Backend`]. (The legacy `run_*` free functions survive as
-//! deprecated shims over it.)
+//! by [`Backend`]. (The legacy `run_*` free functions are retired; see
+//! the README migration table for the builder equivalent of each.) The
+//! [`snapshot`] module adds bit-identical checkpoint/resume on top:
+//! [`Simulation::checkpoint_every`] captures versioned binary
+//! [`Snapshot`] frames at committed boundaries and
+//! [`Simulation::resume_from`] replays the remainder exactly.
 //!
 //! Two engines implement the paper's two environments:
 //!
@@ -93,8 +97,8 @@ pub mod pipeline;
 pub mod reference;
 pub mod schedule;
 pub mod scoped;
-mod shims;
 pub mod sim;
+pub mod snapshot;
 mod sync_exec;
 
 pub use adversary::Adversary;
@@ -112,22 +116,11 @@ pub use scoped::{
 pub use sim::{
     AdaptAsync, AdaptSync, AsyncOptions, Backend, Cost, Detail, Observer, Outcome, Simulation,
 };
+pub use snapshot::{SnapReader, SnapState, SnapWriter, Snapshot, SnapshotError, SNAPSHOT_VERSION};
 /// Re-export of the representation-independent protocol base trait the
 /// [`Simulation`] builder is generic over.
 pub use stoneage_core::Protocol;
 pub use sync_exec::{NoopObserver, SyncConfig, SyncObserver, SyncOutcome};
-
-#[allow(deprecated)]
-pub use shims::{
-    run_async, run_async_observed, run_async_with_inputs, run_scoped, run_sync, run_sync_observed,
-    run_sync_with_inputs,
-};
-#[cfg(feature = "parallel")]
-#[allow(deprecated)]
-pub use shims::{
-    run_scoped_parallel, run_scoped_parallel_with_policy, run_sync_parallel,
-    run_sync_parallel_with_inputs, run_sync_parallel_with_policy,
-};
 
 /// Why an execution failed to reach an output configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,6 +154,18 @@ pub enum ExecError {
         /// Human-readable description of the invalid configuration.
         reason: String,
     },
+    /// A [`Snapshot`] passed to [`Simulation::resume_from`] could not be
+    /// decoded or does not belong to this run configuration (format
+    /// version mismatch, truncated or corrupted bytes, or a header
+    /// digest that disagrees with the builder's graph / protocol /
+    /// backend / config).
+    Snapshot(snapshot::SnapshotError),
+}
+
+impl From<snapshot::SnapshotError> for ExecError {
+    fn from(e: snapshot::SnapshotError) -> Self {
+        ExecError::Snapshot(e)
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -180,11 +185,19 @@ impl std::fmt::Display for ExecError {
             ExecError::Config { reason } => {
                 write!(f, "invalid simulation configuration: {reason}")
             }
+            ExecError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// SplitMix64: the stream-splitting hash used to derive independent
 /// deterministic seeds for per-node RNGs and oblivious adversary draws.

@@ -76,6 +76,8 @@ use stoneage_graph::{Graph, NodeId};
 use crate::engine::{FlatPorts, PlaneShard, PortPlanes};
 #[cfg(feature = "parallel")]
 use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
+use crate::scoped::ScopedDelivery;
+use crate::snapshot::{encode_lockstep, LockstepCapture, SnapPlumb};
 use crate::sync_exec::SyncObserver;
 
 /// Read access to a frozen plane: the observation surface phase 1 and
@@ -239,6 +241,10 @@ pub(crate) trait RoundStep {
     /// witness directly.)
     #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     fn absorb(into: &mut Self::Witness, from: &mut Self::Witness);
+    /// The scoped-delivery transcript inside `witness`, if this flavor
+    /// records one — serialized into boundary snapshots and restored on
+    /// resume (`None` for plain sync, whose witness is `()`).
+    fn witness_slice(witness: &Self::Witness) -> Option<&[ScopedDelivery]>;
 }
 
 /// Why a pipeline run ended.
@@ -257,6 +263,51 @@ pub(crate) enum RoundEnd {
         /// Nodes not yet in an output state.
         unfinished: usize,
     },
+}
+
+/// Emits a boundary checkpoint to the observer when the plumbing's
+/// cadence lands on `round`. Called by every lockstep schedule after the
+/// round has fully committed — deliveries landed, epoch flipped, witness
+/// absorbed, `on_round_end` delivered — and only when the run continues:
+/// a terminal round is never checkpointed (the run is over; there is
+/// nothing to resume).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn boundary_checkpoint<St, O>(
+    plumb: &SnapPlumb<St::State>,
+    round: u64,
+    sent: u64,
+    undecided: isize,
+    planes: &PortPlanes,
+    states: &[St::State],
+    rngs: &[SmallRng],
+    witness: &St::Witness,
+    churn_next: Option<u64>,
+    observer: &mut O,
+) where
+    St: RoundStep,
+    O: SyncObserver<St::State>,
+{
+    if plumb.every == 0 || !round.is_multiple_of(plumb.every) {
+        return;
+    }
+    let codec = plumb
+        .codec
+        .expect("active snapshot plumbing always carries a codec");
+    let snap = encode_lockstep(
+        plumb.meta,
+        &codec,
+        &LockstepCapture {
+            round,
+            sent,
+            undecided: undecided as u64,
+            planes,
+            states,
+            rngs,
+            witness: St::witness_slice(witness),
+            churn_next,
+        },
+    );
+    observer.on_checkpoint(&snap);
 }
 
 /// Phase 1 + 2a of one node against a frozen plane; returns the
@@ -312,20 +363,27 @@ pub(crate) fn run_serial<St, O>(
     max_rounds: u64,
     observer: &mut O,
     witness: &mut St::Witness,
+    plumb: &SnapPlumb<St::State>,
 ) -> RoundEnd
 where
     St: RoundStep,
     O: SyncObserver<St::State>,
 {
     let n = states.len();
-    let mut undecided = states.iter().filter(|q| !step.decided(q)).count() as isize;
-    let mut sent = 0u64;
-    if undecided == 0 {
+    let (start, mut sent, mut undecided) = match &plumb.resume {
+        Some(r) => (r.round, r.sent, r.undecided as isize),
+        None => (
+            0,
+            0,
+            states.iter().filter(|q| !step.decided(q)).count() as isize,
+        ),
+    };
+    if plumb.resume.is_none() && undecided == 0 {
         return RoundEnd::Done { rounds: 0, sent };
     }
     let mut obs = ObsVec::zeroed(planes.sigma());
     let mut sink = SerialWrites::default();
-    for round in 1..=max_rounds {
+    for round in start + 1..=max_rounds {
         sink.begin_round();
         {
             let ports = planes.read();
@@ -353,6 +411,9 @@ where
                 sent,
             };
         }
+        boundary_checkpoint::<St, _>(
+            plumb, round, sent, undecided, planes, states, rngs, witness, None, observer,
+        );
     }
     RoundEnd::Limit {
         limit: max_rounds,
@@ -378,6 +439,7 @@ pub(crate) fn run_parallel<St, O>(
     max_rounds: u64,
     observer: &mut O,
     witness: &mut St::Witness,
+    plumb: &SnapPlumb<St::State>,
 ) -> RoundEnd
 where
     St: RoundStep + Sync,
@@ -385,9 +447,15 @@ where
     St::Witness: Send,
     O: SyncObserver<St::State>,
 {
-    let mut undecided = states.iter().filter(|q| !step.decided(q)).count() as isize;
-    let mut sent = 0u64;
-    if undecided == 0 {
+    let (start, mut sent, mut undecided) = match &plumb.resume {
+        Some(r) => (r.round, r.sent, r.undecided as isize),
+        None => (
+            0,
+            0,
+            states.iter().filter(|q| !step.decided(q)).count() as isize,
+        ),
+    };
+    if plumb.resume.is_none() && undecided == 0 {
         return RoundEnd::Done { rounds: 0, sent };
     }
     let sigma = planes.sigma();
@@ -402,7 +470,7 @@ where
 
     match policy.resolve_round() {
         RoundMode::Joined => {
-            for round in 1..=max_rounds {
+            for round in start + 1..=max_rounds {
                 // Phase 1 + 2a, one scope: disjoint &mut chunks over
                 // states, RNGs, buffers, and scratch; shared reads of
                 // the frozen read plane and the graph.
@@ -459,6 +527,9 @@ where
                         sent,
                     };
                 }
+                boundary_checkpoint::<St, _>(
+                    plumb, round, sent, undecided, planes, states, rngs, witness, None, observer,
+                );
             }
         }
         RoundMode::Fused => {
@@ -468,7 +539,7 @@ where
             let mut landing = buffers;
             let mut filling: Vec<DeliveryBuffer> =
                 (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
-            for round in 1..=max_rounds {
+            for round in start + 1..=max_rounds {
                 let shards = planes.epoch_shards(graph, plan.bounds());
                 let landing_ref = &landing;
                 let deltas: Vec<isize> = std::thread::scope(|scope| {
@@ -540,6 +611,30 @@ where
                         rounds: round,
                         sent,
                     };
+                }
+                if plumb.every > 0 && round % plumb.every == 0 {
+                    // A fused boundary still owes the store this round's
+                    // deliveries — they normally land inside the next
+                    // round's scope. Land them now, in the same fixed
+                    // worker order per shard, and clear the buffers so
+                    // the deferred landing becomes a no-op; per-round
+                    // slot uniqueness + commutative counts make the
+                    // store bytes identical either way.
+                    let ports = planes.write();
+                    for ci in 0..workers {
+                        for prev in landing.iter() {
+                            for w in prev.bucket(ci) {
+                                ports.deliver(w.node as usize, w.slot as usize, w.letter);
+                            }
+                        }
+                    }
+                    for b in landing.iter_mut() {
+                        b.clear();
+                    }
+                    boundary_checkpoint::<St, _>(
+                        plumb, round, sent, undecided, planes, states, rngs, witness, None,
+                        observer,
+                    );
                 }
             }
         }

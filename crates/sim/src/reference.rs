@@ -5,7 +5,8 @@
 //! engine ([`crate::engine`]): nested `Vec<Vec<Letter>>` ports, a
 //! per-delivery `port_of` binary search, a freshly collected [`ObsVec`]
 //! per node per round, and a full O(|V|) output scan for termination.
-//! [`crate::run_sync`] must produce **bit-identical** outcomes to this
+//! The flat sync engine behind [`crate::Simulation`] must produce
+//! **bit-identical** outcomes to this
 //! executor for every `(protocol, graph, seed)` — that contract is pinned
 //! by `tests/flat_engine.rs` — and the engine-throughput bench measures
 //! the flat engine's speedup against it.

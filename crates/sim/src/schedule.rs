@@ -2,7 +2,8 @@
 //! asynchronous executor.
 //!
 //! PR 1's flat delivery engine removed the per-delivery `port_of` searches
-//! from [`crate::run_async`]; what remained was the single global
+//! from the async executor behind [`crate::Simulation`]; what
+//! remained was the single global
 //! `BinaryHeap<Reverse<Event>>`, whose `O(log m)` push/pop factor (with
 //! `m` the number of in-flight events — hundreds of thousands on a
 //! gnp(50k, avg deg 8) sweep) dominated the event loop. [`CalendarQueue`]
@@ -171,6 +172,27 @@ impl<T> CalendarQueue<T> {
     /// Whether no events are queued.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Visits every queued event as `(time, seq, &item)`, in **no
+    /// particular order** — the snapshot layer collects and sorts them by
+    /// `(time, seq)` itself. Non-destructive: the queue is unchanged.
+    pub fn entries(&self) -> impl Iterator<Item = (f64, u64, &T)> {
+        self.front
+            .iter()
+            .map(|Reverse(e)| (e.time, e.seq, &e.item))
+            .chain(
+                self.levels
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .map(|e| (e.time, e.seq, &e.item)),
+            )
+            .chain(
+                self.overflow
+                    .iter()
+                    .map(|Reverse(e)| (e.time, e.seq, &e.item)),
+            )
     }
 
     #[inline]
@@ -467,6 +489,25 @@ mod tests {
         assert_eq!(q.pop(), Some((0.5, 2, 2)));
         assert_eq!(q.pop(), Some((0.9, 1, 1)));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn entries_visit_every_queued_event_without_draining() {
+        let mut q = CalendarQueue::new(1.0);
+        let times = [0.5, 3.0, 100.0, 5_000.0, 300_000.0, 20_000_000.0, 1e12];
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(t, seq as u64, seq as u64);
+        }
+        q.pop().unwrap(); // populate the front heap mid-drain
+        q.push(0.75, 99, 99);
+        let mut seen: Vec<(f64, u64, u64)> = q.entries().map(|(t, s, &i)| (t, s, i)).collect();
+        assert_eq!(seen.len(), q.len());
+        seen.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some((t, s, i)) = q.pop() {
+            popped.push((t, s, i));
+        }
+        assert_eq!(seen, popped);
     }
 
     #[test]

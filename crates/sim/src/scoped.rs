@@ -30,6 +30,7 @@ use crate::engine::PortPlanes;
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
+use crate::snapshot::{self, SnapArgs, SnapPlumb, SnapshotError};
 use crate::{splitmix64, ExecError};
 
 /// An emission under the port-select extension.
@@ -217,6 +218,10 @@ impl<P: ScopedMultiFsm> RoundStep for ScopedStep<'_, P> {
     fn absorb(into: &mut Vec<ScopedDelivery>, from: &mut Vec<ScopedDelivery>) {
         into.append(from);
     }
+
+    fn witness_slice(witness: &Vec<ScopedDelivery>) -> Option<&[ScopedDelivery]> {
+        Some(witness)
+    }
 }
 
 /// The per-node RNG streams of the scoped engines: a pure function of
@@ -226,6 +231,47 @@ pub(crate) fn scoped_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
     (0..n as u64)
         .map(|v| SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(v ^ 0x5C0B))))
         .collect()
+}
+
+/// The engine state a scoped run starts from — fresh, or spliced from a
+/// resume snapshot (which must carry a witness transcript and no churn
+/// cursor, or it belongs to another backend/configuration). The restored
+/// transcript already holds every scoped delivery up to the snapshot
+/// boundary, so the resumed run's witness is the full-run witness.
+type ScopedStart<S> = (
+    Vec<S>,
+    PortPlanes,
+    Vec<SmallRng>,
+    Vec<ScopedDelivery>,
+    SnapPlumb<S>,
+);
+
+fn scoped_start<P: ScopedMultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    snap: &SnapArgs<'_, P::State>,
+) -> Result<ScopedStart<P::State>, ExecError> {
+    let sigma = protocol.alphabet().len();
+    if let Some(s) = snap.resume {
+        let splice = snapshot::resume_lockstep(s, &snap.codec(), graph, sigma)?;
+        let (Some(witness), None) = (splice.witness, splice.churn_next) else {
+            return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                field: "snapshot body kind",
+            }));
+        };
+        let plumb = SnapPlumb::from_args(snap, Some(splice.point));
+        Ok((splice.states, splice.planes, splice.rngs, witness, plumb))
+    } else {
+        Ok((
+            inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
+            PortPlanes::new(graph, sigma, protocol.initial_letter()),
+            scoped_rngs(graph.node_count(), seed),
+            Vec::new(),
+            SnapPlumb::from_args(snap, None),
+        ))
+    }
 }
 
 fn scoped_end<P: ScopedMultiFsm>(
@@ -265,17 +311,19 @@ pub(crate) fn exec_scoped<P, O>(
     seed: u64,
     max_rounds: u64,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm,
     O: crate::sync_exec::SyncObserver<P::State>,
 {
-    let n = graph.node_count();
-    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
-    let mut rngs = scoped_rngs(n, seed);
-    let mut scoped_deliveries = Vec::new();
+    debug_assert_eq!(
+        inputs.len(),
+        graph.node_count(),
+        "the builder validates input length"
+    );
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) =
+        scoped_start(protocol, graph, inputs, seed, snap)?;
     let end = pipeline::run_serial(
         &ScopedStep(protocol),
         graph,
@@ -285,6 +333,7 @@ where
         max_rounds,
         observer,
         &mut scoped_deliveries,
+        &plumb,
     );
     scoped_end(protocol, states, scoped_deliveries, end)
 }
@@ -321,6 +370,7 @@ where
 /// [`ParallelPolicy::use_serial`] says the instance is too small, so
 /// this function always runs the chunked machinery.
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_scoped_parallel<P, O>(
     protocol: &P,
     graph: &Graph,
@@ -329,19 +379,22 @@ pub(crate) fn exec_scoped_parallel<P, O>(
     max_rounds: u64,
     policy: &ParallelPolicy,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
     P::State: Send + Sync,
     O: crate::sync_exec::SyncObserver<P::State>,
 {
-    let n = graph.node_count();
-    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
-    // The identical per-node streams of the serial engine.
-    let mut rngs = scoped_rngs(n, seed);
-    let mut scoped_deliveries = Vec::new();
+    debug_assert_eq!(
+        inputs.len(),
+        graph.node_count(),
+        "the builder validates input length"
+    );
+    // The identical per-node streams (or restored mid-run streams) of
+    // the serial engine.
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) =
+        scoped_start(protocol, graph, inputs, seed, snap)?;
     let end = pipeline::run_parallel(
         &ScopedStep(protocol),
         graph,
@@ -352,6 +405,7 @@ where
         max_rounds,
         observer,
         &mut scoped_deliveries,
+        &plumb,
     );
     scoped_end(protocol, states, scoped_deliveries, end)
 }

@@ -21,13 +21,16 @@
 //!   [`AdaptAsync`] adapters.
 //!
 //! The builder is a *veneer*: it dispatches to the exact engines the
-//! legacy functions ran, so outcomes are **bit-identical per seed** to
-//! every `run_*` entry point it replaces (pinned by the builder-parity
-//! suite in `tests/builder_parity.rs` and by the unchanged fingerprint
-//! constants). The legacy functions survive as deprecated shims over
-//! this builder. Future backends (adaptive-resize wheel, NUMA-sharded
-//! parallel schedules) become new [`Backend`] variants or
-//! [`AsyncOptions`] fields instead of four more free functions each.
+//! retired `run_*` functions ran, so outcomes are **bit-identical per
+//! seed** to every legacy entry point it replaced (pinned by the
+//! fingerprint suite in `tests/builder_parity.rs` and by the unchanged
+//! fingerprint constants). The `run_*` shims themselves are gone — the
+//! builder is the *only* entry point; see the README migration table.
+//! Cross-cutting capabilities land here once and serve every backend:
+//! [`Simulation::checkpoint_every`] / [`Simulation::resume_from`] wire
+//! the [`crate::snapshot`] layer through all three executors, and future
+//! backends become new [`Backend`] variants or [`AsyncOptions`] fields
+//! instead of four more free functions each.
 //!
 //! # Example
 //!
@@ -67,12 +70,13 @@
 use std::fmt;
 
 use stoneage_core::{Fsm, MultiFsm, Protocol};
-use stoneage_graph::{Graph, NodeId};
+use stoneage_graph::{Graph, NodeId, TopologyEvent};
 
 use crate::churn::{self, ChurnPlan, ChurnSummary};
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::scoped::{self, ScopedDelivery, ScopedMultiFsm, ScopedOutcome};
+use crate::snapshot::{self, SnapArgs, SnapMeta, SnapState, Snapshot, SnapshotError, StateCodec};
 use crate::sync_exec::{self, NoopObserver, SyncConfig, SyncObserver, SyncOutcome};
 use crate::{
     async_exec, Adversary, AsyncConfig, AsyncObserver, AsyncOutcome, ExecError, NoopAsyncObserver,
@@ -298,6 +302,15 @@ pub trait Observer<S> {
     fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
         let _ = (time, v, t, state);
     }
+
+    /// Called at every checkpoint boundary a [`Simulation::checkpoint_every`]
+    /// cadence hits, with the freshly captured [`Snapshot`]. The observer
+    /// owns persistence: call [`Snapshot::to_bytes`] and write the frame
+    /// wherever resumption will find it. Never called on runs without a
+    /// checkpoint cadence.
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        let _ = snapshot;
+    }
 }
 
 /// Adapts any legacy [`SyncObserver`] into the
@@ -307,6 +320,10 @@ pub struct AdaptSync<O>(pub O);
 impl<S, O: SyncObserver<S>> Observer<S> for AdaptSync<O> {
     fn on_round_end(&mut self, round: u64, states: &[S]) {
         self.0.on_round_end(round, states);
+    }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        self.0.on_checkpoint(snapshot);
     }
 }
 
@@ -318,6 +335,10 @@ impl<S, O: AsyncObserver<S>> Observer<S> for AdaptAsync<O> {
     fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
         self.0.on_step(time, v, t, state);
     }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        self.0.on_checkpoint(snapshot);
+    }
 }
 
 /// Bridges the unified observer back onto the engines' legacy hook
@@ -328,11 +349,19 @@ impl<S> SyncObserver<S> for Bridge<'_, '_, S> {
     fn on_round_end(&mut self, round: u64, states: &[S]) {
         self.0.on_round_end(round, states);
     }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        self.0.on_checkpoint(snapshot);
+    }
 }
 
 impl<S> AsyncObserver<S> for Bridge<'_, '_, S> {
     fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
         self.0.on_step(time, v, t, state);
+    }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        self.0.on_checkpoint(snapshot);
     }
 }
 
@@ -427,12 +456,17 @@ impl Backend<'_> {
 /// [`ExecError::Config`].
 type ObsArg<'a, P> = Option<&'a mut dyn Observer<<P as Protocol>::State>>;
 
+/// The snapshot plumbing every capability row threads to its engine:
+/// cadence, resume frame, state codec, and the binding header metadata.
+type SnapRef<'a, P> = &'a SnapArgs<'a, <P as Protocol>::State>;
+
 type SyncFn<P> = fn(
     &P,
     &Graph,
     &[usize],
     &SyncConfig,
     ObsArg<'_, P>,
+    SnapRef<'_, P>,
 ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type AsyncFn<P> = fn(
@@ -442,6 +476,7 @@ type AsyncFn<P> = fn(
     &dyn Adversary,
     &AsyncConfig,
     ObsArg<'_, P>,
+    SnapRef<'_, P>,
 ) -> Result<(AsyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type ScopedFn<P> = fn(
@@ -451,6 +486,7 @@ type ScopedFn<P> = fn(
     u64,
     u64,
     ObsArg<'_, P>,
+    SnapRef<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -461,6 +497,7 @@ type SyncParFn<P> = fn(
     &SyncConfig,
     &ParallelPolicy,
     ObsArg<'_, P>,
+    SnapRef<'_, P>,
 ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -472,6 +509,7 @@ type ScopedParFn<P> = fn(
     u64,
     &ParallelPolicy,
     ObsArg<'_, P>,
+    SnapRef<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type SyncChurnFn<P> =
@@ -482,6 +520,7 @@ type SyncChurnFn<P> =
         &SyncConfig,
         &ChurnPlan,
         ObsArg<'_, P>,
+        SnapRef<'_, P>,
     ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 type AsyncChurnFn<P> =
@@ -493,6 +532,7 @@ type AsyncChurnFn<P> =
         &AsyncConfig,
         &ChurnPlan,
         ObsArg<'_, P>,
+        SnapRef<'_, P>,
     ) -> Result<(AsyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 type ScopedChurnFn<P> =
@@ -504,6 +544,7 @@ type ScopedChurnFn<P> =
         u64,
         &ChurnPlan,
         ObsArg<'_, P>,
+        SnapRef<'_, P>,
     ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -516,6 +557,7 @@ type SyncChurnParFn<P> =
         &ChurnPlan,
         &ParallelPolicy,
         ObsArg<'_, P>,
+        SnapRef<'_, P>,
     ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -529,6 +571,7 @@ type ScopedChurnParFn<P> =
         &ChurnPlan,
         &ParallelPolicy,
         ObsArg<'_, P>,
+        SnapRef<'_, P>,
     ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 struct Caps<P: Protocol> {
@@ -575,10 +618,11 @@ fn cap_sync<P: MultiFsm>(
     inputs: &[usize],
     config: &SyncConfig,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
     match observer {
-        Some(o) => sync_exec::exec_sync(protocol, graph, inputs, config, &mut Bridge(o)),
-        None => sync_exec::exec_sync(protocol, graph, inputs, config, &mut NoopObserver),
+        Some(o) => sync_exec::exec_sync(protocol, graph, inputs, config, &mut Bridge(o), snap),
+        None => sync_exec::exec_sync(protocol, graph, inputs, config, &mut NoopObserver, snap),
     }
 }
 
@@ -590,15 +634,22 @@ fn cap_sync_par<P>(
     config: &SyncConfig,
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
     P::State: Send + Sync,
 {
     match observer {
-        Some(o) => {
-            sync_exec::exec_sync_parallel(protocol, graph, inputs, config, policy, &mut Bridge(o))
-        }
+        Some(o) => sync_exec::exec_sync_parallel(
+            protocol,
+            graph,
+            inputs,
+            config,
+            policy,
+            &mut Bridge(o),
+            snap,
+        ),
         None => sync_exec::exec_sync_parallel(
             protocol,
             graph,
@@ -606,6 +657,7 @@ where
             config,
             policy,
             &mut NoopObserver,
+            snap,
         ),
     }
 }
@@ -617,11 +669,18 @@ fn cap_async<P: Fsm>(
     adversary: &dyn Adversary,
     config: &AsyncConfig,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     match observer {
-        Some(o) => {
-            async_exec::exec_async(protocol, graph, inputs, adversary, config, &mut Bridge(o))
-        }
+        Some(o) => async_exec::exec_async(
+            protocol,
+            graph,
+            inputs,
+            adversary,
+            config,
+            &mut Bridge(o),
+            snap,
+        ),
         None => async_exec::exec_async(
             protocol,
             graph,
@@ -629,6 +688,7 @@ fn cap_async<P: Fsm>(
             adversary,
             config,
             &mut NoopAsyncObserver,
+            snap,
         ),
     }
 }
@@ -640,14 +700,32 @@ fn cap_scoped<P: ScopedMultiFsm>(
     seed: u64,
     max_rounds: u64,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError> {
     match observer {
-        Some(o) => scoped::exec_scoped(protocol, graph, inputs, seed, max_rounds, &mut Bridge(o)),
-        None => scoped::exec_scoped(protocol, graph, inputs, seed, max_rounds, &mut NoopObserver),
+        Some(o) => scoped::exec_scoped(
+            protocol,
+            graph,
+            inputs,
+            seed,
+            max_rounds,
+            &mut Bridge(o),
+            snap,
+        ),
+        None => scoped::exec_scoped(
+            protocol,
+            graph,
+            inputs,
+            seed,
+            max_rounds,
+            &mut NoopObserver,
+            snap,
+        ),
     }
 }
 
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 fn cap_scoped_par<P>(
     protocol: &P,
     graph: &Graph,
@@ -656,6 +734,7 @@ fn cap_scoped_par<P>(
     max_rounds: u64,
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -670,6 +749,7 @@ where
             max_rounds,
             policy,
             &mut Bridge(o),
+            snap,
         ),
         None => scoped::exec_scoped_parallel(
             protocol,
@@ -679,6 +759,7 @@ where
             max_rounds,
             policy,
             &mut NoopObserver,
+            snap,
         ),
     }
 }
@@ -690,14 +771,26 @@ fn cap_sync_churn<P: MultiFsm>(
     config: &SyncConfig,
     plan: &ChurnPlan,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError> {
     match observer {
-        Some(o) => churn::exec_sync_churn(protocol, base, inputs, config, plan, &mut Bridge(o)),
-        None => churn::exec_sync_churn(protocol, base, inputs, config, plan, &mut NoopObserver),
+        Some(o) => {
+            churn::exec_sync_churn(protocol, base, inputs, config, plan, &mut Bridge(o), snap)
+        }
+        None => churn::exec_sync_churn(
+            protocol,
+            base,
+            inputs,
+            config,
+            plan,
+            &mut NoopObserver,
+            snap,
+        ),
     }
 }
 
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 fn cap_sync_churn_par<P>(
     protocol: &P,
     base: &Graph,
@@ -706,6 +799,7 @@ fn cap_sync_churn_par<P>(
     plan: &ChurnPlan,
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm + Sync,
@@ -720,6 +814,7 @@ where
             plan,
             policy,
             &mut Bridge(o),
+            snap,
         ),
         None => churn::exec_sync_churn_parallel(
             protocol,
@@ -729,10 +824,12 @@ where
             plan,
             policy,
             &mut NoopObserver,
+            snap,
         ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cap_async_churn<P: Fsm>(
     protocol: &P,
     base: &Graph,
@@ -741,6 +838,7 @@ fn cap_async_churn<P: Fsm>(
     config: &AsyncConfig,
     plan: &ChurnPlan,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(AsyncOutcome, Vec<P::State>, ChurnSummary), ExecError> {
     match observer {
         Some(o) => async_exec::exec_async_churn(
@@ -751,6 +849,7 @@ fn cap_async_churn<P: Fsm>(
             config,
             plan,
             &mut Bridge(o),
+            snap,
         ),
         None => async_exec::exec_async_churn(
             protocol,
@@ -760,10 +859,12 @@ fn cap_async_churn<P: Fsm>(
             config,
             plan,
             &mut NoopAsyncObserver,
+            snap,
         ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cap_scoped_churn<P: ScopedMultiFsm>(
     protocol: &P,
     base: &Graph,
@@ -772,6 +873,7 @@ fn cap_scoped_churn<P: ScopedMultiFsm>(
     max_rounds: u64,
     plan: &ChurnPlan,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError> {
     match observer {
         Some(o) => churn::exec_scoped_churn(
@@ -782,6 +884,7 @@ fn cap_scoped_churn<P: ScopedMultiFsm>(
             max_rounds,
             plan,
             &mut Bridge(o),
+            snap,
         ),
         None => churn::exec_scoped_churn(
             protocol,
@@ -791,6 +894,7 @@ fn cap_scoped_churn<P: ScopedMultiFsm>(
             max_rounds,
             plan,
             &mut NoopObserver,
+            snap,
         ),
     }
 }
@@ -806,6 +910,7 @@ fn cap_scoped_churn_par<P>(
     plan: &ChurnPlan,
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
+    snap: SnapRef<'_, P>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -821,6 +926,7 @@ where
             plan,
             policy,
             &mut Bridge(o),
+            snap,
         ),
         None => churn::exec_scoped_churn_parallel(
             protocol,
@@ -831,6 +937,7 @@ where
             plan,
             policy,
             &mut NoopObserver,
+            snap,
         ),
     }
 }
@@ -861,6 +968,9 @@ pub struct Simulation<'g, P: Protocol> {
     churn: Option<&'g ChurnPlan>,
     #[cfg(feature = "parallel")]
     policy: Option<ParallelPolicy>,
+    checkpoint: Option<u64>,
+    resume: Option<&'g Snapshot>,
+    codec: Option<StateCodec<P::State>>,
     caps: Caps<P>,
 }
 
@@ -937,6 +1047,9 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             churn: None,
             #[cfg(feature = "parallel")]
             policy: None,
+            checkpoint: None,
+            resume: None,
+            codec: None,
             caps,
         }
     }
@@ -1019,17 +1132,106 @@ impl<'g, P: Protocol> Simulation<'g, P> {
         self
     }
 
+    /// Captures a [`Snapshot`] of the complete mid-run simulation state
+    /// every `every` committed boundaries — rounds on the lockstep
+    /// backends (Sync, Scoped), applied node steps on the Async backend —
+    /// and hands each frame to [`Observer::on_checkpoint`]. A run resumed
+    /// from any such frame via [`resume_from`](Self::resume_from) replays
+    /// the remainder **bit-identically** to the uninterrupted run, for
+    /// every backend, worker count, and round mode. `every == 0` is
+    /// rejected as [`ExecError::Config`] by [`run`](Self::run).
+    ///
+    /// Requires the protocol's state type to implement [`SnapState`]
+    /// (every fixed-width plain-data state qualifies; see the
+    /// [`crate::snapshot`] docs for implementing it on custom states).
+    pub fn checkpoint_every(mut self, every: u64) -> Self
+    where
+        P::State: SnapState,
+    {
+        self.checkpoint = Some(every);
+        self.codec = Some(StateCodec::auto());
+        self
+    }
+
+    /// Resumes this simulation from a mid-run [`Snapshot`] instead of
+    /// round/step 0. The snapshot's header must match this builder's
+    /// graph, protocol, backend, and configuration (seed, inputs, churn
+    /// plan, adversary) — any mismatch is a typed
+    /// [`ExecError::Snapshot`] from [`run`](Self::run), never a panic or
+    /// a silently divergent run. The resumed remainder is bit-identical
+    /// to the uninterrupted run per seed, including when the snapshot
+    /// round-tripped through [`Snapshot::to_bytes`] /
+    /// [`Snapshot::from_bytes`] on disk.
+    pub fn resume_from(mut self, snapshot: &'g Snapshot) -> Self
+    where
+        P::State: SnapState,
+    {
+        self.resume = Some(snapshot);
+        self.codec = Some(StateCodec::auto());
+        self
+    }
+
+    /// The snapshot plumbing of this run: the header metadata binding
+    /// frames to this exact configuration, plus validation of any
+    /// [`resume_from`](Self::resume_from) snapshot against it.
+    fn snap_args(
+        &self,
+        backend: u8,
+        inputs: &[usize],
+        adversary: Option<&str>,
+    ) -> Result<SnapArgs<'g, P::State>, ExecError> {
+        if self.checkpoint.is_none() && self.resume.is_none() {
+            return Ok(SnapArgs::none());
+        }
+        let meta = SnapMeta {
+            backend,
+            graph_fp: snapshot::graph_fingerprint(self.graph),
+            protocol_id: snapshot::protocol_digest(self.protocol),
+            config_digest: config_digest(self.seed, inputs, self.churn, adversary),
+        };
+        if let Some(s) = self.resume {
+            let field = if s.backend() != meta.backend {
+                Some("backend")
+            } else if s.graph_fingerprint() != meta.graph_fp {
+                Some("graph fingerprint")
+            } else if s.protocol_id() != meta.protocol_id {
+                Some("protocol id")
+            } else if s.config_digest() != meta.config_digest {
+                Some("config digest")
+            } else {
+                None
+            };
+            if let Some(field) = field {
+                return Err(ExecError::Snapshot(SnapshotError::DigestMismatch { field }));
+            }
+        }
+        Ok(SnapArgs {
+            every: self.checkpoint.unwrap_or(0),
+            resume: self.resume,
+            codec: self.codec,
+            meta,
+        })
+    }
+
     /// Executes the selected backend and returns the unified outcome.
     ///
-    /// Dispatches to the exact engine the corresponding legacy `run_*`
-    /// function ran — outcomes are bit-identical per seed to every shim
-    /// this builder replaces.
+    /// Dispatches to the exact engine the corresponding retired `run_*`
+    /// function ran — outcomes are bit-identical per seed to every
+    /// legacy entry point this builder replaced.
     pub fn run(mut self) -> Result<Outcome<P>, ExecError> {
         let n = self.graph.node_count();
         if self.budget == Some(0) {
             return Err(ExecError::Config {
                 reason: "budget must be positive: a zero budget can never reach an output \
                          configuration"
+                    .into(),
+            });
+        }
+        if self.checkpoint == Some(0) {
+            return Err(ExecError::Config {
+                reason: "checkpoint_every(0) never reaches a boundary: the checkpoint cadence \
+                         must be a positive number of rounds (lockstep backends) or node steps \
+                         (Async)"
                     .into(),
             });
         }
@@ -1068,6 +1270,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     seed: self.seed,
                     max_rounds: self.budget.unwrap_or(SyncConfig::default().max_rounds),
                 };
+                let snap = self.snap_args(snapshot::BACKEND_SYNC, inputs, None)?;
                 if let Some(plan) = self.churn {
                     #[cfg(feature = "parallel")]
                     if let Some(policy) = self.policy {
@@ -1085,6 +1288,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 plan,
                                 &policy,
                                 observer,
+                                &snap,
                             )?;
                             return Ok(sync_outcome(out, states, workers, Some(summary)));
                         }
@@ -1093,8 +1297,15 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         .caps
                         .sync_churn
                         .ok_or_else(|| mismatch(&self.backend, "sync"))?;
-                    let (out, states, summary) =
-                        run(self.protocol, self.graph, inputs, &config, plan, observer)?;
+                    let (out, states, summary) = run(
+                        self.protocol,
+                        self.graph,
+                        inputs,
+                        &config,
+                        plan,
+                        observer,
+                        &snap,
+                    )?;
                     return Ok(sync_outcome(out, states, 1, Some(summary)));
                 }
                 #[cfg(feature = "parallel")]
@@ -1114,6 +1325,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &config,
                             &policy,
                             observer,
+                            &snap,
                         )?;
                         return Ok(sync_outcome(out, states, workers, None));
                     }
@@ -1122,11 +1334,13 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     .caps
                     .sync
                     .ok_or_else(|| mismatch(&self.backend, "sync"))?;
-                let (out, states) = run(self.protocol, self.graph, inputs, &config, observer)?;
+                let (out, states) =
+                    run(self.protocol, self.graph, inputs, &config, observer, &snap)?;
                 Ok(sync_outcome(out, states, 1, None))
             }
             Backend::Scoped => {
                 let max_rounds = self.budget.unwrap_or(SyncConfig::default().max_rounds);
+                let snap = self.snap_args(snapshot::BACKEND_SCOPED, inputs, None)?;
                 if let Some(plan) = self.churn {
                     #[cfg(feature = "parallel")]
                     if let Some(policy) = self.policy {
@@ -1145,6 +1359,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 plan,
                                 &policy,
                                 observer,
+                                &snap,
                             )?;
                             return Ok(scoped_outcome(out, states, workers, Some(summary)));
                         }
@@ -1161,6 +1376,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         max_rounds,
                         plan,
                         observer,
+                        &snap,
                     )?;
                     return Ok(scoped_outcome(out, states, 1, Some(summary)));
                 }
@@ -1182,6 +1398,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             max_rounds,
                             &policy,
                             observer,
+                            &snap,
                         )?;
                         return Ok(scoped_outcome(out, states, workers, None));
                     }
@@ -1197,6 +1414,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     self.seed,
                     max_rounds,
                     observer,
+                    &snap,
                 )?;
                 Ok(scoped_outcome(out, states, 1, None))
             }
@@ -1215,6 +1433,11 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     scheduler: options.scheduler,
                     bucket_width: options.bucket_width,
                 };
+                let snap = self.snap_args(
+                    snapshot::BACKEND_ASYNC,
+                    inputs,
+                    Some(options.adversary.name()),
+                )?;
                 let (out, states, summary) = match self.churn {
                     Some(plan) => {
                         let run = self
@@ -1229,6 +1452,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &config,
                             plan,
                             observer,
+                            &snap,
                         )?;
                         (out, states, Some(summary))
                     }
@@ -1244,6 +1468,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             options.adversary,
                             &config,
                             observer,
+                            &snap,
                         )?;
                         (out, states, None)
                     }
@@ -1266,6 +1491,59 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             }
         }
     }
+}
+
+/// FNV-1a over everything that steers a run besides the graph and
+/// protocol (which get their own header fields): master seed, per-node
+/// inputs, the churn plan's events and extra edges, and the adversary's
+/// diagnostic name on the Async backend. Resuming under a different
+/// value of any of these would silently diverge from the uninterrupted
+/// run, so a mismatch is rejected up front. Knobs that provably cannot
+/// affect outcomes — worker count, round mode, merge strategy, scheduler
+/// kind, bucket width, patch mode, budget — are deliberately *excluded*:
+/// resuming a serial run on the parallel schedule (or heap → wheel) is a
+/// supported feature, not a configuration error.
+fn config_digest(
+    seed: u64,
+    inputs: &[usize],
+    churn: Option<&ChurnPlan>,
+    adversary: Option<&str>,
+) -> u64 {
+    let mut d = snapshot::Digest::new();
+    d.u64(seed);
+    d.u64(inputs.len() as u64);
+    for &input in inputs {
+        d.u64(input as u64);
+    }
+    match churn {
+        Some(plan) => {
+            d.u64(1);
+            d.u64(plan.events().len() as u64);
+            for (round, event) in plan.events() {
+                d.u64(*round);
+                let (tag, a, b) = match event {
+                    TopologyEvent::Crash(v) => (0u64, *v, 0),
+                    TopologyEvent::Restart(v) => (1, *v, 0),
+                    TopologyEvent::EdgeInsert(u, v) => (2, *u, *v),
+                    TopologyEvent::EdgeDelete(u, v) => (3, *u, *v),
+                };
+                d.u64(tag);
+                d.u64(a as u64);
+                d.u64(b as u64);
+            }
+            d.u64(plan.extra_edges().len() as u64);
+            for &(u, v) in plan.extra_edges() {
+                d.u64(u as u64);
+                d.u64(v as u64);
+            }
+        }
+        None => d.u64(0),
+    }
+    if let Some(name) = adversary {
+        d.u64(name.len() as u64);
+        d.bytes(name.as_bytes());
+    }
+    d.finish()
 }
 
 fn sync_outcome<P: Protocol>(

@@ -35,6 +35,7 @@ use crate::engine::PortPlanes;
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
+use crate::snapshot::{self, SnapArgs, SnapPlumb, Snapshot, SnapshotError};
 use crate::{splitmix64, ExecError};
 
 /// Configuration of a synchronous execution.
@@ -86,11 +87,18 @@ pub struct SyncOutcome {
 pub trait SyncObserver<S> {
     /// Called after round `round` (1-based) has been applied to all nodes.
     fn on_round_end(&mut self, round: u64, states: &[S]);
+
+    /// Called with every boundary checkpoint the run takes (the
+    /// [`crate::Simulation::checkpoint_every`] cadence). Default: ignore.
+    fn on_checkpoint(&mut self, _snapshot: &Snapshot) {}
 }
 
 impl<S, O: SyncObserver<S> + ?Sized> SyncObserver<S> for &mut O {
     fn on_round_end(&mut self, round: u64, states: &[S]) {
         (**self).on_round_end(round, states);
+    }
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        (**self).on_checkpoint(snapshot);
     }
 }
 
@@ -167,6 +175,45 @@ impl<P: MultiFsm> RoundStep for SyncStep<'_, P> {
     }
 
     fn absorb(_into: &mut (), _from: &mut ()) {}
+
+    fn witness_slice(_witness: &()) -> Option<&[crate::scoped::ScopedDelivery]> {
+        None
+    }
+}
+
+/// The engine state a plain-sync run starts from: fresh initial states,
+/// planes, and RNG streams — or, when the snapshot args carry a resume
+/// snapshot, the spliced mid-run state plus the loop's resume point. A
+/// sync snapshot body must carry neither a witness transcript nor a
+/// churn cursor; their presence means the snapshot belongs to another
+/// backend or configuration.
+type SyncStart<S> = (Vec<S>, PortPlanes, Vec<SmallRng>, SnapPlumb<S>);
+
+fn sync_start<P: MultiFsm>(
+    protocol: &P,
+    graph: &Graph,
+    inputs: &[usize],
+    seed: u64,
+    snap: &SnapArgs<'_, P::State>,
+) -> Result<SyncStart<P::State>, ExecError> {
+    let sigma = protocol.alphabet().len();
+    if let Some(s) = snap.resume {
+        let splice = snapshot::resume_lockstep(s, &snap.codec(), graph, sigma)?;
+        if splice.witness.is_some() || splice.churn_next.is_some() {
+            return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                field: "snapshot body kind",
+            }));
+        }
+        let plumb = SnapPlumb::from_args(snap, Some(splice.point));
+        Ok((splice.states, splice.planes, splice.rngs, plumb))
+    } else {
+        Ok((
+            inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
+            PortPlanes::new(graph, sigma, protocol.initial_letter()),
+            seed_rngs(graph.node_count(), seed),
+            SnapPlumb::from_args(snap, None),
+        ))
+    }
 }
 
 fn sync_end<P: MultiFsm>(
@@ -204,12 +251,15 @@ pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
     inputs: &[usize],
     config: &SyncConfig,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
-    let n = graph.node_count();
-    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
-    let mut rngs = seed_rngs(n, config.seed);
+    debug_assert_eq!(
+        inputs.len(),
+        graph.node_count(),
+        "the builder validates input length"
+    );
+    let (mut states, mut planes, mut rngs, plumb) =
+        sync_start(protocol, graph, inputs, config.seed, snap)?;
     let end = pipeline::run_serial(
         &SyncStep(protocol),
         graph,
@@ -219,6 +269,7 @@ pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
         config.max_rounds,
         observer,
         &mut (),
+        &plumb,
     );
     sync_end(protocol, states, end)
 }
@@ -255,17 +306,20 @@ pub(crate) fn exec_sync_parallel<P, O>(
     config: &SyncConfig,
     policy: &ParallelPolicy,
     observer: &mut O,
+    snap: &SnapArgs<'_, P::State>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
     P::State: Send + Sync,
     O: SyncObserver<P::State>,
 {
-    let n = graph.node_count();
-    debug_assert_eq!(inputs.len(), n, "the builder validates input length");
-    let mut states: Vec<P::State> = inputs.iter().map(|&i| protocol.initial_state(i)).collect();
-    let mut planes = PortPlanes::new(graph, protocol.alphabet().len(), protocol.initial_letter());
-    let mut rngs = seed_rngs(n, config.seed);
+    debug_assert_eq!(
+        inputs.len(),
+        graph.node_count(),
+        "the builder validates input length"
+    );
+    let (mut states, mut planes, mut rngs, plumb) =
+        sync_start(protocol, graph, inputs, config.seed, snap)?;
     let end = pipeline::run_parallel(
         &SyncStep(protocol),
         graph,
@@ -276,6 +330,7 @@ where
         config.max_rounds,
         observer,
         &mut (),
+        &plumb,
     );
     sync_end(protocol, states, end)
 }

@@ -1,7 +1,8 @@
 //! Differential and determinism tests for the calendar-wheel async
 //! scheduler.
 //!
-//! The contract under test: [`stoneage_sim::run_async`] on
+//! The contract under test: the async backend of
+//! [`stoneage_sim::Simulation`] on
 //! [`SchedulerKind::CalendarWheel`] (hierarchical timing wheel, per-edge
 //! batched delivery) produces outcomes **bit-identical per seed** to the
 //! preserved [`SchedulerKind::BinaryHeap`] path — across graph families,

@@ -1,31 +1,28 @@
-//! Builder-parity suite: `Simulation::run()` is **bit-identical** to
-//! every legacy `run_*` free function it replaces.
+//! Builder-parity suite: `Simulation::run()` is **bit-identical** to the
+//! retired legacy `run_*` free functions.
 //!
-//! The legacy functions are deprecated shims *over* the builder, so this
-//! suite is deliberately the one place outside the shim module that
-//! still calls them (`#[allow(deprecated)]`): each test pins a shim
-//! against an independently configured builder run, per backend, across
-//! the gnp / tree / grid fixture families and several seeds, down to the
-//! fingerprint. A property test additionally pins that the *order* the
-//! builder's setters are chained in can never affect the outcome, and
-//! the `ExecError::Config` tests pin the builder's invalid-state
-//! reporting (mismatched backend, zero budget, parallel policy on the
-//! Async backend) — errors, not panics.
-
-#![allow(deprecated)]
+//! The legacy functions are gone (see the README migration table), so
+//! parity is pinned the only way that survives their removal: against
+//! **recorded fingerprint constants**. Every constant below was captured
+//! from the legacy entry points while they still existed, then verified
+//! unchanged against the builder — a builder regression that diverges
+//! from the retired semantics moves a fingerprint and fails the suite.
+//! The scheduler-differential and parallel-vs-serial tests additionally
+//! pin the builder against its own independent engines, and the
+//! `ExecError::Config` tests pin the builder's invalid-state reporting
+//! (mismatched backend, zero budget, parallel policy on the Async
+//! backend) — errors, not panics.
 
 use proptest::prelude::*;
 use stoneage_core::{AsMulti, Synchronized};
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::adversary::{standard_panel, UniformRandom};
 use stoneage_sim::{
-    run_async, run_async_with_inputs, run_scoped, run_sync, run_sync_observed,
-    run_sync_with_inputs, AsyncConfig, AsyncOptions, Backend, Cost, ExecError, SchedulerKind,
-    Simulation, SyncConfig, SyncObserver,
+    AsyncOptions, Backend, Cost, ExecError, SchedulerKind, Simulation, SyncObserver,
 };
 use stoneage_testkit::{
-    async_fingerprint, count_neighbors, count_neighbors_quiet, random_beeper, scoped_fingerprint,
-    sync_fingerprint, Poke,
+    async_fingerprint, count_neighbors, count_neighbors_quiet, fnv1a, random_beeper,
+    scoped_fingerprint, sync_fingerprint, Poke,
 };
 
 fn graph_family() -> Vec<(&'static str, Graph)> {
@@ -36,46 +33,54 @@ fn graph_family() -> Vec<(&'static str, Graph)> {
     ]
 }
 
+/// Combined fingerprints over (protocol × graph family × seeds 0..4) of
+/// the sync backend, recorded from the legacy `run_sync` entry point
+/// before its removal. The builder must keep reproducing them forever.
+const SYNC_LEGACY_PINNED: [(&str, u64); 2] = [
+    ("count_neighbors(3)", 0x419bb613ae9b2325),
+    ("random_beeper(5,2)", 0xf985923346c7f302),
+];
+
 #[test]
-fn sync_builder_matches_every_legacy_sync_entry_point() {
-    for protocol in [count_neighbors(3), random_beeper(5, 2)] {
+fn sync_builder_reproduces_legacy_pinned_fingerprints() {
+    for (name, pinned) in SYNC_LEGACY_PINNED {
+        let protocol = match name {
+            "count_neighbors(3)" => count_neighbors(3),
+            _ => random_beeper(5, 2),
+        };
         let p = AsMulti(protocol);
-        for (name, g) in graph_family() {
+        let mut prints = Vec::new();
+        for (gname, g) in graph_family() {
             let inputs = vec![0usize; g.node_count()];
             for seed in 0..4 {
-                let config = SyncConfig::seeded(seed);
-                let legacy = run_sync(&p, &g, &config).unwrap();
-                let legacy_inputs = run_sync_with_inputs(&p, &g, &inputs, &config).unwrap();
-
                 let built = Simulation::sync(&p, &g)
                     .seed(seed)
                     .run()
                     .unwrap()
                     .into_sync_outcome()
                     .unwrap();
-
+                // Explicit all-zero inputs are the documented default:
+                // the two call shapes must not diverge.
+                let built_inputs = Simulation::sync(&p, &g)
+                    .seed(seed)
+                    .inputs(&inputs)
+                    .run()
+                    .unwrap()
+                    .into_sync_outcome()
+                    .unwrap();
                 assert_eq!(
-                    sync_fingerprint(&legacy),
                     sync_fingerprint(&built),
-                    "{name}/seed{seed}"
+                    sync_fingerprint(&built_inputs),
+                    "{name}/{gname}/seed{seed} (inputs)"
                 );
-                assert_eq!(legacy.outputs, built.outputs, "{name}/seed{seed}");
-                assert_eq!(legacy.rounds, built.rounds, "{name}/seed{seed}");
-                assert_eq!(
-                    legacy.messages_sent, built.messages_sent,
-                    "{name}/seed{seed}"
-                );
-                assert_eq!(
-                    sync_fingerprint(&legacy_inputs),
-                    sync_fingerprint(&built),
-                    "{name}/seed{seed} (inputs)"
-                );
+                prints.push(sync_fingerprint(&built));
             }
         }
+        assert_eq!(fnv1a(0, prints), pinned, "{name}");
     }
 }
 
-/// A counting observer shared by the legacy and builder runs.
+/// A counting observer shared by the observed and unobserved runs.
 struct LastRound(u64);
 
 impl<S> SyncObserver<S> for LastRound {
@@ -89,10 +94,14 @@ fn observed_runs_agree_and_fire_identically() {
     let p = AsMulti(count_neighbors(2));
     let g = generators::gnp(60, 0.1, 3);
     let inputs = vec![0usize; g.node_count()];
-    let config = SyncConfig::seeded(11);
 
-    let mut legacy_obs = LastRound(0);
-    let legacy = run_sync_observed(&p, &g, &inputs, &config, &mut legacy_obs).unwrap();
+    let plain = Simulation::sync(&p, &g)
+        .seed(11)
+        .inputs(&inputs)
+        .run()
+        .unwrap()
+        .into_sync_outcome()
+        .unwrap();
 
     let mut built_obs = stoneage_sim::AdaptSync(LastRound(0));
     let built = Simulation::sync(&p, &g)
@@ -104,25 +113,28 @@ fn observed_runs_agree_and_fire_identically() {
         .into_sync_outcome()
         .unwrap();
 
-    assert_eq!(sync_fingerprint(&legacy), sync_fingerprint(&built));
-    assert_eq!(legacy_obs.0, built_obs.0 .0);
-    assert_eq!(legacy_obs.0, legacy.rounds);
+    assert_eq!(
+        sync_fingerprint(&plain),
+        sync_fingerprint(&built),
+        "attaching an observer must not perturb the run"
+    );
+    assert_eq!(built_obs.0 .0, built.rounds, "observer saw every round");
 }
 
+/// Combined fingerprint over (graph family × standard adversary panel)
+/// of the async backend, recorded from the legacy `run_async` entry
+/// point before its removal. Both schedulers must reproduce it.
+const ASYNC_LEGACY_PINNED: u64 = 0xc0f7be3f8b4b0b30;
+
 #[test]
-fn async_builder_matches_legacy_on_both_schedulers() {
+fn async_builder_reproduces_legacy_pinned_on_both_schedulers() {
     let p = Synchronized::new(count_neighbors_quiet(2));
+    let mut prints = Vec::new();
     for (name, g) in graph_family() {
         for (i, adv) in standard_panel(19).iter().enumerate() {
             let seed = 400 + i as u64;
+            let mut by_scheduler = Vec::new();
             for scheduler in [SchedulerKind::CalendarWheel, SchedulerKind::BinaryHeap] {
-                let legacy = run_async(
-                    &p,
-                    &g,
-                    adv,
-                    &AsyncConfig::seeded(seed).with_scheduler(scheduler),
-                )
-                .unwrap();
                 let built = Simulation::asynchronous(&p, &g, adv)
                     .seed(seed)
                     .backend(Backend::Async(
@@ -132,45 +144,52 @@ fn async_builder_matches_legacy_on_both_schedulers() {
                     .unwrap()
                     .into_async_outcome()
                     .unwrap();
-                assert_eq!(
-                    async_fingerprint(&legacy),
-                    async_fingerprint(&built),
-                    "{name}/{}/{scheduler:?}",
-                    adv.name()
-                );
-                assert_eq!(
-                    legacy.completion_time.to_bits(),
-                    built.completion_time.to_bits(),
-                    "{name}/{}/{scheduler:?}",
-                    adv.name()
-                );
+                by_scheduler.push(async_fingerprint(&built));
             }
+            assert_eq!(
+                by_scheduler[0],
+                by_scheduler[1],
+                "{name}/{}: wheel and heap must agree bit-for-bit",
+                adv.name()
+            );
+            prints.push(by_scheduler[0]);
         }
     }
+    assert_eq!(fnv1a(0, prints), ASYNC_LEGACY_PINNED);
 }
 
 #[test]
-fn async_builder_matches_legacy_with_inputs() {
+fn async_explicit_zero_inputs_match_the_default() {
     let p = Synchronized::new(count_neighbors_quiet(2));
     let g = generators::gnp(50, 0.12, 7);
     let inputs = vec![0usize; g.node_count()];
     let adv = UniformRandom { seed: 9 };
-    let legacy = run_async_with_inputs(&p, &g, &inputs, &adv, &AsyncConfig::seeded(3)).unwrap();
-    let built = Simulation::asynchronous(&p, &g, &adv)
+    let defaulted = Simulation::asynchronous(&p, &g, &adv)
+        .seed(3)
+        .run()
+        .unwrap()
+        .into_async_outcome()
+        .unwrap();
+    let explicit = Simulation::asynchronous(&p, &g, &adv)
         .seed(3)
         .inputs(&inputs)
         .run()
         .unwrap()
         .into_async_outcome()
         .unwrap();
-    assert_eq!(async_fingerprint(&legacy), async_fingerprint(&built));
+    assert_eq!(async_fingerprint(&defaulted), async_fingerprint(&explicit));
 }
 
+/// Combined fingerprint over (graph family × seeds 0..4) of the scoped
+/// backend — witness transcript included in each per-case hash —
+/// recorded from the legacy `run_scoped` entry point before its removal.
+const SCOPED_LEGACY_PINNED: u64 = 0xe738dfa3ac68d68c;
+
 #[test]
-fn scoped_builder_matches_legacy_including_the_witness_transcript() {
+fn scoped_builder_reproduces_legacy_pinned_including_the_witness() {
+    let mut prints = Vec::new();
     for (name, g) in graph_family() {
         for seed in 0..4 {
-            let legacy = run_scoped(&Poke::new(), &g, seed, 100).unwrap();
             let built = Simulation::scoped(&Poke::new(), &g)
                 .seed(seed)
                 .budget(100)
@@ -178,17 +197,21 @@ fn scoped_builder_matches_legacy_including_the_witness_transcript() {
                 .unwrap()
                 .into_scoped_outcome()
                 .unwrap();
+            let again = Simulation::scoped(&Poke::new(), &g)
+                .seed(seed)
+                .budget(100)
+                .run()
+                .unwrap()
+                .into_scoped_outcome()
+                .unwrap();
             assert_eq!(
-                scoped_fingerprint(&legacy),
-                scoped_fingerprint(&built),
-                "{name}/seed{seed}"
+                built.scoped_deliveries, again.scoped_deliveries,
+                "{name}/seed{seed}: witness transcript must be reproducible"
             );
-            assert_eq!(
-                legacy.scoped_deliveries, built.scoped_deliveries,
-                "{name}/seed{seed}"
-            );
+            prints.push(scoped_fingerprint(&built));
         }
     }
+    assert_eq!(fnv1a(0, prints), SCOPED_LEGACY_PINNED);
 }
 
 #[test]
@@ -254,6 +277,13 @@ fn invalid_builder_states_are_config_errors_not_panics() {
 
     // Zero budget.
     let err = Simulation::sync(&p, &g).budget(0).run().unwrap_err();
+    assert!(matches!(err, ExecError::Config { .. }), "{err}");
+
+    // Zero checkpoint cadence.
+    let err = Simulation::sync(&p, &g)
+        .checkpoint_every(0)
+        .run()
+        .unwrap_err();
     assert!(matches!(err, ExecError::Config { .. }), "{err}");
 
     // Backend the protocol's transition flavor cannot drive.
@@ -324,22 +354,28 @@ proptest! {
 #[cfg(feature = "parallel")]
 mod parallel {
     use super::*;
-    use stoneage_sim::{
-        run_scoped_parallel_with_policy, run_sync_parallel_with_policy, MergeStrategy,
-        ParallelPolicy,
-    };
+    use stoneage_sim::{MergeStrategy, ParallelPolicy};
     use stoneage_testkit::adversarial_worker_counts;
 
     #[test]
-    fn parallel_builder_matches_legacy_parallel_entry_points() {
+    fn parallel_builder_matches_the_serial_oracle_for_every_worker_count() {
         let p = AsMulti(random_beeper(5, 2));
         for (name, g) in graph_family() {
-            let inputs = vec![0usize; g.node_count()];
+            let serial = Simulation::sync(&p, &g)
+                .seed(7)
+                .run()
+                .unwrap()
+                .into_sync_outcome()
+                .unwrap();
+            let scoped_serial = Simulation::scoped(&Poke::new(), &g)
+                .seed(7)
+                .budget(100)
+                .run()
+                .unwrap()
+                .into_scoped_outcome()
+                .unwrap();
             for workers in adversarial_worker_counts() {
                 let policy = ParallelPolicy::forced(workers, MergeStrategy::DestinationSharded);
-                let config = SyncConfig::seeded(7);
-                let legacy =
-                    run_sync_parallel_with_policy(&p, &g, &inputs, &config, &policy).unwrap();
                 let built = Simulation::sync(&p, &g)
                     .seed(7)
                     .parallel(policy)
@@ -352,13 +388,11 @@ mod parallel {
                      shard plan actually runs"
                 );
                 assert_eq!(
-                    sync_fingerprint(&legacy),
+                    sync_fingerprint(&serial),
                     sync_fingerprint(&built.into_sync_outcome().unwrap()),
                     "{name}/w{workers}"
                 );
 
-                let legacy =
-                    run_scoped_parallel_with_policy(&Poke::new(), &g, 7, 100, &policy).unwrap();
                 let built = Simulation::scoped(&Poke::new(), &g)
                     .seed(7)
                     .budget(100)
@@ -371,7 +405,7 @@ mod parallel {
                     "{name}/w{workers} (scoped)"
                 );
                 assert_eq!(
-                    scoped_fingerprint(&legacy),
+                    scoped_fingerprint(&scoped_serial),
                     scoped_fingerprint(&built.into_scoped_outcome().unwrap()),
                     "{name}/w{workers} (scoped)"
                 );

@@ -1,6 +1,7 @@
 //! Equivalence and determinism tests for the flat delivery engine.
 //!
-//! The contract under test: [`stoneage_sim::run_sync`] (flat CSR port
+//! The contract under test: the sync backend of
+//! [`stoneage_sim::Simulation`] (flat CSR port
 //! store, reverse-port-map deliveries, incremental observation counts,
 //! undecided-node termination counter) produces outcomes **bit-identical
 //! per seed** to the naive pre-flat executor preserved in

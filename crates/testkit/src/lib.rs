@@ -29,14 +29,15 @@ use stoneage_sim::{
     ScopedMultiFsm, ScopedTransitions, Simulation, SyncOutcome,
 };
 
-/// Builder-backed twins of the legacy `run_*` free functions, with the
-/// legacy call shapes.
+/// Builder-backed twins of the retired legacy `run_*` free functions,
+/// with the legacy call shapes.
 ///
-/// The deprecated shims in `stoneage_sim` must have no in-repo callers,
-/// but many test suites and the experiment harness are written against
-/// the legacy shapes; these wrappers route those call sites through the
-/// unified [`Simulation`] builder from **one** place, so a builder
-/// signature change doesn't ripple through a dozen local copies. (The
+/// The `run_*` shims were deleted from `stoneage_sim` (the builder is
+/// the only entry point now), but many test suites and the experiment
+/// harness are written against the legacy shapes; these wrappers route
+/// those call sites through the unified [`Simulation`] builder from
+/// **one** place, so a builder signature change doesn't ripple through
+/// a dozen local copies. (The
 /// `parallel`-schedule twins stay local to the few `--features
 /// parallel` suites that need them: this crate cannot observe which
 /// features its `stoneage-sim` was built with.)
@@ -523,6 +524,33 @@ impl Protocol for Poke {
             PokeState::Done(v) => Some(*v),
             _ => None,
         }
+    }
+}
+
+impl stoneage_sim::SnapState for PokeState {
+    fn encode(&self, w: &mut stoneage_sim::SnapWriter) {
+        match self {
+            PokeState::Announce => w.u8(0),
+            PokeState::Poke => w.u8(1),
+            PokeState::Wait => w.u8(2),
+            PokeState::Done(v) => {
+                w.u8(3);
+                w.u64(*v);
+            }
+        }
+    }
+    fn decode(r: &mut stoneage_sim::SnapReader<'_>) -> Result<Self, stoneage_sim::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => PokeState::Announce,
+            1 => PokeState::Poke,
+            2 => PokeState::Wait,
+            3 => PokeState::Done(r.u64()?),
+            _ => {
+                return Err(stoneage_sim::SnapshotError::DigestMismatch {
+                    field: "poke state tag",
+                })
+            }
+        })
     }
 }
 
