@@ -22,7 +22,13 @@
 //!   size: rounds/sec with an every-round `checkpoint_every(1)` cadence
 //!   vs the plain engine (the overhead the `--max-snapshot-overhead`
 //!   gate bounds), `Snapshot::to_bytes` / `from_bytes` frame throughput,
-//!   and rounds/sec of the resumed remainder of a mid-run frame.
+//!   and rounds/sec of the resumed remainder of a mid-run frame;
+//! * **fault sweep** — rounds/sec of the sync engine with an active
+//!   mixed drop/duplicate/corrupt `FaultPlan` vs the fault-free engine
+//!   (the overhead the `--max-fault-overhead` gate bounds), plus a
+//!   paper-MIS-vs-self-stabilizing-MIS recovery record under a
+//!   restart-amid-halted-neighbors schedule (the paper protocol wedges;
+//!   the `selfstab` variant re-stabilizes in a few rounds).
 //!
 //! ```text
 //! engine_bench                          # writes BENCH_engine.json in the cwd
@@ -49,6 +55,10 @@
 //!                                       # checkpoint cadence slows the sync
 //!                                       # engine by more than that factor on
 //!                                       # any family
+//! engine_bench --max-fault-overhead 2.0
+//!                                       # exit(1) if the active FaultPlan
+//!                                       # slows the sync engine by more than
+//!                                       # that factor on any family
 //! ```
 //!
 //! The sync workload is the same blinker protocol as `benches/engine.rs`:
@@ -68,8 +78,8 @@ use stoneage_core::{Alphabet, AsMulti, Letter, TableProtocol, TableProtocolBuild
 use stoneage_graph::{generators, Graph, TopologyEvent};
 use stoneage_sim::adversary::UniformRandom;
 use stoneage_sim::{
-    run_sync_reference, AsyncOptions, Backend, ChurnPlan, ExecError, PatchMode, SchedulerKind,
-    Simulation, StabilizationObserver, SyncConfig, SyncOutcome,
+    run_sync_reference, AsyncOptions, Backend, ChurnPlan, ExecError, FaultPlan, PatchMode,
+    SchedulerKind, Simulation, StabilizationObserver, SyncConfig, SyncOutcome,
 };
 
 fn blinker() -> TableProtocol {
@@ -529,6 +539,75 @@ fn snapshot_sweep(quick: bool, rounds: u64, reps: usize) -> Vec<SnapshotEntry> {
     entries
 }
 
+/// One faulted-vs-clean measurement of the delivery-boundary fault layer.
+struct FaultEntry {
+    family: &'static str,
+    n: usize,
+    edges: usize,
+    clean_rounds_per_sec: f64,
+    faulted_rounds_per_sec: f64,
+    /// clean / faulted; what `--max-fault-overhead` bounds.
+    overhead: f64,
+}
+
+/// Measures the sync engine with an active mixed `FaultPlan` (5% drops,
+/// 3% single duplicates, 2% corrupts) against the fault-free engine on
+/// the same instances, per graph family. Fault decisions are positional
+/// hashes of (plan stream, receiver slot, round) evaluated at the
+/// delivery boundary, so the cost is one hash chain per delivery — the
+/// overhead this sweep records and `--max-fault-overhead` bounds.
+fn fault_sweep(quick: bool, rounds: u64, reps: usize) -> Vec<FaultEntry> {
+    let n: usize = if quick { 5_000 } else { 50_000 };
+    let side = (n as f64).sqrt().ceil() as usize;
+    let graphs: [(&'static str, Graph); 3] = [
+        ("gnp", generators::gnp(n, 8.0 / n as f64, 7)),
+        ("tree", generators::random_tree(n, 13)),
+        ("grid", generators::grid(side, side)),
+    ];
+    let p = AsMulti(blinker());
+    let plan = FaultPlan::new(17)
+        .drop_rate(0.05)
+        .duplicate_rate(0.03, 1)
+        .corrupt_rate(0.02, Letter(0));
+    let mut entries = Vec::new();
+    for (family, g) in &graphs {
+        let nodes = g.node_count();
+        eprintln!(
+            "engine_bench[faults]: {family}(n = {nodes}), mixed 10% fault plan over \
+             {rounds} rounds x {reps} reps, faulted vs clean"
+        );
+        let clean = measure(rounds, reps, || {
+            Simulation::sync(&p, g)
+                .seed(1)
+                .budget(rounds)
+                .run()
+                .map(|o| o.into_sync_outcome().expect("sync backend"))
+        });
+        let faulted = measure(rounds, reps, || {
+            Simulation::sync(&p, g)
+                .seed(1)
+                .budget(rounds)
+                .with_faults(&plan)
+                .run()
+                .map(|o| o.into_sync_outcome().expect("sync backend"))
+        });
+        let entry = FaultEntry {
+            family,
+            n: nodes,
+            edges: g.edge_count(),
+            clean_rounds_per_sec: clean,
+            faulted_rounds_per_sec: faulted,
+            overhead: clean / faulted,
+        };
+        eprintln!(
+            "  {family}: clean {:>8.1} r/s, faulted {:>8.1} r/s ({:.2}x overhead)",
+            entry.clean_rounds_per_sec, entry.faulted_rounds_per_sec, entry.overhead
+        );
+        entries.push(entry);
+    }
+    entries
+}
+
 fn topology_event_json(ev: &TopologyEvent) -> Value {
     let (kind, a, b) = match *ev {
         TopologyEvent::Crash(v) => ("crash", v as u64, None),
@@ -546,30 +625,124 @@ fn topology_event_json(ev: &TopologyEvent) -> Value {
     Value::Object(fields)
 }
 
+/// Renders stabilization records; an event the run never re-stabilized
+/// from reports `"wedged": true` rather than a bare null, so snapshot
+/// diffs surface wedges by name.
+fn stabilization_records_array(records: &[stoneage_sim::StabilizationRecord]) -> Value {
+    Value::Array(
+        records
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("at_round".to_owned(), r.at_round.into()),
+                    ("event".to_owned(), topology_event_json(&r.event)),
+                ];
+                match r.restabilized_after {
+                    Some(d) => fields.push(("restabilized_after".to_owned(), d.into())),
+                    None => fields.push(("wedged".to_owned(), Value::Bool(true))),
+                }
+                Value::Object(fields)
+            })
+            .collect(),
+    )
+}
+
 fn stabilization_records_json(records: &[stoneage_sim::StabilizationRecord], rounds: u64) -> Value {
     Value::Object(vec![
         ("rounds_to_terminate".to_owned(), rounds.into()),
-        (
-            "records".to_owned(),
-            Value::Array(
-                records
-                    .iter()
-                    .map(|r| {
-                        Value::Object(vec![
-                            ("at_round".to_owned(), r.at_round.into()),
-                            ("event".to_owned(), topology_event_json(&r.event)),
-                            (
-                                "restabilized_after".to_owned(),
-                                match r.restabilized_after {
-                                    Some(d) => d.into(),
-                                    None => Value::Null,
-                                },
-                            ),
-                        ])
-                    })
-                    .collect(),
+        ("records".to_owned(), stabilization_records_array(records)),
+    ])
+}
+
+/// The paper's MIS vs its self-stabilizing wake-up-broadcast variant
+/// under the schedule that wedges the former: a leaf of a star crashes
+/// mid-tournament and restarts long after every survivor has decided
+/// and halted. The restarted paper-MIS node re-reads the halted ports'
+/// initial letters forever and never decides (the run hits its round
+/// budget with `wedged: true`); `SelfStabMis` decided nodes re-announce
+/// their letter on observing a wake-up and the restarted node decides a
+/// few rounds after the restart. Both runs also carry an active
+/// message-fault plan (duplicates-only — observably idempotent on
+/// lockstep ports, so it perturbs nothing while proving the churn ×
+/// faults composition injects), composing topology and channel faults
+/// in one schedule.
+fn mis_restart_recovery_json() -> Value {
+    use stoneage_protocols::{stabilization, MisProtocol, SelfStabMis};
+    let g = generators::star(32);
+    let plan = ChurnPlan::new()
+        .at(2, TopologyEvent::Crash(2))
+        .at(90, TopologyEvent::Restart(2));
+    let fplan = FaultPlan::new(31).duplicate_rate(0.05, 1);
+    let budget = 2_000u64;
+
+    let paper_json = {
+        let p = MisProtocol::new();
+        let mut obs = StabilizationObserver::new(&g, &plan, stabilization::mis_stabilized)
+            .expect("valid plan");
+        let res = Simulation::sync(&p, &g)
+            .seed(5)
+            .budget(budget)
+            .with_churn(&plan)
+            .with_faults(&fplan)
+            .observe(&mut obs)
+            .run();
+        let rounds = match &res {
+            Ok(o) => o.rounds().map(Value::from).unwrap_or(Value::Null),
+            Err(ExecError::RoundLimit { .. }) => Value::Null,
+            Err(other) => panic!("paper MIS under restart: unexpected {other:?}"),
+        };
+        Value::Object(vec![
+            ("terminated".to_owned(), Value::Bool(res.is_ok())),
+            ("rounds_to_terminate".to_owned(), rounds),
+            ("wedged".to_owned(), Value::Bool(obs.wedged())),
+            (
+                "records".to_owned(),
+                stabilization_records_array(obs.records()),
             ),
+        ])
+    };
+
+    let selfstab_json = {
+        let p = SelfStabMis::new();
+        let mut obs = StabilizationObserver::new(&g, &plan, stabilization::mis_stabilized)
+            .expect("valid plan");
+        let outcome = Simulation::sync(&p, &g)
+            .seed(5)
+            .budget(budget)
+            .with_churn(&plan)
+            .with_faults(&fplan)
+            .observe(&mut obs)
+            .run()
+            .expect("selfstab MIS recovers from the restart");
+        Value::Object(vec![
+            ("terminated".to_owned(), Value::Bool(true)),
+            (
+                "rounds_to_terminate".to_owned(),
+                outcome.rounds().expect("sync outcome").into(),
+            ),
+            ("wedged".to_owned(), Value::Bool(obs.wedged())),
+            (
+                "faults_injected".to_owned(),
+                outcome.faults().map(|f| f.injected()).unwrap_or(0).into(),
+            ),
+            (
+                "records".to_owned(),
+                stabilization_records_array(obs.records()),
+            ),
+        ])
+    };
+
+    Value::Object(vec![
+        (
+            "note".to_owned(),
+            "star(32), leaf 2 crashes at round 2 and restarts at round 90, after every \
+             survivor has decided and halted, under an active duplicates-only FaultPlan; \
+             the paper protocol wedges, the selfstab wake-up-broadcast variant \
+             re-stabilizes"
+                .into(),
         ),
+        ("paper".to_owned(), paper_json),
+        ("selfstab".to_owned(), selfstab_json),
     ])
 }
 
@@ -658,12 +831,16 @@ fn stabilization_section() -> Value {
         (
             "note".to_owned(),
             "rounds to re-satisfy the protocol's live-subgraph correctness predicate after \
-             each topology event (null = never re-stabilized before termination)"
+             each topology event (wedged: true = never re-stabilized before termination)"
                 .into(),
         ),
         ("mis".to_owned(), mis_json),
         ("coloring".to_owned(), coloring_json),
         ("matching".to_owned(), matching_json),
+        (
+            "mis_restart_recovery".to_owned(),
+            mis_restart_recovery_json(),
+        ),
     ])
 }
 
@@ -742,6 +919,7 @@ fn main() {
     let mut min_fused_speedup: Option<f64> = None;
     let mut min_churn_patch_speedup: Option<f64> = None;
     let mut max_snapshot_overhead: Option<f64> = None;
+    let mut max_fault_overhead: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -812,12 +990,21 @@ fn main() {
                     .expect("--max-snapshot-overhead needs a number");
                 max_snapshot_overhead = Some(v);
             }
+            "--max-fault-overhead" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--max-fault-overhead needs a ratio")
+                    .parse::<f64>()
+                    .expect("--max-fault-overhead needs a number");
+                max_fault_overhead = Some(v);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
                      [--min-async-speedup ratio] [--min-parallel-speedup ratio] \
                      [--min-fused-speedup ratio] [--min-churn-patch-speedup ratio] \
-                     [--max-snapshot-overhead ratio]"
+                     [--max-snapshot-overhead ratio] [--max-fault-overhead ratio]"
                 );
                 std::process::exit(2);
             }
@@ -865,6 +1052,7 @@ fn main() {
 
     let churn_entries = churn_sweep(quick, rounds, if quick { 3 } else { reps });
     let snapshot_entries = snapshot_sweep(quick, rounds, if quick { 3 } else { reps });
+    let fault_entries = fault_sweep(quick, rounds, if quick { 3 } else { reps });
     eprintln!("engine_bench[stabilization]: recording re-stabilization rounds per event");
     let stabilization_json = stabilization_section();
 
@@ -1115,6 +1303,43 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "fault_sweep".to_owned(),
+            Value::Object(vec![
+                (
+                    "workload".to_owned(),
+                    "blinker broadcast under a mixed FaultPlan (5% drops, 3% single \
+                     duplicates, 2% corrupts) applied at the delivery boundary; one \
+                     positional hash chain per delivery, bit-identical across backends, \
+                     worker counts, and round modes"
+                        .into(),
+                ),
+                (
+                    "entries".to_owned(),
+                    Value::Array(
+                        fault_entries
+                            .iter()
+                            .map(|e| {
+                                Value::Object(vec![
+                                    ("family".to_owned(), e.family.into()),
+                                    ("n".to_owned(), e.n.into()),
+                                    ("edges".to_owned(), e.edges.into()),
+                                    (
+                                        "clean_rounds_per_sec".to_owned(),
+                                        e.clean_rounds_per_sec.into(),
+                                    ),
+                                    (
+                                        "faulted_rounds_per_sec".to_owned(),
+                                        e.faulted_rounds_per_sec.into(),
+                                    ),
+                                    ("overhead".to_owned(), e.overhead.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{}", json.to_string_pretty()).unwrap();
@@ -1257,6 +1482,28 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("snapshot capture within budget: all families <= {max:.2}x overhead");
+    }
+    // The fault gate bounds the per-delivery decision cost: an active
+    // mixed plan may not slow the sync engine past the given factor on
+    // any family. The layer is a straight hash chain per delivery, so a
+    // regression here means the decision table walk or the duplicate
+    // write path grew a hidden cost.
+    if let Some(max) = max_fault_overhead {
+        let mut failed = false;
+        for e in &fault_entries {
+            if e.overhead > max {
+                eprintln!(
+                    "REGRESSION: active FaultPlan costs {:.2}x over the clean engine on {} \
+                     (required <= {max:.2}x)",
+                    e.overhead, e.family
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("fault layer within budget: all families <= {max:.2}x overhead");
     }
     #[cfg(not(feature = "parallel"))]
     let _ = (min_parallel_speedup, min_fused_speedup);

@@ -50,10 +50,11 @@ pub mod analysis;
 
 use stoneage_core::{Alphabet, Letter, MultiFsm, ObsVec, Transitions};
 
-/// Letters of the coloring protocol, in alphabet order.
+/// Letters of the coloring protocol, in alphabet order. Crate-visible so
+/// the [`crate::selfstab`] wrapper can match the wake/color letters.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 #[repr(u16)]
-enum L {
+pub(crate) enum L {
     /// σ₀: pristine port content, never transmitted.
     Init = 0,
     /// `I am ACTIVE` (round 1).
@@ -83,7 +84,7 @@ enum L {
 }
 
 impl L {
-    fn letter(self) -> Letter {
+    pub(crate) fn letter(self) -> Letter {
         Letter(self as u16)
     }
 
@@ -105,7 +106,7 @@ impl L {
         }
     }
 
-    fn col(color: u8) -> L {
+    pub(crate) fn col(color: u8) -> L {
         match color {
             1 => L::Col1,
             2 => L::Col2,

@@ -11,6 +11,9 @@
 //!   complexity is exactly the source eccentricity plus one.
 //! * [`matching`] — the paper's deferred maximal-matching result, built on
 //!   the port-select model extension (see `stoneage_sim::scoped`).
+//! * [`selfstab`] — self-stabilizing wake-up-broadcast variants of the MIS
+//!   and coloring protocols that recover from crash/restart churn instead
+//!   of wedging on silent decided neighborhoods.
 //!
 //! All protocols are written against the multiple-letter-query layer
 //! ([`stoneage_core::MultiFsm`]) or directly as single-letter
@@ -23,12 +26,14 @@
 pub mod coloring;
 pub mod matching;
 pub mod mis;
+pub mod selfstab;
 pub mod stabilization;
 pub mod wave;
 
 pub use coloring::{ColoringProtocol, ColoringState};
 pub use matching::{run_matching, MatchingOutcome, MatchingProtocol, MatchingState};
 pub use mis::{MisProtocol, MisState};
+pub use selfstab::{SelfStabColoring, SelfStabMis};
 pub use wave::wave_protocol;
 
 /// Decodes MIS protocol outputs (`1` = WIN = in the set) into a membership

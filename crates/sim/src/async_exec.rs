@@ -63,10 +63,12 @@ use stoneage_core::{BoundedCount, Fsm, Letter};
 use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::FlatPorts;
+use crate::faults::{faulted_sends, FaultLayer, FaultSummary, FaultsArg};
 use crate::schedule::CalendarQueue;
 use crate::snapshot::{
     self, AsyncCapture, BacklogEvent, BacklogKind, SnapArgs, Snapshot, SnapshotError,
 };
+use crate::sync_exec::compile_faults;
 use crate::{splitmix64, Adversary, ExecError};
 
 /// Which event queue drives the asynchronous executor. See the module
@@ -343,12 +345,14 @@ impl<'a, P: Fsm> Exec<'a, P> {
 
     /// Serializes a step boundary into a [`Snapshot`]: the shared state
     /// plus the loop counters and the caller-collected event backlog.
+    #[allow(clippy::too_many_arguments)]
     fn checkpoint<S2>(
         &self,
         snap: &SnapArgs<'_, P::State>,
         events: u64,
         seq: u64,
         churn: Option<(&[u32], u64)>,
+        faults: Option<FaultSummary>,
         backlog: Vec<BacklogEvent>,
         observer: &mut S2,
     ) where
@@ -374,6 +378,7 @@ impl<'a, P: Fsm> Exec<'a, P> {
                 step_counts: &self.step_counts,
                 rngs: &self.rngs,
                 churn,
+                faults,
                 backlog,
             },
         );
@@ -567,6 +572,7 @@ fn choose_bucket_width<A: Adversary + ?Sized>(
 ///
 /// Inputs are validated by the builder; this function assumes
 /// `inputs.len() == graph.node_count()`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     protocol: &P,
     graph: &Graph,
@@ -575,6 +581,7 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
     config: &AsyncConfig,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = graph.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
@@ -588,10 +595,11 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
         graph.port_slot_count()
     );
 
-    let (ex, seed) = match snap.resume {
+    let (fctx, fout) = compile_faults(faults, graph, protocol.alphabet().len())?;
+    let (ex, seed, tally) = match snap.resume {
         Some(s) => {
             let mut res = snapshot::decode_async(s, &snap.codec(), n, graph.port_slot_count())?;
-            if res.churn.is_some() {
+            if res.churn.is_some() || res.faults.is_some() != fctx.is_some() {
                 return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
                     field: "snapshot body kind",
                 }));
@@ -601,12 +609,20 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
                 events: res.events,
                 seq: res.seq,
             };
-            (Exec::from_resume(protocol, graph, res), Some(seed))
+            let tally = res.faults.unwrap_or_default();
+            (Exec::from_resume(protocol, graph, res), Some(seed), tally)
         }
-        None => (Exec::new(protocol, graph, inputs, config.seed), None),
+        None => (
+            Exec::new(protocol, graph, inputs, config.seed),
+            None,
+            FaultSummary::default(),
+        ),
     };
 
     if seed.is_none() && ex.unfinished == 0 {
+        if let Some(out) = fout {
+            *out = Some(tally);
+        }
         let outputs = ex
             .states
             .iter()
@@ -627,10 +643,27 @@ pub(crate) fn exec_async<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::Stat
         ));
     }
 
-    match config.scheduler {
-        SchedulerKind::BinaryHeap => run_heap_loop(ex, adversary, config, observer, snap, seed),
-        SchedulerKind::CalendarWheel => run_wheel_loop(ex, adversary, config, observer, snap, seed),
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
+    let result = if layer.ctx.is_some() {
+        // Faulted runs always drive the heap: the wheel's `DeliverRun`
+        // batching assumes one letter per run and pairwise-distinct
+        // receiver slots, which corruption and duplication break. Sound
+        // because the two schedulers are pinned bit-identical.
+        run_heap_loop(ex, adversary, config, observer, snap, seed, &mut layer)
+    } else {
+        match config.scheduler {
+            SchedulerKind::BinaryHeap => {
+                run_heap_loop(ex, adversary, config, observer, snap, seed, &mut layer)
+            }
+            SchedulerKind::CalendarWheel => {
+                run_wheel_loop(ex, adversary, config, observer, snap, seed, &mut layer)
+            }
+        }
+    };
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
     }
+    result
 }
 
 /// The queue-side remainder of a decoded async snapshot: the serialized
@@ -652,6 +685,7 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
     resume: Option<AsyncSeed>,
+    faults: &mut FaultLayer<'_>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     let n = ex.graph.node_count();
     let mut seq = 0u64;
@@ -692,6 +726,7 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     }
 
     let mut arrivals: Vec<f64> = Vec::new();
+    let mut fan: Vec<(NodeId, u32, f64, Letter)> = Vec::new();
     let mut completion_time = None;
     while let Some(Reverse(event)) = heap.pop() {
         events += 1;
@@ -712,22 +747,51 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
                 if let Some(letter) = emission {
                     ex.messages_sent += 1;
                     ex.compute_arrivals(adversary, v, t, event.time, &mut arrivals);
-                    let nbrs = ex.graph.neighbors(v);
-                    let rev = ex.graph.reverse_ports(v);
-                    for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
-                        // The receiver-side flat slot, via the precomputed
-                        // reverse-port map.
-                        let slot = (ex.graph.csr_offset(u) + rp as usize) as u32;
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            arrivals[k],
-                            HeapKind::Deliver {
-                                node: u,
-                                slot,
+                    match faults.ctx {
+                        Some(ctx) if ctx.affects_sender(v) => {
+                            faulted_sends(
+                                ctx,
+                                &mut faults.tally,
+                                ex.graph,
+                                &mut ex.last_arrival,
+                                v,
+                                t,
+                                &arrivals,
                                 letter,
-                            },
-                        );
+                                &mut fan,
+                            );
+                            for &(u, slot, arrival, l) in &fan {
+                                push(
+                                    &mut heap,
+                                    &mut seq,
+                                    arrival,
+                                    HeapKind::Deliver {
+                                        node: u,
+                                        slot,
+                                        letter: l,
+                                    },
+                                );
+                            }
+                        }
+                        _ => {
+                            let nbrs = ex.graph.neighbors(v);
+                            let rev = ex.graph.reverse_ports(v);
+                            for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
+                                // The receiver-side flat slot, via the
+                                // precomputed reverse-port map.
+                                let slot = (ex.graph.csr_offset(u) + rp as usize) as u32;
+                                push(
+                                    &mut heap,
+                                    &mut seq,
+                                    arrivals[k],
+                                    HeapKind::Deliver {
+                                        node: u,
+                                        slot,
+                                        letter,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
 
@@ -759,7 +823,7 @@ fn run_heap_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
                             },
                         })
                         .collect();
-                    ex.checkpoint(snap, events, seq, None, backlog, observer);
+                    ex.checkpoint(snap, events, seq, None, faults.capture(), backlog, observer);
                 }
             }
         }
@@ -782,7 +846,10 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
     resume: Option<AsyncSeed>,
+    faults: &mut FaultLayer<'_>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
+    // Faulted runs are routed to the heap loop by `exec_async`.
+    debug_assert!(faults.ctx.is_none());
     let n = ex.graph.node_count();
     let width = choose_bucket_width(adversary, ex.graph, config.bucket_width);
     let mut wheel: CalendarQueue<WheelKind> = CalendarQueue::new(width);
@@ -1033,7 +1100,7 @@ fn run_wheel_loop<P: Fsm, A: Adversary + ?Sized, O: AsyncObserver<P::State>>(
                             }
                         }
                     }
-                    ex.checkpoint(snap, events, seq, None, backlog, observer);
+                    ex.checkpoint(snap, events, seq, None, faults.capture(), backlog, observer);
                 }
             }
         }
@@ -1088,6 +1155,7 @@ pub(crate) fn exec_async_churn<P, A, O>(
     plan: &crate::churn::ChurnPlan,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(AsyncOutcome, Vec<P::State>, crate::churn::ChurnSummary), ExecError>
 where
     P: Fsm,
@@ -1108,13 +1176,21 @@ where
         universe.port_slot_count()
     );
 
+    let (fctx, fout) = compile_faults(faults, &universe, protocol.alphabet().len())?;
     let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
     let mut seq = 0u64;
     let mut events = 0u64;
     let mut heap: BinaryHeap<Reverse<Event2>> = BinaryHeap::new();
+    let mut tally = FaultSummary::default();
     let (mut ex, mut incarnation) = match snap.resume {
         Some(s) => {
             let mut res = snapshot::decode_async(s, &snap.codec(), n, universe.port_slot_count())?;
+            if res.faults.is_some() != fctx.is_some() {
+                return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                    field: "snapshot body kind",
+                }));
+            }
+            tally = res.faults.unwrap_or_default();
             let Some((incarnation, cursor)) = res.churn.take() else {
                 return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
                     field: "snapshot body kind",
@@ -1165,7 +1241,9 @@ where
         }
     };
 
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let mut arrivals: Vec<f64> = Vec::new();
+    let mut fan: Vec<(NodeId, u32, f64, Letter)> = Vec::new();
     let mut now = 0.0f64;
     let completion_time;
     'run: loop {
@@ -1265,21 +1343,51 @@ where
                 if let Some(letter) = emission {
                     ex.messages_sent += 1;
                     ex.compute_arrivals(adversary, v, t, event.time, &mut arrivals);
-                    let nbrs = ex.graph.neighbors(v);
-                    let rev = ex.graph.reverse_ports(v);
-                    for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
-                        let slot = (ex.graph.csr_offset(u) + rp as usize) as u32;
-                        heap.push(Reverse(Event2 {
-                            time: arrivals[k],
-                            seq,
-                            kind: ChurnKind::Deliver {
-                                node: u,
-                                slot,
+                    match layer.ctx {
+                        Some(ctx) if ctx.affects_sender(v) => {
+                            faulted_sends(
+                                ctx,
+                                &mut layer.tally,
+                                ex.graph,
+                                &mut ex.last_arrival,
+                                v,
+                                t,
+                                &arrivals,
                                 letter,
-                                inc: incarnation[u as usize],
-                            },
-                        }));
-                        seq += 1;
+                                &mut fan,
+                            );
+                            for &(u, slot, arrival, l) in &fan {
+                                heap.push(Reverse(Event2 {
+                                    time: arrival,
+                                    seq,
+                                    kind: ChurnKind::Deliver {
+                                        node: u,
+                                        slot,
+                                        letter: l,
+                                        inc: incarnation[u as usize],
+                                    },
+                                }));
+                                seq += 1;
+                            }
+                        }
+                        _ => {
+                            let nbrs = ex.graph.neighbors(v);
+                            let rev = ex.graph.reverse_ports(v);
+                            for (k, (&u, &rp)) in nbrs.iter().zip(rev).enumerate() {
+                                let slot = (ex.graph.csr_offset(u) + rp as usize) as u32;
+                                heap.push(Reverse(Event2 {
+                                    time: arrivals[k],
+                                    seq,
+                                    kind: ChurnKind::Deliver {
+                                        node: u,
+                                        slot,
+                                        letter,
+                                        inc: incarnation[u as usize],
+                                    },
+                                }));
+                                seq += 1;
+                            }
+                        }
                     }
                 }
 
@@ -1326,6 +1434,7 @@ where
                         events,
                         seq,
                         Some((&incarnation, ctl.cursor())),
+                        layer.capture(),
                         backlog,
                         observer,
                     );
@@ -1334,6 +1443,9 @@ where
         }
     }
 
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     let summary = ctl.finish();
     let outputs = ex
         .states

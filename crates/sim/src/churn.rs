@@ -111,6 +111,9 @@ use stoneage_graph::{
 
 use crate::engine::{FlatPorts, PortPlanes};
 #[cfg(feature = "parallel")]
+use crate::faults::FaultSink;
+use crate::faults::{FaultLayer, FaultSummary, FaultsArg};
+#[cfg(feature = "parallel")]
 use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
 #[cfg(feature = "parallel")]
 use crate::pipeline::ShardedSink;
@@ -118,7 +121,9 @@ use crate::pipeline::{boundary_checkpoint, node_round, RoundEnd, RoundStep, Seri
 use crate::scoped::{scoped_rngs, ScopedDelivery, ScopedMultiFsm, ScopedOutcome, ScopedStep};
 use crate::sim::Observer;
 use crate::snapshot::{self, SnapArgs, SnapPlumb, SnapshotError};
-use crate::sync_exec::{seed_rngs, SyncConfig, SyncObserver, SyncOutcome, SyncStep};
+use crate::sync_exec::{
+    compile_faults, seed_rngs, SyncConfig, SyncObserver, SyncOutcome, SyncStep,
+};
 use crate::{splitmix64, ExecError};
 
 /// The output value reported for a node that is **dead** (crashed and
@@ -610,6 +615,7 @@ fn run_serial_churn<St, O>(
     observer: &mut O,
     witness: &mut St::Witness,
     plumb: &SnapPlumb<St::State>,
+    faults: &mut FaultLayer<'_>,
 ) -> RoundEnd
 where
     St: RoundStep,
@@ -649,6 +655,7 @@ where
         {
             let ports = planes.read();
             let live = ctl.live();
+            let mut fsink = faults.sink(&mut sink, round);
             for v in 0..n {
                 if !live[v] {
                     continue;
@@ -662,7 +669,7 @@ where
                     &mut states[v],
                     &mut rngs[v],
                     &mut obs,
-                    &mut sink,
+                    &mut fsink,
                     witness,
                 );
             }
@@ -695,6 +702,7 @@ where
             rngs,
             witness,
             Some(ctl.cursor()),
+            faults.capture(),
             observer,
         );
     }
@@ -724,6 +732,7 @@ fn run_parallel_churn<St, O>(
     observer: &mut O,
     witness: &mut St::Witness,
     plumb: &SnapPlumb<St::State>,
+    faults: &mut FaultLayer<'_>,
 ) -> RoundEnd
 where
     St: RoundStep + Sync,
@@ -766,7 +775,8 @@ where
             for round in start + 1..=max_rounds {
                 let ports = planes.read();
                 let live = ctl.live();
-                let deltas: Vec<isize> = std::thread::scope(|scope| {
+                let fctx = faults.ctx;
+                let results: Vec<(isize, FaultSummary)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = plan
                         .chunks_mut(&mut *states)
                         .into_iter()
@@ -781,6 +791,9 @@ where
                             scope.spawn(move || {
                                 buffer.clear();
                                 let mut sink = ShardedSink { buffer, plan };
+                                let mut ftally = FaultSummary::default();
+                                let mut fsink =
+                                    FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
                                 let mut delta = 0isize;
                                 for i in 0..state_c.len() {
                                     if !live[base + i] {
@@ -795,17 +808,20 @@ where
                                         &mut state_c[i],
                                         &mut rng_c[i],
                                         obs,
-                                        &mut sink,
+                                        &mut fsink,
                                         wit,
                                     );
                                 }
-                                delta
+                                (delta, ftally)
                             })
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
                 });
-                undecided += deltas.iter().sum::<isize>();
+                undecided += results.iter().map(|&(d, _)| d).sum::<isize>();
+                for (_, t) in &results {
+                    faults.absorb(t);
+                }
                 sent += buffers.iter().map(|b| b.sent).sum::<u64>();
                 for w in witnesses.iter_mut() {
                     St::absorb(witness, w);
@@ -838,6 +854,7 @@ where
                     rngs,
                     witness,
                     Some(ctl.cursor()),
+                    faults.capture(),
                     observer,
                 );
             }
@@ -850,7 +867,8 @@ where
                 let shards = planes.epoch_shards(universe, plan.bounds());
                 let landing_ref = &landing;
                 let live = ctl.live();
-                let deltas: Vec<isize> = std::thread::scope(|scope| {
+                let fctx = faults.ctx;
+                let results: Vec<(isize, FaultSummary)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = shards
                         .into_iter()
                         .zip(plan.chunks_mut(&mut *states))
@@ -872,6 +890,9 @@ where
                                     shard.freeze();
                                     buffer.clear();
                                     let mut sink = ShardedSink { buffer, plan };
+                                    let mut ftally = FaultSummary::default();
+                                    let mut fsink =
+                                        FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
                                     let mut delta = 0isize;
                                     for i in 0..state_c.len() {
                                         if !live[base + i] {
@@ -886,11 +907,11 @@ where
                                             &mut state_c[i],
                                             &mut rng_c[i],
                                             obs,
-                                            &mut sink,
+                                            &mut fsink,
                                             wit,
                                         );
                                     }
-                                    delta
+                                    (delta, ftally)
                                 })
                             },
                         )
@@ -899,7 +920,10 @@ where
                 });
                 planes.advance();
                 std::mem::swap(&mut landing, &mut filling);
-                undecided += deltas.iter().sum::<isize>();
+                undecided += results.iter().map(|&(d, _)| d).sum::<isize>();
+                for (_, t) in &results {
+                    faults.absorb(t);
+                }
                 sent += landing.iter().map(|b| b.sent).sum::<u64>();
                 for w in witnesses.iter_mut() {
                     St::absorb(witness, w);
@@ -957,6 +981,7 @@ where
                         rngs,
                         witness,
                         Some(ctl.cursor()),
+                        faults.capture(),
                         observer,
                     );
                 }
@@ -1010,6 +1035,7 @@ fn churn_start<S>(
     ctl: &mut ChurnCtl<'_>,
     snap: &SnapArgs<'_, S>,
     scoped: bool,
+    faulted: bool,
 ) -> Result<
     (
         Vec<S>,
@@ -1017,6 +1043,7 @@ fn churn_start<S>(
         Vec<SmallRng>,
         Vec<ScopedDelivery>,
         SnapPlumb<S>,
+        FaultSummary,
     ),
     ExecError,
 > {
@@ -1037,6 +1064,11 @@ fn churn_start<S>(
                     }))
                 }
             };
+            if splice.faults.is_some() != faulted {
+                return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                    field: "snapshot body kind",
+                }));
+            }
             ctl.fast_forward(universe, cursor)?;
             Ok((
                 splice.states,
@@ -1044,6 +1076,7 @@ fn churn_start<S>(
                 splice.rngs,
                 witness,
                 SnapPlumb::from_args(snap, Some(splice.point)),
+                splice.faults.unwrap_or_default(),
             ))
         }
         None => {
@@ -1055,6 +1088,7 @@ fn churn_start<S>(
                 seed(universe.node_count()),
                 Vec::new(),
                 SnapPlumb::from_args(snap, None),
+                FaultSummary::default(),
             ))
         }
     }
@@ -1063,6 +1097,7 @@ fn churn_start<S>(
 /// The serial sync engine under a churn plan: the exact
 /// [`crate::sync_exec::exec_sync`] pipeline with the churn controller
 /// spliced into the round boundaries.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_sync_churn<P, O>(
     protocol: &P,
     base: &Graph,
@@ -1071,6 +1106,7 @@ pub(crate) fn exec_sync_churn<P, O>(
     plan: &ChurnPlan,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm,
@@ -1079,8 +1115,9 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
+    let (fctx, fout) = compile_faults(faults, &universe, protocol.alphabet().len())?;
     let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    let (mut states, mut planes, mut rngs, _, plumb) = churn_start(
+    let (mut states, mut planes, mut rngs, _, plumb, tally) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
@@ -1089,7 +1126,9 @@ where
         &mut ctl,
         snap,
         false,
+        fctx.is_some(),
     )?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = run_serial_churn(
         &SyncStep(protocol),
         &universe,
@@ -1102,7 +1141,11 @@ where
         observer,
         &mut (),
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     sync_churn_end(protocol, states, end, ctl.finish())
 }
 
@@ -1119,6 +1162,7 @@ pub(crate) fn exec_sync_churn_parallel<P, O>(
     policy: &ParallelPolicy,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm + Sync,
@@ -1128,8 +1172,9 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
+    let (fctx, fout) = compile_faults(faults, &universe, protocol.alphabet().len())?;
     let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    let (mut states, mut planes, mut rngs, _, plumb) = churn_start(
+    let (mut states, mut planes, mut rngs, _, plumb, tally) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
@@ -1138,7 +1183,9 @@ where
         &mut ctl,
         snap,
         false,
+        fctx.is_some(),
     )?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = run_parallel_churn(
         &SyncStep(protocol),
         &universe,
@@ -1152,7 +1199,11 @@ where
         observer,
         &mut (),
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     sync_churn_end(protocol, states, end, ctl.finish())
 }
 
@@ -1167,6 +1218,7 @@ pub(crate) fn exec_scoped_churn<P, O>(
     plan: &ChurnPlan,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm,
@@ -1175,8 +1227,9 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
+    let (fctx, fout) = compile_faults(faults, &universe, protocol.alphabet().len())?;
     let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) = churn_start(
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb, tally) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
@@ -1185,7 +1238,9 @@ where
         &mut ctl,
         snap,
         true,
+        fctx.is_some(),
     )?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = run_serial_churn(
         &ScopedStep(protocol),
         &universe,
@@ -1198,7 +1253,11 @@ where
         observer,
         &mut scoped_deliveries,
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     scoped_churn_end(protocol, states, scoped_deliveries, end, ctl.finish())
 }
 
@@ -1215,6 +1274,7 @@ pub(crate) fn exec_scoped_churn_parallel<P, O>(
     policy: &ParallelPolicy,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -1224,8 +1284,9 @@ where
     let universe = plan.universe(base).map_err(plan_config)?;
     let n = universe.node_count();
     debug_assert_eq!(inputs.len(), n, "the builder validates input length");
+    let (fctx, fout) = compile_faults(faults, &universe, protocol.alphabet().len())?;
     let mut ctl = ChurnCtl::new(plan, base, &universe, protocol.initial_letter())?;
-    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) = churn_start(
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb, tally) = churn_start(
         &universe,
         protocol.alphabet().len(),
         protocol.initial_letter(),
@@ -1234,7 +1295,9 @@ where
         &mut ctl,
         snap,
         true,
+        fctx.is_some(),
     )?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = run_parallel_churn(
         &ScopedStep(protocol),
         &universe,
@@ -1248,7 +1311,11 @@ where
         observer,
         &mut scoped_deliveries,
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     scoped_churn_end(protocol, states, scoped_deliveries, end, ctl.finish())
 }
 
@@ -1379,6 +1446,16 @@ impl<F> StabilizationObserver<F> {
     /// Consumes the observer, returning its records.
     pub fn into_records(self) -> Vec<StabilizationRecord> {
         self.records
+    }
+
+    /// Whether the run **wedged**: at least one effective event was never
+    /// followed by a round satisfying the predicate again
+    /// (`restabilized_after == None`). The paper's protocols are not
+    /// self-stabilizing, so this is a real outcome — e.g. restarting a
+    /// node amid halted decided MIS neighbors; the
+    /// `stoneage_protocols::selfstab` variants exist to make it false.
+    pub fn wedged(&self) -> bool {
+        self.records.iter().any(|r| r.restabilized_after.is_none())
     }
 }
 

@@ -92,6 +92,7 @@ pub mod adversary;
 mod async_exec;
 pub mod churn;
 pub mod engine;
+pub mod faults;
 pub mod parbuf;
 pub mod pipeline;
 pub mod reference;
@@ -107,6 +108,7 @@ pub use churn::{
     ChurnOracle, ChurnPlan, ChurnSummary, PatchMode, StabilizationObserver, StabilizationRecord,
 };
 pub use engine::{FlatPorts, PortPlanes};
+pub use faults::{FaultPlan, FaultPlanError, FaultRule, FaultScope, FaultSummary, LinkFault};
 pub use parbuf::{MergeStrategy, ParallelPolicy, RoundMode, ROUND_MODE_ENV};
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
 pub use schedule::CalendarQueue;

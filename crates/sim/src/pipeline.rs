@@ -75,6 +75,9 @@ use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::{FlatPorts, PlaneShard, PortPlanes};
 #[cfg(feature = "parallel")]
+use crate::faults::FaultSink;
+use crate::faults::{FaultLayer, FaultSummary};
+#[cfg(feature = "parallel")]
 use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
 use crate::scoped::ScopedDelivery;
 use crate::snapshot::{encode_lockstep, LockstepCapture, SnapPlumb};
@@ -133,6 +136,11 @@ pub(crate) trait DeliverySink {
     fn broadcast(&mut self, graph: &Graph, v: NodeId, letter: Letter);
     /// Buffers a single delivery to `u` at absolute flat `slot`.
     fn send_one(&mut self, u: NodeId, slot: usize, letter: Letter);
+    /// Counts one non-`ε` transmission without buffering any delivery —
+    /// the fault layer decomposes a covered broadcast into per-port
+    /// [`DeliverySink::send_one`] decisions but the transmission itself
+    /// still happened (the fault is on the channel, not the sender).
+    fn note_sent(&mut self);
 }
 
 /// The serial delivery strategy: one flat `(receiver, slot, letter)`
@@ -166,6 +174,10 @@ impl DeliverySink for SerialWrites {
     fn send_one(&mut self, u: NodeId, slot: usize, letter: Letter) {
         self.writes.push((u, slot as u32, letter));
     }
+    #[inline]
+    fn note_sent(&mut self) {
+        self.sent += 1;
+    }
 }
 
 /// The parallel delivery strategy: a worker-private [`DeliveryBuffer`]
@@ -185,6 +197,10 @@ impl DeliverySink for ShardedSink<'_> {
     #[inline]
     fn send_one(&mut self, u: NodeId, slot: usize, letter: Letter) {
         self.buffer.push(self.plan, u, slot, letter);
+    }
+    #[inline]
+    fn note_sent(&mut self) {
+        self.buffer.sent += 1;
     }
 }
 
@@ -282,6 +298,7 @@ pub(crate) fn boundary_checkpoint<St, O>(
     rngs: &[SmallRng],
     witness: &St::Witness,
     churn_next: Option<u64>,
+    faults: Option<FaultSummary>,
     observer: &mut O,
 ) where
     St: RoundStep,
@@ -305,6 +322,7 @@ pub(crate) fn boundary_checkpoint<St, O>(
             rngs,
             witness: St::witness_slice(witness),
             churn_next,
+            faults,
         },
     );
     observer.on_checkpoint(&snap);
@@ -364,6 +382,7 @@ pub(crate) fn run_serial<St, O>(
     observer: &mut O,
     witness: &mut St::Witness,
     plumb: &SnapPlumb<St::State>,
+    faults: &mut FaultLayer<'_>,
 ) -> RoundEnd
 where
     St: RoundStep,
@@ -387,6 +406,7 @@ where
         sink.begin_round();
         {
             let ports = planes.read();
+            let mut fsink = faults.sink(&mut sink, round);
             for v in 0..n {
                 undecided += node_round(
                     step,
@@ -397,7 +417,7 @@ where
                     &mut states[v],
                     &mut rngs[v],
                     &mut obs,
-                    &mut sink,
+                    &mut fsink,
                     witness,
                 );
             }
@@ -412,7 +432,17 @@ where
             };
         }
         boundary_checkpoint::<St, _>(
-            plumb, round, sent, undecided, planes, states, rngs, witness, None, observer,
+            plumb,
+            round,
+            sent,
+            undecided,
+            planes,
+            states,
+            rngs,
+            witness,
+            None,
+            faults.capture(),
+            observer,
         );
     }
     RoundEnd::Limit {
@@ -440,6 +470,7 @@ pub(crate) fn run_parallel<St, O>(
     observer: &mut O,
     witness: &mut St::Witness,
     plumb: &SnapPlumb<St::State>,
+    faults: &mut FaultLayer<'_>,
 ) -> RoundEnd
 where
     St: RoundStep + Sync,
@@ -473,9 +504,11 @@ where
             for round in start + 1..=max_rounds {
                 // Phase 1 + 2a, one scope: disjoint &mut chunks over
                 // states, RNGs, buffers, and scratch; shared reads of
-                // the frozen read plane and the graph.
+                // the frozen read plane, the graph, and the fault plan
+                // (whose decisions are pure hashes — no shared state).
                 let ports = planes.read();
-                let deltas: Vec<isize> = std::thread::scope(|scope| {
+                let fctx = faults.ctx;
+                let results: Vec<(isize, FaultSummary)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = plan
                         .chunks_mut(&mut *states)
                         .into_iter()
@@ -490,6 +523,9 @@ where
                             scope.spawn(move || {
                                 buffer.clear();
                                 let mut sink = ShardedSink { buffer, plan };
+                                let mut ftally = FaultSummary::default();
+                                let mut fsink =
+                                    FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
                                 let mut delta = 0isize;
                                 for i in 0..state_c.len() {
                                     delta += node_round(
@@ -501,17 +537,20 @@ where
                                         &mut state_c[i],
                                         &mut rng_c[i],
                                         obs,
-                                        &mut sink,
+                                        &mut fsink,
                                         wit,
                                     );
                                 }
-                                delta
+                                (delta, ftally)
                             })
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
                 });
-                undecided += deltas.iter().sum::<isize>();
+                undecided += results.iter().map(|&(d, _)| d).sum::<isize>();
+                for (_, t) in &results {
+                    faults.absorb(t);
+                }
                 sent += buffers.iter().map(|b| b.sent).sum::<u64>();
                 for w in witnesses.iter_mut() {
                     St::absorb(witness, w);
@@ -528,7 +567,17 @@ where
                     };
                 }
                 boundary_checkpoint::<St, _>(
-                    plumb, round, sent, undecided, planes, states, rngs, witness, None, observer,
+                    plumb,
+                    round,
+                    sent,
+                    undecided,
+                    planes,
+                    states,
+                    rngs,
+                    witness,
+                    None,
+                    faults.capture(),
+                    observer,
                 );
             }
         }
@@ -542,7 +591,8 @@ where
             for round in start + 1..=max_rounds {
                 let shards = planes.epoch_shards(graph, plan.bounds());
                 let landing_ref = &landing;
-                let deltas: Vec<isize> = std::thread::scope(|scope| {
+                let fctx = faults.ctx;
+                let results: Vec<(isize, FaultSummary)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = shards
                         .into_iter()
                         .zip(plan.chunks_mut(&mut *states))
@@ -570,6 +620,9 @@ where
                                     shard.freeze();
                                     buffer.clear();
                                     let mut sink = ShardedSink { buffer, plan };
+                                    let mut ftally = FaultSummary::default();
+                                    let mut fsink =
+                                        FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
                                     let mut delta = 0isize;
                                     for i in 0..state_c.len() {
                                         delta += node_round(
@@ -581,11 +634,11 @@ where
                                             &mut state_c[i],
                                             &mut rng_c[i],
                                             obs,
-                                            &mut sink,
+                                            &mut fsink,
                                             wit,
                                         );
                                     }
-                                    delta
+                                    (delta, ftally)
                                 })
                             },
                         )
@@ -596,7 +649,10 @@ where
                 // epoch and swap the buffer generations.
                 planes.advance();
                 std::mem::swap(&mut landing, &mut filling);
-                undecided += deltas.iter().sum::<isize>();
+                undecided += results.iter().map(|&(d, _)| d).sum::<isize>();
+                for (_, t) in &results {
+                    faults.absorb(t);
+                }
                 sent += landing.iter().map(|b| b.sent).sum::<u64>();
                 for w in witnesses.iter_mut() {
                     St::absorb(witness, w);
@@ -632,7 +688,16 @@ where
                         b.clear();
                     }
                     boundary_checkpoint::<St, _>(
-                        plumb, round, sent, undecided, planes, states, rngs, witness, None,
+                        plumb,
+                        round,
+                        sent,
+                        undecided,
+                        planes,
+                        states,
+                        rngs,
+                        witness,
+                        None,
+                        faults.capture(),
                         observer,
                     );
                 }

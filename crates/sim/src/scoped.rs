@@ -27,10 +27,12 @@ use stoneage_core::{Letter, ObsVec, Protocol};
 use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::PortPlanes;
+use crate::faults::{FaultLayer, FaultSummary, FaultsArg};
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
 use crate::snapshot::{self, SnapArgs, SnapPlumb, SnapshotError};
+use crate::sync_exec::compile_faults;
 use crate::{splitmix64, ExecError};
 
 /// An emission under the port-select extension.
@@ -234,16 +236,19 @@ pub(crate) fn scoped_rngs(n: usize, seed: u64) -> Vec<SmallRng> {
 }
 
 /// The engine state a scoped run starts from — fresh, or spliced from a
-/// resume snapshot (which must carry a witness transcript and no churn
-/// cursor, or it belongs to another backend/configuration). The restored
-/// transcript already holds every scoped delivery up to the snapshot
-/// boundary, so the resumed run's witness is the full-run witness.
+/// resume snapshot (which must carry a witness transcript, no churn
+/// cursor, and a fault tally exactly when the run wires a fault plan; a
+/// mismatch means it belongs to another backend/configuration). The
+/// restored transcript already holds every scoped delivery up to the
+/// snapshot boundary, so the resumed run's witness is the full-run
+/// witness.
 type ScopedStart<S> = (
     Vec<S>,
     PortPlanes,
     Vec<SmallRng>,
     Vec<ScopedDelivery>,
     SnapPlumb<S>,
+    FaultSummary,
 );
 
 fn scoped_start<P: ScopedMultiFsm>(
@@ -252,6 +257,7 @@ fn scoped_start<P: ScopedMultiFsm>(
     inputs: &[usize],
     seed: u64,
     snap: &SnapArgs<'_, P::State>,
+    faulted: bool,
 ) -> Result<ScopedStart<P::State>, ExecError> {
     let sigma = protocol.alphabet().len();
     if let Some(s) = snap.resume {
@@ -261,8 +267,21 @@ fn scoped_start<P: ScopedMultiFsm>(
                 field: "snapshot body kind",
             }));
         };
+        if splice.faults.is_some() != faulted {
+            return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
+                field: "snapshot body kind",
+            }));
+        }
+        let tally = splice.faults.unwrap_or_default();
         let plumb = SnapPlumb::from_args(snap, Some(splice.point));
-        Ok((splice.states, splice.planes, splice.rngs, witness, plumb))
+        Ok((
+            splice.states,
+            splice.planes,
+            splice.rngs,
+            witness,
+            plumb,
+            tally,
+        ))
     } else {
         Ok((
             inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
@@ -270,6 +289,7 @@ fn scoped_start<P: ScopedMultiFsm>(
             scoped_rngs(graph.node_count(), seed),
             Vec::new(),
             SnapPlumb::from_args(snap, None),
+            FaultSummary::default(),
         ))
     }
 }
@@ -304,6 +324,7 @@ fn scoped_end<P: ScopedMultiFsm>(
 ///
 /// Inputs are validated by the builder; the legacy shims pass all zeros,
 /// which reproduces the historical `initial_state(0)` seeding exactly.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_scoped<P, O>(
     protocol: &P,
     graph: &Graph,
@@ -312,6 +333,7 @@ pub(crate) fn exec_scoped<P, O>(
     max_rounds: u64,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm,
@@ -322,8 +344,10 @@ where
         graph.node_count(),
         "the builder validates input length"
     );
-    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) =
-        scoped_start(protocol, graph, inputs, seed, snap)?;
+    let (fctx, fout) = compile_faults(faults, graph, protocol.alphabet().len())?;
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb, tally) =
+        scoped_start(protocol, graph, inputs, seed, snap, fctx.is_some())?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = pipeline::run_serial(
         &ScopedStep(protocol),
         graph,
@@ -334,7 +358,11 @@ where
         observer,
         &mut scoped_deliveries,
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     scoped_end(protocol, states, scoped_deliveries, end)
 }
 
@@ -380,6 +408,7 @@ pub(crate) fn exec_scoped_parallel<P, O>(
     policy: &ParallelPolicy,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -391,10 +420,12 @@ where
         graph.node_count(),
         "the builder validates input length"
     );
+    let (fctx, fout) = compile_faults(faults, graph, protocol.alphabet().len())?;
     // The identical per-node streams (or restored mid-run streams) of
     // the serial engine.
-    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb) =
-        scoped_start(protocol, graph, inputs, seed, snap)?;
+    let (mut states, mut planes, mut rngs, mut scoped_deliveries, plumb, tally) =
+        scoped_start(protocol, graph, inputs, seed, snap, fctx.is_some())?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = pipeline::run_parallel(
         &ScopedStep(protocol),
         graph,
@@ -406,7 +437,11 @@ where
         observer,
         &mut scoped_deliveries,
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     scoped_end(protocol, states, scoped_deliveries, end)
 }
 

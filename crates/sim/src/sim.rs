@@ -73,6 +73,7 @@ use stoneage_core::{Fsm, MultiFsm, Protocol};
 use stoneage_graph::{Graph, NodeId, TopologyEvent};
 
 use crate::churn::{self, ChurnPlan, ChurnSummary};
+use crate::faults::{FaultPlan, FaultScope, FaultSummary, FaultWire, FaultsArg, LinkFault};
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::scoped::{self, ScopedDelivery, ScopedMultiFsm, ScopedOutcome};
@@ -123,6 +124,9 @@ pub enum Detail {
         /// effective crash/restart/edge-event counts and the final
         /// live-node set. `None` on churn-free runs.
         churn: Option<ChurnSummary>,
+        /// What a [`Simulation::with_faults`] plan did to the message
+        /// channels. `None` on fault-free runs.
+        faults: Option<FaultSummary>,
     },
     /// Extras of a [`Backend::Async`] run.
     Async {
@@ -143,6 +147,9 @@ pub enum Detail {
         /// What a [`Simulation::with_churn`] plan did to the topology.
         /// `None` on churn-free runs.
         churn: Option<ChurnSummary>,
+        /// What a [`Simulation::with_faults`] plan did to the message
+        /// channels. `None` on fault-free runs.
+        faults: Option<FaultSummary>,
     },
     /// Extras of a [`Backend::Scoped`] run.
     Scoped {
@@ -152,6 +159,9 @@ pub enum Detail {
         /// What a [`Simulation::with_churn`] plan did to the topology.
         /// `None` on churn-free runs.
         churn: Option<ChurnSummary>,
+        /// What a [`Simulation::with_faults`] plan did to the message
+        /// channels. `None` on fault-free runs.
+        faults: Option<FaultSummary>,
     },
 }
 
@@ -163,6 +173,16 @@ impl Detail {
             Detail::Sync { churn, .. }
             | Detail::Async { churn, .. }
             | Detail::Scoped { churn, .. } => churn.as_ref(),
+        }
+    }
+
+    /// The fault summary of this run, if it ran under a
+    /// [`Simulation::with_faults`] plan.
+    pub fn faults(&self) -> Option<&FaultSummary> {
+        match self {
+            Detail::Sync { faults, .. }
+            | Detail::Async { faults, .. }
+            | Detail::Scoped { faults, .. } => faults.as_ref(),
         }
     }
 }
@@ -212,6 +232,12 @@ impl<P: Protocol> Outcome<P> {
     /// [`Simulation::with_churn`] plan.
     pub fn churn(&self) -> Option<&ChurnSummary> {
         self.detail.churn()
+    }
+
+    /// The fault summary, if this run executed under a
+    /// [`Simulation::with_faults`] plan.
+    pub fn faults(&self) -> Option<&FaultSummary> {
+        self.detail.faults()
     }
 
     /// The scoped-delivery witness list of a [`Backend::Scoped`] run.
@@ -467,6 +493,7 @@ type SyncFn<P> = fn(
     &SyncConfig,
     ObsArg<'_, P>,
     SnapRef<'_, P>,
+    FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type AsyncFn<P> = fn(
@@ -477,6 +504,7 @@ type AsyncFn<P> = fn(
     &AsyncConfig,
     ObsArg<'_, P>,
     SnapRef<'_, P>,
+    FaultsArg<'_>,
 ) -> Result<(AsyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type ScopedFn<P> = fn(
@@ -487,6 +515,7 @@ type ScopedFn<P> = fn(
     u64,
     ObsArg<'_, P>,
     SnapRef<'_, P>,
+    FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -498,6 +527,7 @@ type SyncParFn<P> = fn(
     &ParallelPolicy,
     ObsArg<'_, P>,
     SnapRef<'_, P>,
+    FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -510,6 +540,7 @@ type ScopedParFn<P> = fn(
     &ParallelPolicy,
     ObsArg<'_, P>,
     SnapRef<'_, P>,
+    FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type SyncChurnFn<P> =
@@ -521,6 +552,7 @@ type SyncChurnFn<P> =
         &ChurnPlan,
         ObsArg<'_, P>,
         SnapRef<'_, P>,
+        FaultsArg<'_>,
     ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 type AsyncChurnFn<P> =
@@ -533,6 +565,7 @@ type AsyncChurnFn<P> =
         &ChurnPlan,
         ObsArg<'_, P>,
         SnapRef<'_, P>,
+        FaultsArg<'_>,
     ) -> Result<(AsyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 type ScopedChurnFn<P> =
@@ -545,6 +578,7 @@ type ScopedChurnFn<P> =
         &ChurnPlan,
         ObsArg<'_, P>,
         SnapRef<'_, P>,
+        FaultsArg<'_>,
     ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -558,6 +592,7 @@ type SyncChurnParFn<P> =
         &ParallelPolicy,
         ObsArg<'_, P>,
         SnapRef<'_, P>,
+        FaultsArg<'_>,
     ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -572,6 +607,7 @@ type ScopedChurnParFn<P> =
         &ParallelPolicy,
         ObsArg<'_, P>,
         SnapRef<'_, P>,
+        FaultsArg<'_>,
     ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 struct Caps<P: Protocol> {
@@ -619,14 +655,32 @@ fn cap_sync<P: MultiFsm>(
     config: &SyncConfig,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
     match observer {
-        Some(o) => sync_exec::exec_sync(protocol, graph, inputs, config, &mut Bridge(o), snap),
-        None => sync_exec::exec_sync(protocol, graph, inputs, config, &mut NoopObserver, snap),
+        Some(o) => sync_exec::exec_sync(
+            protocol,
+            graph,
+            inputs,
+            config,
+            &mut Bridge(o),
+            snap,
+            faults,
+        ),
+        None => sync_exec::exec_sync(
+            protocol,
+            graph,
+            inputs,
+            config,
+            &mut NoopObserver,
+            snap,
+            faults,
+        ),
     }
 }
 
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 fn cap_sync_par<P>(
     protocol: &P,
     graph: &Graph,
@@ -635,6 +689,7 @@ fn cap_sync_par<P>(
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
@@ -649,6 +704,7 @@ where
             policy,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => sync_exec::exec_sync_parallel(
             protocol,
@@ -658,10 +714,12 @@ where
             policy,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cap_async<P: Fsm>(
     protocol: &P,
     graph: &Graph,
@@ -670,6 +728,7 @@ fn cap_async<P: Fsm>(
     config: &AsyncConfig,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(AsyncOutcome, Vec<P::State>), ExecError> {
     match observer {
         Some(o) => async_exec::exec_async(
@@ -680,6 +739,7 @@ fn cap_async<P: Fsm>(
             config,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => async_exec::exec_async(
             protocol,
@@ -689,10 +749,12 @@ fn cap_async<P: Fsm>(
             config,
             &mut NoopAsyncObserver,
             snap,
+            faults,
         ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cap_scoped<P: ScopedMultiFsm>(
     protocol: &P,
     graph: &Graph,
@@ -701,6 +763,7 @@ fn cap_scoped<P: ScopedMultiFsm>(
     max_rounds: u64,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError> {
     match observer {
         Some(o) => scoped::exec_scoped(
@@ -711,6 +774,7 @@ fn cap_scoped<P: ScopedMultiFsm>(
             max_rounds,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => scoped::exec_scoped(
             protocol,
@@ -720,6 +784,7 @@ fn cap_scoped<P: ScopedMultiFsm>(
             max_rounds,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
@@ -735,6 +800,7 @@ fn cap_scoped_par<P>(
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -750,6 +816,7 @@ where
             policy,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => scoped::exec_scoped_parallel(
             protocol,
@@ -760,10 +827,12 @@ where
             policy,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cap_sync_churn<P: MultiFsm>(
     protocol: &P,
     base: &Graph,
@@ -772,11 +841,19 @@ fn cap_sync_churn<P: MultiFsm>(
     plan: &ChurnPlan,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError> {
     match observer {
-        Some(o) => {
-            churn::exec_sync_churn(protocol, base, inputs, config, plan, &mut Bridge(o), snap)
-        }
+        Some(o) => churn::exec_sync_churn(
+            protocol,
+            base,
+            inputs,
+            config,
+            plan,
+            &mut Bridge(o),
+            snap,
+            faults,
+        ),
         None => churn::exec_sync_churn(
             protocol,
             base,
@@ -785,6 +862,7 @@ fn cap_sync_churn<P: MultiFsm>(
             plan,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
@@ -800,6 +878,7 @@ fn cap_sync_churn_par<P>(
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm + Sync,
@@ -815,6 +894,7 @@ where
             policy,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => churn::exec_sync_churn_parallel(
             protocol,
@@ -825,6 +905,7 @@ where
             policy,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
@@ -839,6 +920,7 @@ fn cap_async_churn<P: Fsm>(
     plan: &ChurnPlan,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(AsyncOutcome, Vec<P::State>, ChurnSummary), ExecError> {
     match observer {
         Some(o) => async_exec::exec_async_churn(
@@ -850,6 +932,7 @@ fn cap_async_churn<P: Fsm>(
             plan,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => async_exec::exec_async_churn(
             protocol,
@@ -860,6 +943,7 @@ fn cap_async_churn<P: Fsm>(
             plan,
             &mut NoopAsyncObserver,
             snap,
+            faults,
         ),
     }
 }
@@ -874,6 +958,7 @@ fn cap_scoped_churn<P: ScopedMultiFsm>(
     plan: &ChurnPlan,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError> {
     match observer {
         Some(o) => churn::exec_scoped_churn(
@@ -885,6 +970,7 @@ fn cap_scoped_churn<P: ScopedMultiFsm>(
             plan,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => churn::exec_scoped_churn(
             protocol,
@@ -895,6 +981,7 @@ fn cap_scoped_churn<P: ScopedMultiFsm>(
             plan,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
@@ -911,6 +998,7 @@ fn cap_scoped_churn_par<P>(
     policy: &ParallelPolicy,
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
+    faults: FaultsArg<'_>,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -927,6 +1015,7 @@ where
             policy,
             &mut Bridge(o),
             snap,
+            faults,
         ),
         None => churn::exec_scoped_churn_parallel(
             protocol,
@@ -938,6 +1027,7 @@ where
             policy,
             &mut NoopObserver,
             snap,
+            faults,
         ),
     }
 }
@@ -966,6 +1056,7 @@ pub struct Simulation<'g, P: Protocol> {
     backend: Backend<'g>,
     observer: Option<&'g mut (dyn Observer<P::State> + 'g)>,
     churn: Option<&'g ChurnPlan>,
+    faults: Option<&'g FaultPlan>,
     #[cfg(feature = "parallel")]
     policy: Option<ParallelPolicy>,
     checkpoint: Option<u64>,
@@ -1045,6 +1136,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             backend,
             observer: None,
             churn: None,
+            faults: None,
             #[cfg(feature = "parallel")]
             policy: None,
             checkpoint: None,
@@ -1110,6 +1202,31 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     /// [`crate::churn::DEAD_OUTPUT`] if they never decided.
     pub fn with_churn(mut self, plan: &'g ChurnPlan) -> Self {
         self.churn = Some(plan);
+        self
+    }
+
+    /// Runs the simulation under a seeded deterministic message-fault
+    /// schedule (see [`crate::faults`]). Every transmission is evaluated
+    /// against the plan's rules at the single delivery boundary of each
+    /// backend; a firing rule drops, duplicates, or corrupts the letter
+    /// on that channel. Fault decisions are pure functions of the plan
+    /// seed, the receiving channel slot, and the transmission's time
+    /// index — never a shared sequential RNG — so faulted lockstep
+    /// outcomes stay bit-identical across the serial and parallel
+    /// schedules, every worker count, and both round modes, and the
+    /// empty plan is bit-identical to the fault-free engine. Composes
+    /// with [`with_churn`](Self::with_churn): faults apply to whatever
+    /// channels the churned topology has live. The per-class injection
+    /// counts are reported through [`Outcome::faults`]. An invalid plan
+    /// (bad rate, out-of-range node or letter, rule on a non-edge) is a
+    /// typed [`ExecError::Config`] from [`run`](Self::run).
+    ///
+    /// On the Async backend a fault plan forces the binary-heap
+    /// scheduler: duplicate copies break the calendar wheel's
+    /// one-letter-per-run batching invariant, and outcomes must not
+    /// depend on the scheduler knob.
+    pub fn with_faults(mut self, plan: &'g FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -1187,7 +1304,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             backend,
             graph_fp: snapshot::graph_fingerprint(self.graph),
             protocol_id: snapshot::protocol_digest(self.protocol),
-            config_digest: config_digest(self.seed, inputs, self.churn, adversary),
+            config_digest: config_digest(self.seed, inputs, self.churn, self.faults, adversary),
         };
         if let Some(s) = self.resume {
             let field = if s.backend() != meta.backend {
@@ -1252,6 +1369,10 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             }
         };
         let observer = self.observer.take();
+        // Every engine call threads an optional FaultWire pointing at
+        // this slot; whichever engine runs writes its final tally here.
+        let fault_plan = self.faults;
+        let mut fault_summary: Option<FaultSummary> = None;
 
         fn mismatch(backend: &Backend<'_>, constructor: &str) -> ExecError {
             ExecError::Config {
@@ -1289,8 +1410,18 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 &policy,
                                 observer,
                                 &snap,
+                                fault_plan.map(|p| FaultWire {
+                                    plan: p,
+                                    out: &mut fault_summary,
+                                }),
                             )?;
-                            return Ok(sync_outcome(out, states, workers, Some(summary)));
+                            return Ok(sync_outcome(
+                                out,
+                                states,
+                                workers,
+                                Some(summary),
+                                fault_summary,
+                            ));
                         }
                     }
                     let run = self
@@ -1305,8 +1436,12 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         plan,
                         observer,
                         &snap,
+                        fault_plan.map(|p| FaultWire {
+                            plan: p,
+                            out: &mut fault_summary,
+                        }),
                     )?;
-                    return Ok(sync_outcome(out, states, 1, Some(summary)));
+                    return Ok(sync_outcome(out, states, 1, Some(summary), fault_summary));
                 }
                 #[cfg(feature = "parallel")]
                 if let Some(policy) = self.policy {
@@ -1326,17 +1461,31 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &policy,
                             observer,
                             &snap,
+                            fault_plan.map(|p| FaultWire {
+                                plan: p,
+                                out: &mut fault_summary,
+                            }),
                         )?;
-                        return Ok(sync_outcome(out, states, workers, None));
+                        return Ok(sync_outcome(out, states, workers, None, fault_summary));
                     }
                 }
                 let run = self
                     .caps
                     .sync
                     .ok_or_else(|| mismatch(&self.backend, "sync"))?;
-                let (out, states) =
-                    run(self.protocol, self.graph, inputs, &config, observer, &snap)?;
-                Ok(sync_outcome(out, states, 1, None))
+                let (out, states) = run(
+                    self.protocol,
+                    self.graph,
+                    inputs,
+                    &config,
+                    observer,
+                    &snap,
+                    fault_plan.map(|p| FaultWire {
+                        plan: p,
+                        out: &mut fault_summary,
+                    }),
+                )?;
+                Ok(sync_outcome(out, states, 1, None, fault_summary))
             }
             Backend::Scoped => {
                 let max_rounds = self.budget.unwrap_or(SyncConfig::default().max_rounds);
@@ -1360,8 +1509,18 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 &policy,
                                 observer,
                                 &snap,
+                                fault_plan.map(|p| FaultWire {
+                                    plan: p,
+                                    out: &mut fault_summary,
+                                }),
                             )?;
-                            return Ok(scoped_outcome(out, states, workers, Some(summary)));
+                            return Ok(scoped_outcome(
+                                out,
+                                states,
+                                workers,
+                                Some(summary),
+                                fault_summary,
+                            ));
                         }
                     }
                     let run = self
@@ -1377,8 +1536,12 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         plan,
                         observer,
                         &snap,
+                        fault_plan.map(|p| FaultWire {
+                            plan: p,
+                            out: &mut fault_summary,
+                        }),
                     )?;
-                    return Ok(scoped_outcome(out, states, 1, Some(summary)));
+                    return Ok(scoped_outcome(out, states, 1, Some(summary), fault_summary));
                 }
                 #[cfg(feature = "parallel")]
                 if let Some(policy) = self.policy {
@@ -1399,8 +1562,12 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &policy,
                             observer,
                             &snap,
+                            fault_plan.map(|p| FaultWire {
+                                plan: p,
+                                out: &mut fault_summary,
+                            }),
                         )?;
-                        return Ok(scoped_outcome(out, states, workers, None));
+                        return Ok(scoped_outcome(out, states, workers, None, fault_summary));
                     }
                 }
                 let run = self
@@ -1415,8 +1582,12 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     max_rounds,
                     observer,
                     &snap,
+                    fault_plan.map(|p| FaultWire {
+                        plan: p,
+                        out: &mut fault_summary,
+                    }),
                 )?;
-                Ok(scoped_outcome(out, states, 1, None))
+                Ok(scoped_outcome(out, states, 1, None, fault_summary))
             }
             Backend::Async(options) => {
                 #[cfg(feature = "parallel")]
@@ -1453,6 +1624,10 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             plan,
                             observer,
                             &snap,
+                            fault_plan.map(|p| FaultWire {
+                                plan: p,
+                                out: &mut fault_summary,
+                            }),
                         )?;
                         (out, states, Some(summary))
                     }
@@ -1469,6 +1644,10 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             &config,
                             observer,
                             &snap,
+                            fault_plan.map(|p| FaultWire {
+                                plan: p,
+                                out: &mut fault_summary,
+                            }),
                         )?;
                         (out, states, None)
                     }
@@ -1486,6 +1665,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         deliveries: out.deliveries,
                         lost_overwrites: out.lost_overwrites,
                         churn: summary,
+                        faults: fault_summary,
                     },
                 })
             }
@@ -1495,18 +1675,20 @@ impl<'g, P: Protocol> Simulation<'g, P> {
 
 /// FNV-1a over everything that steers a run besides the graph and
 /// protocol (which get their own header fields): master seed, per-node
-/// inputs, the churn plan's events and extra edges, and the adversary's
-/// diagnostic name on the Async backend. Resuming under a different
-/// value of any of these would silently diverge from the uninterrupted
-/// run, so a mismatch is rejected up front. Knobs that provably cannot
-/// affect outcomes — worker count, round mode, merge strategy, scheduler
-/// kind, bucket width, patch mode, budget — are deliberately *excluded*:
-/// resuming a serial run on the parallel schedule (or heap → wheel) is a
-/// supported feature, not a configuration error.
+/// inputs, the churn plan's events and extra edges, the fault plan's
+/// seed and rules, and the adversary's diagnostic name on the Async
+/// backend. Resuming under a different value of any of these would
+/// silently diverge from the uninterrupted run, so a mismatch is
+/// rejected up front. Knobs that provably cannot affect outcomes —
+/// worker count, round mode, merge strategy, scheduler kind, bucket
+/// width, patch mode, budget — are deliberately *excluded*: resuming a
+/// serial run on the parallel schedule (or heap → wheel) is a supported
+/// feature, not a configuration error.
 fn config_digest(
     seed: u64,
     inputs: &[usize],
     churn: Option<&ChurnPlan>,
+    faults: Option<&FaultPlan>,
     adversary: Option<&str>,
 ) -> u64 {
     let mut d = snapshot::Digest::new();
@@ -1539,6 +1721,31 @@ fn config_digest(
         }
         None => d.u64(0),
     }
+    match faults {
+        Some(plan) => {
+            d.u64(1);
+            d.u64(plan.seed());
+            d.u64(plan.rules().len() as u64);
+            for rule in plan.rules() {
+                let (scope_tag, from, to) = match rule.scope {
+                    FaultScope::AllEdges => (0u64, 0, 0),
+                    FaultScope::Edge { from, to } => (1, from, to),
+                };
+                d.u64(scope_tag);
+                d.u64(from as u64);
+                d.u64(to as u64);
+                let (fault_tag, arg) = match rule.fault {
+                    LinkFault::Drop => (0u64, 0u64),
+                    LinkFault::Duplicate(k) => (1, k as u64),
+                    LinkFault::Corrupt(l) => (2, l.0 as u64),
+                };
+                d.u64(fault_tag);
+                d.u64(arg);
+                d.u64(rule.rate.to_bits());
+            }
+        }
+        None => d.u64(0),
+    }
     if let Some(name) = adversary {
         d.u64(name.len() as u64);
         d.bytes(name.as_bytes());
@@ -1551,6 +1758,7 @@ fn sync_outcome<P: Protocol>(
     states: Vec<P::State>,
     workers: usize,
     churn: Option<ChurnSummary>,
+    faults: Option<FaultSummary>,
 ) -> Outcome<P> {
     Outcome {
         outputs: out.outputs,
@@ -1560,6 +1768,7 @@ fn sync_outcome<P: Protocol>(
         detail: Detail::Sync {
             messages_sent: out.messages_sent,
             churn,
+            faults,
         },
     }
 }
@@ -1569,6 +1778,7 @@ fn scoped_outcome<P: Protocol>(
     states: Vec<P::State>,
     workers: usize,
     churn: Option<ChurnSummary>,
+    faults: Option<FaultSummary>,
 ) -> Outcome<P> {
     Outcome {
         outputs: out.outputs,
@@ -1578,6 +1788,7 @@ fn scoped_outcome<P: Protocol>(
         detail: Detail::Scoped {
             scoped_deliveries: out.scoped_deliveries,
             churn,
+            faults,
         },
     }
 }

@@ -112,11 +112,16 @@ use stoneage_core::Letter;
 use stoneage_graph::Graph;
 
 use crate::engine::{FlatPorts, PortPlanes};
+use crate::faults::FaultSummary;
 use crate::scoped::ScopedDelivery;
 use crate::ExecError;
 
 /// The current snapshot format version; bumped on any layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 added the fault-layer tally (the accumulated
+/// [`FaultSummary`], whose `evaluated` field is the fault-plan cursor)
+/// to both body layouts, so a run checkpointed mid-[`crate::FaultPlan`]
+/// resumes with bit-identical fault accounting.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The frame magic.
 const MAGIC: [u8; 4] = *b"SASN";
@@ -774,6 +779,8 @@ pub(crate) struct LockstepCapture<'a, S> {
     pub witness: Option<&'a [ScopedDelivery]>,
     /// The churn event cursor (churn runs only).
     pub churn_next: Option<u64>,
+    /// The fault-layer tally so far (faulted runs only).
+    pub faults: Option<FaultSummary>,
 }
 
 /// Serializes a lockstep boundary into a [`Snapshot`].
@@ -789,6 +796,9 @@ pub(crate) fn encode_lockstep<S>(
     }
     if cap.churn_next.is_some() {
         flags |= 2;
+    }
+    if cap.faults.is_some() {
+        flags |= 4;
     }
     w.u8(flags);
     w.u64(cap.states.len() as u64);
@@ -819,7 +829,28 @@ pub(crate) fn encode_lockstep<S>(
     if let Some(next) = cap.churn_next {
         w.u64(next);
     }
+    if let Some(f) = cap.faults {
+        encode_fault_tally(&mut w, &f);
+    }
     Snapshot::new(meta, cap.round, w.into_bytes())
+}
+
+/// Serializes a fault-layer tally (both body layouts share this shape).
+fn encode_fault_tally(w: &mut SnapWriter, f: &FaultSummary) {
+    w.u64(f.evaluated);
+    w.u64(f.dropped);
+    w.u64(f.duplicated);
+    w.u64(f.corrupted);
+}
+
+/// Reads a fault-layer tally back.
+fn decode_fault_tally(r: &mut SnapReader<'_>) -> Result<FaultSummary, SnapshotError> {
+    Ok(FaultSummary {
+        evaluated: r.u64()?,
+        dropped: r.u64()?,
+        duplicated: r.u64()?,
+        corrupted: r.u64()?,
+    })
 }
 
 /// A decoded lockstep boundary, ready to splice into a fresh engine.
@@ -833,6 +864,7 @@ pub(crate) struct LockstepResume<S> {
     pub rngs: Vec<SmallRng>,
     pub witness: Option<Vec<ScopedDelivery>>,
     pub churn_next: Option<u64>,
+    pub faults: Option<FaultSummary>,
 }
 
 /// Decodes a lockstep snapshot body, validating the node and port-slot
@@ -899,6 +931,11 @@ fn decode_lockstep_inner<S>(
         None
     };
     let churn_next = if flags & 2 != 0 { Some(r.u64()?) } else { None };
+    let faults = if flags & 4 != 0 {
+        Some(decode_fault_tally(&mut r)?)
+    } else {
+        None
+    };
     if r.remaining() != 0 {
         return Err(SnapshotError::DigestMismatch {
             field: "trailing bytes",
@@ -914,6 +951,7 @@ fn decode_lockstep_inner<S>(
         rngs,
         witness,
         churn_next,
+        faults,
     })
 }
 
@@ -927,6 +965,7 @@ pub(crate) struct LockstepSplice<S> {
     pub rngs: Vec<SmallRng>,
     pub witness: Option<Vec<ScopedDelivery>>,
     pub churn_next: Option<u64>,
+    pub faults: Option<FaultSummary>,
     pub point: ResumePoint,
 }
 
@@ -949,6 +988,7 @@ pub(crate) fn resume_lockstep<S>(
         rngs: res.rngs,
         witness: res.witness,
         churn_next: res.churn_next,
+        faults: res.faults,
         point: ResumePoint {
             round: res.round,
             sent: res.sent,
@@ -1007,6 +1047,8 @@ pub(crate) struct AsyncCapture<'a, S> {
     pub rngs: &'a [SmallRng],
     /// Per-node incarnations and the churn event cursor (churn runs only).
     pub churn: Option<(&'a [u32], u64)>,
+    /// The fault-layer tally so far (faulted runs only).
+    pub faults: Option<FaultSummary>,
     /// The queued events, in any order; sorted by `(time, seq)` here.
     pub backlog: Vec<BacklogEvent>,
 }
@@ -1020,7 +1062,10 @@ pub(crate) fn encode_async<S>(
     cap.backlog
         .sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
     let mut w = SnapWriter::new();
-    let flags = if cap.churn.is_some() { 1u8 } else { 0 };
+    let mut flags = if cap.churn.is_some() { 1u8 } else { 0 };
+    if cap.faults.is_some() {
+        flags |= 2;
+    }
     w.u8(flags);
     w.u64(cap.states.len() as u64);
     w.u64(cap.total_steps);
@@ -1055,6 +1100,9 @@ pub(crate) fn encode_async<S>(
             w.u32(i);
         }
         w.u64(next);
+    }
+    if let Some(f) = cap.faults {
+        encode_fault_tally(&mut w, &f);
     }
     w.u64(cap.backlog.len() as u64);
     for e in &cap.backlog {
@@ -1100,6 +1148,7 @@ pub(crate) struct AsyncResume<S> {
     pub step_counts: Vec<u64>,
     pub rngs: Vec<SmallRng>,
     pub churn: Option<(Vec<u32>, u64)>,
+    pub faults: Option<FaultSummary>,
     pub backlog: Vec<BacklogEvent>,
 }
 
@@ -1170,6 +1219,11 @@ fn decode_async_inner<S>(
     } else {
         None
     };
+    let faults = if flags & 2 != 0 {
+        Some(decode_fault_tally(&mut r)?)
+    } else {
+        None
+    };
     let backlog_len = r.u64()? as usize;
     let backlog = (0..backlog_len)
         .map(|_| {
@@ -1216,6 +1270,7 @@ fn decode_async_inner<S>(
         step_counts,
         rngs,
         churn,
+        faults,
         backlog,
     })
 }

@@ -32,6 +32,7 @@ use stoneage_core::{Letter, MultiFsm, ObsVec};
 use stoneage_graph::{Graph, NodeId};
 
 use crate::engine::PortPlanes;
+use crate::faults::{fault_config, FaultCtx, FaultLayer, FaultSummary, FaultsArg};
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
 use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
@@ -185,9 +186,16 @@ impl<P: MultiFsm> RoundStep for SyncStep<'_, P> {
 /// planes, and RNG streams — or, when the snapshot args carry a resume
 /// snapshot, the spliced mid-run state plus the loop's resume point. A
 /// sync snapshot body must carry neither a witness transcript nor a
-/// churn cursor; their presence means the snapshot belongs to another
+/// churn cursor, and must carry a fault tally exactly when the run wires
+/// a fault plan; a mismatch means the snapshot belongs to another
 /// backend or configuration.
-type SyncStart<S> = (Vec<S>, PortPlanes, Vec<SmallRng>, SnapPlumb<S>);
+type SyncStart<S> = (
+    Vec<S>,
+    PortPlanes,
+    Vec<SmallRng>,
+    SnapPlumb<S>,
+    FaultSummary,
+);
 
 fn sync_start<P: MultiFsm>(
     protocol: &P,
@@ -195,24 +203,47 @@ fn sync_start<P: MultiFsm>(
     inputs: &[usize],
     seed: u64,
     snap: &SnapArgs<'_, P::State>,
+    faulted: bool,
 ) -> Result<SyncStart<P::State>, ExecError> {
     let sigma = protocol.alphabet().len();
     if let Some(s) = snap.resume {
         let splice = snapshot::resume_lockstep(s, &snap.codec(), graph, sigma)?;
-        if splice.witness.is_some() || splice.churn_next.is_some() {
+        if splice.witness.is_some()
+            || splice.churn_next.is_some()
+            || splice.faults.is_some() != faulted
+        {
             return Err(ExecError::Snapshot(SnapshotError::DigestMismatch {
                 field: "snapshot body kind",
             }));
         }
+        let tally = splice.faults.unwrap_or_default();
         let plumb = SnapPlumb::from_args(snap, Some(splice.point));
-        Ok((splice.states, splice.planes, splice.rngs, plumb))
+        Ok((splice.states, splice.planes, splice.rngs, plumb, tally))
     } else {
         Ok((
             inputs.iter().map(|&i| protocol.initial_state(i)).collect(),
             PortPlanes::new(graph, sigma, protocol.initial_letter()),
             seed_rngs(graph.node_count(), seed),
             SnapPlumb::from_args(snap, None),
+            FaultSummary::default(),
         ))
+    }
+}
+
+/// Compiles the optional fault wiring into `(ctx, out-slot)` — the shared
+/// prologue of every executor entry point. Plan validation failures
+/// surface as [`ExecError::Config`] before the run starts.
+pub(crate) fn compile_faults<'a>(
+    faults: FaultsArg<'a>,
+    graph: &Graph,
+    sigma: usize,
+) -> Result<(Option<FaultCtx>, Option<&'a mut Option<FaultSummary>>), ExecError> {
+    match faults {
+        Some(w) => {
+            let ctx = FaultCtx::new(w.plan, graph, sigma).map_err(fault_config)?;
+            Ok((Some(ctx), Some(w.out)))
+        }
+        None => Ok((None, None)),
     }
 }
 
@@ -252,14 +283,17 @@ pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
     config: &SyncConfig,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError> {
     debug_assert_eq!(
         inputs.len(),
         graph.node_count(),
         "the builder validates input length"
     );
-    let (mut states, mut planes, mut rngs, plumb) =
-        sync_start(protocol, graph, inputs, config.seed, snap)?;
+    let (fctx, fout) = compile_faults(faults, graph, protocol.alphabet().len())?;
+    let (mut states, mut planes, mut rngs, plumb, tally) =
+        sync_start(protocol, graph, inputs, config.seed, snap, fctx.is_some())?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = pipeline::run_serial(
         &SyncStep(protocol),
         graph,
@@ -270,7 +304,11 @@ pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
         observer,
         &mut (),
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     sync_end(protocol, states, end)
 }
 
@@ -299,6 +337,7 @@ pub(crate) fn exec_sync<P: MultiFsm, O: SyncObserver<P::State>>(
 /// cargo feature is an alias of `parallel` and selects this same
 /// `std::thread`-based implementation.)
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_sync_parallel<P, O>(
     protocol: &P,
     graph: &Graph,
@@ -307,6 +346,7 @@ pub(crate) fn exec_sync_parallel<P, O>(
     policy: &ParallelPolicy,
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
+    faults: FaultsArg<'_>,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
@@ -318,8 +358,10 @@ where
         graph.node_count(),
         "the builder validates input length"
     );
-    let (mut states, mut planes, mut rngs, plumb) =
-        sync_start(protocol, graph, inputs, config.seed, snap)?;
+    let (fctx, fout) = compile_faults(faults, graph, protocol.alphabet().len())?;
+    let (mut states, mut planes, mut rngs, plumb, tally) =
+        sync_start(protocol, graph, inputs, config.seed, snap, fctx.is_some())?;
+    let mut layer = FaultLayer::new(fctx.as_ref(), tally);
     let end = pipeline::run_parallel(
         &SyncStep(protocol),
         graph,
@@ -331,7 +373,11 @@ where
         observer,
         &mut (),
         &plumb,
+        &mut layer,
     );
+    if let Some(out) = fout {
+        *out = Some(layer.tally);
+    }
     sync_end(protocol, states, end)
 }
 

@@ -25,8 +25,9 @@ use stoneage_core::{
 };
 use stoneage_graph::{generators, Graph};
 use stoneage_sim::{
-    AsyncOptions, AsyncOutcome, Backend, ChurnPlan, ChurnSummary, SchedulerKind, ScopedEmission,
-    ScopedMultiFsm, ScopedTransitions, Simulation, SyncOutcome,
+    AsyncOptions, AsyncOutcome, Backend, ChurnPlan, ChurnSummary, FaultPlan, FaultSummary,
+    LinkFault, SchedulerKind, ScopedEmission, ScopedMultiFsm, ScopedTransitions, Simulation,
+    SyncOutcome,
 };
 
 /// Builder-backed twins of the retired legacy `run_*` free functions,
@@ -415,6 +416,81 @@ pub fn run_churn_pinned(name: &str, seed: u64) -> (SyncOutcome, ChurnSummary) {
     (out, summary)
 }
 
+/// Fingerprint of a synchronous outcome *plus* its fault summary: the
+/// sync fingerprint words followed by the exact decision and injection
+/// tallies. Any drift in outputs, cost, or the per-rule fault decisions
+/// changes the hash.
+pub fn fault_fingerprint(out: &SyncOutcome, summary: &FaultSummary) -> u64 {
+    fnv1a(
+        out.rounds ^ (out.messages_sent << 18),
+        out.outputs.iter().copied().chain([
+            summary.evaluated,
+            summary.dropped,
+            summary.duplicated,
+            summary.corrupted,
+        ]),
+    )
+}
+
+/// The `(case name, seed)` pairs of the pinned message-fault panel.
+pub const FAULT_PINNED_CASES: [(&str, u64); 4] = [
+    ("gnp-drop", 1),
+    ("gnp-mixed", 2),
+    ("tree-corrupt", 3),
+    ("grid-dup", 5),
+];
+
+/// The instance behind one pinned fault case: base graph, protocol, and
+/// the seeded fault plan (a pure function of the case name — the plan
+/// seed is fixed per case, so varying the protocol seed never moves the
+/// per-channel fault decisions).
+pub fn fault_pinned_case(name: &str) -> (Graph, TableProtocol, FaultPlan) {
+    match name {
+        "gnp-drop" => {
+            let g = generators::gnp(120, 0.06, 9);
+            let plan = FaultPlan::new(101).drop_rate(0.08);
+            (g, count_neighbors(3), plan)
+        }
+        "gnp-mixed" => {
+            let g = generators::gnp(90, 0.1, 23);
+            // All three fault kinds plus a per-edge override, so the pinned
+            // hash witnesses the rule-order semantics too.
+            let plan = FaultPlan::new(202)
+                .drop_rate(0.05)
+                .duplicate_rate(0.04, 2)
+                .corrupt_rate(0.03, Letter(0))
+                .on_edge(0, 5, LinkFault::Drop, 0.5);
+            (g, count_neighbors(2), plan)
+        }
+        "tree-corrupt" => {
+            let g = generators::random_tree(150, 21);
+            let plan = FaultPlan::new(303).corrupt_rate(0.1, Letter(1));
+            (g, random_beeper(5, 2), plan)
+        }
+        "grid-dup" => {
+            let g = generators::grid(10, 14);
+            let plan = FaultPlan::new(404).duplicate_rate(0.12, 1);
+            (g, random_beeper(4, 3), plan)
+        }
+        other => panic!("unknown pinned fault case {other}"),
+    }
+}
+
+/// Runs one case of the pinned fault panel through the unified builder
+/// on the serial synchronous backend, returning the legacy outcome and
+/// the fault summary the fingerprint hashes.
+pub fn run_fault_pinned(name: &str, seed: u64) -> (SyncOutcome, FaultSummary) {
+    let (g, p, plan) = fault_pinned_case(name);
+    let outcome = Simulation::sync(&AsMulti(p), &g)
+        .seed(seed)
+        .with_faults(&plan)
+        .run()
+        .expect("pinned fault cases terminate");
+    let summary = *outcome.faults().expect("fault plan was set");
+    let out = outcome.into_sync_outcome().expect("sync backend");
+    (out, summary)
+}
+
 /// The `(case name, seed)` pairs of the pinned asynchronous panel.
 pub const ASYNC_PINNED_CASES: [(&str, u64); 3] = [
     ("gnp-async", 4242),
@@ -606,6 +682,12 @@ mod tests {
                     > 0,
                 "{name} plan is a no-op"
             );
+        }
+        for (name, seed) in FAULT_PINNED_CASES {
+            let (_, summary) = run_fault_pinned(name, seed);
+            // The plans must actually fire — an all-miss schedule would
+            // pin a hash indistinguishable from the fault-free run.
+            assert!(summary.injected() > 0, "{name} plan never fired");
         }
         for (name, seed) in ASYNC_PINNED_CASES {
             let a = run_async_pinned(name, seed, SchedulerKind::BinaryHeap);
