@@ -28,7 +28,11 @@
 //!   (the overhead the `--max-fault-overhead` gate bounds), plus a
 //!   paper-MIS-vs-self-stabilizing-MIS recovery record under a
 //!   restart-amid-halted-neighbors schedule (the paper protocol wedges;
-//!   the `selfstab` variant re-stabilizes in a few rounds).
+//!   the `selfstab` variant re-stabilizes in a few rounds);
+//! * **server sweep** — submit-to-done jobs/sec of a batch of small MIS
+//!   jobs through the `stoneage-server` HTTP orchestrator vs direct
+//!   `Simulation` builder runs, one core each (the overhead the
+//!   `--max-server-overhead` gate bounds).
 //!
 //! ```text
 //! engine_bench                          # writes BENCH_engine.json in the cwd
@@ -55,6 +59,10 @@
 //!                                       # checkpoint cadence slows the sync
 //!                                       # engine by more than that factor on
 //!                                       # any family
+//! engine_bench --max-server-overhead 3.0
+//!                                       # exit(1) if the HTTP orchestrator
+//!                                       # slows a batch of small jobs by more
+//!                                       # than that factor over direct runs
 //! engine_bench --max-fault-overhead 2.0
 //!                                       # exit(1) if the active FaultPlan
 //!                                       # slows the sync engine by more than
@@ -909,6 +917,95 @@ fn async_sweep(quick: bool, reps: usize) -> (Vec<AsyncEntry>, u64) {
     (entries, max_events)
 }
 
+struct ServerSweepEntry {
+    jobs: usize,
+    n: usize,
+    direct_jobs_per_sec: f64,
+    server_jobs_per_sec: f64,
+    overhead: f64,
+}
+
+/// Submit-to-done throughput of the `stoneage-server` job orchestrator:
+/// the same batch of small MIS jobs run directly through the
+/// `Simulation` builder and end-to-end over loopback HTTP (submit →
+/// poll to terminal). Both sides run one job at a time (the server gets
+/// a one-core budget), so the ratio isolates orchestration overhead —
+/// HTTP parse, spec validation, store and channel hops, thread spawn,
+/// status polling — which the `--max-server-overhead` gate bounds.
+fn server_sweep(quick: bool) -> ServerSweepEntry {
+    use stoneage_protocols::MisProtocol;
+    use stoneage_server::{client, Server, ServerConfig};
+
+    let jobs = if quick { 8 } else { 24 };
+    let n = 512usize;
+    let p = 8.0 / n as f64;
+    eprintln!("engine_bench[server]: {jobs} MIS jobs on gnp(n = {n}) direct vs over HTTP");
+
+    // Direct: graph build + run per job, like the server's runner does.
+    let protocol = MisProtocol::new();
+    let start = Instant::now();
+    for i in 0..jobs {
+        let g = generators::gnp(n, p, 5);
+        Simulation::sync(&protocol, &g)
+            .seed(i as u64 + 1)
+            .budget(100_000)
+            .run()
+            .expect("the MIS protocol terminates");
+    }
+    let direct_jobs_per_sec = jobs as f64 / start.elapsed().as_secs_f64();
+
+    let server = Server::start(ServerConfig {
+        cores: 1,
+        max_jobs: jobs + 4,
+        jobs_dir: None,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let start = Instant::now();
+    let ids: Vec<i64> = (0..jobs)
+        .map(|i| {
+            let spec = format!(
+                r#"{{"graph": {{"family": "gnp", "n": {n}, "p": {p}, "seed": 5}},
+                    "protocol": "mis", "seeds": [{}]}}"#,
+                i as u64 + 1
+            );
+            let resp =
+                client::request(&addr, "POST", "/jobs", spec.as_bytes()).expect("submit job");
+            assert_eq!(resp.status, 201, "submit refused");
+            resp.json()["id"].as_i64().expect("job id")
+        })
+        .collect();
+    for id in ids {
+        loop {
+            let doc = client::request(&addr, "GET", &format!("/jobs/{id}"), &[])
+                .expect("job status")
+                .json();
+            match doc["state"].as_str() {
+                Some("done") => break,
+                Some("failed") | Some("cancelled") => {
+                    panic!("server job {id} did not finish: {doc}")
+                }
+                _ => std::thread::sleep(std::time::Duration::from_micros(200)),
+            }
+        }
+    }
+    let server_jobs_per_sec = jobs as f64 / start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let entry = ServerSweepEntry {
+        jobs,
+        n,
+        direct_jobs_per_sec,
+        server_jobs_per_sec,
+        overhead: direct_jobs_per_sec / server_jobs_per_sec,
+    };
+    eprintln!("  direct: {:>8.1} jobs/sec", entry.direct_jobs_per_sec);
+    eprintln!("  server: {:>8.1} jobs/sec", entry.server_jobs_per_sec);
+    eprintln!("  overhead: {:.2}x", entry.overhead);
+    entry
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_engine.json".to_owned();
@@ -920,6 +1017,7 @@ fn main() {
     let mut min_churn_patch_speedup: Option<f64> = None;
     let mut max_snapshot_overhead: Option<f64> = None;
     let mut max_fault_overhead: Option<f64> = None;
+    let mut max_server_overhead: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -999,12 +1097,22 @@ fn main() {
                     .expect("--max-fault-overhead needs a number");
                 max_fault_overhead = Some(v);
             }
+            "--max-server-overhead" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .expect("--max-server-overhead needs a ratio")
+                    .parse::<f64>()
+                    .expect("--max-server-overhead needs a number");
+                max_server_overhead = Some(v);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: engine_bench [--quick] [--out path] \
                      [--min-async-speedup ratio] [--min-parallel-speedup ratio] \
                      [--min-fused-speedup ratio] [--min-churn-patch-speedup ratio] \
-                     [--max-snapshot-overhead ratio] [--max-fault-overhead ratio]"
+                     [--max-snapshot-overhead ratio] [--max-fault-overhead ratio] \
+                     [--max-server-overhead ratio]"
                 );
                 std::process::exit(2);
             }
@@ -1053,6 +1161,7 @@ fn main() {
     let churn_entries = churn_sweep(quick, rounds, if quick { 3 } else { reps });
     let snapshot_entries = snapshot_sweep(quick, rounds, if quick { 3 } else { reps });
     let fault_entries = fault_sweep(quick, rounds, if quick { 3 } else { reps });
+    let server_entry = server_sweep(quick);
     eprintln!("engine_bench[stabilization]: recording re-stabilization rounds per event");
     let stabilization_json = stabilization_section();
 
@@ -1340,6 +1449,28 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "server_sweep".to_owned(),
+            Value::Object(vec![
+                (
+                    "workload".to_owned(),
+                    "small MIS jobs, submit-to-done over loopback HTTP vs direct builder \
+                     runs, one core each; overhead = direct / server jobs-per-sec"
+                        .into(),
+                ),
+                ("jobs".to_owned(), server_entry.jobs.into()),
+                ("n".to_owned(), server_entry.n.into()),
+                (
+                    "direct_jobs_per_sec".to_owned(),
+                    server_entry.direct_jobs_per_sec.into(),
+                ),
+                (
+                    "server_jobs_per_sec".to_owned(),
+                    server_entry.server_jobs_per_sec.into(),
+                ),
+                ("overhead".to_owned(), server_entry.overhead.into()),
+            ]),
+        ),
     ]);
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
     writeln!(f, "{}", json.to_string_pretty()).unwrap();
@@ -1504,6 +1635,25 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("fault layer within budget: all families <= {max:.2}x overhead");
+    }
+    // The server gate bounds the end-to-end orchestration tax: HTTP,
+    // validation, store, scheduler, and polling together may not slow a
+    // batch of small jobs past the given factor over direct builder
+    // runs. Real jobs are bigger, so their relative overhead is smaller
+    // than what this gate enforces.
+    if let Some(max) = max_server_overhead {
+        if server_entry.overhead > max {
+            eprintln!(
+                "REGRESSION: server submit-to-done costs {:.2}x over direct runs \
+                 (required <= {max:.2}x)",
+                server_entry.overhead
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "server orchestration within budget: {:.2}x <= {max:.2}x overhead",
+            server_entry.overhead
+        );
     }
     #[cfg(not(feature = "parallel"))]
     let _ = (min_parallel_speedup, min_fused_speedup);

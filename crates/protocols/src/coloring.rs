@@ -166,6 +166,81 @@ pub enum ColoringState {
     },
 }
 
+// Checkpoint/resume support: a one-byte tag plus the variant's small
+// fixed-width fields, validated on decode so a corrupt frame surfaces as
+// a typed error instead of a bogus state.
+impl stoneage_sim::SnapState for ColoringState {
+    fn encode(&self, w: &mut stoneage_sim::SnapWriter) {
+        match self {
+            ColoringState::A1 => w.u8(0),
+            ColoringState::A2 => w.u8(1),
+            ColoringState::A3 { deg } => {
+                w.u8(2);
+                w.u8(*deg);
+            }
+            ColoringState::A4 { color } => {
+                w.u8(3);
+                w.u8(*color);
+            }
+            ColoringState::A4Idle => w.u8(4),
+            ColoringState::Waiting {
+                round,
+                seen_cols,
+                seen_waiting,
+                parent_active,
+            } => {
+                w.u8(5);
+                w.u8(*round);
+                for c in seen_cols {
+                    w.u8(*c);
+                }
+                w.u8(*seen_waiting);
+                w.u8(u8::from(*parent_active));
+            }
+            ColoringState::Rejoining { round } => {
+                w.u8(6);
+                w.u8(*round);
+            }
+            ColoringState::Colored { color } => {
+                w.u8(7);
+                w.u8(*color);
+            }
+        }
+    }
+
+    fn decode(r: &mut stoneage_sim::SnapReader<'_>) -> Result<Self, stoneage_sim::SnapshotError> {
+        let bad = stoneage_sim::SnapshotError::DigestMismatch {
+            field: "coloring state tag",
+        };
+        match r.u8()? {
+            0 => Ok(ColoringState::A1),
+            1 => Ok(ColoringState::A2),
+            2 => Ok(ColoringState::A3 { deg: r.u8()? }),
+            3 => Ok(ColoringState::A4 { color: r.u8()? }),
+            4 => Ok(ColoringState::A4Idle),
+            5 => {
+                let round = r.u8()?;
+                let seen_cols = [r.u8()?, r.u8()?, r.u8()?];
+                let seen_waiting = r.u8()?;
+                let parent_active = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(bad),
+                };
+                Ok(ColoringState::Waiting {
+                    round,
+                    seen_cols,
+                    seen_waiting,
+                    parent_active,
+                })
+            }
+            6 => Ok(ColoringState::Rejoining { round: r.u8()? }),
+            7 => Ok(ColoringState::Colored { color: r.u8()? }),
+            _ => Err(bad),
+        }
+    }
+}
+
 /// The tree 3-coloring protocol of Section 5, as a [`MultiFsm`] with
 /// `b = 3`.
 #[derive(Clone, Debug)]
@@ -376,6 +451,47 @@ mod tests {
     use stoneage_graph::{generators, validate};
     use stoneage_sim::{ExecError, SyncConfig};
     use stoneage_testkit::harness::run_sync;
+
+    #[test]
+    fn snap_state_round_trips_and_rejects_bad_tags() {
+        use stoneage_sim::{SnapReader, SnapState, SnapWriter, SnapshotError};
+        let states = [
+            ColoringState::A1,
+            ColoringState::A2,
+            ColoringState::A3 { deg: 3 },
+            ColoringState::A4 { color: 2 },
+            ColoringState::A4Idle,
+            ColoringState::Waiting {
+                round: 4,
+                seen_cols: [0, 2, 3],
+                seen_waiting: 1,
+                parent_active: true,
+            },
+            ColoringState::Rejoining { round: 3 },
+            ColoringState::Colored { color: 1 },
+        ];
+        let mut w = SnapWriter::new();
+        for s in &states {
+            s.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes, "test");
+        for s in &states {
+            assert_eq!(ColoringState::decode(&mut r).unwrap(), *s);
+        }
+        for bad in [[0xFFu8], [8u8]] {
+            let mut r = SnapReader::new(&bad, "test");
+            assert_eq!(
+                ColoringState::decode(&mut r),
+                Err(SnapshotError::DigestMismatch {
+                    field: "coloring state tag"
+                })
+            );
+        }
+        // A Waiting frame with a non-boolean flag byte is rejected too.
+        let mut r = SnapReader::new(&[5, 1, 0, 0, 0, 0, 9], "test");
+        assert!(ColoringState::decode(&mut r).is_err());
+    }
 
     fn obs(counts: [usize; 13]) -> ObsVec {
         ObsVec::from_counts(&counts, 3)

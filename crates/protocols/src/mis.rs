@@ -92,6 +92,12 @@ impl MisState {
         }
     }
 
+    /// The state encoded by [`MisState::letter`]'s index, used by the
+    /// snapshot codec.
+    pub fn from_index(i: u16) -> Option<MisState> {
+        MisState::ALL.get(i as usize).copied()
+    }
+
     /// The paper's delaying set `D(q)`: the node stays in `q` while any
     /// neighbor announces a state in `D(q)`.
     pub fn delaying_set(self) -> &'static [MisState] {
@@ -106,6 +112,22 @@ impl MisState {
             MisState::Up2 => &[MisState::Up1],
             MisState::Win | MisState::Lose => &[],
         }
+    }
+}
+
+// Checkpoint/resume support: one byte per node, validated on decode so
+// a corrupt frame surfaces as a typed error instead of a bogus state.
+impl stoneage_sim::SnapState for MisState {
+    fn encode(&self, w: &mut stoneage_sim::SnapWriter) {
+        w.u8(*self as u8);
+    }
+
+    fn decode(r: &mut stoneage_sim::SnapReader<'_>) -> Result<Self, stoneage_sim::SnapshotError> {
+        MisState::from_index(u16::from(r.u8()?)).ok_or(
+            stoneage_sim::SnapshotError::DigestMismatch {
+                field: "mis state tag",
+            },
+        )
     }
 }
 
@@ -232,6 +254,27 @@ mod tests {
     use stoneage_core::{fb, BoundedCount};
     use stoneage_graph::{generators, validate};
     use stoneage_sim::SyncConfig;
+
+    #[test]
+    fn snap_state_round_trips_and_rejects_bad_tags() {
+        use stoneage_sim::{SnapReader, SnapState, SnapWriter, SnapshotError};
+        let mut w = SnapWriter::new();
+        for s in MisState::ALL {
+            s.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes, "test");
+        for s in MisState::ALL {
+            assert_eq!(MisState::decode(&mut r).unwrap(), s);
+        }
+        let mut r = SnapReader::new(&[0xFF], "test");
+        assert_eq!(
+            MisState::decode(&mut r),
+            Err(SnapshotError::DigestMismatch {
+                field: "mis state tag"
+            })
+        );
+    }
     use stoneage_testkit::harness::run_sync;
 
     fn obs(counts: [usize; 7]) -> ObsVec {

@@ -1,0 +1,193 @@
+//! A tiny blocking HTTP client for tests, benches, and examples.
+//!
+//! Like [`crate::http`] this exists because the environment is offline:
+//! no `reqwest`, no `curl` crate. It speaks exactly the dialect the
+//! server emits — `Content-Length` bodies and chunked NDJSON streams —
+//! and nothing more.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use stoneage_wire::{parse, Value};
+
+/// A decoded response.
+#[derive(Debug)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The full body (chunked transfers are reassembled).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body parsed as JSON. Panics on malformed JSON — this is a
+    /// test/bench helper and a malformed body is a server bug.
+    pub fn json(&self) -> Value {
+        let text = std::str::from_utf8(&self.body).expect("response body is not UTF-8");
+        parse(text).expect("response body is not JSON")
+    }
+}
+
+/// Performs one request against `addr` (e.g. `"127.0.0.1:4915"`) and
+/// reads the complete response.
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = send(&stream, method, path, body)?;
+    let (status, chunked, content_length) = read_head(&mut reader)?;
+    let body = if chunked {
+        read_chunked(&mut reader)?
+    } else {
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        body
+    };
+    Ok(Response { status, body })
+}
+
+/// An in-progress chunked NDJSON stream: call [`EventStream::next_line`]
+/// until it returns `None`.
+pub struct EventStream {
+    reader: BufReader<TcpStream>,
+    /// Bytes of the current chunk not yet consumed.
+    chunk_remaining: usize,
+    buffer: Vec<u8>,
+    done: bool,
+}
+
+impl EventStream {
+    /// Opens `GET path` against `addr` and positions the stream at the
+    /// first event line. Fails if the response is not 200 + chunked.
+    pub fn open(addr: &str, path: &str) -> io::Result<EventStream> {
+        let stream = TcpStream::connect(addr)?;
+        let mut reader = send(&stream, "GET", path, &[])?;
+        let (status, chunked, _) = read_head(&mut reader)?;
+        if status != 200 || !chunked {
+            return Err(io::Error::other(format!(
+                "expected 200 chunked, got {status} chunked={chunked}"
+            )));
+        }
+        Ok(EventStream {
+            reader,
+            chunk_remaining: 0,
+            buffer: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// The next complete event line, or `None` when the server finished
+    /// the stream. Blocks while the job is still producing events.
+    pub fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buffer.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line).trim_end().to_string();
+                if text.is_empty() {
+                    continue;
+                }
+                return Ok(Some(text));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        if self.chunk_remaining == 0 {
+            let size = read_chunk_size(&mut self.reader)?;
+            if size == 0 {
+                self.done = true;
+                return Ok(());
+            }
+            self.chunk_remaining = size;
+        }
+        let take = self.chunk_remaining.min(4096);
+        let start = self.buffer.len();
+        self.buffer.resize(start + take, 0);
+        self.reader.read_exact(&mut self.buffer[start..])?;
+        self.chunk_remaining -= take;
+        if self.chunk_remaining == 0 {
+            // Consume the CRLF terminating the chunk.
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+        }
+        Ok(())
+    }
+}
+
+fn send(
+    stream: &TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<BufReader<TcpStream>> {
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: stoneage\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    Ok(BufReader::new(stream.try_clone()?))
+}
+
+/// Reads the status line and headers; returns
+/// `(status, chunked, content_length)`.
+fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, bool, usize)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line: {line:?}")))?;
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| io::Error::other("bad content-length"))?;
+            }
+        }
+    }
+    Ok((status, chunked, content_length))
+}
+
+fn read_chunk_size(reader: &mut BufReader<TcpStream>) -> io::Result<usize> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    usize::from_str_radix(line.trim(), 16)
+        .map_err(|_| io::Error::other(format!("bad chunk size: {line:?}")))
+}
+
+fn read_chunked(reader: &mut BufReader<TcpStream>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size = read_chunk_size(reader)?;
+        if size == 0 {
+            // Trailing CRLF after the last-chunk marker may or may not
+            // arrive before the peer closes; ignore errors.
+            let mut crlf = [0u8; 2];
+            let _ = reader.read_exact(&mut crlf);
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+    }
+}

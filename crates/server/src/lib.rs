@@ -1,0 +1,340 @@
+//! Simulation-as-a-service: an HTTP job orchestrator for the Stone Age
+//! engine.
+//!
+//! This crate turns the [`stoneage_sim::Simulation`] builder into a
+//! long-running service: clients submit simulation jobs (graph spec +
+//! protocol + seed matrix + budget + churn/fault plans) as JSON over
+//! HTTP/1.1, and the server schedules them across a core budget,
+//! streams their observer events as NDJSON, persists checkpoints, and
+//! serves snapshot frames that can be resumed — on this server or any
+//! other process — to a bit-identical outcome.
+//!
+//! Everything is hand-rolled on `std::net` because the build
+//! environment is offline (no tokio/hyper/serde); see [`http`] and the
+//! `stoneage-wire` crate for the wire layers.
+//!
+//! # Endpoints
+//!
+//! | Method | Path | Meaning |
+//! |---|---|---|
+//! | `POST` | `/jobs` | Submit a job spec; returns `{"id", "state"}` |
+//! | `GET` | `/jobs` | List retained jobs |
+//! | `GET` | `/jobs/{id}` | Status document (state, per-seed results) |
+//! | `POST` | `/jobs/{id}/cancel` | Request cooperative cancellation |
+//! | `GET` | `/jobs/{id}/events` | Chunked NDJSON event stream (tails until terminal) |
+//! | `GET` | `/jobs/{id}/snapshot` | Latest checkpoint frame (binary) |
+//! | `GET` | `/metrics` | Prometheus text exposition |
+//! | `GET` | `/healthz` | Liveness probe |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stoneage_server::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! let body = br#"{"graph": {"family": "gnp", "n": 64, "p": 0.1},
+//!                 "protocol": "mis", "seeds": [1, 2, 3]}"#;
+//! let resp = stoneage_server::client::request(
+//!     &server.addr().to_string(), "POST", "/jobs", body).unwrap();
+//! assert_eq!(resp.status, 201);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+mod job;
+mod metrics;
+mod orchestrator;
+mod runner;
+pub mod spec;
+
+pub use job::{EventLog, Job, JobId, JobState, JobStore, SeedResult, StoreFull};
+pub use metrics::Metrics;
+pub use runner::outcome_fingerprint;
+pub use spec::{parse_spec, GraphSpec, JobSpec, ProtocolId, SpecError};
+
+use http::{
+    read_request, respond, respond_error, respond_json, BadRequest, ChunkedWriter, Request,
+};
+use orchestrator::{Command, Msg, Orchestrator};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use stoneage_wire::Value;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address. The default `127.0.0.1:0` picks a free port —
+    /// read it back with [`Server::addr`].
+    pub addr: String,
+    /// Core budget for the scheduler (`0` = detect with
+    /// `std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Maximum jobs retained in the store (completed jobs are evicted
+    /// oldest-first once full; submissions are refused with HTTP 429
+    /// when every slot is live).
+    pub max_jobs: usize,
+    /// Directory for persisted checkpoint frames
+    /// (`<dir>/job-<id>/latest.snap`). `None` keeps snapshots in
+    /// memory only.
+    pub jobs_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cores: 0,
+            max_jobs: 256,
+            jobs_dir: None,
+        }
+    }
+}
+
+struct Shared {
+    store: Arc<JobStore>,
+    metrics: Arc<Metrics>,
+    tx: Sender<Msg>,
+    shutdown: AtomicBool,
+}
+
+/// A running server: an acceptor thread, an orchestrator thread, and
+/// one short-lived handler thread per connection.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    orchestrator: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl Server {
+    /// Binds, spawns the orchestrator and the acceptor, and returns.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cores = if config.cores == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.cores
+        };
+        if let Some(dir) = &config.jobs_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let store = Arc::new(JobStore::new(config.max_jobs));
+        let metrics = Arc::new(Metrics::default());
+        let (tx, rx) = channel();
+        let orchestrator = Orchestrator::new(
+            store.clone(),
+            metrics.clone(),
+            config.jobs_dir.clone(),
+            cores,
+            tx.clone(),
+            rx,
+        );
+        let orch_handle = std::thread::spawn(move || orchestrator.run());
+        let shared = Arc::new(Shared {
+            store,
+            metrics,
+            tx,
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor_shared = shared.clone();
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let handler_shared = acceptor_shared.clone();
+                std::thread::spawn(move || handle_connection(stream, &handler_shared));
+            }
+        });
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            orchestrator: Some(orch_handle),
+            finished: false,
+        })
+    }
+
+    /// The bound address (useful with the default `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, cancels queued jobs, flags running jobs, and
+    /// joins both service threads once every runner has drained.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.shared.tx.send(Msg::Cmd(Command::Shutdown));
+        // Unblock the acceptor's `incoming()` with a throwaway
+        // connection so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.orchestrator.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let request = match read_request(&stream) {
+        Ok(request) => request,
+        Err(BadRequest::Io(_)) => return,
+        Err(BadRequest::Malformed(reason)) => {
+            let _ = respond_error(&mut stream, 400, reason);
+            return;
+        }
+    };
+    Metrics::inc(&shared.metrics.http_requests);
+    let _ = route(&mut stream, &request, shared);
+}
+
+fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) -> io::Result<()> {
+    let path = request.path.as_str();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit(stream, &request.body, shared),
+        ("GET", ["jobs"]) => list(stream, shared),
+        ("GET", ["jobs", id]) => with_job(stream, shared, id, |stream, job| {
+            respond_json(stream, 200, &job.status_json())
+        }),
+        ("POST", ["jobs", id, "cancel"]) => with_job(stream, shared, id, |stream, job| {
+            shared
+                .tx
+                .send(Msg::Cmd(Command::Cancel(job.id)))
+                .map_err(|_| io::Error::other("orchestrator gone"))?;
+            // Raise the flag directly too, so a cancel observed between
+            // segments does not wait on the orchestrator's queue.
+            job.request_cancel();
+            respond_json(
+                stream,
+                202,
+                &Value::Object(vec![
+                    ("id".into(), job.id.into()),
+                    ("cancel".into(), "requested".into()),
+                ]),
+            )
+        }),
+        ("GET", ["jobs", id, "events"]) => with_job(stream, shared, id, |stream, job| {
+            stream_events(stream, job, shared)
+        }),
+        ("GET", ["jobs", id, "snapshot"]) => with_job(stream, shared, id, |stream, job| match job
+            .latest_snapshot()
+        {
+            Some(frame) => respond(stream, 200, "application/octet-stream", &frame.to_bytes()),
+            None => respond_error(stream, 404, "no checkpoint captured yet"),
+        }),
+        ("GET", ["metrics"]) => {
+            let body = shared.metrics.render(&shared.store);
+            respond(stream, 200, "text/plain; version=0.0.4", body.as_bytes())
+        }
+        ("GET", ["healthz"]) => respond(stream, 200, "text/plain", b"ok\n"),
+        ("GET" | "POST", _) => respond_error(stream, 404, "no such resource"),
+        _ => respond_error(stream, 405, "method not allowed"),
+    }
+}
+
+fn submit(stream: &mut TcpStream, body: &[u8], shared: &Shared) -> io::Result<()> {
+    let spec = match parse_spec(body) {
+        Ok(spec) => spec,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    let job = match shared.store.insert(spec) {
+        Ok(job) => job,
+        Err(StoreFull) => return respond_error(stream, 429, "job store full of live jobs"),
+    };
+    Metrics::inc(&shared.metrics.jobs_submitted);
+    if shared.tx.send(Msg::Cmd(Command::Submit(job.id))).is_err() {
+        return respond_error(stream, 503, "orchestrator gone");
+    }
+    respond_json(
+        stream,
+        201,
+        &Value::Object(vec![
+            ("id".into(), job.id.into()),
+            ("state".into(), job.state().as_str().into()),
+        ]),
+    )
+}
+
+fn list(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    let jobs: Vec<Value> = shared
+        .store
+        .list()
+        .iter()
+        .map(|job| {
+            Value::Object(vec![
+                ("id".into(), job.id.into()),
+                ("state".into(), job.state().as_str().into()),
+                ("protocol".into(), job.spec.protocol.as_str().into()),
+            ])
+        })
+        .collect();
+    respond_json(
+        stream,
+        200,
+        &Value::Object(vec![("jobs".into(), Value::Array(jobs))]),
+    )
+}
+
+fn with_job(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    id: &str,
+    then: impl FnOnce(&mut TcpStream, &Arc<Job>) -> io::Result<()>,
+) -> io::Result<()> {
+    let Some(job) = id.parse().ok().and_then(|id| shared.store.get(id)) else {
+        return respond_error(stream, 404, "no such job");
+    };
+    then(stream, &job)
+}
+
+/// Tails the job's event log as chunked NDJSON until the log closes
+/// (terminal state) or the server shuts down.
+fn stream_events(stream: &mut TcpStream, job: &Arc<Job>, shared: &Shared) -> io::Result<()> {
+    let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+    let mut cursor = 0usize;
+    loop {
+        let (lines, closed) = job.events.wait_from(cursor, Duration::from_millis(50));
+        for line in &lines {
+            let mut chunk = line.clone().into_bytes();
+            chunk.push(b'\n');
+            writer.chunk(&chunk)?;
+        }
+        cursor += lines.len();
+        if (closed && lines.is_empty()) || shared.shutdown.load(Ordering::Relaxed) {
+            return writer.finish();
+        }
+    }
+}

@@ -118,7 +118,10 @@ pub use scoped::{
 pub use sim::{
     AdaptAsync, AdaptSync, AsyncOptions, Backend, Cost, Detail, Observer, Outcome, Simulation,
 };
-pub use snapshot::{SnapReader, SnapState, SnapWriter, Snapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{
+    read_snapshot_file, write_snapshot_file, PersistError, SnapReader, SnapState, SnapWriter,
+    Snapshot, SnapshotError, SNAPSHOT_VERSION,
+};
 /// Re-export of the representation-independent protocol base trait the
 /// [`Simulation`] builder is generic over.
 pub use stoneage_core::Protocol;

@@ -339,6 +339,38 @@ pub trait Observer<S> {
     }
 }
 
+// Forwarding impls so callers holding an observer indirectly — a
+// `&mut O` reborrow, or a `Box<dyn Observer<S>>` composed at runtime
+// (the simulation server builds its event-streaming observers this
+// way) — can hand it to `Simulation::observe` without unwrapping.
+impl<S, O: Observer<S> + ?Sized> Observer<S> for &mut O {
+    fn on_round_end(&mut self, round: u64, states: &[S]) {
+        (**self).on_round_end(round, states);
+    }
+
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
+        (**self).on_step(time, v, t, state);
+    }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        (**self).on_checkpoint(snapshot);
+    }
+}
+
+impl<S, O: Observer<S> + ?Sized> Observer<S> for Box<O> {
+    fn on_round_end(&mut self, round: u64, states: &[S]) {
+        (**self).on_round_end(round, states);
+    }
+
+    fn on_step(&mut self, time: f64, v: NodeId, t: u64, state: &S) {
+        (**self).on_step(time, v, t, state);
+    }
+
+    fn on_checkpoint(&mut self, snapshot: &Snapshot) {
+        (**self).on_checkpoint(snapshot);
+    }
+}
+
 /// Adapts any legacy [`SyncObserver`] into the
 /// unified [`Observer`] (its `on_step` hook stays a no-op).
 pub struct AdaptSync<O>(pub O);

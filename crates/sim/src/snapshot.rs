@@ -407,7 +407,10 @@ impl SnapWriter {
         self.u8(x as u8);
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// The accumulated bytes. Public so downstream [`SnapState`]
+    /// implementations (protocol crates add their own state codecs) can
+    /// unit-test their encode/decode round trip.
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }
@@ -422,7 +425,10 @@ pub struct SnapReader<'a> {
 }
 
 impl<'a> SnapReader<'a> {
-    pub(crate) fn new(bytes: &'a [u8], context: &'static str) -> Self {
+    /// A reader over `bytes`; `context` labels truncation errors. Public
+    /// so downstream [`SnapState`] implementations can unit-test their
+    /// encode/decode round trip.
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
         SnapReader {
             bytes,
             pos: 0,
@@ -1275,6 +1281,95 @@ fn decode_async_inner<S>(
     })
 }
 
+/// A failure while persisting or loading a snapshot file.
+///
+/// Splits the two layers a file round-trip can fail in: the filesystem
+/// ([`PersistError::Io`]) and the wire frame itself
+/// ([`PersistError::Format`] — bad magic, truncation from a torn write,
+/// checksum mismatch, version skew).
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The bytes on disk are not a valid snapshot frame.
+    Format(SnapshotError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot file io: {e}"),
+            PersistError::Format(e) => write!(f, "snapshot file format: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for PersistError {
+    fn from(e: SnapshotError) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Atomically persists `snapshot` at `path`.
+///
+/// The frame is written to a sibling `<path>.tmp` file, flushed with
+/// `sync_all`, **read back and re-parsed** (so a torn or bit-flipped
+/// write is caught before it can shadow a good snapshot), and only then
+/// renamed over `path`. Readers therefore never observe a partial file:
+/// they see either the previous snapshot or the new one.
+pub fn write_snapshot_file(
+    path: &std::path::Path,
+    snapshot: &Snapshot,
+) -> Result<(), PersistError> {
+    use std::io::Write as _;
+
+    let mut tmp = path.to_path_buf().into_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let bytes = snapshot.to_bytes();
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    // Read-back validation: the frame's trailing checksum covers every
+    // header field and the body, so a successful parse proves the bytes
+    // that hit the disk are the bytes we meant to write.
+    let back = std::fs::read(&tmp)?;
+    if let Err(e) = Snapshot::from_bytes(&back) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(PersistError::Format(e));
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and validates a snapshot frame persisted by
+/// [`write_snapshot_file`] (or any dump of [`Snapshot::to_bytes`]).
+///
+/// Torn writes and partial files surface as
+/// [`PersistError::Format`]`(`[`SnapshotError::Truncated`]` | `
+/// [`SnapshotError::DigestMismatch`]`)` rather than a corrupt resume.
+pub fn read_snapshot_file(path: &std::path::Path) -> Result<Snapshot, PersistError> {
+    let bytes = std::fs::read(path)?;
+    Ok(Snapshot::from_bytes(&bytes)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1380,5 +1475,102 @@ mod tests {
         let back = codec.decode_states(&mut r, states.len()).unwrap();
         assert_eq!(back, states);
         assert_eq!(r.remaining(), 0);
+    }
+
+    /// A unique scratch directory per test, cleaned up on drop.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir =
+                std::env::temp_dir().join(format!("stoneage-snap-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn path(&self, name: &str) -> std::path::PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_is_identity() {
+        let scratch = Scratch::new("roundtrip");
+        let path = scratch.path("latest.snap");
+        let snap = sample();
+        write_snapshot_file(&path, &snap).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), snap);
+        // No .tmp residue after a successful write.
+        assert!(!scratch.path("latest.snap.tmp").exists());
+    }
+
+    #[test]
+    fn overwrite_is_atomic_and_keeps_the_newer_frame() {
+        let scratch = Scratch::new("overwrite");
+        let path = scratch.path("latest.snap");
+        let older = sample();
+        write_snapshot_file(&path, &older).unwrap();
+        let newer = Snapshot::new(
+            SnapMeta {
+                backend: BACKEND_SYNC,
+                graph_fp: 1,
+                protocol_id: 2,
+                config_digest: 3,
+            },
+            43,
+            vec![9, 9, 9],
+        );
+        write_snapshot_file(&path, &newer).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), newer);
+    }
+
+    #[test]
+    fn torn_write_is_rejected_on_read() {
+        let scratch = Scratch::new("torn");
+        let path = scratch.path("latest.snap");
+        let snap = sample();
+        write_snapshot_file(&path, &snap).unwrap();
+        // Simulate a torn write: truncate the file mid-body.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match read_snapshot_file(&path) {
+            Err(PersistError::Format(SnapshotError::Truncated { .. })) => {}
+            other => panic!("torn file must reject as Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_and_corrupt_files_are_rejected_on_read() {
+        let scratch = Scratch::new("corrupt");
+        let empty = scratch.path("empty.snap");
+        std::fs::write(&empty, []).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&empty),
+            Err(PersistError::Format(SnapshotError::Truncated { .. }))
+        ));
+
+        let flipped = scratch.path("flipped.snap");
+        let snap = sample();
+        write_snapshot_file(&flipped, &snap).unwrap();
+        let mut bytes = std::fs::read(&flipped).unwrap();
+        let mid = bytes.len() - 10;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&flipped, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&flipped),
+            Err(PersistError::Format(SnapshotError::DigestMismatch { .. }))
+        ));
+
+        let missing = scratch.path("missing.snap");
+        assert!(matches!(
+            read_snapshot_file(&missing),
+            Err(PersistError::Io(_))
+        ));
     }
 }

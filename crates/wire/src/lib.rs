@@ -1,0 +1,27 @@
+//! Shared JSON wire format for the stone-age workspace.
+//!
+//! The offline build environment cannot fetch `serde`/`serde_json`, so this
+//! crate hand-rolls the two halves every harness-facing surface needs:
+//!
+//! * [`Value`] — an insertion-ordered JSON value with an RFC 8259-compliant
+//!   pretty-printer (hoisted from the bench crate's report writer, which now
+//!   re-exports it), plus `Index`/`From`/`PartialEq` conveniences for tests.
+//! * [`parse`] — a **strict** parser with typed, byte-offset errors
+//!   ([`JsonError`]). Strict means: no trailing data, no duplicate object
+//!   keys, no leading zeros or bare `.5`/`5.` numbers, full `\uXXXX` escape
+//!   handling (including surrogate pairs), and a nesting-depth limit so
+//!   adversarial input cannot blow the stack.
+//!
+//! The parser and the emitter are inverses on parseable output:
+//! `parse(v.to_string_pretty()) == v` for every value whose floats are
+//! finite (non-finite floats serialize as `null`, like serde_json). The
+//! property tests in `tests/roundtrip.rs` pin this down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod value;
+
+pub use parse::{parse, ErrorKind, JsonError, MAX_DEPTH};
+pub use value::Value;

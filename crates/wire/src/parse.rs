@@ -1,0 +1,499 @@
+//! A strict RFC 8259 JSON parser with typed, byte-offset errors.
+//!
+//! Strictness choices (all deliberate, all tested):
+//!
+//! * **No trailing data** — the document must be exactly one value.
+//! * **No duplicate object keys** — the job API treats a repeated field as
+//!   a client bug, not a last-write-wins merge.
+//! * **Strict number grammar** — no leading zeros (`01`), no bare `.5` or
+//!   `5.`, no `+5`, no `Infinity`/`NaN` literals.
+//! * **Strict strings** — raw control characters are rejected; `\uXXXX`
+//!   escapes are decoded, including UTF-16 surrogate pairs; lone
+//!   surrogates are errors.
+//! * **Bounded nesting** — arrays/objects deeper than [`MAX_DEPTH`] are
+//!   rejected so adversarial input cannot overflow the stack.
+//!
+//! Numbers without a fraction or exponent that fit `i64` parse as
+//! [`Value::Int`]; everything else numeric parses as [`Value::Float`] —
+//! mirroring the emitter, which prints `Int` without a decimal point and
+//! always gives `Float` one. Rust's `f64` formatting is shortest
+//! round-trip, so `parse ∘ emit` is the identity on finite values.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Maximum array/object nesting depth the parser will accept.
+pub const MAX_DEPTH: usize = 128;
+
+/// What went wrong, independent of where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a value.
+    UnexpectedEnd,
+    /// A byte that cannot start or continue the expected construct.
+    UnexpectedChar(char),
+    /// A number violating the strict grammar (leading zero, bare dot, …).
+    InvalidNumber,
+    /// A backslash escape other than `" \ / b f n r t uXXXX`.
+    InvalidEscape,
+    /// A `\uXXXX` escape that is malformed or a lone/unpaired surrogate.
+    InvalidUnicode,
+    /// A raw control character (U+0000–U+001F) inside a string literal.
+    ControlChar,
+    /// An object repeating a key.
+    DuplicateKey(String),
+    /// Nesting deeper than [`MAX_DEPTH`].
+    TooDeep,
+    /// Valid value followed by non-whitespace garbage.
+    TrailingData,
+}
+
+/// A parse failure: an [`ErrorKind`] plus the byte offset it occurred at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match &self.kind {
+            ErrorKind::UnexpectedEnd => "unexpected end of input".to_string(),
+            ErrorKind::UnexpectedChar(c) => format!("unexpected character {c:?}"),
+            ErrorKind::InvalidNumber => "invalid number literal".to_string(),
+            ErrorKind::InvalidEscape => "invalid string escape".to_string(),
+            ErrorKind::InvalidUnicode => "invalid \\u escape or lone surrogate".to_string(),
+            ErrorKind::ControlChar => "raw control character in string".to_string(),
+            ErrorKind::DuplicateKey(k) => format!("duplicate object key {k:?}"),
+            ErrorKind::TooDeep => format!("nesting deeper than {MAX_DEPTH}"),
+            ErrorKind::TrailingData => "trailing data after value".to_string(),
+        };
+        write!(f, "{what} at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses exactly one JSON value from `input`.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err(ErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ErrorKind) -> JsonError {
+        JsonError {
+            kind,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+            None => Err(self.err(ErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else if self.bytes.len() - self.pos < word.len() {
+            Err(self.err(ErrorKind::UnexpectedEnd))
+        } else {
+            Err(self.err(ErrorKind::UnexpectedChar(self.bytes[self.pos] as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(ErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEnd)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                Some(c) => return Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+                None => return Err(self.err(ErrorKind::UnexpectedEnd)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_at = self.pos;
+            let key = match self.peek() {
+                Some(b'"') => self.string()?,
+                Some(c) => return Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+                None => return Err(self.err(ErrorKind::UnexpectedEnd)),
+            };
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    kind: ErrorKind::DuplicateKey(key),
+                    offset: key_at,
+                });
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                Some(c) => return Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+                None => return Err(self.err(ErrorKind::UnexpectedEnd)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ErrorKind::UnexpectedEnd)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        None => return Err(self.err(ErrorKind::UnexpectedEnd)),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue; // pos already past the escape
+                        }
+                        Some(_) => return Err(self.err(ErrorKind::InvalidEscape)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err(ErrorKind::ControlChar)),
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence is valid — copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input is valid UTF-8 and pos is on a char boundary");
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err(ErrorKind::UnexpectedEnd));
+        }
+        let mut v: u16 = 0;
+        for i in 0..4 {
+            let d = match self.bytes[self.pos + i] {
+                b @ b'0'..=b'9' => b - b'0',
+                b @ b'a'..=b'f' => b - b'a' + 10,
+                b @ b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err(ErrorKind::InvalidUnicode)),
+            };
+            v = (v << 4) | u16::from(d);
+        }
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Called with `pos` just past `\u`; leaves `pos` past the escape.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let start = self.pos - 2;
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&lo) {
+                    let c = 0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
+                    return char::from_u32(c).ok_or(JsonError {
+                        kind: ErrorKind::InvalidUnicode,
+                        offset: start,
+                    });
+                }
+            }
+            return Err(JsonError {
+                kind: ErrorKind::InvalidUnicode,
+                offset: start,
+            });
+        }
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return Err(JsonError {
+                kind: ErrorKind::InvalidUnicode,
+                offset: start,
+            });
+        }
+        char::from_u32(u32::from(hi)).ok_or(JsonError {
+            kind: ErrorKind::InvalidUnicode,
+            offset: start,
+        })
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        let num_err = JsonError {
+            kind: ErrorKind::InvalidNumber,
+            offset: start,
+        };
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0, or [1-9][0-9]* — a leading zero may not be
+        // followed by another digit.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(num_err);
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(num_err),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(num_err);
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(num_err);
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            // Integer literal overflowing i64: degrade to f64 like the
+            // emitter's wide-unsigned From impls do.
+        }
+        let f: f64 = text.parse().map_err(|_| num_err.clone())?;
+        if !f.is_finite() {
+            return Err(num_err);
+        }
+        Ok(Value::Float(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(s: &str) -> ErrorKind {
+        parse(s).expect_err(&format!("{s:?} should fail")).kind
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap(), Value::Float(-0.015));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn i64_bounds_and_overflow() {
+        assert_eq!(parse("9223372036854775807").unwrap(), Value::Int(i64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Value::Int(i64::MIN));
+        // One past i64::MAX degrades to Float, matching From<u64>.
+        assert_eq!(
+            parse("9223372036854775808").unwrap(),
+            Value::Float(9223372036854775808.0)
+        );
+        assert_eq!(kind("1e999"), ErrorKind::InvalidNumber); // overflows f64
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+        assert_eq!(
+            parse("[1, [2], {\"a\": 3}]").unwrap(),
+            Value::Array(vec![
+                Value::Int(1),
+                Value::Array(vec![Value::Int(2)]),
+                Value::Object(vec![("a".into(), Value::Int(3))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            Value::Str("a\"b\\c/d\n\t\r\u{8}\u{c}".into())
+        );
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Value::Str("A".into()));
+        assert_eq!(parse(r#""\u00e9""#).unwrap(), Value::Str("é".into()));
+        // Surrogate pair: U+1D11E MUSICAL SYMBOL G CLEF.
+        assert_eq!(
+            parse(r#""\ud834\udd1e""#).unwrap(),
+            Value::Str("\u{1d11e}".into())
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse("\"héllo→\"").unwrap(), Value::Str("héllo→".into()));
+    }
+
+    #[test]
+    fn malformed_inputs_reject_with_typed_errors() {
+        assert_eq!(kind(""), ErrorKind::UnexpectedEnd);
+        assert_eq!(kind("   "), ErrorKind::UnexpectedEnd);
+        assert_eq!(kind("nul"), ErrorKind::UnexpectedEnd);
+        assert_eq!(kind("nulk"), ErrorKind::UnexpectedChar('n'));
+        assert_eq!(kind("[1, 2"), ErrorKind::UnexpectedEnd);
+        assert_eq!(kind("[1 2]"), ErrorKind::UnexpectedChar('2'));
+        assert_eq!(kind("{\"a\" 1}"), ErrorKind::UnexpectedChar('1'));
+        assert_eq!(kind("{\"a\": 1,}"), ErrorKind::UnexpectedChar('}'));
+        assert_eq!(kind("[1,]"), ErrorKind::UnexpectedChar(']'));
+        assert_eq!(kind("1 2"), ErrorKind::TrailingData);
+        assert_eq!(kind("{} {}"), ErrorKind::TrailingData);
+        assert_eq!(kind("+5"), ErrorKind::UnexpectedChar('+'));
+        assert_eq!(kind("01"), ErrorKind::InvalidNumber);
+        assert_eq!(kind("-"), ErrorKind::InvalidNumber);
+        assert_eq!(kind(".5"), ErrorKind::UnexpectedChar('.'));
+        assert_eq!(kind("5."), ErrorKind::InvalidNumber);
+        assert_eq!(kind("5e"), ErrorKind::InvalidNumber);
+        assert_eq!(kind("NaN"), ErrorKind::UnexpectedChar('N'));
+        assert_eq!(kind("\"a"), ErrorKind::UnexpectedEnd);
+        assert_eq!(kind("\"\\x\""), ErrorKind::InvalidEscape);
+        assert_eq!(kind("\"\\u12g4\""), ErrorKind::InvalidUnicode);
+        assert_eq!(kind("\"\\ud834\""), ErrorKind::InvalidUnicode); // lone high
+        assert_eq!(kind("\"\\udd1e\""), ErrorKind::InvalidUnicode); // lone low
+        assert_eq!(kind("\"a\nb\""), ErrorKind::ControlChar);
+        assert_eq!(
+            kind("{\"a\": 1, \"a\": 2}"),
+            ErrorKind::DuplicateKey("a".into())
+        );
+    }
+
+    #[test]
+    fn depth_limit_rejects_instead_of_overflowing() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(kind(&deep), ErrorKind::TooDeep);
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_offsets_point_at_the_problem() {
+        let e = parse("[1, @]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        let e = parse("{\"k\": 1, \"k\": 2}").unwrap_err();
+        assert_eq!(e.offset, 9);
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,399 @@
+//! A minimal JSON value type and pretty-printer.
+//!
+//! The offline build environment cannot fetch `serde`/`serde_json`, so this
+//! hand-rolled value type covers everything the workspace needs:
+//! construction, `Index` access in tests, and RFC 8259-compliant
+//! serialization. The matching strict parser lives in [`crate::parse`].
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (non-finite values serialize as `null`, like serde_json).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Whether this value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Object field lookup (`None` when absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` when not a string).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload (`None` when not an `Int`, or when a `Float`
+    /// holds a non-integral or out-of-range value).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v)
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v < i64::MAX as f64 =>
+            {
+                Some(*v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (`None` when not a number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload (`None` when not a bool).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items (`None` when not an array).
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    /// Serializes on a single line with no whitespace — the NDJSON form
+    /// (one value per line) used by streaming endpoints.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => {
+                if v.is_finite() {
+                    let mut s = format!("{v}");
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32);
+
+// Unsigned 64-bit-range values can exceed i64; degrade to Float rather
+// than silently wrapping negative (serde_json keeps u64 lossless — the
+// report values here never need more than f64's 53-bit mantissa).
+macro_rules! impl_from_uint_wide {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                match i64::try_from(v) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::Float(v as f64),
+                }
+            }
+        }
+    )*};
+}
+impl_from_uint_wide!(u64, usize);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Int(v) if i64::try_from(*other).map_or(false, |o| *v == o))
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_eq_int!(i32, i64, u32, u64, usize);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_comparisons() {
+        let v = Value::Object(vec![
+            ("id".into(), "E0".into()),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::Array(vec![16usize.into(), 2.5.into()])]),
+            ),
+        ]);
+        assert_eq!(v["id"], "E0");
+        assert_eq!(v["rows"][0][0], 16);
+        assert!(v["rows"].is_array());
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["rows"][99], Value::Null);
+    }
+
+    #[test]
+    fn wide_unsigned_values_do_not_wrap() {
+        let big = u64::MAX;
+        let converted = Value::from(big);
+        assert_eq!(converted, Value::Float(big as f64));
+        let negative_alias = Value::Int(big.wrapping_neg() as i64);
+        assert!(converted != negative_alias);
+        assert_eq!(Value::from(5u64), Value::Int(5));
+        assert!(Value::Int(-1) != u64::MAX); // comparison never wraps either
+    }
+
+    #[test]
+    fn pretty_printing_escapes_and_indents() {
+        let v = Value::Object(vec![
+            ("a\"b".into(), Value::Str("x\ny".into())),
+            ("n".into(), Value::Null),
+            ("t".into(), Value::Bool(true)),
+            ("f".into(), Value::Float(1.0)),
+            ("e".into(), Value::Array(vec![])),
+        ]);
+        let s = v.to_string_pretty();
+        assert!(s.contains("\"a\\\"b\""));
+        assert!(s.contains("\\n"));
+        assert!(s.contains("1.0"));
+        assert!(s.contains("[]"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_parseable() {
+        let v = Value::Object(vec![
+            ("type".into(), "round".into()),
+            ("seed".into(), 7u64.into()),
+            (
+                "xs".into(),
+                Value::Array(vec![1.into(), Value::Null, "a\nb".into()]),
+            ),
+        ]);
+        let s = v.to_string_compact();
+        assert!(!s.contains('\n'));
+        assert_eq!(s, r#"{"type":"round","seed":7,"xs":[1,null,"a\nb"]}"#);
+        assert_eq!(crate::parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Float(7.0).as_i64(), Some(7));
+        assert_eq!(Value::Float(7.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Null.as_i64(), None);
+        assert!(Value::Array(vec![Value::Null]).as_array().is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests pinning `parse ∘ emit = id` and malformed-input
+//! rejection for the shared wire format.
+//!
+//! The generator covers every `Value` variant, nested containers, unicode
+//! and control characters in strings, and the full finite `f64` range
+//! (Rust's `{}` float formatting is shortest-round-trip, so exact
+//! equality is the right assertion). Non-finite floats are excluded:
+//! they deliberately serialize as `null`, which is not an identity.
+
+use proptest::prelude::*;
+use stoneage_wire::{parse, ErrorKind, Value};
+
+/// SplitMix64 step — the test's own stream, independent of the shim's
+/// per-test RNG so a value tree is a pure function of the sampled seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn arb_string(state: &mut u64) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'B',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{0}',
+        '\u{1f}',
+        'é',
+        '→',
+        '≤',
+        '\u{1d11e}',
+        '{',
+        '}',
+        '[',
+        ']',
+        ':',
+        ',',
+    ];
+    let len = (mix(state) % 12) as usize;
+    (0..len)
+        .map(|_| POOL[(mix(state) as usize) % POOL.len()])
+        .collect()
+}
+
+fn arb_float(state: &mut u64) -> f64 {
+    loop {
+        let f = match mix(state) % 4 {
+            0 => (mix(state) as i64 % 1000) as f64 / 8.0,
+            1 => f64::from_bits(mix(state)),
+            2 => (mix(state) as i64) as f64 * 1e-30,
+            _ => (mix(state) % 1_000_000) as f64 * 1e18,
+        };
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+fn arb_value(state: &mut u64, depth: usize) -> Value {
+    let pick = if depth >= 4 {
+        mix(state) % 5
+    } else {
+        mix(state) % 7
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(mix(state).is_multiple_of(2)),
+        2 => Value::Int(mix(state) as i64),
+        3 => Value::Float(arb_float(state)),
+        4 => Value::Str(arb_string(state)),
+        5 => {
+            let len = (mix(state) % 4) as usize;
+            Value::Array((0..len).map(|_| arb_value(state, depth + 1)).collect())
+        }
+        _ => {
+            let len = (mix(state) % 4) as usize;
+            Value::Object(
+                (0..len)
+                    .map(|i| {
+                        // Unique-by-construction keys: the parser rejects
+                        // duplicates by design.
+                        (
+                            format!("k{i}_{}", arb_string(state)),
+                            arb_value(state, depth + 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_emit_roundtrip(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let v = arb_value(&mut state, 0);
+        let text = v.to_string_pretty();
+        let back = parse(&text).expect("emitter output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncated_emitter_output_rejects(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        // Containers only, so the document is never a bare scalar whose
+        // prefix is itself valid (e.g. "42" truncated to "4").
+        let v = Value::Array(vec![arb_value(&mut state, 1), arb_value(&mut state, 1)]);
+        let text = v.to_string_pretty();
+        let cut = 1 + (mix(&mut state) as usize) % (text.len() - 1);
+        if text.is_char_boundary(cut) {
+            prop_assert!(parse(&text[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_suffix_rejects(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let v = arb_value(&mut state, 0);
+        let text = v.to_string_pretty() + " x";
+        prop_assert!(parse(&text).is_err());
+    }
+}
+
+#[test]
+fn duplicate_keys_reject_even_when_nested() {
+    let e = parse(r#"{"outer": {"a": 1, "a": 2}}"#).unwrap_err();
+    assert_eq!(e.kind, ErrorKind::DuplicateKey("a".into()));
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null_by_design() {
+    assert_eq!(Value::Float(f64::NAN).to_string_pretty(), "null");
+    assert_eq!(parse("null").unwrap(), Value::Null);
+}

@@ -1,0 +1,79 @@
+//! Simulation-as-a-service: boot the job server on a loopback port,
+//! drive it over real HTTP, and watch a job's NDJSON event stream.
+//!
+//! ```sh
+//! cargo run --release --example simulation_server
+//! ```
+//!
+//! The same exchange works from a shell against a long-lived server:
+//!
+//! ```sh
+//! curl -s -d '{"graph": {"family": "gnp", "n": 200, "p": 0.04},
+//!              "protocol": "mis", "seeds": [1, 2, 3]}' \
+//!      http://127.0.0.1:4915/jobs
+//! curl -sN http://127.0.0.1:4915/jobs/1/events
+//! ```
+
+use stoneage_server::client::{request, EventStream};
+use stoneage_server::{Server, ServerConfig};
+use stoneage_wire::parse;
+
+fn main() {
+    let server = Server::start(ServerConfig::default()).expect("bind loopback");
+    let addr = server.addr().to_string();
+    println!("simulation server listening on http://{addr}");
+
+    // Submit: MIS on G(200, 8/n), three seeds, streaming a round event
+    // every 5 rounds and checkpointing every 10.
+    let spec = br#"{"graph": {"family": "gnp", "n": 200, "p": 0.04, "seed": 11},
+                    "protocol": "mis", "seeds": [1, 2, 3],
+                    "events_every": 5, "checkpoint_every": 10}"#;
+    let created = request(&addr, "POST", "/jobs", spec).expect("submit");
+    assert_eq!(created.status, 201, "submit failed: {created:?}");
+    let id = created.json()["id"].as_i64().expect("job id");
+    println!("submitted job {id}");
+
+    // Tail the chunked NDJSON stream until the job reaches a terminal
+    // state (the server closes the stream for us).
+    let mut stream = EventStream::open(&addr, &format!("/jobs/{id}/events")).expect("stream");
+    while let Some(line) = stream.next_line().expect("stream read") {
+        let event = parse(&line).expect("event is JSON");
+        match event["type"].as_str().unwrap_or("?") {
+            "round" => println!(
+                "  seed {} round {:>3}: {} nodes undecided",
+                event["seed"], event["round"], event["undecided"]
+            ),
+            "seed_done" => println!(
+                "  seed {} done in {} rounds, {} messages, fingerprint {}",
+                event["seed"],
+                event["rounds"],
+                event["messages"],
+                event["fingerprint"].as_str().unwrap_or("?")
+            ),
+            "checkpoint" => println!(
+                "  checkpoint at round {} (seed {})",
+                event["boundary"], event["seed"]
+            ),
+            other => println!("  [{other}] {line}"),
+        }
+    }
+
+    // The status document has the same results, queryable after the fact.
+    let status = request(&addr, "GET", &format!("/jobs/{id}"), &[]).expect("status");
+    let doc = status.json();
+    assert_eq!(doc["state"], "done", "job did not finish: {doc}");
+    println!(
+        "job {id} finished; {} per-seed results recorded",
+        doc["results"].as_array().map(<[_]>::len).unwrap_or(0)
+    );
+
+    // Scrape the Prometheus metrics before shutting down.
+    let metrics = request(&addr, "GET", "/metrics", &[]).expect("metrics");
+    let text = String::from_utf8(metrics.body).expect("utf-8");
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+
+    server.shutdown();
+    println!("server drained and stopped");
+}
