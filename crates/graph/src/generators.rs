@@ -6,8 +6,10 @@
 //! and dense Erdős–Rényi graphs, bounded-degree regular graphs, trees (the
 //! coloring protocol's domain), paths (the rLBA simulation's domain), grids
 //! and tori (the cellular-automaton ancestry of the model), unit-disk graphs
-//! (the biological/sensor motivation), and skewed-degree Barabási–Albert
-//! graphs.
+//! (the biological/sensor motivation), and skewed-degree families
+//! (Barabási–Albert, redirection-based [`power_law`], and the deterministic
+//! [`hub_and_spoke`] stress family) that exercise the work-stealing
+//! scheduler's load-imbalance regime.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -378,6 +380,78 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// Power-law graph via growing-network-with-redirection (Krapivsky–Redner):
+/// start from a star on `m + 1` nodes centered at node 0, then each new
+/// node `v` picks `m` distinct targets, each drawn by choosing a uniform
+/// existing node `u` and, with probability `redirect`, walking to `u`'s
+/// first attachment point instead. Redirection is equivalent to linear
+/// preferential attachment and yields a degree exponent `γ ≈ 1 + 1/redirect`
+/// — so `redirect` close to 1 produces the extreme hubs that stress a
+/// slot-balanced static shard plan hardest. Exactly `m + (n - m - 1) * m`
+/// edges, fully deterministic per seed.
+///
+/// # Panics
+/// Panics if `n < m + 1`, `m == 0`, or `redirect` is outside `[0, 1]`.
+pub fn power_law(n: usize, m: usize, redirect: f64, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    assert!(
+        (0.0..=1.0).contains(&redirect),
+        "redirect must be a probability"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // parent[v] = v's first attachment target; the redirection walk's
+    // one-step ancestor. Seed-star leaves all point at the center.
+    let mut parent: Vec<NodeId> = vec![0; n];
+    for v in 1..=m {
+        b.add_edge(0, v as NodeId);
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::HashSet::with_capacity(m);
+        let mut first: Option<NodeId> = None;
+        while targets.len() < m {
+            let mut t: NodeId = rng.gen_range(0..v as NodeId);
+            if rng.gen::<f64>() < redirect {
+                t = parent[t as usize];
+            }
+            if targets.insert(t) && first.is_none() {
+                first = Some(t);
+            }
+        }
+        parent[v] = first.expect("m >= 1 guarantees a first target");
+        for &t in &targets {
+            b.add_edge(v as NodeId, t);
+        }
+    }
+    b.build()
+}
+
+/// Hub-and-spoke stress family: `hubs` mutually-connected hub nodes
+/// (ids `0..hubs`), each carrying `spokes` pendant leaves. Deterministic
+/// (no seed): the worst case for uniform per-node scheduling is not
+/// random — it is a handful of nodes owning almost every port slot.
+///
+/// # Panics
+/// Panics if `hubs == 0`.
+pub fn hub_and_spoke(hubs: usize, spokes: usize) -> Graph {
+    assert!(hubs >= 1, "need at least one hub");
+    let n = hubs + hubs * spokes;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..hubs {
+        for v in (u + 1)..hubs {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    let mut next = hubs;
+    for h in 0..hubs {
+        for _ in 0..spokes {
+            b.add_edge(h as NodeId, next as NodeId);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,5 +648,92 @@ mod tests {
         // clique on m+1 nodes + m edges per subsequent node
         assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
         assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn power_law_edge_count_and_determinism() {
+        let (n, m) = (300, 2);
+        let a = power_law(n, m, 0.8, 9);
+        let b = power_law(n, m, 0.8, 9);
+        let c = power_law(n, m, 0.8, 10);
+        // star on m+1 nodes (m edges) + m edges per subsequent node
+        assert_eq!(a.edge_count(), m + (n - m - 1) * m);
+        assert!(traversal::is_connected(&a));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        // With strong redirection, the max degree should dwarf the mean —
+        // the hub skew the work-stealing scheduler exists for. A uniform
+        // G(n, p) of the same density has max degree within a small
+        // constant of the mean; here it should be >= 10x.
+        let n = 2000;
+        let g = power_law(n, 1, 0.9, 7);
+        let mean = 2.0 * g.edge_count() as f64 / n as f64;
+        assert!(
+            g.max_degree() as f64 >= 10.0 * mean,
+            "max degree {} vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn power_law_redirect_extremes() {
+        // redirect = 0 degenerates to uniform attachment; redirect = 1
+        // funnels every edge into the seed star's center.
+        let flat = power_law(500, 1, 0.0, 3);
+        assert_eq!(flat.edge_count(), 499);
+        let funnel = power_law(500, 1, 1.0, 3);
+        assert_eq!(funnel.degree(0), 499);
+        assert!(traversal::is_tree(&funnel));
+    }
+
+    #[test]
+    fn hub_and_spoke_shape() {
+        let g = hub_and_spoke(4, 10);
+        assert_eq!(g.node_count(), 44);
+        // hub clique 6 edges + 40 pendant edges
+        assert_eq!(g.edge_count(), 46);
+        assert!((0..4).all(|h| g.degree(h) == 13));
+        assert!((4..44).all(|v| g.degree(v) == 1));
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn hub_and_spoke_single_hub_is_star() {
+        let g = hub_and_spoke(1, 9);
+        assert_eq!(g, star(10));
+    }
+
+    /// FNV-1a over the canonical edge iteration order — any reordering,
+    /// insertion, or RNG drift in a generator moves the hash.
+    fn edge_fingerprint(g: &Graph) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for (u, v) in g.edges() {
+            for w in [u as u64, v as u64] {
+                for byte in w.to_le_bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// The exact skewed instances the work-stealing differential
+    /// matrices and pinned panels run on (`stoneage-testkit`'s
+    /// `skewed_graph_family`). These hashes pin the generators'
+    /// RNG draw order: a silent change here would quietly re-seed every
+    /// downstream pinned fingerprint, so it must fail *here* first.
+    #[test]
+    fn skewed_generators_are_pinned() {
+        let pl = power_law(300, 2, 0.85, 42);
+        assert_eq!((pl.node_count(), pl.edge_count()), (300, 596));
+        assert_eq!(edge_fingerprint(&pl), 0x80ac595771a9fa05);
+        let hs = hub_and_spoke(3, 60);
+        assert_eq!((hs.node_count(), hs.edge_count()), (183, 183));
+        assert_eq!(edge_fingerprint(&hs), 0x5db1028a33f829b1);
     }
 }

@@ -311,15 +311,20 @@ where
         }
         #[cfg(feature = "parallel")]
         if spec.workers > 1 {
-            sim = sim.parallel(stoneage_sim::ParallelPolicy::forced(
-                spec.workers,
-                stoneage_sim::MergeStrategy::default(),
-            ));
+            sim = sim.parallel(
+                stoneage_sim::ParallelPolicy::forced(
+                    spec.workers,
+                    stoneage_sim::MergeStrategy::default(),
+                )
+                .with_scheduler(spec.scheduler),
+            );
         }
         let run = sim.run();
         let captured = observer.latest.take();
         match run {
             Ok(outcome) => {
+                Metrics::add(&metrics.chunks, outcome.steals.chunks);
+                Metrics::add(&metrics.chunks_stolen, outcome.steals.steals);
                 if let Some(st) = stab.as_ref() {
                     emit_stabilization(job, metrics, seed, st);
                 }

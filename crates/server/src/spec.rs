@@ -12,7 +12,7 @@
 use std::time::Duration;
 use stoneage_core::Letter;
 use stoneage_graph::{generators, Graph, NodeId, TopologyEvent};
-use stoneage_sim::{ChurnPlan, ExecError, FaultPlan};
+use stoneage_sim::{ChunkScheduler, ChurnPlan, ExecError, FaultPlan};
 use stoneage_wire::{parse, JsonError, Value};
 
 /// Ceiling on `n` (or `rows * cols`) so a single request cannot ask the
@@ -104,6 +104,27 @@ pub enum GraphSpec {
         /// Column count (`>= 1`).
         cols: usize,
     },
+    /// Power-law (preferential-attachment via redirection) graph — the
+    /// skewed family the work-stealing scheduler targets.
+    PowerLaw {
+        /// Node count (`m + 1 ..= MAX_NODES`).
+        n: usize,
+        /// Attachments per new node (`>= 1`, `< n`).
+        m: usize,
+        /// Redirection probability (finite, in `[0, 1]`); degree
+        /// exponent `γ ≈ 1 + 1/redirect`.
+        redirect: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Hub clique with pendant leaves — the deterministic scheduling
+    /// stress family.
+    HubAndSpoke {
+        /// Hub count (`>= 1`).
+        hubs: usize,
+        /// Pendant leaves per hub (`>= 0`).
+        spokes: usize,
+    },
 }
 
 impl GraphSpec {
@@ -147,9 +168,52 @@ impl GraphSpec {
                 }
                 Ok(GraphSpec::Grid { rows, cols })
             }
+            "power_law" => {
+                let n = node_count(v, "graph.n")?;
+                let m = dim(v, "m", "graph.m")?;
+                if m >= n {
+                    return Err(SpecError::invalid(
+                        "graph.m",
+                        format!("must be smaller than n (= {n}), got {m}"),
+                    ));
+                }
+                let redirect = match v.get("redirect") {
+                    None => 0.9,
+                    Some(r) => r
+                        .as_f64()
+                        .ok_or_else(|| SpecError::invalid("graph.redirect", "must be a number"))?,
+                };
+                if !redirect.is_finite() || !(0.0..=1.0).contains(&redirect) {
+                    return Err(SpecError::invalid(
+                        "graph.redirect",
+                        format!("must be a probability in [0, 1], got {redirect}"),
+                    ));
+                }
+                let seed = u64_field(v, "seed", "graph.seed")?.unwrap_or(0);
+                Ok(GraphSpec::PowerLaw {
+                    n,
+                    m,
+                    redirect,
+                    seed,
+                })
+            }
+            "hub_and_spoke" => {
+                let hubs = dim(v, "hubs", "graph.hubs")?;
+                let spokes = u64_field(v, "spokes", "graph.spokes")?.unwrap_or(0) as usize;
+                if hubs.saturating_mul(spokes + 1) > MAX_NODES {
+                    return Err(SpecError::invalid(
+                        "graph.hubs",
+                        format!("hubs * (spokes + 1) exceeds {MAX_NODES}"),
+                    ));
+                }
+                Ok(GraphSpec::HubAndSpoke { hubs, spokes })
+            }
             other => Err(SpecError::invalid(
                 "graph.family",
-                format!("unknown family {other:?} (expected gnp, tree, or grid)"),
+                format!(
+                    "unknown family {other:?} (expected gnp, tree, grid, power_law, or \
+                     hub_and_spoke)"
+                ),
             )),
         }
     }
@@ -161,14 +225,24 @@ impl GraphSpec {
             GraphSpec::Gnp { n, p, seed } => generators::gnp(n, p, seed),
             GraphSpec::Tree { n, seed } => generators::random_tree(n, seed),
             GraphSpec::Grid { rows, cols } => generators::grid(rows, cols),
+            GraphSpec::PowerLaw {
+                n,
+                m,
+                redirect,
+                seed,
+            } => generators::power_law(n, m, redirect, seed),
+            GraphSpec::HubAndSpoke { hubs, spokes } => generators::hub_and_spoke(hubs, spokes),
         }
     }
 
     /// Number of nodes the built graph will have.
     pub fn node_count(&self) -> usize {
         match *self {
-            GraphSpec::Gnp { n, .. } | GraphSpec::Tree { n, .. } => n,
+            GraphSpec::Gnp { n, .. }
+            | GraphSpec::Tree { n, .. }
+            | GraphSpec::PowerLaw { n, .. } => n,
             GraphSpec::Grid { rows, cols } => rows * cols,
+            GraphSpec::HubAndSpoke { hubs, spokes } => hubs * (spokes + 1),
         }
     }
 }
@@ -233,6 +307,9 @@ pub struct JobSpec {
     /// Worker cores this job occupies in the scheduler (and, on
     /// `parallel` builds, the `ParallelPolicy` worker count).
     pub workers: usize,
+    /// Chunk-to-worker assignment on `parallel` builds with
+    /// `workers > 1` (`"static"` or `"stealing"`); ignored otherwise.
+    pub scheduler: ChunkScheduler,
     /// Artificial per-round delay, for demos and deterministic
     /// mid-run cancellation in tests.
     pub throttle: Duration,
@@ -310,6 +387,25 @@ pub fn parse_spec(body: &[u8]) -> Result<JobSpec, SpecError> {
         return Err(SpecError::invalid("workers", "must be in 1..=128"));
     }
 
+    let scheduler = match v.get("scheduler") {
+        None => ChunkScheduler::Static,
+        Some(s) => {
+            let s = s
+                .as_str()
+                .ok_or_else(|| SpecError::invalid("scheduler", "must be a string"))?;
+            match s {
+                "static" => ChunkScheduler::Static,
+                "stealing" => ChunkScheduler::Stealing,
+                other => {
+                    return Err(SpecError::invalid(
+                        "scheduler",
+                        format!("unknown scheduler {other:?} (expected static or stealing)"),
+                    ))
+                }
+            }
+        }
+    };
+
     let throttle_ms = u64_field(&v, "throttle_ms", "throttle_ms")?.unwrap_or(0);
     if throttle_ms > MAX_THROTTLE_MS {
         return Err(SpecError::invalid(
@@ -354,6 +450,7 @@ pub fn parse_spec(body: &[u8]) -> Result<JobSpec, SpecError> {
         checkpoint_every,
         events_every,
         workers: workers as usize,
+        scheduler,
         throttle: Duration::from_millis(throttle_ms),
         churn,
         faults,
@@ -612,6 +709,7 @@ mod tests {
         assert_eq!(s.budget, 100_000);
         assert_eq!(s.checkpoint_every, 0);
         assert_eq!(s.workers, 1);
+        assert_eq!(s.scheduler, ChunkScheduler::Static);
         assert!(s.churn.is_none() && s.faults.is_none() && s.resume_from.is_none());
     }
 
@@ -628,6 +726,104 @@ mod tests {
         assert_eq!(g.node_count(), 12);
         let g = GraphSpec::Grid { rows: 3, cols: 4 }.build();
         assert_eq!(g.node_count(), 12);
+        let spec = GraphSpec::PowerLaw {
+            n: 40,
+            m: 2,
+            redirect: 0.9,
+            seed: 5,
+        };
+        assert_eq!(spec.build().node_count(), spec.node_count());
+        let spec = GraphSpec::HubAndSpoke { hubs: 3, spokes: 5 };
+        assert_eq!(spec.build().node_count(), spec.node_count());
+    }
+
+    #[test]
+    fn skewed_families_parse_and_reject() {
+        let ok = r#"{"graph": {"family": "power_law", "n": 50, "m": 2,
+                               "redirect": 0.8, "seed": 4},
+                     "protocol": "mis"}"#;
+        assert_eq!(
+            spec(ok).unwrap().graph,
+            GraphSpec::PowerLaw {
+                n: 50,
+                m: 2,
+                redirect: 0.8,
+                seed: 4
+            }
+        );
+        // redirect defaults to the hub-heavy 0.9.
+        let defaulted = r#"{"graph": {"family": "power_law", "n": 50, "m": 1},
+                            "protocol": "mis"}"#;
+        assert!(matches!(
+            spec(defaulted).unwrap().graph,
+            GraphSpec::PowerLaw { redirect, .. } if redirect == 0.9
+        ));
+        // m >= n would panic in the generator; rejected up front.
+        let fat_m = r#"{"graph": {"family": "power_law", "n": 3, "m": 3},
+                        "protocol": "mis"}"#;
+        assert!(matches!(
+            spec(fat_m),
+            Err(SpecError::Invalid {
+                field: "graph.m",
+                ..
+            })
+        ));
+        let bad_redirect = r#"{"graph": {"family": "power_law", "n": 9, "m": 1,
+                                         "redirect": 1.5},
+                               "protocol": "mis"}"#;
+        assert!(matches!(
+            spec(bad_redirect),
+            Err(SpecError::Invalid {
+                field: "graph.redirect",
+                ..
+            })
+        ));
+
+        let hub = r#"{"graph": {"family": "hub_and_spoke", "hubs": 2, "spokes": 9},
+                      "protocol": "mis"}"#;
+        assert_eq!(
+            spec(hub).unwrap().graph,
+            GraphSpec::HubAndSpoke { hubs: 2, spokes: 9 }
+        );
+        let huge = format!(
+            r#"{{"graph": {{"family": "hub_and_spoke", "hubs": 2, "spokes": {MAX_NODES}}},
+                 "protocol": "mis"}}"#
+        );
+        assert!(matches!(
+            spec(&huge),
+            Err(SpecError::Invalid {
+                field: "graph.hubs",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scheduler_field_parses_and_rejects() {
+        let stealing = r#"{"graph": {"family": "gnp", "n": 16, "p": 0.2},
+                           "protocol": "mis", "workers": 4, "scheduler": "stealing"}"#;
+        assert_eq!(spec(stealing).unwrap().scheduler, ChunkScheduler::Stealing);
+        let static_ = r#"{"graph": {"family": "gnp", "n": 16, "p": 0.2},
+                          "protocol": "mis", "scheduler": "static"}"#;
+        assert_eq!(spec(static_).unwrap().scheduler, ChunkScheduler::Static);
+        let unknown = r#"{"graph": {"family": "gnp", "n": 16, "p": 0.2},
+                          "protocol": "mis", "scheduler": "chase-lev"}"#;
+        assert!(matches!(
+            spec(unknown),
+            Err(SpecError::Invalid {
+                field: "scheduler",
+                ..
+            })
+        ));
+        let not_a_string = r#"{"graph": {"family": "gnp", "n": 16, "p": 0.2},
+                               "protocol": "mis", "scheduler": 1}"#;
+        assert!(matches!(
+            spec(not_a_string),
+            Err(SpecError::Invalid {
+                field: "scheduler",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -114,9 +114,14 @@ use crate::engine::{FlatPorts, PortPlanes};
 use crate::faults::FaultSink;
 use crate::faults::{FaultLayer, FaultSummary, FaultsArg};
 #[cfg(feature = "parallel")]
-use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
+use crate::parbuf::{
+    self, ChunkPlan, ChunkScheduler, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan,
+    StealStats,
+};
 #[cfg(feature = "parallel")]
-use crate::pipeline::ShardedSink;
+use crate::pipeline::{
+    absorb_steal_yields, next_task, seed_deques, ShardedSink, StealTask, StealYield,
+};
 use crate::pipeline::{boundary_checkpoint, node_round, RoundEnd, RoundStep, SerialWrites};
 use crate::scoped::{scoped_rngs, ScopedDelivery, ScopedMultiFsm, ScopedOutcome, ScopedStep};
 use crate::sim::Observer;
@@ -717,6 +722,10 @@ where
 /// as [`run_serial_churn`]. On the fused schedule, a boundary with due
 /// events first flushes the deferred phase-2b buffers serially (see the
 /// [module docs](self) for why flush-before-patch is load-bearing).
+/// Both round modes compose with the work-stealing
+/// [`ChunkScheduler`] exactly as in the churn-free pipeline — the live
+/// filter is applied per node inside whichever chunk a task carries, so
+/// the set of nodes that run a round is schedule-independent.
 #[cfg(feature = "parallel")]
 #[allow(clippy::too_many_arguments)]
 fn run_parallel_churn<St, O>(
@@ -733,6 +742,7 @@ fn run_parallel_churn<St, O>(
     witness: &mut St::Witness,
     plumb: &SnapPlumb<St::State>,
     faults: &mut FaultLayer<'_>,
+    steals: &mut StealStats,
 ) -> RoundEnd
 where
     St: RoundStep + Sync,
@@ -763,6 +773,13 @@ where
         }
     }
     let sigma = planes.sigma();
+    // Planned ONCE per run, over the closed universe: churn patches
+    // mutate letters and tombstones inside the fixed CSR layout
+    // (`csr_offset` never changes — crash/restart/edge events rewrite
+    // slots, not the slot *map*), so the slot-balanced bounds stay
+    // valid and identically balanced across every boundary. No
+    // per-epoch re-plan exists to amortize; `tests/stealing.rs` pins
+    // the bounds' churn-invariance.
     let plan = ShardPlan::new(universe, policy.resolve_workers());
     let workers = plan.workers();
     let mut buffers: Vec<DeliveryBuffer> =
@@ -770,8 +787,249 @@ where
     let mut obs: Vec<ObsVec> = (0..workers).map(|_| ObsVec::zeroed(sigma)).collect();
     let mut witnesses: Vec<St::Witness> = (0..workers).map(|_| St::Witness::default()).collect();
 
-    match policy.resolve_round() {
-        RoundMode::Joined => {
+    match (policy.resolve_round(), policy.resolve_scheduler()) {
+        (RoundMode::Joined, ChunkScheduler::Stealing) => {
+            let chunks = ChunkPlan::new(universe, &plan);
+            for round in start + 1..=max_rounds {
+                let ports = planes.read();
+                let live = ctl.live();
+                let fctx = faults.ctx;
+                let results: Vec<StealYield<St::Witness>> = {
+                    let deques = seed_deques(&chunks, workers, &mut *states, &mut *rngs);
+                    let deques = &deques;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = buffers
+                            .iter_mut()
+                            .zip(obs.iter_mut())
+                            .enumerate()
+                            .map(|(w, (buffer, obs))| {
+                                let plan = &plan;
+                                scope.spawn(move || {
+                                    buffer.clear();
+                                    let mut sink = ShardedSink { buffer, plan };
+                                    let mut ftally = FaultSummary::default();
+                                    let mut fsink =
+                                        FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
+                                    let mut delta = 0isize;
+                                    let mut wits = Vec::new();
+                                    let (mut nsteals, mut nchunks) = (0u64, 0u64);
+                                    while let Some((task, stolen)) = next_task(w, deques) {
+                                        nchunks += 1;
+                                        nsteals += stolen as u64;
+                                        let StealTask {
+                                            index,
+                                            base,
+                                            states: state_c,
+                                            rngs: rng_c,
+                                            ..
+                                        } = task;
+                                        let mut wit = St::Witness::default();
+                                        for i in 0..state_c.len() {
+                                            if !live[base + i] {
+                                                continue;
+                                            }
+                                            delta += node_round(
+                                                step,
+                                                universe,
+                                                ports,
+                                                round,
+                                                base + i,
+                                                &mut state_c[i],
+                                                &mut rng_c[i],
+                                                obs,
+                                                &mut fsink,
+                                                &mut wit,
+                                            );
+                                        }
+                                        wits.push((index, wit));
+                                    }
+                                    (delta, ftally, wits, nsteals, nchunks)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                absorb_steal_yields::<St>(results, &mut undecided, faults, witness, steals);
+                sent += buffers.iter().map(|b| b.sent).sum::<u64>();
+                parbuf::merge(policy.merge, planes.write(), universe, &plan, &buffers);
+                planes.advance();
+                ctl.boundary(
+                    universe,
+                    round,
+                    step,
+                    inputs,
+                    states,
+                    &mut undecided,
+                    planes.write(),
+                );
+                observer.on_round_end(round, states);
+                if undecided == 0 && ctl.exhausted() {
+                    return RoundEnd::Done {
+                        rounds: round,
+                        sent,
+                    };
+                }
+                boundary_checkpoint::<St, _>(
+                    plumb,
+                    round,
+                    sent,
+                    undecided,
+                    planes,
+                    states,
+                    rngs,
+                    witness,
+                    Some(ctl.cursor()),
+                    faults.capture(),
+                    observer,
+                );
+            }
+        }
+        (RoundMode::Fused, ChunkScheduler::Stealing) => {
+            let chunks = ChunkPlan::new(universe, &plan);
+            let mut landing = buffers;
+            let mut filling: Vec<DeliveryBuffer> =
+                (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
+            for round in start + 1..=max_rounds {
+                let shard_cells: Vec<_> = planes
+                    .epoch_shards(universe, plan.bounds())
+                    .into_iter()
+                    .map(std::sync::RwLock::new)
+                    .collect();
+                let shard_cells = &shard_cells;
+                let barrier = std::sync::Barrier::new(workers);
+                let barrier = &barrier;
+                let landing_ref = &landing;
+                let live = ctl.live();
+                let fctx = faults.ctx;
+                let results: Vec<StealYield<St::Witness>> = {
+                    let deques = seed_deques(&chunks, workers, &mut *states, &mut *rngs);
+                    let deques = &deques;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = filling
+                            .iter_mut()
+                            .zip(obs.iter_mut())
+                            .enumerate()
+                            .map(|(w, (buffer, obs))| {
+                                let plan = &plan;
+                                scope.spawn(move || {
+                                    {
+                                        let mut shard = shard_cells[w].write().unwrap();
+                                        for prev in landing_ref {
+                                            for wr in prev.bucket(w) {
+                                                shard.land(
+                                                    wr.node as usize,
+                                                    wr.slot as usize,
+                                                    wr.letter,
+                                                );
+                                            }
+                                        }
+                                        shard.freeze();
+                                    }
+                                    barrier.wait();
+                                    buffer.clear();
+                                    let mut sink = ShardedSink { buffer, plan };
+                                    let mut ftally = FaultSummary::default();
+                                    let mut fsink =
+                                        FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
+                                    let mut delta = 0isize;
+                                    let mut wits = Vec::new();
+                                    let (mut nsteals, mut nchunks) = (0u64, 0u64);
+                                    while let Some((task, stolen)) = next_task(w, deques) {
+                                        nchunks += 1;
+                                        nsteals += stolen as u64;
+                                        let StealTask {
+                                            index,
+                                            base,
+                                            shard: task_shard,
+                                            states: state_c,
+                                            rngs: rng_c,
+                                        } = task;
+                                        let shard = shard_cells[task_shard].read().unwrap();
+                                        let mut wit = St::Witness::default();
+                                        for i in 0..state_c.len() {
+                                            if !live[base + i] {
+                                                continue;
+                                            }
+                                            delta += node_round(
+                                                step,
+                                                universe,
+                                                &*shard,
+                                                round,
+                                                base + i,
+                                                &mut state_c[i],
+                                                &mut rng_c[i],
+                                                obs,
+                                                &mut fsink,
+                                                &mut wit,
+                                            );
+                                        }
+                                        wits.push((index, wit));
+                                    }
+                                    (delta, ftally, wits, nsteals, nchunks)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                planes.advance();
+                std::mem::swap(&mut landing, &mut filling);
+                absorb_steal_yields::<St>(results, &mut undecided, faults, witness, steals);
+                sent += landing.iter().map(|b| b.sent).sum::<u64>();
+                if ctl.has_pending(round) {
+                    // Flush-before-patch, exactly as the static fused arm.
+                    let ports = planes.write();
+                    for ci in 0..workers {
+                        for prev in &landing {
+                            for w in prev.bucket(ci) {
+                                ports.deliver(w.node as usize, w.slot as usize, w.letter);
+                            }
+                        }
+                    }
+                    for b in landing.iter_mut() {
+                        b.clear();
+                    }
+                    ctl.boundary(universe, round, step, inputs, states, &mut undecided, ports);
+                }
+                observer.on_round_end(round, states);
+                if undecided == 0 && ctl.exhausted() {
+                    return RoundEnd::Done {
+                        rounds: round,
+                        sent,
+                    };
+                }
+                if plumb.every > 0 && round % plumb.every == 0 {
+                    {
+                        let ports = planes.write();
+                        for ci in 0..workers {
+                            for prev in &landing {
+                                for w in prev.bucket(ci) {
+                                    ports.deliver(w.node as usize, w.slot as usize, w.letter);
+                                }
+                            }
+                        }
+                    }
+                    for b in landing.iter_mut() {
+                        b.clear();
+                    }
+                    boundary_checkpoint::<St, _>(
+                        plumb,
+                        round,
+                        sent,
+                        undecided,
+                        planes,
+                        states,
+                        rngs,
+                        witness,
+                        Some(ctl.cursor()),
+                        faults.capture(),
+                        observer,
+                    );
+                }
+            }
+        }
+        (RoundMode::Joined, ChunkScheduler::Static) => {
             for round in start + 1..=max_rounds {
                 let ports = planes.read();
                 let live = ctl.live();
@@ -859,7 +1117,7 @@ where
                 );
             }
         }
-        RoundMode::Fused => {
+        (RoundMode::Fused, ChunkScheduler::Static) => {
             let mut landing = buffers;
             let mut filling: Vec<DeliveryBuffer> =
                 (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
@@ -1163,6 +1421,7 @@ pub(crate) fn exec_sync_churn_parallel<P, O>(
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm + Sync,
@@ -1200,6 +1459,7 @@ where
         &mut (),
         &plumb,
         &mut layer,
+        steals,
     );
     if let Some(out) = fout {
         *out = Some(layer.tally);
@@ -1275,6 +1535,7 @@ pub(crate) fn exec_scoped_churn_parallel<P, O>(
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -1312,6 +1573,7 @@ where
         &mut scoped_deliveries,
         &plumb,
         &mut layer,
+        steals,
     );
     if let Some(out) = fout {
         *out = Some(layer.tally);

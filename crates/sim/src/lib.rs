@@ -109,7 +109,10 @@ pub use churn::{
 };
 pub use engine::{FlatPorts, PortPlanes};
 pub use faults::{FaultPlan, FaultPlanError, FaultRule, FaultScope, FaultSummary, LinkFault};
-pub use parbuf::{MergeStrategy, ParallelPolicy, RoundMode, ROUND_MODE_ENV};
+pub use parbuf::{
+    ChunkScheduler, MergeStrategy, ParallelPolicy, RoundMode, StealStats, ROUND_MODE_ENV,
+    SCHEDULER_ENV,
+};
 pub use reference::{run_sync_reference, run_sync_reference_with_inputs};
 pub use schedule::CalendarQueue;
 pub use scoped::{

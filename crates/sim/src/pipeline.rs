@@ -60,6 +60,34 @@
 //! worker counts, merge strategies, and graph families, and the pinned
 //! fingerprint constants are unchanged from their pre-pipeline values.
 //!
+//! # Who runs a chunk: the work-stealing schedule
+//!
+//! Orthogonal to the round mode, [`crate::parbuf::ChunkScheduler`]
+//! picks how phase 1 + 2a is dealt to workers. `Static` hands each
+//! worker its own [`crate::parbuf::ShardPlan`] chunk — zero scheduling
+//! cost, but a hub-heavy chunk serializes the round. `Stealing` cuts
+//! each shard into [`crate::parbuf::ChunkPlan`] descriptors seeded onto
+//! the owning worker's deque (shard-to-worker pinning: a worker starts
+//! on exactly the senders whose phase-2b shard it lands under the fused
+//! schedule), pops its own deque front-first, and when dry steals from
+//! the back of the longest other deque.
+//!
+//! Stealing is bit-identical to the static schedule because the round's
+//! data flow is schedule-free (the [`crate::parbuf`] module docs give
+//! the full argument): every node reads only the frozen plane and its
+//! private RNG, every write is bucketed by *destination* shard in
+//! whichever worker's buffer resolved it, and both merges replay
+//! buckets in an order independent of who filled them. The one
+//! schedule-dependent artifact — the order scoped witnesses are
+//! recorded in — is repaired after the join: each chunk records into
+//! its own witness, and the chunk witnesses are absorbed in ascending
+//! chunk index (= ascending sender order, the serial transcript).
+//! Under [`RoundMode::Fused`] the per-worker plane shards live behind
+//! `RwLock`s: each worker write-locks its own shard to land + freeze
+//! it, a barrier separates landing from observation, and tasks then
+//! read-lock the (frozen) shard their senders live in — a task only
+//! ever reads its own shard, so the locks never contend with writers.
+//!
 //! # Scratch reuse
 //!
 //! All per-round scratch lives for the whole run and is cleared, not
@@ -78,7 +106,10 @@ use crate::engine::{FlatPorts, PlaneShard, PortPlanes};
 use crate::faults::FaultSink;
 use crate::faults::{FaultLayer, FaultSummary};
 #[cfg(feature = "parallel")]
-use crate::parbuf::{self, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan};
+use crate::parbuf::{
+    self, ChunkPlan, ChunkScheduler, DeliveryBuffer, ParallelPolicy, RoundMode, ShardPlan,
+    StealStats,
+};
 use crate::scoped::ScopedDelivery;
 use crate::snapshot::{encode_lockstep, LockstepCapture, SnapPlumb};
 use crate::sync_exec::SyncObserver;
@@ -451,12 +482,125 @@ where
     }
 }
 
+/// One unit of stealable phase-1+2a work: a [`ChunkPlan`] descriptor
+/// bundled with the disjoint `&mut` windows of the state and RNG arrays
+/// it owns. Built fresh each round (the borrows last one scope) and
+/// moved between deques; the *data* never moves.
+#[cfg(feature = "parallel")]
+pub(crate) struct StealTask<'a, S> {
+    /// Position in the [`ChunkPlan`] — ascending node order, the key
+    /// per-chunk witnesses are re-sorted by after the join.
+    pub(crate) index: usize,
+    /// First node of the chunk.
+    pub(crate) base: usize,
+    /// The shard whose deque the task was seeded onto (under the fused
+    /// schedule, also the plane shard its senders read).
+    pub(crate) shard: usize,
+    pub(crate) states: &'a mut [S],
+    pub(crate) rngs: &'a mut [SmallRng],
+}
+
+/// Deals one [`StealTask`] per chunk onto the owning worker's deque, in
+/// ascending node order (so a worker drains its own shard front-to-back
+/// — the cache-friendly direction — while thieves take from the back).
+#[cfg(feature = "parallel")]
+pub(crate) fn seed_deques<'a, S>(
+    chunks: &ChunkPlan,
+    workers: usize,
+    mut states: &'a mut [S],
+    mut rngs: &'a mut [SmallRng],
+) -> Vec<std::sync::Mutex<std::collections::VecDeque<StealTask<'a, S>>>> {
+    let mut deques: Vec<std::collections::VecDeque<StealTask<'a, S>>> = (0..workers)
+        .map(|_| std::collections::VecDeque::new())
+        .collect();
+    for (index, c) in chunks.chunks().iter().enumerate() {
+        let (state_c, state_rest) = states.split_at_mut(c.end - c.start);
+        let (rng_c, rng_rest) = rngs.split_at_mut(c.end - c.start);
+        states = state_rest;
+        rngs = rng_rest;
+        deques[c.shard].push_back(StealTask {
+            index,
+            base: c.start,
+            shard: c.shard,
+            states: state_c,
+            rngs: rng_c,
+        });
+    }
+    deques.into_iter().map(std::sync::Mutex::new).collect()
+}
+
+/// Worker `w`'s next task: the front of its own deque, or — when dry —
+/// the back of the currently longest other deque (`true` marks a
+/// steal). Returns `None` once every deque is empty; a lost race with
+/// another thief just rescans.
+#[cfg(feature = "parallel")]
+pub(crate) fn next_task<'a, S>(
+    w: usize,
+    deques: &[std::sync::Mutex<std::collections::VecDeque<StealTask<'a, S>>>],
+) -> Option<(StealTask<'a, S>, bool)> {
+    if let Some(t) = deques[w].lock().unwrap().pop_front() {
+        return Some((t, false));
+    }
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, d) in deques.iter().enumerate() {
+            if i == w {
+                continue;
+            }
+            let len = d.lock().unwrap().len();
+            if len > 0 && best.is_none_or(|(blen, _)| len > blen) {
+                best = Some((len, i));
+            }
+        }
+        let (_, victim) = best?;
+        if let Some(t) = deques[victim].lock().unwrap().pop_back() {
+            return Some((t, true));
+        }
+    }
+}
+
+/// What one stealing worker hands back at the join: its undecided
+/// delta, fault tally, per-chunk witnesses (keyed by chunk index for
+/// the post-join re-sort), and its steal/chunk counters.
+#[cfg(feature = "parallel")]
+pub(crate) type StealYield<W> = (isize, FaultSummary, Vec<(usize, W)>, u64, u64);
+
+/// Folds the per-worker [`StealYield`]s into the run accumulators:
+/// undecided delta, fault summaries, steal counters, and — the one
+/// schedule-dependent artifact stealing creates — the per-chunk
+/// witnesses, re-sorted to ascending chunk index (= ascending sender
+/// order, the serial transcript) before absorption.
+#[cfg(feature = "parallel")]
+pub(crate) fn absorb_steal_yields<St: RoundStep>(
+    results: Vec<StealYield<St::Witness>>,
+    undecided: &mut isize,
+    faults: &mut FaultLayer<'_>,
+    witness: &mut St::Witness,
+    steals: &mut StealStats,
+) {
+    let mut pairs = Vec::new();
+    for (delta, tally, wits, nsteals, nchunks) in results {
+        *undecided += delta;
+        faults.absorb(&tally);
+        steals.steals += nsteals;
+        steals.chunks += nchunks;
+        pairs.extend(wits);
+    }
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    for (_, mut w) in pairs {
+        St::absorb(witness, &mut w);
+    }
+}
+
 /// The parallel round pipeline, scheduled per the policy's resolved
 /// [`RoundMode`]: `Joined` (phase 1 + 2a scope, join, phase-2b merge —
 /// two joins per round) or `Fused` (previous round's phase 2b landed on
 /// per-worker plane shards inside the next round's scope — one join per
-/// round). Bit-identical to [`run_serial`] for every seed, worker
-/// count, merge strategy, and round mode.
+/// round) — each crossed with the resolved [`ChunkScheduler`] (static
+/// shard chunks or work-stealing deques). Bit-identical to
+/// [`run_serial`] for every seed, worker count, merge strategy, round
+/// mode, and scheduler; only the [`StealStats`] out-param is
+/// timing-dependent.
 #[cfg(feature = "parallel")]
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel<St, O>(
@@ -471,6 +615,7 @@ pub(crate) fn run_parallel<St, O>(
     witness: &mut St::Witness,
     plumb: &SnapPlumb<St::State>,
     faults: &mut FaultLayer<'_>,
+    steals: &mut StealStats,
 ) -> RoundEnd
 where
     St: RoundStep + Sync,
@@ -499,8 +644,230 @@ where
     let mut obs: Vec<ObsVec> = (0..workers).map(|_| ObsVec::zeroed(sigma)).collect();
     let mut witnesses: Vec<St::Witness> = (0..workers).map(|_| St::Witness::default()).collect();
 
-    match policy.resolve_round() {
-        RoundMode::Joined => {
+    match (policy.resolve_round(), policy.resolve_scheduler()) {
+        (RoundMode::Joined, ChunkScheduler::Stealing) => {
+            let chunks = ChunkPlan::new(graph, &plan);
+            for round in start + 1..=max_rounds {
+                let ports = planes.read();
+                let fctx = faults.ctx;
+                let results: Vec<StealYield<St::Witness>> = {
+                    let deques = seed_deques(&chunks, workers, &mut *states, &mut *rngs);
+                    let deques = &deques;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = buffers
+                            .iter_mut()
+                            .zip(obs.iter_mut())
+                            .enumerate()
+                            .map(|(w, (buffer, obs))| {
+                                let plan = &plan;
+                                scope.spawn(move || {
+                                    buffer.clear();
+                                    let mut sink = ShardedSink { buffer, plan };
+                                    let mut ftally = FaultSummary::default();
+                                    let mut fsink =
+                                        FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
+                                    let mut delta = 0isize;
+                                    let mut wits = Vec::new();
+                                    let (mut nsteals, mut nchunks) = (0u64, 0u64);
+                                    while let Some((task, stolen)) = next_task(w, deques) {
+                                        nchunks += 1;
+                                        nsteals += stolen as u64;
+                                        let StealTask {
+                                            index,
+                                            base,
+                                            states: state_c,
+                                            rngs: rng_c,
+                                            ..
+                                        } = task;
+                                        let mut wit = St::Witness::default();
+                                        for i in 0..state_c.len() {
+                                            delta += node_round(
+                                                step,
+                                                graph,
+                                                ports,
+                                                round,
+                                                base + i,
+                                                &mut state_c[i],
+                                                &mut rng_c[i],
+                                                obs,
+                                                &mut fsink,
+                                                &mut wit,
+                                            );
+                                        }
+                                        wits.push((index, wit));
+                                    }
+                                    (delta, ftally, wits, nsteals, nchunks)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                absorb_steal_yields::<St>(results, &mut undecided, faults, witness, steals);
+                sent += buffers.iter().map(|b| b.sent).sum::<u64>();
+                parbuf::merge(policy.merge, planes.write(), graph, &plan, &buffers);
+                planes.advance();
+                observer.on_round_end(round, states);
+                if undecided == 0 {
+                    return RoundEnd::Done {
+                        rounds: round,
+                        sent,
+                    };
+                }
+                boundary_checkpoint::<St, _>(
+                    plumb,
+                    round,
+                    sent,
+                    undecided,
+                    planes,
+                    states,
+                    rngs,
+                    witness,
+                    None,
+                    faults.capture(),
+                    observer,
+                );
+            }
+        }
+        (RoundMode::Fused, ChunkScheduler::Stealing) => {
+            let chunks = ChunkPlan::new(graph, &plan);
+            let mut landing = buffers;
+            let mut filling: Vec<DeliveryBuffer> =
+                (0..workers).map(|_| DeliveryBuffer::new(workers)).collect();
+            for round in start + 1..=max_rounds {
+                // The plane shards go behind RwLocks so tasks can read
+                // whichever (frozen) shard their senders live in; the
+                // barrier separates the exclusive land+freeze writes
+                // from the shared reads.
+                let shard_cells: Vec<std::sync::RwLock<PlaneShard>> = planes
+                    .epoch_shards(graph, plan.bounds())
+                    .into_iter()
+                    .map(std::sync::RwLock::new)
+                    .collect();
+                let shard_cells = &shard_cells;
+                let barrier = std::sync::Barrier::new(workers);
+                let barrier = &barrier;
+                let landing_ref = &landing;
+                let fctx = faults.ctx;
+                let results: Vec<StealYield<St::Witness>> = {
+                    let deques = seed_deques(&chunks, workers, &mut *states, &mut *rngs);
+                    let deques = &deques;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = filling
+                            .iter_mut()
+                            .zip(obs.iter_mut())
+                            .enumerate()
+                            .map(|(w, (buffer, obs))| {
+                                let plan = &plan;
+                                scope.spawn(move || {
+                                    // Deferred phase 2b of the previous
+                                    // round, exactly as the static fused
+                                    // schedule: this worker owns shard w.
+                                    {
+                                        let mut shard = shard_cells[w].write().unwrap();
+                                        for prev in landing_ref {
+                                            for wr in prev.bucket(w) {
+                                                shard.land(
+                                                    wr.node as usize,
+                                                    wr.slot as usize,
+                                                    wr.letter,
+                                                );
+                                            }
+                                        }
+                                        shard.freeze();
+                                    }
+                                    barrier.wait();
+                                    buffer.clear();
+                                    let mut sink = ShardedSink { buffer, plan };
+                                    let mut ftally = FaultSummary::default();
+                                    let mut fsink =
+                                        FaultSink::wrap(&mut sink, fctx, round, &mut ftally);
+                                    let mut delta = 0isize;
+                                    let mut wits = Vec::new();
+                                    let (mut nsteals, mut nchunks) = (0u64, 0u64);
+                                    while let Some((task, stolen)) = next_task(w, deques) {
+                                        nchunks += 1;
+                                        nsteals += stolen as u64;
+                                        let StealTask {
+                                            index,
+                                            base,
+                                            shard: task_shard,
+                                            states: state_c,
+                                            rngs: rng_c,
+                                        } = task;
+                                        // A task reads only the shard its
+                                        // senders live in (observation =
+                                        // own count row + slots; scoped
+                                        // draws = own ports), all frozen
+                                        // behind the barrier.
+                                        let shard = shard_cells[task_shard].read().unwrap();
+                                        let mut wit = St::Witness::default();
+                                        for i in 0..state_c.len() {
+                                            delta += node_round(
+                                                step,
+                                                graph,
+                                                &*shard,
+                                                round,
+                                                base + i,
+                                                &mut state_c[i],
+                                                &mut rng_c[i],
+                                                obs,
+                                                &mut fsink,
+                                                &mut wit,
+                                            );
+                                        }
+                                        wits.push((index, wit));
+                                    }
+                                    (delta, ftally, wits, nsteals, nchunks)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                planes.advance();
+                std::mem::swap(&mut landing, &mut filling);
+                absorb_steal_yields::<St>(results, &mut undecided, faults, witness, steals);
+                sent += landing.iter().map(|b| b.sent).sum::<u64>();
+                observer.on_round_end(round, states);
+                if undecided == 0 {
+                    return RoundEnd::Done {
+                        rounds: round,
+                        sent,
+                    };
+                }
+                if plumb.every > 0 && round % plumb.every == 0 {
+                    // Same deferred-phase-2b flush as the static fused
+                    // boundary: land this round's buffers serially and
+                    // clear them so the next scope lands nothing.
+                    let ports = planes.write();
+                    for ci in 0..workers {
+                        for prev in landing.iter() {
+                            for w in prev.bucket(ci) {
+                                ports.deliver(w.node as usize, w.slot as usize, w.letter);
+                            }
+                        }
+                    }
+                    for b in landing.iter_mut() {
+                        b.clear();
+                    }
+                    boundary_checkpoint::<St, _>(
+                        plumb,
+                        round,
+                        sent,
+                        undecided,
+                        planes,
+                        states,
+                        rngs,
+                        witness,
+                        None,
+                        faults.capture(),
+                        observer,
+                    );
+                }
+            }
+        }
+        (RoundMode::Joined, ChunkScheduler::Static) => {
             for round in start + 1..=max_rounds {
                 // Phase 1 + 2a, one scope: disjoint &mut chunks over
                 // states, RNGs, buffers, and scratch; shared reads of
@@ -581,7 +948,7 @@ where
                 );
             }
         }
-        RoundMode::Fused => {
+        (RoundMode::Fused, ChunkScheduler::Static) => {
             // Double-buffered delivery generations: `landing` holds the
             // previous round's buffers (read by every worker during the
             // deferred phase 2b), `filling` receives this round's.

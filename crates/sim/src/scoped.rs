@@ -29,7 +29,7 @@ use stoneage_graph::{Graph, NodeId};
 use crate::engine::PortPlanes;
 use crate::faults::{FaultLayer, FaultSummary, FaultsArg};
 #[cfg(feature = "parallel")]
-use crate::parbuf::ParallelPolicy;
+use crate::parbuf::{ParallelPolicy, StealStats};
 use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
 use crate::snapshot::{self, SnapArgs, SnapPlumb, SnapshotError};
 use crate::sync_exec::compile_faults;
@@ -409,6 +409,7 @@ pub(crate) fn exec_scoped_parallel<P, O>(
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -438,6 +439,7 @@ where
         &mut scoped_deliveries,
         &plumb,
         &mut layer,
+        steals,
     );
     if let Some(out) = fout {
         *out = Some(layer.tally);

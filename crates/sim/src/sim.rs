@@ -76,6 +76,7 @@ use crate::churn::{self, ChurnPlan, ChurnSummary};
 use crate::faults::{FaultPlan, FaultScope, FaultSummary, FaultWire, FaultsArg, LinkFault};
 #[cfg(feature = "parallel")]
 use crate::parbuf::ParallelPolicy;
+use crate::parbuf::StealStats;
 use crate::scoped::{self, ScopedDelivery, ScopedMultiFsm, ScopedOutcome};
 use crate::snapshot::{self, SnapArgs, SnapMeta, SnapState, Snapshot, SnapshotError, StateCodec};
 use crate::sync_exec::{self, NoopObserver, SyncConfig, SyncObserver, SyncOutcome};
@@ -204,6 +205,13 @@ pub struct Outcome<P: Protocol> {
     /// nodes). Bench snapshots should record this instead of guessing
     /// from host CPUs.
     pub workers: usize,
+    /// Work-stealing counters: chunks executed and chunks stolen by a
+    /// non-owner worker. All-zero unless the run used a
+    /// [`ParallelPolicy`] with [`crate::ChunkScheduler::Stealing`]
+    /// (`chunks` counts descriptors, so it is zero on the static
+    /// schedule too). `chunks` is deterministic; **`steals` is
+    /// timing-dependent** — report it, never fingerprint it.
+    pub steals: StealStats,
     /// Backend-specific extras.
     pub detail: Detail,
 }
@@ -560,6 +568,7 @@ type SyncParFn<P> = fn(
     ObsArg<'_, P>,
     SnapRef<'_, P>,
     FaultsArg<'_>,
+    &mut StealStats,
 ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -573,6 +582,7 @@ type ScopedParFn<P> = fn(
     ObsArg<'_, P>,
     SnapRef<'_, P>,
     FaultsArg<'_>,
+    &mut StealStats,
 ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>), ExecError>;
 
 type SyncChurnFn<P> =
@@ -625,6 +635,7 @@ type SyncChurnParFn<P> =
         ObsArg<'_, P>,
         SnapRef<'_, P>,
         FaultsArg<'_>,
+        &mut StealStats,
     ) -> Result<(SyncOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 #[cfg(feature = "parallel")]
@@ -640,6 +651,7 @@ type ScopedChurnParFn<P> =
         ObsArg<'_, P>,
         SnapRef<'_, P>,
         FaultsArg<'_>,
+        &mut StealStats,
     ) -> Result<(ScopedOutcome, Vec<<P as Protocol>::State>, ChurnSummary), ExecError>;
 
 struct Caps<P: Protocol> {
@@ -722,6 +734,7 @@ fn cap_sync_par<P>(
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
@@ -737,6 +750,7 @@ where
             &mut Bridge(o),
             snap,
             faults,
+            steals,
         ),
         None => sync_exec::exec_sync_parallel(
             protocol,
@@ -747,6 +761,7 @@ where
             &mut NoopObserver,
             snap,
             faults,
+            steals,
         ),
     }
 }
@@ -833,6 +848,7 @@ fn cap_scoped_par<P>(
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(ScopedOutcome, Vec<P::State>), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -849,6 +865,7 @@ where
             &mut Bridge(o),
             snap,
             faults,
+            steals,
         ),
         None => scoped::exec_scoped_parallel(
             protocol,
@@ -860,6 +877,7 @@ where
             &mut NoopObserver,
             snap,
             faults,
+            steals,
         ),
     }
 }
@@ -911,6 +929,7 @@ fn cap_sync_churn_par<P>(
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(SyncOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: MultiFsm + Sync,
@@ -927,6 +946,7 @@ where
             &mut Bridge(o),
             snap,
             faults,
+            steals,
         ),
         None => churn::exec_sync_churn_parallel(
             protocol,
@@ -938,6 +958,7 @@ where
             &mut NoopObserver,
             snap,
             faults,
+            steals,
         ),
     }
 }
@@ -1031,6 +1052,7 @@ fn cap_scoped_churn_par<P>(
     observer: ObsArg<'_, P>,
     snap: SnapRef<'_, P>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(ScopedOutcome, Vec<P::State>, ChurnSummary), ExecError>
 where
     P: ScopedMultiFsm + Sync,
@@ -1048,6 +1070,7 @@ where
             &mut Bridge(o),
             snap,
             faults,
+            steals,
         ),
         None => churn::exec_scoped_churn_parallel(
             protocol,
@@ -1060,6 +1083,7 @@ where
             &mut NoopObserver,
             snap,
             faults,
+            steals,
         ),
     }
 }
@@ -1433,6 +1457,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             .ok_or_else(|| mismatch(&self.backend, "sync"))?;
                         if !policy.use_serial(n) {
                             let workers = policy.resolve_workers().min(n.max(1));
+                            let mut steals = StealStats::default();
                             let (out, states, summary) = run(
                                 self.protocol,
                                 self.graph,
@@ -1446,6 +1471,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                     plan: p,
                                     out: &mut fault_summary,
                                 }),
+                                &mut steals,
                             )?;
                             return Ok(sync_outcome(
                                 out,
@@ -1453,6 +1479,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 workers,
                                 Some(summary),
                                 fault_summary,
+                                steals,
                             ));
                         }
                     }
@@ -1473,7 +1500,14 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             out: &mut fault_summary,
                         }),
                     )?;
-                    return Ok(sync_outcome(out, states, 1, Some(summary), fault_summary));
+                    return Ok(sync_outcome(
+                        out,
+                        states,
+                        1,
+                        Some(summary),
+                        fault_summary,
+                        StealStats::default(),
+                    ));
                 }
                 #[cfg(feature = "parallel")]
                 if let Some(policy) = self.policy {
@@ -1485,6 +1519,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         // The shard plan clamps to the node count — report
                         // what actually runs, not the raw policy value.
                         let workers = policy.resolve_workers().min(n.max(1));
+                        let mut steals = StealStats::default();
                         let (out, states) = run(
                             self.protocol,
                             self.graph,
@@ -1497,8 +1532,16 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 plan: p,
                                 out: &mut fault_summary,
                             }),
+                            &mut steals,
                         )?;
-                        return Ok(sync_outcome(out, states, workers, None, fault_summary));
+                        return Ok(sync_outcome(
+                            out,
+                            states,
+                            workers,
+                            None,
+                            fault_summary,
+                            steals,
+                        ));
                     }
                 }
                 let run = self
@@ -1517,7 +1560,14 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         out: &mut fault_summary,
                     }),
                 )?;
-                Ok(sync_outcome(out, states, 1, None, fault_summary))
+                Ok(sync_outcome(
+                    out,
+                    states,
+                    1,
+                    None,
+                    fault_summary,
+                    StealStats::default(),
+                ))
             }
             Backend::Scoped => {
                 let max_rounds = self.budget.unwrap_or(SyncConfig::default().max_rounds);
@@ -1531,6 +1581,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             .ok_or_else(|| mismatch(&self.backend, "scoped"))?;
                         if !policy.use_serial(n) {
                             let workers = policy.resolve_workers().min(n.max(1));
+                            let mut steals = StealStats::default();
                             let (out, states, summary) = run(
                                 self.protocol,
                                 self.graph,
@@ -1545,6 +1596,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                     plan: p,
                                     out: &mut fault_summary,
                                 }),
+                                &mut steals,
                             )?;
                             return Ok(scoped_outcome(
                                 out,
@@ -1552,6 +1604,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 workers,
                                 Some(summary),
                                 fault_summary,
+                                steals,
                             ));
                         }
                     }
@@ -1573,7 +1626,14 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                             out: &mut fault_summary,
                         }),
                     )?;
-                    return Ok(scoped_outcome(out, states, 1, Some(summary), fault_summary));
+                    return Ok(scoped_outcome(
+                        out,
+                        states,
+                        1,
+                        Some(summary),
+                        fault_summary,
+                        StealStats::default(),
+                    ));
                 }
                 #[cfg(feature = "parallel")]
                 if let Some(policy) = self.policy {
@@ -1585,6 +1645,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         // The shard plan clamps to the node count — report
                         // what actually runs, not the raw policy value.
                         let workers = policy.resolve_workers().min(n.max(1));
+                        let mut steals = StealStats::default();
                         let (out, states) = run(
                             self.protocol,
                             self.graph,
@@ -1598,8 +1659,16 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                                 plan: p,
                                 out: &mut fault_summary,
                             }),
+                            &mut steals,
                         )?;
-                        return Ok(scoped_outcome(out, states, workers, None, fault_summary));
+                        return Ok(scoped_outcome(
+                            out,
+                            states,
+                            workers,
+                            None,
+                            fault_summary,
+                            steals,
+                        ));
                     }
                 }
                 let run = self
@@ -1619,7 +1688,14 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                         out: &mut fault_summary,
                     }),
                 )?;
-                Ok(scoped_outcome(out, states, 1, None, fault_summary))
+                Ok(scoped_outcome(
+                    out,
+                    states,
+                    1,
+                    None,
+                    fault_summary,
+                    StealStats::default(),
+                ))
             }
             Backend::Async(options) => {
                 #[cfg(feature = "parallel")]
@@ -1689,6 +1765,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     states,
                     cost: Cost::TimeUnits(out.normalized_time),
                     workers: 1,
+                    steals: StealStats::default(),
                     detail: Detail::Async {
                         completion_time: out.completion_time,
                         time_unit: out.time_unit,
@@ -1712,10 +1789,11 @@ impl<'g, P: Protocol> Simulation<'g, P> {
 /// backend. Resuming under a different value of any of these would
 /// silently diverge from the uninterrupted run, so a mismatch is
 /// rejected up front. Knobs that provably cannot affect outcomes —
-/// worker count, round mode, merge strategy, scheduler kind, bucket
-/// width, patch mode, budget — are deliberately *excluded*: resuming a
-/// serial run on the parallel schedule (or heap → wheel) is a supported
-/// feature, not a configuration error.
+/// worker count, round mode, merge strategy, chunk scheduler
+/// (static/stealing), event-scheduler kind, bucket width, patch mode,
+/// budget — are deliberately *excluded*: resuming a serial run on the
+/// parallel schedule (or heap → wheel, or static → stealing) is a
+/// supported feature, not a configuration error.
 fn config_digest(
     seed: u64,
     inputs: &[usize],
@@ -1791,12 +1869,14 @@ fn sync_outcome<P: Protocol>(
     workers: usize,
     churn: Option<ChurnSummary>,
     faults: Option<FaultSummary>,
+    steals: StealStats,
 ) -> Outcome<P> {
     Outcome {
         outputs: out.outputs,
         states,
         cost: Cost::Rounds(out.rounds),
         workers,
+        steals,
         detail: Detail::Sync {
             messages_sent: out.messages_sent,
             churn,
@@ -1811,12 +1891,14 @@ fn scoped_outcome<P: Protocol>(
     workers: usize,
     churn: Option<ChurnSummary>,
     faults: Option<FaultSummary>,
+    steals: StealStats,
 ) -> Outcome<P> {
     Outcome {
         outputs: out.outputs,
         states,
         cost: Cost::Rounds(out.rounds),
         workers,
+        steals,
         detail: Detail::Scoped {
             scoped_deliveries: out.scoped_deliveries,
             churn,

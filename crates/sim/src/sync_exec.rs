@@ -34,7 +34,7 @@ use stoneage_graph::{Graph, NodeId};
 use crate::engine::PortPlanes;
 use crate::faults::{fault_config, FaultCtx, FaultLayer, FaultSummary, FaultsArg};
 #[cfg(feature = "parallel")]
-use crate::parbuf::ParallelPolicy;
+use crate::parbuf::{ParallelPolicy, StealStats};
 use crate::pipeline::{self, DeliverySink, PortRead, RoundEnd, RoundStep};
 use crate::snapshot::{self, SnapArgs, SnapPlumb, Snapshot, SnapshotError};
 use crate::{splitmix64, ExecError};
@@ -347,6 +347,7 @@ pub(crate) fn exec_sync_parallel<P, O>(
     observer: &mut O,
     snap: &SnapArgs<'_, P::State>,
     faults: FaultsArg<'_>,
+    steals: &mut StealStats,
 ) -> Result<(SyncOutcome, Vec<P::State>), ExecError>
 where
     P: MultiFsm + Sync,
@@ -374,6 +375,7 @@ where
         &mut (),
         &plumb,
         &mut layer,
+        steals,
     );
     if let Some(out) = fout {
         *out = Some(layer.tally);

@@ -260,6 +260,28 @@ pub fn round_modes() -> [stoneage_sim::RoundMode; 2] {
     ]
 }
 
+/// Both chunk schedulers, for the `stealing ≡ static ≡ serial`
+/// differential matrices: the shard-owned static schedule (the oracle)
+/// and the work-stealing deque schedule.
+pub fn chunk_schedulers() -> [stoneage_sim::ChunkScheduler; 2] {
+    [
+        stoneage_sim::ChunkScheduler::Static,
+        stoneage_sim::ChunkScheduler::Stealing,
+    ]
+}
+
+/// The skewed graph instances of the work-stealing differential
+/// matrices: a preferential-attachment power law (one heavy hub, long
+/// degree tail) and the hub-and-spoke stress family whose hub shard
+/// carries almost all port slots. Fixed seeds — every caller sees the
+/// same instances, so pinned hashes built on them never move.
+pub fn skewed_graph_family() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("power-law", generators::power_law(300, 2, 0.85, 42)),
+        ("hub-spoke", generators::hub_and_spoke(3, 60)),
+    ]
+}
+
 /// The fnv1a-64 word hash all outcome fingerprints build on.
 pub fn fnv1a(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
     let mut h = 0xcbf29ce484222325u64 ^ seed;
